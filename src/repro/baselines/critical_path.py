@@ -1,0 +1,105 @@
+"""Critical-path-forcing heuristic (Gebotys-style baseline).
+
+The paper criticizes prior work in which "heuristics were proposed to
+assign entire critical paths to partitions", noting this "might lead
+to solutions that are not globally optimal".  This baseline implements
+that strategy: the task-level critical path (weighted by operation
+counts) — together with its ancestors, to keep temporal order
+satisfiable — is forced into the first partition; the remaining tasks
+are first-fit packed into the later partitions.
+
+On specs where spreading the critical path across segments is
+necessary (capacity) or cheaper (communication), this heuristic either
+gives up or returns a costlier design than the exact method — the gap
+the comparison benchmark measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import networkx as nx
+
+from repro.graph.analysis import task_dependency_graph, topological_tasks
+from repro.core.result import PartitionedDesign
+from repro.core.spec import ProblemSpec
+from repro.baselines.level_partition import _fits, _schedule_segments
+
+
+def critical_path_partition(spec: ProblemSpec) -> "Optional[PartitionedDesign]":
+    """Force the task critical path into partition 1, pack the rest.
+
+    Returns ``None`` whenever the forced placement cannot be completed
+    within the spec's limits — the realistic failure mode of the
+    approach.
+    """
+    dag = task_dependency_graph(spec.graph)
+    weight = {t: len(spec.task_ops[t]) for t in spec.graph.task_names}
+
+    # Longest path by operation weight.
+    best_end, dist, pred = None, {}, {}
+    for node in nx.topological_sort(dag):
+        incoming = [(dist[p] + weight[node], p) for p in dag.predecessors(node)]
+        if incoming:
+            dist[node], pred[node] = max(incoming)
+        else:
+            dist[node], pred[node] = weight[node], None
+        if best_end is None or dist[node] > dist[best_end]:
+            best_end = node
+    path: "Set[str]" = set()
+    node = best_end
+    while node is not None:
+        path.add(node)
+        node = pred[node]
+
+    # Partition 1 = critical path plus all ancestors (temporal order).
+    first: "Set[str]" = set(path)
+    for task in path:
+        first.update(nx.ancestors(dag, task))
+    first_types = {
+        op.optype for t in first for op in spec.graph.task(t).operations
+    }
+    if not _fits(spec, first_types):
+        return None
+
+    # Remaining tasks: first-fit in topological order into partitions 2..N.
+    segments: "List[List[str]]" = [sorted(first, key=topological_tasks(spec.graph).index)]
+    current: "List[str]" = []
+    current_types: "Set" = set()
+    for task in topological_tasks(spec.graph):
+        if task in first:
+            continue
+        task_types = {op.optype for op in spec.graph.task(task).operations}
+        merged = current_types | task_types
+        if current and not _fits(spec, merged):
+            segments.append(current)
+            current = []
+            merged = set(task_types)
+        if not _fits(spec, merged):
+            return None
+        current.append(task)
+        current_types = merged
+    if current:
+        segments.append(current)
+
+    if len(segments) > spec.n_partitions:
+        return None
+    assignment: "Dict[str, int]" = {
+        task: idx + 1 for idx, seg in enumerate(segments) for task in seg
+    }
+    for (t1, t2) in spec.task_edges:
+        if assignment[t1] > assignment[t2]:
+            return None
+    for cut in range(2, spec.n_partitions + 1):
+        traffic = sum(
+            spec.graph.bandwidth(t1, t2)
+            for (t1, t2) in spec.task_edges
+            if assignment[t1] < cut <= assignment[t2]
+        )
+        if not spec.memory.admits(traffic):
+            return None
+
+    schedule = _schedule_segments(spec, segments)
+    if schedule is None:
+        return None
+    return PartitionedDesign(spec=spec, assignment=assignment, schedule=schedule)

@@ -1,0 +1,61 @@
+"""Greedy first-fit temporal partitioner.
+
+Walks tasks in topological order, appending each to the current
+segment while the segment's minimal FU needs fit the device (the same
+test the paper's N estimator uses), then synthesizes each segment with
+the list scheduler.  Differs from :func:`~repro.baselines.level_partition.level_partition`
+in packing granularity (task-at-a-time vs level-at-a-time), which
+typically yields fewer segments but heavier cuts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.graph.analysis import topological_tasks
+from repro.core.result import PartitionedDesign
+from repro.core.spec import ProblemSpec
+from repro.baselines.level_partition import _fits, _schedule_segments
+
+
+def greedy_partition(spec: ProblemSpec) -> "Optional[PartitionedDesign]":
+    """First-fit pack tasks into segments, then synthesize each.
+
+    Returns ``None`` when the result violates the spec's limits
+    (too many segments, memory overflow, latency overflow).
+    """
+    segments: "List[List[str]]" = []
+    current: "List[str]" = []
+    current_types: "Set" = set()
+    for task_name in topological_tasks(spec.graph):
+        task_types = {op.optype for op in spec.graph.task(task_name).operations}
+        merged = current_types | task_types
+        if current and not _fits(spec, merged):
+            segments.append(current)
+            current = []
+            merged = set(task_types)
+        if not _fits(spec, merged):
+            return None
+        current.append(task_name)
+        current_types = merged
+    if current:
+        segments.append(current)
+
+    if len(segments) > spec.n_partitions:
+        return None
+    assignment: "Dict[str, int]" = {
+        task: idx + 1 for idx, seg in enumerate(segments) for task in seg
+    }
+    for cut in range(2, spec.n_partitions + 1):
+        traffic = sum(
+            spec.graph.bandwidth(t1, t2)
+            for (t1, t2) in spec.task_edges
+            if assignment[t1] < cut <= assignment[t2]
+        )
+        if not spec.memory.admits(traffic):
+            return None
+
+    schedule = _schedule_segments(spec, segments)
+    if schedule is None:
+        return None
+    return PartitionedDesign(spec=spec, assignment=assignment, schedule=schedule)

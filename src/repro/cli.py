@@ -1,0 +1,182 @@
+"""Command-line interface: partition a specification end to end.
+
+Usage examples::
+
+    # the paper's graph 1, Table-3 row 2:
+    python -m repro.cli --paper-graph 1 --mix 2A+2M+1S -N 3 -L 1
+
+    # a saved specification on a chosen device:
+    python -m repro.cli --graph myspec.json --mix 1A+1M+1S \\
+        --device xc4005 --memory 16 -L 2 --branching paper
+
+    # export the ILP instead of solving it:
+    python -m repro.cli --paper-graph 1 --mix 2A+2M+1S -N 2 -L 2 \\
+        --dump-lp model.lp
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.graph.generators import paper_graph
+from repro.graph.io import load_task_graph
+from repro.ilp.branching import RULES
+from repro.ilp.lp_io import write_lp_format
+from repro.library.catalogs import default_library, mix_from_string
+from repro.target.fpga import FPGADevice, device_catalog
+from repro.target.memory import ScratchMemory
+from repro.core.formulation import FormulationOptions, build_model
+from repro.core.partitioner import TemporalPartitioner
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tps",
+        description="Optimal temporal partitioning and synthesis "
+        "(Kaul & Vemuri, DATE 1998).",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--graph", help="path to a task-graph JSON file (see repro.graph.io)"
+    )
+    source.add_argument(
+        "--paper-graph", type=int, choices=range(1, 7), metavar="1..6",
+        help="one of the paper's regenerated experimental graphs",
+    )
+    parser.add_argument(
+        "--mix", required=True,
+        help="FU mix in the paper's notation, e.g. 2A+2M+1S",
+    )
+    parser.add_argument(
+        "-N", "--partitions", type=int, default=None,
+        help="partition bound N (default: estimate heuristically)",
+    )
+    parser.add_argument(
+        "-L", "--relaxation", type=int, default=0,
+        help="latency relaxation L over the critical path (default 0)",
+    )
+    parser.add_argument(
+        "--device", default="xc4010",
+        help="device name from the catalog, or CAPACITY[:ALPHA]",
+    )
+    parser.add_argument(
+        "--memory", type=int, default=None,
+        help="scratch memory Ms in data units (default: unbounded)",
+    )
+    parser.add_argument(
+        "--branching", default="paper", choices=sorted(RULES),
+        help="branch-and-bound variable selection rule",
+    )
+    parser.add_argument(
+        "--backend", default="bnb", choices=["bnb", "milp"],
+        help="solver backend (in-repo branch and bound, or SciPy HiGHS)",
+    )
+    parser.add_argument(
+        "--base-model", action="store_true",
+        help="use the untightened Section-5 formulation",
+    )
+    parser.add_argument(
+        "--fortet", action="store_true",
+        help="use Fortet's linearization instead of Glover's",
+    )
+    parser.add_argument(
+        "--plain-search", action="store_true",
+        help="disable the search accelerators (raw 1998-style B&B)",
+    )
+    parser.add_argument(
+        "--time-limit", type=float, default=300.0,
+        help="solver time limit in seconds (default 300)",
+    )
+    parser.add_argument(
+        "--dump-lp", metavar="FILE",
+        help="write the model in LP format and exit without solving",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the outcome as JSON instead of a text report",
+    )
+    return parser
+
+
+def resolve_device(text: str) -> FPGADevice:
+    catalog = device_catalog()
+    if text in catalog:
+        return catalog[text]
+    capacity, _, alpha = text.partition(":")
+    try:
+        return FPGADevice(
+            "custom",
+            capacity=int(capacity),
+            alpha=float(alpha) if alpha else 0.7,
+        )
+    except (ValueError, ReproError) as exc:
+        raise SystemExit(
+            f"unknown device {text!r} (catalog: {sorted(catalog)}; or "
+            f"CAPACITY[:ALPHA]): {exc}"
+        )
+
+
+def main(argv: "Optional[list]" = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.paper_graph is not None:
+        graph = paper_graph(args.paper_graph)
+    else:
+        graph = load_task_graph(args.graph)
+
+    device = resolve_device(args.device)
+    memory = ScratchMemory(args.memory) if args.memory is not None else None
+    options = FormulationOptions(
+        tighten=not args.base_model,
+        linearization="fortet" if args.fortet else "glover",
+    )
+    partitioner = TemporalPartitioner(
+        library=default_library(),
+        device=device,
+        memory=memory,
+        options=options,
+        branching=args.branching,
+        backend=args.backend,
+        time_limit_s=args.time_limit,
+        plain_search=args.plain_search,
+    )
+
+    if args.dump_lp:
+        spec = partitioner.make_spec(
+            graph, mix_from_string(args.mix), args.partitions, args.relaxation
+        )
+        model, _ = build_model(spec, options)
+        write_lp_format(model, args.dump_lp)
+        print(f"wrote {model.num_vars} vars / {model.num_constraints} "
+              f"constraints to {args.dump_lp}")
+        return 0
+
+    outcome = partitioner.partition(
+        graph, mix_from_string(args.mix), args.partitions, args.relaxation
+    )
+
+    if args.as_json:
+        payload = outcome.summary_row()
+        if outcome.design is not None:
+            payload["assignment"] = dict(outcome.design.assignment)
+        print(json.dumps(payload, indent=2))
+    else:
+        row = outcome.summary_row()
+        print(f"graph {row['graph']}: {row['tasks']} tasks, "
+              f"{row['opers']} ops | N={row['N']} L={row['L']} "
+              f"mix={args.mix}")
+        print(f"model: {row['vars']} vars, {row['consts']} constraints")
+        print(f"solve: {row['status']} in {row['runtime_s']}s "
+              f"({outcome.solve_stats.nodes_explored} nodes)")
+        if outcome.design is not None:
+            print()
+            print(outcome.design.report())
+    return 0 if outcome.feasible or outcome.status.value == "infeasible" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

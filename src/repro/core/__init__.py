@@ -1,0 +1,48 @@
+"""The paper's contribution: combined temporal partitioning + synthesis.
+
+This package builds, solves, decodes and verifies the 0-1 model of
+Kaul & Vemuri (DATE 1998).  Layering:
+
+* :mod:`~repro.core.spec` — :class:`ProblemSpec`, the fully validated
+  problem instance (task graph, FU allocation, device, scratch memory,
+  partition bound ``N``, latency relaxation ``L``);
+* :mod:`~repro.core.variables` — creation of the decision-variable
+  spaces ``y``, ``x``, ``w``, ``u``, ``o``, ``c`` (+ product variables)
+  with the branching metadata of the paper's heuristic;
+* :mod:`~repro.core.constraints` — one module per constraint family,
+  each function mapping to numbered equations of the paper;
+* :mod:`~repro.core.objective` — eq. 14;
+* :mod:`~repro.core.formulation` — assembly of the full model under
+  :class:`FormulationOptions` (tightened vs. base, Glover vs. Fortet);
+* :mod:`~repro.core.decode` / :mod:`~repro.core.result` — turning
+  solver output into a :class:`PartitionedDesign`;
+* :mod:`~repro.core.verify` — an ILP-free semantic checker;
+* :mod:`~repro.core.bruteforce` — exhaustive reference optimizer for
+  tiny instances (ground truth in tests);
+* :mod:`~repro.core.partitioner` — :class:`TemporalPartitioner`, the
+  end-to-end Figure-2 flow;
+* :mod:`~repro.core.explore` — design-space exploration drivers
+  (Table 3's N/L sweeps, FU-mix sweeps).
+"""
+
+from repro.core.spec import ProblemSpec
+from repro.core.formulation import FormulationOptions, build_model
+from repro.core.result import PartitionedDesign, PartitionReport
+from repro.core.decode import decode_solution
+from repro.core.verify import verify_design
+from repro.core.partitioner import PartitionOutcome, TemporalPartitioner
+from repro.core.explore import explore_latency_partitions, explore_fu_mixes
+
+__all__ = [
+    "ProblemSpec",
+    "FormulationOptions",
+    "build_model",
+    "PartitionedDesign",
+    "PartitionReport",
+    "decode_solution",
+    "verify_design",
+    "TemporalPartitioner",
+    "PartitionOutcome",
+    "explore_latency_partitions",
+    "explore_fu_mixes",
+]

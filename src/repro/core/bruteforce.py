@@ -1,0 +1,183 @@
+"""Exhaustive reference optimizer for tiny problem instances.
+
+For specs with a handful of tasks/operations this enumerates *all*
+task-to-partition assignments (in increasing communication-cost order)
+and, for each, decides synthesis feasibility by backtracking over
+operation placements.  The first feasible assignment is therefore a
+provably optimal solution — ground truth the test suite compares every
+ILP path against.
+
+Complexity is exponential; guard rails reject instances beyond a small
+size so a typo in a test cannot hang the suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SpecificationError
+from repro.core.spec import ProblemSpec
+
+#: Safety limits: enumeration explodes beyond this.
+MAX_TASKS = 6
+MAX_OPS = 14
+
+
+def brute_force_optimum(
+    spec: ProblemSpec,
+) -> "Optional[Tuple[int, Dict[str, int]]]":
+    """Find the optimal (communication, assignment) pair, or None.
+
+    Returns ``None`` when no feasible design exists for the spec, and
+    ``(cost, assignment)`` otherwise; the assignment uses original
+    partition indices.  Raises :class:`SpecificationError` when the
+    instance exceeds the enumeration guard rails.
+    """
+    if len(spec.task_order) > MAX_TASKS:
+        raise SpecificationError(
+            f"brute force limited to {MAX_TASKS} tasks, got {len(spec.task_order)}"
+        )
+    if len(spec.op_ids) > MAX_OPS:
+        raise SpecificationError(
+            f"brute force limited to {MAX_OPS} operations, got {len(spec.op_ids)}"
+        )
+
+    candidates: "List[Tuple[int, Dict[str, int]]]" = []
+    for combo in itertools.product(
+        spec.partitions, repeat=len(spec.task_order)
+    ):
+        assignment = dict(zip(spec.task_order, combo))
+        if not _order_ok(spec, assignment):
+            continue
+        if not _memory_ok(spec, assignment):
+            continue
+        candidates.append((_communication(spec, assignment), assignment))
+
+    candidates.sort(key=lambda pair: (pair[0], sorted(pair[1].items())))
+    for cost, assignment in candidates:
+        if _synthesis_feasible(spec, assignment):
+            return cost, assignment
+    return None
+
+
+def _order_ok(spec: ProblemSpec, assignment: "Dict[str, int]") -> bool:
+    return all(
+        assignment[t1] <= assignment[t2] for (t1, t2) in spec.task_edges
+    )
+
+
+def _memory_ok(spec: ProblemSpec, assignment: "Dict[str, int]") -> bool:
+    for cut in range(2, spec.n_partitions + 1):
+        traffic = sum(
+            spec.graph.bandwidth(t1, t2)
+            for (t1, t2) in spec.task_edges
+            if assignment[t1] < cut <= assignment[t2]
+        )
+        if not spec.memory.admits(traffic):
+            return False
+    return True
+
+
+def _communication(spec: ProblemSpec, assignment: "Dict[str, int]") -> int:
+    total = 0
+    for (t1, t2) in spec.task_edges:
+        span = assignment[t2] - assignment[t1]
+        if span > 0:
+            total += span * spec.graph.bandwidth(t1, t2)
+    return total
+
+
+def _synthesis_feasible(spec: ProblemSpec, assignment: "Dict[str, int]") -> bool:
+    """Backtracking search for any valid schedule under ``assignment``.
+
+    State: operation order is a fixed topological order (``spec.op_ids``
+    is built in task-topological, intra-task insertion order, which the
+    generators and builders keep topological); each op tries every
+    (step, FU) in its mobility/compatibility sets subject to:
+
+    * strict dependency ordering against already-placed predecessors,
+    * FU exclusivity per (step, FU),
+    * step-to-partition exclusivity (a step used by partition p cannot
+      be used by any other partition),
+    * per-partition area of the FUs used so far.
+    """
+    op_order = _topological_ops(spec)
+    preds: "Dict[str, List[str]]" = {op: [] for op in spec.op_ids}
+    for (i1, i2) in spec.op_edges():
+        preds[i2].append(i1)
+
+    placed_step: "Dict[str, int]" = {}
+    fu_busy: "Dict[Tuple[int, str], str]" = {}
+    step_partition: "Dict[int, int]" = {}
+    partition_fus: "Dict[int, set]" = {}
+
+    capacity = spec.device.capacity
+
+    def area_ok(partition: int, fus: set) -> bool:
+        raw = sum(spec.fu_cost[k] for k in fus)
+        return spec.device.effective_cost(raw) <= capacity + 1e-9
+
+    def place(idx: int) -> bool:
+        if idx == len(op_order):
+            return True
+        op_id = op_order[idx]
+        partition = assignment[spec.op_task[op_id]]
+        min_step = 1
+        for pred in preds[op_id]:
+            min_step = max(min_step, placed_step[pred] + 1)
+        for j in spec.op_steps[op_id]:
+            if j < min_step:
+                continue
+            owner = step_partition.get(j)
+            if owner is not None and owner != partition:
+                continue
+            for k in spec.op_fus[op_id]:
+                if (j, k) in fu_busy:
+                    continue
+                fus = partition_fus.setdefault(partition, set())
+                added_fu = k not in fus
+                if added_fu:
+                    fus.add(k)
+                    if not area_ok(partition, fus):
+                        fus.discard(k)
+                        continue
+                claimed_step = owner is None
+                if claimed_step:
+                    step_partition[j] = partition
+                fu_busy[(j, k)] = op_id
+                placed_step[op_id] = j
+                if place(idx + 1):
+                    return True
+                del placed_step[op_id]
+                del fu_busy[(j, k)]
+                if claimed_step:
+                    del step_partition[j]
+                if added_fu:
+                    fus.discard(k)
+        return False
+
+    return place(0)
+
+
+def _topological_ops(spec: ProblemSpec) -> "List[str]":
+    """Topological order of all ops (ties by spec.op_ids order)."""
+    position = {op: idx for idx, op in enumerate(spec.op_ids)}
+    indegree = {op: 0 for op in spec.op_ids}
+    adj: "Dict[str, List[str]]" = {op: [] for op in spec.op_ids}
+    for (i1, i2) in spec.op_edges():
+        adj[i1].append(i2)
+        indegree[i2] += 1
+    ready = sorted(
+        (op for op in spec.op_ids if indegree[op] == 0), key=position.__getitem__
+    )
+    order: "List[str]" = []
+    while ready:
+        op = ready.pop(0)
+        order.append(op)
+        for succ in adj[op]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+        ready.sort(key=position.__getitem__)
+    return order

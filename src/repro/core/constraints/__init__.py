@@ -1,0 +1,30 @@
+"""Constraint families of the formulation, one module per group.
+
+Each builder function adds one numbered constraint family of the paper
+to a model, tagging every constraint with its equation family so model
+reports can break sizes down the way the paper discusses them.
+
+========================  ==========================================
+module                    paper equations
+========================  ==========================================
+``linearize``             Fortet (15-16) and Glover (15, 17-18)
+``partitioning``          1 (uniqueness), 2 (temporal order),
+                          3 (scratch memory), 4-5 (base w definition)
+``synthesis``             6 (unique assignment), 7 (FU exclusivity),
+                          8 (dependencies)
+``combine``               9-10 via 19-23 (u/o/z linkage), 11
+                          (resources), 12-13 (control-step
+                          uniqueness), 26-27 (o definition)
+``tightening``            28-30 + 31 (tight w definition), 32 (u lift)
+========================  ==========================================
+"""
+
+from repro.core.constraints import (  # noqa: F401  (re-exported modules)
+    combine,
+    linearize,
+    partitioning,
+    synthesis,
+    tightening,
+)
+
+__all__ = ["combine", "linearize", "partitioning", "synthesis", "tightening"]

@@ -1,0 +1,181 @@
+"""Constraints combining partitioning with synthesis: eqs 9-13, 19-27.
+
+This is the heart of what distinguishes the paper from prior spatial
+partitioning formulations: *binding is modeled explicitly*, so the
+model knows which FU instances a partition actually uses and can charge
+area per partition accordingly (eq 11) — enabling solutions where the
+same exploration set ``F`` materializes differently in each temporal
+segment.
+
+Families
+--------
+* **o definition (eqs 26-27)** — ``o[t,k] = 1`` iff some operation of
+  task ``t`` is bound to instance ``k``: lower bounds per ``x`` and an
+  aggregate upper bound.
+* **u/o/z linkage (eqs 9-10, linearized as 19-23)** — ``u[p,k]``
+  reflects the products ``y[t,p] * o[t,k]``.  Note: eq 23 as printed
+  in the paper reads ``sum_t z - u <= 0``, which contradicts its
+  non-linear parent eq 10 (``sum_t y*o - u >= 0``, i.e. ``u`` is
+  *upper*-bounded by usage so an unused FU cannot charge area... and
+  ``u=2`` would otherwise be forced when two tasks share an FU).  We
+  implement the parent's direction: ``sum_t z[p,t,k] >= u[p,k]``.
+* **Resource constraint (eq 11)** — per partition,
+  ``alpha * sum_k u[p,k] * FG(k) <= C``.
+* **Control-step uniqueness (eqs 12-13)** — ``c[t,j]`` marks task
+  activity per step; two tasks sharing a control step must share a
+  partition, so each control step belongs to one temporal segment.
+"""
+
+from __future__ import annotations
+
+from repro.ilp.expr import lin_sum
+from repro.ilp.model import Model
+from repro.core.constraints.linearize import add_product_constraints
+from repro.core.spec import ProblemSpec
+from repro.core.variables import VariableSpace
+
+
+def add_o_definition(model: Model, spec: ProblemSpec, space: VariableSpace) -> None:
+    """Eqs 26-27: ``o[t,k]`` is the OR of task t's ``x[i,j,k]``.
+
+    eq 26 gives ``o >= x`` per synthesis variable; eq 27 gives
+    ``o <= sum x`` which, with the [0,1] bound, pins ``o`` exactly once
+    the ``x`` are integral (so ``o`` stays continuous).
+    """
+    for (task, k), o_var in space.o.items():
+        terms = [
+            space.x[(op_id, j, k)]
+            for op_id in spec.task_ops[task]
+            if k in spec.op_fus[op_id]
+            for j in spec.op_steps[op_id]
+        ]
+        assert terms, "o variable exists only when the task can use the FU"
+        for x_var in terms:
+            model.add(o_var >= x_var, tag="eq26-o-lower")
+        model.add(
+            lin_sum(terms) - o_var >= 0,
+            name=f"eq27[{task},{k}]",
+            tag="eq27-o-upper",
+        )
+
+
+def add_u_linkage(
+    model: Model, spec: ProblemSpec, space: VariableSpace, linearization: str
+) -> None:
+    """Eqs 9-10 via 19-23: ``u[p,k]`` tracks the products ``y*o``.
+
+    For every (p, t, k) with an ``o`` variable, the product variable
+    ``z[p,t,k] = y[t,p] * o[t,k]`` is linearized (Glover: eqs 19-21;
+    Fortet: eqs 15-16), then
+
+    * eq 22: ``u[p,k] >= z[p,t,k]`` — usage forces ``u`` up;
+    * eq 23 (direction corrected, see module docstring):
+      ``sum_t z[p,t,k] >= u[p,k]`` — no usage forces ``u`` down.
+    """
+    for p in spec.partitions:
+        for k in spec.fu_names:
+            z_terms = []
+            for task in spec.task_order:
+                key = (p, task, k)
+                if key not in space.z:
+                    continue
+                z = space.z[key]
+                add_product_constraints(
+                    model,
+                    space.y[(task, p)],
+                    space.o[(task, k)],
+                    z,
+                    linearization,
+                    tag="eq19-21-z-product",
+                )
+                model.add(
+                    space.u[(p, k)] >= z,
+                    tag="eq22-u-lower",
+                )
+                z_terms.append(z)
+            if z_terms:
+                model.add(
+                    lin_sum(z_terms) - space.u[(p, k)] >= 0,
+                    name=f"eq23[{p},{k}]",
+                    tag="eq23-u-upper",
+                )
+            else:
+                # No task can ever use instance k: pin u to zero so the
+                # resource constraint cannot be inflated spuriously.
+                model.add(
+                    space.u[(p, k)] <= 0,
+                    name=f"eq23z[{p},{k}]",
+                    tag="eq23-u-upper",
+                )
+
+
+def add_resource_capacity(
+    model: Model, spec: ProblemSpec, space: VariableSpace
+) -> None:
+    """Eq 11: used FUs of each partition fit the device.
+
+    ``alpha * sum_k u[p,k] * FG(k) <= C`` for every partition ``p``.
+    """
+    alpha = spec.device.alpha
+    for p in spec.partitions:
+        area = lin_sum(
+            alpha * spec.fu_cost[k] * space.u[(p, k)] for k in spec.fu_names
+        )
+        model.add(
+            area <= spec.device.capacity,
+            name=f"eq11[{p}]",
+            tag="eq11-resource",
+        )
+
+
+def add_control_step_activity(
+    model: Model, spec: ProblemSpec, space: VariableSpace
+) -> None:
+    """Eq 12: ``c[t,j]`` dominates each of task t's placements at step j.
+
+    One constraint per (task, op, step): ``c[t,j] >= sum_k x[i,j,k]``.
+    Only a lower bound is needed — a spurious ``c=1`` can only *add*
+    co-location requirements via eq 13, and any integer-feasible point
+    admits the minimal ``c`` — so ``c`` stays continuous.
+    """
+    for (task, j), c_var in space.c.items():
+        for op_id in spec.task_ops_at_step(task, j):
+            model.add(
+                c_var
+                >= lin_sum(space.x[(op_id, j, k)] for k in spec.op_fus[op_id]),
+                tag="eq12-c-lower",
+            )
+
+
+def add_step_partition_uniqueness(
+    model: Model, spec: ProblemSpec, space: VariableSpace
+) -> None:
+    """Eq 13: tasks sharing a control step must share a partition.
+
+    For every unordered task pair active at a common step ``j`` and
+    every ordered partition pair ``p1 != p2``::
+
+        c[t1,j] + y[t1,p1] + c[t2,j] + y[t2,p2] <= 3
+
+    (The constraint is symmetric under swapping the roles of the two
+    tasks, so unordered task pairs suffice — the ordered-pair version
+    in the paper generates each constraint twice.)
+    """
+    order = spec.task_order
+    for idx1 in range(len(order)):
+        t1 = order[idx1]
+        steps1 = set(spec.task_steps(t1))
+        for idx2 in range(idx1 + 1, len(order)):
+            t2 = order[idx2]
+            common = steps1.intersection(spec.task_steps(t2))
+            for j in sorted(common):
+                c1 = space.c[(t1, j)]
+                c2 = space.c[(t2, j)]
+                for p1 in spec.partitions:
+                    for p2 in spec.partitions:
+                        if p1 == p2:
+                            continue
+                        model.add(
+                            c1 + space.y[(t1, p1)] + c2 + space.y[(t2, p2)] <= 3,
+                            tag="eq13-step-partition",
+                        )

@@ -1,0 +1,122 @@
+"""Temporal-partitioning constraints: paper eqs 1-5.
+
+* **Uniqueness (eq 1)** — every task lands in exactly one partition.
+* **Temporal order (eq 2)** — a producer task may never be placed in a
+  later partition than a consumer that depends on it.
+* **Scratch memory (eq 3)** — the traffic crossing each cut fits the
+  on-board memory ``Ms``.  Cut ``p`` (for ``p`` in ``2..N``) separates
+  partitions ``1..p-1`` from ``p..N``; a dependency ``t1 -> t2`` with
+  ``t1`` before the cut and ``t2`` at/after it stores
+  ``Bandwidth(t1,t2)`` units across that cut.  Cut 1 is excluded: the
+  data entering partition 1 are the external inputs, which the paper
+  assumes are always available.
+* **Base w definition (eqs 4-5)** — the Section-5 ("preliminary")
+  linearization: one explicit product variable per non-linear term
+  ``y[t1,p1] * y[t2,p2]`` with ``p1 < p2``, linearized by Fortet or
+  Glover, and ``w[p,t1,t2]`` pinned to the sum of the products whose
+  span contains cut ``p``.  The tightened alternative (eq 31 plus the
+  cutting planes 28-30) lives in
+  :mod:`repro.core.constraints.tightening`.
+"""
+
+from __future__ import annotations
+
+from repro.ilp.expr import lin_sum
+from repro.ilp.model import Model
+from repro.core.constraints.linearize import (
+    add_product_constraints,
+    product_vars_need_integrality,
+)
+from repro.core.spec import ProblemSpec
+from repro.core.variables import VariableSpace, add_product_var
+
+
+def add_uniqueness(model: Model, spec: ProblemSpec, space: VariableSpace) -> None:
+    """Eq 1: each task is placed in exactly one partition."""
+    for task in spec.task_order:
+        model.add(
+            lin_sum(space.y[(task, p)] for p in spec.partitions) == 1,
+            name=f"eq1[{task}]",
+            tag="eq1-uniqueness",
+        )
+
+
+def add_temporal_order(model: Model, spec: ProblemSpec, space: VariableSpace) -> None:
+    """Eq 2: dependencies may not point backwards in partition order.
+
+    For every edge ``t1 -> t2`` and every partition ``p2 < N``: if
+    ``t2`` is at ``p2``, then ``t1`` is not at any ``p1 > p2``.
+    """
+    n = spec.n_partitions
+    for (t1, t2) in spec.task_edges:
+        for p2 in range(1, n):
+            later = lin_sum(space.y[(t1, p1)] for p1 in range(p2 + 1, n + 1))
+            model.add(
+                later + space.y[(t2, p2)] <= 1,
+                name=f"eq2[{t1}->{t2},{p2}]",
+                tag="eq2-temporal-order",
+            )
+
+
+def add_memory(model: Model, spec: ProblemSpec, space: VariableSpace) -> None:
+    """Eq 3: traffic across every cut fits the scratch memory."""
+    for p in spec.partitions[1:]:
+        total = lin_sum(
+            spec.graph.bandwidth(t1, t2) * space.w[(p, t1, t2)]
+            for (t1, t2) in spec.task_edges
+        )
+        model.add(
+            total <= spec.memory.size,
+            name=f"eq3[{p}]",
+            tag="eq3-memory",
+        )
+
+
+def add_base_w_definition(
+    model: Model, spec: ProblemSpec, space: VariableSpace, linearization: str
+) -> None:
+    """Eqs 4-5: the preliminary (Section 5) definition of ``w``.
+
+    Creates one product variable ``v[t1,t2,p1,p2] = y[t1,p1]*y[t2,p2]``
+    for each dependency and each pair ``p1 < p2`` (a product term is
+    shared by every cut ``p`` with ``p1 < p <= p2``), then adds
+
+    * eq 4:  ``w[p,t1,t2] >= v[t1,t2,p1,p2]`` for each covered cut;
+    * eq 5:  ``sum of covered products == w[p,t1,t2]``.
+
+    Equality 5 is what pins ``w`` to 0 when no product is 1 — with
+    eq 4 alone, ``w = 1`` would always be feasible (and the minimizing
+    objective alone could not prevent it from distorting the *memory
+    constraint's* left side downward... the paper discusses exactly
+    this pitfall).
+    """
+    integer_products = product_vars_need_integrality(linearization)
+    n = spec.n_partitions
+    for (t1, t2) in spec.task_edges:
+        for p1 in range(1, n + 1):
+            for p2 in range(p1 + 1, n + 1):
+                v = add_product_var(model, space, t1, t2, p1, p2, integer_products)
+                add_product_constraints(
+                    model,
+                    space.y[(t1, p1)],
+                    space.y[(t2, p2)],
+                    v,
+                    linearization,
+                    tag="eq4/5-products",
+                )
+        for p in range(2, n + 1):
+            covered = [
+                space.v[(t1, t2, p1, p2)]
+                for p1 in range(1, p)
+                for p2 in range(p, n + 1)
+            ]
+            for v in covered:
+                model.add(
+                    space.w[(p, t1, t2)] >= v,
+                    tag="eq4-w-lower",
+                )
+            model.add(
+                lin_sum(covered) == space.w[(p, t1, t2)],
+                name=f"eq5[{p},{t1},{t2}]",
+                tag="eq5-w-exact",
+            )

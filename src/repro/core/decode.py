@@ -1,0 +1,82 @@
+"""Decoding solver output into a :class:`PartitionedDesign`.
+
+The decoder reads only the *fundamental* variables (``y`` and ``x``) —
+all secondary variables are derived quantities that the design recomputes
+semantically, which is also how decode-then-verify catches any
+formulation bug that lets secondary variables drift from their
+definitions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import DecodeError
+from repro.ilp.solution import MilpResult
+from repro.schedule.schedule import Schedule, ScheduledOp
+from repro.core.result import PartitionedDesign
+from repro.core.spec import ProblemSpec
+from repro.core.variables import VariableSpace
+
+#: How close to 1.0 a binary must be to count as set.
+_TOL = 1e-4
+
+
+def decode_solution(
+    spec: ProblemSpec, space: VariableSpace, result: MilpResult
+) -> PartitionedDesign:
+    """Decode a solver result into a design.
+
+    Raises
+    ------
+    DecodeError
+        If the result carries no solution, or the fundamental variables
+        are not cleanly integral / uniquely set (which would indicate a
+        solver or formulation bug, not a user error).
+    """
+    if result.values is None:
+        raise DecodeError(
+            f"cannot decode: result has no solution (status {result.status})"
+        )
+    values = result.values
+
+    assignment: "Dict[str, int]" = {}
+    for task in spec.task_order:
+        chosen = [
+            p for p in spec.partitions
+            if _is_one(values[space.y[(task, p)].index])
+        ]
+        if len(chosen) != 1:
+            raise DecodeError(
+                f"task {task!r} set in {len(chosen)} partitions "
+                f"(y values not cleanly integral)"
+            )
+        assignment[task] = chosen[0]
+
+    placements: "Dict[str, ScheduledOp]" = {}
+    for op_id in spec.op_ids:
+        chosen_jk: "Tuple[int, str] | None" = None
+        for j in spec.op_steps[op_id]:
+            for k in spec.op_fus[op_id]:
+                if _is_one(values[space.x[(op_id, j, k)].index]):
+                    if chosen_jk is not None:
+                        raise DecodeError(
+                            f"operation {op_id!r} placed twice "
+                            f"({chosen_jk} and {(j, k)})"
+                        )
+                    chosen_jk = (j, k)
+        if chosen_jk is None:
+            raise DecodeError(f"operation {op_id!r} has no placement")
+        placements[op_id] = ScheduledOp(op_id, chosen_jk[0], chosen_jk[1])
+
+    return PartitionedDesign(
+        spec=spec, assignment=assignment, schedule=Schedule(placements)
+    )
+
+
+def _is_one(value: float) -> bool:
+    if abs(value - 1.0) <= _TOL:
+        return True
+    if abs(value) <= _TOL:
+        return False
+    raise DecodeError(f"binary variable has non-integral value {value}")

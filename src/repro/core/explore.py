@@ -1,0 +1,95 @@
+"""Design-space exploration drivers.
+
+Table 3 of the paper is a manual exploration loop: fix the FU mix,
+then vary the number of partitions ``N`` and the latency relaxation
+``L`` and watch feasibility and cost.  These helpers automate that loop
+(and the FU-mix variant) and return plain row dictionaries that the
+reporting layer renders like the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.graph.taskgraph import TaskGraph
+from repro.library.components import Allocation
+from repro.core.partitioner import PartitionOutcome, TemporalPartitioner
+
+
+def explore_latency_partitions(
+    partitioner: TemporalPartitioner,
+    graph: TaskGraph,
+    allocation: "Union[Allocation, str]",
+    points: "Sequence[Tuple[int, int]]",
+) -> "List[Dict[str, object]]":
+    """Run the flow at each ``(N, L)`` point and collect table rows.
+
+    ``points`` is a sequence of ``(n_partitions, relaxation)`` pairs,
+    e.g. Table 3's ``[(3,0), (3,1), (2,2), (2,3)]``.  Each row also
+    records how many partitions the optimum actually used, which is how
+    the paper observes "it fit optimally onto a single partition though
+    2 partitions were used in the design space exploration".
+    """
+    rows: "List[Dict[str, object]]" = []
+    for n, l in points:
+        outcome = partitioner.partition(
+            graph, allocation, n_partitions=n, relaxation=l
+        )
+        rows.append(_row(outcome))
+    return rows
+
+
+def minimum_feasible_relaxation(
+    partitioner: TemporalPartitioner,
+    graph: TaskGraph,
+    allocation: "Union[Allocation, str]",
+    n_partitions: int,
+    max_relaxation: int = 8,
+) -> "Optional[int]":
+    """Smallest ``L`` that makes ``N`` partitions feasible, or None.
+
+    Scans ``L = 0 .. max_relaxation`` in order; this is the loop a user
+    of the paper's tool runs by hand when a design "could not be
+    feasibly partitioned", as in Table 3's narrative.
+    """
+    for l in range(max_relaxation + 1):
+        outcome = partitioner.partition(
+            graph, allocation, n_partitions=n_partitions, relaxation=l
+        )
+        if outcome.feasible:
+            return l
+    return None
+
+
+def explore_fu_mixes(
+    partitioner: TemporalPartitioner,
+    graph: TaskGraph,
+    mixes: "Iterable[str]",
+    n_partitions: "Optional[int]" = None,
+    relaxation: int = 0,
+) -> "List[Dict[str, object]]":
+    """Run the flow for several FU mixes ("2A+2M+1S", ...) and collect rows.
+
+    This is the exploration the paper's Section 2 highlights against
+    Gebotys' model: different FU *counts and kinds* for the same
+    specification, including mixes too large to fit the device all at
+    once (the per-partition ``u`` variables handle that).
+    """
+    rows: "List[Dict[str, object]]" = []
+    for mix in mixes:
+        outcome = partitioner.partition(
+            graph, mix, n_partitions=n_partitions, relaxation=relaxation
+        )
+        row = _row(outcome)
+        row["fu_mix"] = mix
+        rows.append(row)
+    return rows
+
+
+def _row(outcome: PartitionOutcome) -> "Dict[str, object]":
+    row = outcome.summary_row()
+    if outcome.design is not None:
+        row["partitions_used"] = outcome.design.num_partitions_used
+    else:
+        row["partitions_used"] = None
+    return row

@@ -1,0 +1,35 @@
+"""The cost function: paper eq 14.
+
+Minimize the total amount of data transferred among partition
+segments::
+
+    minimize  sum_{t1 -> t2} sum_{p in 2..N} w[p,t1,t2] * Bandwidth(t1,t2)
+
+A dependency whose endpoints are ``d`` cuts apart is charged ``d``
+times (once per cut it crosses), which is physically right: its data
+occupies scratch memory across every intervening reconfiguration.
+Because fewer partitions mean fewer crossed cuts, this objective also
+drives the solution toward "the least number of partitions", as the
+paper notes.
+"""
+
+from __future__ import annotations
+
+from repro.ilp.expr import LinExpr, lin_sum
+from repro.ilp.model import Model
+from repro.core.spec import ProblemSpec
+from repro.core.variables import VariableSpace
+
+
+def build_objective(spec: ProblemSpec, space: VariableSpace) -> LinExpr:
+    """Return the eq-14 objective expression (not yet installed)."""
+    return lin_sum(
+        spec.graph.bandwidth(t1, t2) * space.w[(p, t1, t2)]
+        for (t1, t2) in spec.task_edges
+        for p in spec.partitions[1:]
+    )
+
+
+def set_objective(model: Model, spec: ProblemSpec, space: VariableSpace) -> None:
+    """Install eq 14 as the model's minimization objective."""
+    model.set_objective(build_objective(spec, space))

@@ -1,0 +1,225 @@
+"""The end-to-end flow: the paper's Figure 2 as a public API.
+
+:class:`TemporalPartitioner` wires together the whole pipeline:
+
+1. heuristically estimate the number of segments ``N`` (list
+   scheduling based, :mod:`repro.schedule.estimator`) unless given;
+2. compute ASAP/ALAP mobility ranges (inside
+   :class:`~repro.core.spec.ProblemSpec`);
+3. formulate the 0-1 model (:mod:`repro.core.formulation`);
+4. solve it — with the in-repo branch and bound under a selectable
+   branching rule, or with SciPy's HiGHS MILP;
+5. decode and *verify* the design.
+
+Every stage's statistics are kept on the returned
+:class:`PartitionOutcome`, so the benchmark harness can print the
+paper's Var/Const/RunTime/Feasible columns directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.errors import ReproError
+from repro.graph.taskgraph import TaskGraph
+from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig
+from repro.ilp.branching import BranchingRule, make_rule
+from repro.ilp.milp_backend import solve_milp_scipy
+from repro.ilp.solution import MilpResult, SolveStats, SolveStatus
+from repro.library.catalogs import default_library, mix_from_string
+from repro.library.components import Allocation, ComponentLibrary
+from repro.schedule.estimator import estimate_num_segments
+from repro.target.fpga import FPGADevice, device_catalog
+from repro.target.memory import ScratchMemory
+from repro.core.decode import decode_solution
+from repro.core.formulation import FormulationOptions, build_model, model_size_report
+from repro.core.result import PartitionedDesign
+from repro.core.spec import ProblemSpec
+from repro.core.verify import verify_design
+
+
+@dataclass(frozen=True)
+class PartitionOutcome:
+    """Everything produced by one partitioning run.
+
+    ``design`` is present only for OPTIMAL runs (and TIMEOUT runs that
+    found an incumbent); it has always passed
+    :func:`~repro.core.verify.verify_design`.
+    """
+
+    status: SolveStatus
+    spec: ProblemSpec
+    design: "Optional[PartitionedDesign]"
+    objective: "Optional[float]"
+    model_stats: "Dict[str, object]"
+    solve_stats: SolveStats
+    wall_time_s: float
+
+    @property
+    def feasible(self) -> bool:
+        """The paper's "Feasible" column: did an implementation exist?"""
+        return self.design is not None
+
+    def summary_row(self) -> "Dict[str, object]":
+        """One row in the shape of the paper's result tables."""
+        return {
+            "graph": self.spec.graph.name,
+            "tasks": len(self.spec.graph.tasks),
+            "opers": self.spec.graph.num_operations,
+            "N": self.spec.n_partitions,
+            "L": self.spec.relaxation,
+            "vars": self.model_stats["vars"],
+            "consts": self.model_stats["constraints"],
+            "runtime_s": round(self.wall_time_s, 3),
+            "status": self.status.value,
+            "feasible": self.feasible,
+            "objective": self.objective,
+        }
+
+
+class TemporalPartitioner:
+    """Combined temporal partitioning and synthesis, end to end.
+
+    Parameters
+    ----------
+    library:
+        Component library (defaults to the XC4000-class catalog); used
+        for FU-mix parsing and the segment estimator.
+    device:
+        Target FPGA (defaults to ``xc4010``).
+    memory:
+        Scratch memory; defaults to unbounded-for-the-spec (the
+        objective still minimizes traffic).
+    options:
+        Formulation options (tightened Glover model by default).
+    branching:
+        Branching-rule name (``"paper"``, ``"first"``,
+        ``"most-fractional"``, ``"pseudo-random"``) or a rule instance.
+    backend:
+        ``"bnb"`` for the in-repo branch and bound (default),
+        ``"milp"`` for SciPy HiGHS.
+    time_limit_s / node_limit:
+        Search limits passed to the backend.
+    plain_search:
+        When True, run the branch and bound *without* its SOS1
+        propagation and exact leaf sub-solve — the raw 1998-style
+        search the formulation benchmarks (Tables 1-2) measure.
+    """
+
+    def __init__(
+        self,
+        library: "Optional[ComponentLibrary]" = None,
+        device: "Optional[FPGADevice]" = None,
+        memory: "Optional[ScratchMemory]" = None,
+        options: "Optional[FormulationOptions]" = None,
+        branching: "Union[str, BranchingRule]" = "paper",
+        backend: str = "bnb",
+        time_limit_s: "Optional[float]" = None,
+        node_limit: "Optional[int]" = None,
+        plain_search: bool = False,
+    ) -> None:
+        if backend not in ("bnb", "milp"):
+            raise ReproError(f"unknown backend {backend!r}; use 'bnb' or 'milp'")
+        self.library = library if library is not None else default_library()
+        self.device = device if device is not None else device_catalog()["xc4010"]
+        self.memory = memory
+        self.options = options if options is not None else FormulationOptions()
+        self.branching: BranchingRule = (
+            make_rule(branching) if isinstance(branching, str) else branching
+        )
+        self.backend = backend
+        self.time_limit_s = time_limit_s
+        self.node_limit = node_limit
+        self.plain_search = plain_search
+
+    # ------------------------------------------------------------------
+
+    def make_spec(
+        self,
+        graph: TaskGraph,
+        allocation: "Union[Allocation, str]",
+        n_partitions: "Optional[int]" = None,
+        relaxation: int = 0,
+    ) -> ProblemSpec:
+        """Steps 1-2 of the flow: resolve inputs into a ProblemSpec."""
+        if isinstance(allocation, str):
+            allocation = mix_from_string(allocation, self.library)
+        memory = self.memory
+        if memory is None:
+            memory = ScratchMemory.unbounded_for(graph.total_bandwidth())
+        if n_partitions is None:
+            n_partitions = estimate_num_segments(graph, self.library, self.device)
+        return ProblemSpec.create(
+            graph=graph,
+            allocation=allocation,
+            device=self.device,
+            memory=memory,
+            n_partitions=n_partitions,
+            relaxation=relaxation,
+        )
+
+    def partition(
+        self,
+        graph: TaskGraph,
+        allocation: "Union[Allocation, str]",
+        n_partitions: "Optional[int]" = None,
+        relaxation: int = 0,
+    ) -> PartitionOutcome:
+        """Run the full flow on a specification.
+
+        Returns a :class:`PartitionOutcome`; infeasibility and timeouts
+        are *statuses* on the outcome, not exceptions (matching how the
+        paper's tables report them).  Only malformed inputs raise.
+        """
+        spec = self.make_spec(graph, allocation, n_partitions, relaxation)
+        return self.partition_spec(spec)
+
+    def partition_spec(self, spec: ProblemSpec) -> PartitionOutcome:
+        """Steps 3-5 of the flow, on an already-built spec."""
+        start = time.monotonic()
+        model, space = build_model(spec, self.options)
+        result = self._solve(model, spec, space)
+        wall = time.monotonic() - start
+
+        design: "Optional[PartitionedDesign]" = None
+        objective: "Optional[float]" = None
+        if result.has_solution:
+            design = decode_solution(spec, space, result)
+            objective = design.communication_cost()
+            verify_design(design, expected_objective=result.objective)
+
+        return PartitionOutcome(
+            status=result.status,
+            spec=spec,
+            design=design,
+            objective=objective,
+            model_stats=model_size_report(model, space),
+            solve_stats=result.stats,
+            wall_time_s=wall,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _solve(self, model, spec, space) -> MilpResult:
+        if self.backend == "milp":
+            return solve_milp_scipy(model, time_limit_s=self.time_limit_s)
+        prober = None
+        leaf_solver = None
+        if not self.plain_search:
+            from repro.core.leafsolve import make_leaf_solver
+            from repro.core.probe import make_slot_prober
+
+            prober = make_slot_prober(spec, space)
+            leaf_solver = make_leaf_solver(spec, space)
+        config = BranchAndBoundConfig(
+            time_limit_s=self.time_limit_s,
+            node_limit=self.node_limit,
+            objective_is_integral=True,
+            propagate_sos1=not self.plain_search,
+            leaf_subsolve=not self.plain_search,
+            node_prober=prober,
+            leaf_solver=leaf_solver,
+        )
+        return BranchAndBound(model, rule=self.branching, config=config).solve()

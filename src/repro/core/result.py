@@ -1,0 +1,156 @@
+"""Partitioned-design result types and reporting.
+
+A :class:`PartitionedDesign` is the *semantic* outcome of the flow: the
+task-to-partition assignment, the full operation schedule with FU
+bindings, and everything derivable from them (cut traffic, per-
+partition area, partition count actually used).  It is deliberately
+independent of the ILP encoding so the verifier can check it from
+first principles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.schedule.schedule import Schedule
+from repro.core.spec import ProblemSpec
+
+
+@dataclass(frozen=True)
+class PartitionedDesign:
+    """A complete solution of the combined problem.
+
+    Attributes
+    ----------
+    spec:
+        The problem instance this design solves.
+    assignment:
+        Task name -> partition index (1-based, in the *original* model
+        numbering; possibly sparse — the model may leave partitions
+        empty, and "the generated optimal solution may have fewer than
+        N partitions").
+    schedule:
+        Global-control-step schedule with FU bindings.
+    """
+
+    spec: ProblemSpec
+    assignment: "Mapping[str, int]"
+    schedule: Schedule
+
+    # ------------------------------------------------------------------
+    # derived quantities
+
+    def partitions_used(self) -> "Tuple[int, ...]":
+        """Original partition indices that hold at least one task."""
+        return tuple(sorted(set(self.assignment.values())))
+
+    @property
+    def num_partitions_used(self) -> int:
+        """How many partitions are non-empty."""
+        return len(self.partitions_used())
+
+    def tasks_in(self, partition: int) -> "Tuple[str, ...]":
+        """Tasks assigned to ``partition``, in task order."""
+        return tuple(
+            t for t in self.spec.task_order if self.assignment[t] == partition
+        )
+
+    def cut_traffic(self, cut: int) -> int:
+        """Data units stored across cut ``cut`` (between cut-1 and cut).
+
+        A dependency ``t1 -> t2`` crosses the cut iff
+        ``assignment[t1] < cut <= assignment[t2]``.
+        """
+        total = 0
+        for (t1, t2) in self.spec.task_edges:
+            if self.assignment[t1] < cut <= self.assignment[t2]:
+                total += self.spec.graph.bandwidth(t1, t2)
+        return total
+
+    def communication_cost(self) -> int:
+        """Total inter-partition transfer: eq 14 evaluated on the design."""
+        return sum(
+            self.cut_traffic(p) for p in range(2, self.spec.n_partitions + 1)
+        )
+
+    def fus_used_in(self, partition: int) -> "Tuple[str, ...]":
+        """FU instances bound by operations of tasks in ``partition``."""
+        used = set()
+        for task in self.tasks_in(partition):
+            for op_id in self.spec.task_ops[task]:
+                used.add(self.schedule.fu_of(op_id))
+        return tuple(sorted(used))
+
+    def area_of(self, partition: int) -> float:
+        """Effective FG area of ``partition`` (``alpha * sum FG(used)``)."""
+        return self.spec.device.effective_cost(
+            sum(self.spec.fu_cost[k] for k in self.fus_used_in(partition))
+        )
+
+    def steps_of(self, partition: int) -> "Tuple[int, ...]":
+        """Global control steps used by ``partition``, sorted."""
+        steps = set()
+        for task in self.tasks_in(partition):
+            for op_id in self.spec.task_ops[task]:
+                steps.add(self.schedule.step_of(op_id))
+        return tuple(sorted(steps))
+
+    def local_schedules(self) -> "Dict[int, Dict[str, Tuple[int, str]]]":
+        """Per-partition schedules with locally renumbered steps.
+
+        Each partition's global steps are compacted to ``1..len``;
+        this is what would actually be synthesized per configuration.
+        """
+        result: "Dict[int, Dict[str, Tuple[int, str]]]" = {}
+        for p in self.partitions_used():
+            renumber = {step: idx + 1 for idx, step in enumerate(self.steps_of(p))}
+            local: "Dict[str, Tuple[int, str]]" = {}
+            for task in self.tasks_in(p):
+                for op_id in self.spec.task_ops[task]:
+                    placement = self.schedule.placement(op_id)
+                    local[op_id] = (renumber[placement.step], placement.fu)
+            result[p] = local
+        return result
+
+    def report(self) -> "PartitionReport":
+        """Build the printable summary report."""
+        return PartitionReport(self)
+
+
+class PartitionReport:
+    """Pretty-printable summary of a partitioned design."""
+
+    def __init__(self, design: PartitionedDesign) -> None:
+        self.design = design
+
+    def lines(self) -> "List[str]":
+        """The report as a list of text lines."""
+        d = self.design
+        spec = d.spec
+        out: "List[str]" = []
+        out.append(f"Design for {spec.graph.name!r}: "
+                   f"{d.num_partitions_used} partition(s) used "
+                   f"(bound N={spec.n_partitions}, L={spec.relaxation})")
+        out.append(
+            f"Total inter-partition transfer: {d.communication_cost()} units"
+        )
+        for p in d.partitions_used():
+            tasks = ", ".join(d.tasks_in(p))
+            fus = ", ".join(d.fus_used_in(p))
+            out.append(
+                f"  partition {p}: tasks [{tasks}] | FUs [{fus}] | "
+                f"area {d.area_of(p):.1f}/{spec.device.capacity} | "
+                f"steps {len(d.steps_of(p))}"
+            )
+        for cut in range(2, spec.n_partitions + 1):
+            traffic = d.cut_traffic(cut)
+            if traffic:
+                out.append(
+                    f"  cut before partition {cut}: {traffic} units "
+                    f"(memory {spec.memory.size})"
+                )
+        return out
+
+    def __str__(self) -> str:
+        return "\n".join(self.lines())

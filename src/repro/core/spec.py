@@ -1,0 +1,202 @@
+"""Problem specification: everything the formulation needs, validated.
+
+A :class:`ProblemSpec` freezes one problem instance:
+
+* the task graph (validated),
+* the FU exploration set ``F`` (an :class:`~repro.library.components.Allocation`),
+* the target device (capacity ``C``, factor ``alpha``),
+* the scratch memory ``Ms``,
+* the partition bound ``N`` and latency relaxation ``L``.
+
+It precomputes the index sets every constraint family iterates over:
+tasks in topological priority order (the order the branching heuristic
+uses), mobility ranges ``CS(i)``, compatible instances ``Fu(i)``, the
+per-step candidate sets ``CS^-1(j)``, and per-task op lists ``Op(t)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from repro.errors import InfeasibleSpecError, SpecificationError
+from repro.graph.analysis import combined_operation_graph, topological_tasks
+from repro.graph.taskgraph import TaskGraph
+from repro.library.components import Allocation
+from repro.schedule.asap_alap import MobilityFrames, compute_mobility
+from repro.target.fpga import FPGADevice
+from repro.target.memory import ScratchMemory
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """One fully validated instance of the combined problem.
+
+    Use :meth:`create` rather than the raw constructor: it validates
+    the pieces against each other and precomputes the index sets.
+    """
+
+    graph: TaskGraph
+    allocation: Allocation
+    device: FPGADevice
+    memory: ScratchMemory
+    n_partitions: int
+    relaxation: int
+    mobility: MobilityFrames
+    task_order: Tuple[str, ...]
+    task_priority: "Mapping[str, int]"
+    op_ids: Tuple[str, ...]
+    op_task: "Mapping[str, str]"
+    op_steps: "Mapping[str, Tuple[int, ...]]"
+    op_fus: "Mapping[str, Tuple[str, ...]]"
+    task_ops: "Mapping[str, Tuple[str, ...]]"
+    fu_names: Tuple[str, ...]
+    fu_cost: "Mapping[str, int]"
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        graph: TaskGraph,
+        allocation: Allocation,
+        device: FPGADevice,
+        memory: ScratchMemory,
+        n_partitions: int,
+        relaxation: int = 0,
+    ) -> "ProblemSpec":
+        """Validate inputs and build the spec.
+
+        Raises
+        ------
+        SpecificationError
+            For malformed inputs (bad graph, N < 1, L < 0).
+        InfeasibleSpecError
+            For instantly provable infeasibility: an op type with no
+            compatible FU instance, or a single FU instance that cannot
+            fit the device on its own (it could then never be used).
+        """
+        graph.validate()
+        if not isinstance(n_partitions, int) or n_partitions < 1:
+            raise SpecificationError(f"n_partitions must be an int >= 1, got {n_partitions}")
+        if not isinstance(relaxation, int) or relaxation < 0:
+            raise SpecificationError(f"relaxation must be an int >= 0, got {relaxation}")
+
+        missing = [
+            str(t) for t in sorted(graph.op_types_used(), key=lambda t: t.value)
+            if not allocation.instances_for(t)
+        ]
+        if missing:
+            raise InfeasibleSpecError(
+                f"allocation has no FU instance for op types: {missing}"
+            )
+        for fu in allocation:
+            if not device.fits(fu.fg_cost):
+                raise InfeasibleSpecError(
+                    f"FU instance {fu.name!r} alone exceeds device "
+                    f"{device.name!r} capacity"
+                )
+
+        mobility = compute_mobility(graph, relaxation)
+        order = topological_tasks(graph)
+        priority = {name: idx for idx, name in enumerate(order)}
+
+        dag = combined_operation_graph(graph)
+        op_ids: "List[str]" = []
+        op_task: "Dict[str, str]" = {}
+        op_steps: "Dict[str, Tuple[int, ...]]" = {}
+        op_fus: "Dict[str, Tuple[str, ...]]" = {}
+        task_ops: "Dict[str, List[str]]" = {name: [] for name in graph.task_names}
+        for task_name in order:
+            task = graph.task(task_name)
+            for op in task.operations:
+                op_id = op.qualified(task_name)
+                op_ids.append(op_id)
+                op_task[op_id] = task_name
+                op_steps[op_id] = mobility.control_steps(op_id)
+                op_fus[op_id] = tuple(
+                    fu.name for fu in allocation.instances_for(op.optype)
+                )
+                task_ops[task_name].append(op_id)
+        assert set(op_ids) == set(dag.nodes)
+
+        return cls(
+            graph=graph,
+            allocation=allocation,
+            device=device,
+            memory=memory,
+            n_partitions=n_partitions,
+            relaxation=relaxation,
+            mobility=mobility,
+            task_order=order,
+            task_priority=dict(priority),
+            op_ids=tuple(op_ids),
+            op_task=dict(op_task),
+            op_steps={k: tuple(v) for k, v in op_steps.items()},
+            op_fus={k: tuple(v) for k, v in op_fus.items()},
+            task_ops={k: tuple(v) for k, v in task_ops.items()},
+            fu_names=allocation.names,
+            fu_cost={fu.name: fu.fg_cost for fu in allocation},
+        )
+
+    # ------------------------------------------------------------------
+    # index-set helpers used by the constraint builders
+
+    @property
+    def partitions(self) -> "Tuple[int, ...]":
+        """Partition indices ``1..N`` (execution order)."""
+        return tuple(range(1, self.n_partitions + 1))
+
+    @property
+    def steps(self) -> "Tuple[int, ...]":
+        """All control steps ``1..latency_bound``."""
+        return self.mobility.all_steps
+
+    @property
+    def task_edges(self) -> "Tuple[Tuple[str, str], ...]":
+        """Dependent task pairs ``(t1, t2)`` with positive bandwidth."""
+        return self.graph.task_edges()
+
+    def ops_at_step(self, step: int) -> "Tuple[str, ...]":
+        """``CS^-1(j)``: ops whose mobility range includes ``step``."""
+        return tuple(op for op in self.op_ids if step in self.op_steps[op])
+
+    def task_ops_at_step(self, task: str, step: int) -> "Tuple[str, ...]":
+        """Ops of ``task`` whose mobility range includes ``step``."""
+        return tuple(op for op in self.task_ops[task] if step in self.op_steps[op])
+
+    def task_steps(self, task: str) -> "Tuple[int, ...]":
+        """Steps where ``task`` could have *some* operation active."""
+        steps = set()
+        for op in self.task_ops[task]:
+            steps.update(self.op_steps[op])
+        return tuple(sorted(steps))
+
+    def ops_on_fu(self, fu_name: str) -> "Tuple[str, ...]":
+        """``Fu^-1(k)``: ops that can execute on instance ``fu_name``."""
+        return tuple(op for op in self.op_ids if fu_name in self.op_fus[op])
+
+    def op_edges(self) -> "Tuple[Tuple[str, str], ...]":
+        """All operation-level dependency edges of the combined graph."""
+        dag = combined_operation_graph(self.graph)
+        return tuple(sorted(dag.edges()))
+
+    def fu_index(self, fu_name: str) -> int:
+        """Index of an FU instance in allocation order (the model's k)."""
+        return self.fu_names.index(fu_name)
+
+    def summary(self) -> "Dict[str, object]":
+        """Human-readable instance summary (used in reports)."""
+        return {
+            "graph": self.graph.name,
+            "tasks": len(self.graph.tasks),
+            "operations": self.graph.num_operations,
+            "fu_mix": self.allocation.count_by_model(),
+            "device": self.device.name,
+            "capacity": self.device.capacity,
+            "alpha": self.device.alpha,
+            "scratch_memory": self.memory.size,
+            "n_partitions": self.n_partitions,
+            "relaxation": self.relaxation,
+            "latency_bound": self.mobility.latency_bound,
+        }

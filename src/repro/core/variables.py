@@ -1,0 +1,183 @@
+"""Decision-variable spaces of the formulation.
+
+Creates, on a fresh :class:`~repro.ilp.model.Model`, the variables of
+Section 3 of the paper, and records the handles in dictionaries keyed
+the way the equations index them:
+
+========  ========================  =========  ==========================
+paper     key                       kind       meaning
+========  ========================  =========  ==========================
+y[t,p]    ``y[(t, p)]``             binary     task t in partition p
+x[i,j,k]  ``x[(i, j, k)]``          binary     op i at step j on FU k
+w[p,t,t]  ``w[(p, t1, t2)]``        cont 0-1   edge t1->t2 crosses cut p
+u[p,k]    ``u[(p, k)]``             binary     FU k used in partition p
+o[t,k]    ``o[(t, k)]``             cont 0-1   task t uses FU k
+c[t,j]    ``c[(t, j)]``             cont 0-1   task t active at step j
+z[p,t,k]  ``z[(p, t, k)]``          cont 0-1   Glover var for y*o
+v[...]    ``v[(t1,t2,p1,p2)]``      cont 0-1   product y[t1,p1]*y[t2,p2]
+========  ========================  =========  ==========================
+
+Integrality discipline: only ``y``, ``x`` and ``u`` are integer.  The
+rest are *forced* to integral values by the constraints whenever the
+integer variables are integral (Glover's linearization guarantees this
+for the product variables; ``w``/``o``/``c`` are pinned by their
+defining inequalities plus the minimizing objective).  Declaring them
+continuous keeps the branch-and-bound tree over exactly the variables
+the paper branches on.  Under the Fortet option the product variables
+must be integer instead — that weaker-relaxation behaviour is the point
+of the linearization ablation.
+
+Branching metadata: ``y`` is group 0 with key ``(task_priority, p)``;
+``u`` is group 1 with key ``(p, k_index)``; ``x`` is group 2.  All
+prefer the 1-branch first, as in Section 8 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.ilp.expr import Var
+from repro.ilp.model import Model
+from repro.core.spec import ProblemSpec
+
+
+@dataclass
+class VariableSpace:
+    """All variable handles of one formulation, keyed as in the paper."""
+
+    y: "Dict[Tuple[str, int], Var]" = field(default_factory=dict)
+    x: "Dict[Tuple[str, int, str], Var]" = field(default_factory=dict)
+    w: "Dict[Tuple[int, str, str], Var]" = field(default_factory=dict)
+    u: "Dict[Tuple[int, str], Var]" = field(default_factory=dict)
+    o: "Dict[Tuple[str, str], Var]" = field(default_factory=dict)
+    c: "Dict[Tuple[str, int], Var]" = field(default_factory=dict)
+    z: "Dict[Tuple[int, str, str], Var]" = field(default_factory=dict)
+    v: "Dict[Tuple[str, str, int, int], Var]" = field(default_factory=dict)
+
+    def counts(self) -> "Dict[str, int]":
+        """Variable counts per family, for model-size reports."""
+        return {
+            "y": len(self.y),
+            "x": len(self.x),
+            "w": len(self.w),
+            "u": len(self.u),
+            "o": len(self.o),
+            "c": len(self.c),
+            "z": len(self.z),
+            "v": len(self.v),
+        }
+
+
+def build_variables(
+    model: Model, spec: ProblemSpec, product_vars_integer: bool = False
+) -> VariableSpace:
+    """Create all variables on ``model`` and return the space.
+
+    ``product_vars_integer`` selects Fortet-style integer product
+    variables (``z`` and ``v``) instead of Glover's continuous ones.
+    ``v`` variables (explicit ``y*y`` products) are only created by the
+    *base* (untightened) w-definition, so they are created lazily by
+    that constraint builder, not here.
+    """
+    space = VariableSpace()
+
+    # y[t,p] — fundamental partitioning variables, branching group 0.
+    # Each task's row is an exactly-one group (eq 1), registered as SOS1
+    # metadata so branch and bound can propagate up-branch fixings.
+    for task in spec.task_order:
+        t_priority = spec.task_priority[task]
+        for p in spec.partitions:
+            space.y[(task, p)] = model.add_binary(
+                f"y[{task},{p}]",
+                branch_group=0,
+                branch_key=(t_priority, p),
+            )
+        model.add_sos1_group(
+            [space.y[(task, p)] for p in spec.partitions]
+        )
+
+    # x[i,j,k] — fundamental synthesis variables, branching group 2.
+    for op_index, op_id in enumerate(spec.op_ids):
+        for j in spec.op_steps[op_id]:
+            for k in spec.op_fus[op_id]:
+                space.x[(op_id, j, k)] = model.add_binary(
+                    f"x[{op_id},{j},{k}]",
+                    branch_group=2,
+                    branch_key=(op_index, j, spec.fu_index(k)),
+                )
+
+    # u[p,k] — FU-used-in-partition, branching group 1 (the paper
+    # branches on these right after the y's).
+    for p in spec.partitions:
+        for k in spec.fu_names:
+            space.u[(p, k)] = model.add_binary(
+                f"u[{p},{k}]",
+                branch_group=1,
+                branch_key=(p, spec.fu_index(k)),
+            )
+
+    # w[p,t1,t2] — cut-crossing indicators for p in 2..N (partition 1
+    # receives external inputs, which the paper excludes from scratch
+    # memory accounting).
+    for p in spec.partitions[1:]:
+        for (t1, t2) in spec.task_edges:
+            space.w[(p, t1, t2)] = model.add_continuous01(f"w[{p},{t1},{t2}]")
+
+    # o[t,k] — task-uses-FU; pinned by eqs 26/27 once x is integral.
+    for task in spec.task_order:
+        for k in spec.fu_names:
+            if _task_can_use(spec, task, k):
+                space.o[(task, k)] = model.add_continuous01(f"o[{task},{k}]")
+
+    # c[t,j] — task-active-at-step; lower-bounded by eq 12, upper value
+    # free (a spurious 1 only ever *adds* constraints via eq 13, and a
+    # feasible integer point can always set it to its minimum).
+    for task in spec.task_order:
+        for j in spec.task_steps(task):
+            space.c[(task, j)] = model.add_continuous01(f"c[{task},{j}]")
+
+    # z[p,t,k] — linearization of y[t,p] * o[t,k].
+    for p in spec.partitions:
+        for task in spec.task_order:
+            for k in spec.fu_names:
+                if (task, k) in space.o:
+                    if product_vars_integer:
+                        space.z[(p, task, k)] = model.add_binary(
+                            f"z[{p},{task},{k}]", branch_group=3
+                        )
+                    else:
+                        space.z[(p, task, k)] = model.add_continuous01(
+                            f"z[{p},{task},{k}]"
+                        )
+    return space
+
+
+def add_product_var(
+    model: Model,
+    space: VariableSpace,
+    t1: str,
+    t2: str,
+    p1: int,
+    p2: int,
+    integer: bool,
+) -> Var:
+    """Create (or fetch) the explicit product variable for y*y terms.
+
+    Used only by the base w-definition (paper eqs 4-5), which
+    introduces one variable per non-linear product term
+    ``y[t1,p1] * y[t2,p2]``.
+    """
+    key = (t1, t2, p1, p2)
+    if key not in space.v:
+        name = f"v[{t1},{t2},{p1},{p2}]"
+        if integer:
+            space.v[key] = model.add_binary(name, branch_group=3)
+        else:
+            space.v[key] = model.add_continuous01(name)
+    return space.v[key]
+
+
+def _task_can_use(spec: ProblemSpec, task: str, fu_name: str) -> bool:
+    """Whether any op of ``task`` can execute on instance ``fu_name``."""
+    return any(fu_name in spec.op_fus[op] for op in spec.task_ops[task])

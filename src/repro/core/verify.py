@@ -1,0 +1,96 @@
+"""Independent semantic verification of partitioned designs.
+
+:func:`verify_design` re-checks every rule of the problem *from the
+prose definition*, without touching the ILP encoding.  Every solver
+path in the test suite funnels its results through this function, so a
+formulation bug cannot silently produce accepted-but-wrong designs.
+
+Checks
+------
+1. every task is assigned to a partition in ``1..N``;
+2. temporal order: each dependency's producer partition <= consumer
+   partition;
+3. scratch memory: the traffic across every cut fits ``Ms``;
+4. the schedule is structurally valid (coverage, compatible FUs, FU
+   exclusivity per step, strict dependency ordering, latency bound);
+5. control-step/partition consistency: distinct partitions use
+   disjoint control steps (each step belongs to one configuration);
+6. per-partition area: used FUs fit the device after the alpha factor;
+7. (optional) the claimed objective equals the recomputed
+   communication cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import VerificationError
+from repro.core.result import PartitionedDesign
+
+
+def verify_design(
+    design: PartitionedDesign, expected_objective: "Optional[float]" = None
+) -> None:
+    """Raise :class:`VerificationError` on the first violated rule."""
+    spec = design.spec
+
+    # 1. assignment completeness and range.
+    for task in spec.task_order:
+        if task not in design.assignment:
+            raise VerificationError(f"task {task!r} has no partition assignment")
+        p = design.assignment[task]
+        if not 1 <= p <= spec.n_partitions:
+            raise VerificationError(
+                f"task {task!r} assigned to partition {p}, outside 1..{spec.n_partitions}"
+            )
+
+    # 2. temporal order.
+    for (t1, t2) in spec.task_edges:
+        if design.assignment[t1] > design.assignment[t2]:
+            raise VerificationError(
+                f"temporal order violated: {t1} (p{design.assignment[t1]}) -> "
+                f"{t2} (p{design.assignment[t2]})"
+            )
+
+    # 3. scratch memory per cut.
+    for cut in range(2, spec.n_partitions + 1):
+        traffic = design.cut_traffic(cut)
+        if not spec.memory.admits(traffic):
+            raise VerificationError(
+                f"cut {cut} stores {traffic} units, exceeding scratch memory "
+                f"{spec.memory.size}"
+            )
+
+    # 4. schedule validity.
+    design.schedule.check_against(
+        spec.graph, spec.allocation, latency_bound=spec.mobility.latency_bound
+    )
+
+    # 5. steps belong to exactly one partition.
+    step_owner: "Dict[int, int]" = {}
+    for p in design.partitions_used():
+        for step in design.steps_of(p):
+            owner = step_owner.get(step)
+            if owner is not None and owner != p:
+                raise VerificationError(
+                    f"control step {step} used by partitions {owner} and {p}"
+                )
+            step_owner[step] = p
+
+    # 6. per-partition area.
+    for p in design.partitions_used():
+        area = design.area_of(p)
+        if area > spec.device.capacity + 1e-9:
+            raise VerificationError(
+                f"partition {p} area {area:.1f} exceeds capacity "
+                f"{spec.device.capacity}"
+            )
+
+    # 7. objective consistency.
+    if expected_objective is not None:
+        actual = design.communication_cost()
+        if abs(actual - expected_objective) > 1e-6:
+            raise VerificationError(
+                f"objective mismatch: solver reported {expected_objective}, "
+                f"design recomputes {actual}"
+            )

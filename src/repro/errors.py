@@ -1,0 +1,78 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  The hierarchy mirrors the
+major subsystems: specification/graph construction, component library
+lookups, ILP modeling, solver execution, and solution decoding.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by the repro library."""
+
+
+class SpecificationError(ReproError):
+    """A behavioral specification (task graph / DFG) is malformed.
+
+    Raised for duplicate names, dangling edge endpoints, cycles in what
+    must be a DAG, negative bandwidths, and similar structural issues.
+    """
+
+
+class LibraryError(ReproError):
+    """A component-library lookup or definition failed.
+
+    Raised when an operation type has no implementing functional unit,
+    when a functional unit is redefined inconsistently, or when cost
+    metrics are out of range.
+    """
+
+
+class TargetError(ReproError):
+    """A target-device description is invalid (capacity, alpha, memory)."""
+
+
+class ModelError(ReproError):
+    """An ILP model is being constructed or queried incorrectly.
+
+    Raised for duplicate variable names, constraints referencing foreign
+    variables, senses outside {<=, >=, ==}, and objective redefinition.
+    """
+
+
+class SolverError(ReproError):
+    """The LP/ILP solution process itself failed (not mere infeasibility).
+
+    Infeasibility and unboundedness are *statuses*, not errors; this
+    exception signals numerical breakdown, iteration-limit exhaustion in
+    a context where that is fatal, or backend misuse.
+    """
+
+
+class DecodeError(ReproError):
+    """A solver solution could not be decoded into a partitioned design.
+
+    This generally indicates an internal inconsistency: the model said
+    the solution was integer-feasible but the decoded assignment violates
+    a structural expectation (e.g. an operation bound to no FU).
+    """
+
+
+class VerificationError(ReproError):
+    """A decoded design violates the problem semantics.
+
+    Raised by :func:`repro.core.verify.verify_design` when a design
+    breaks uniqueness, precedence, memory, capacity, or exclusivity
+    rules.  The message names the first violated rule.
+    """
+
+
+class InfeasibleSpecError(ReproError):
+    """A problem specification can be proven infeasible before solving.
+
+    For example: an operation whose compatible FU cannot fit on the
+    device even alone, or a latency bound below the critical path with
+    no relaxation.
+    """

@@ -1,0 +1,67 @@
+"""Extensions beyond the paper's base model.
+
+The paper's Section 3.3 deliberately omits, "for the sake of clarity",
+pipelining, chaining and multi-cycle functional units, noting the
+formulation "is easily extendible to incorporate those features"; its
+Section 10 defers register estimation.  This package supplies those
+extensions:
+
+* :mod:`~repro.extensions.splitting` — operation-granularity
+  partitioning ("each operation in the specification may be modeled as
+  a task in our system");
+* :mod:`~repro.extensions.multicycle` — start-time semantics for FUs
+  with latency > 1, pipelined or not (dependency and busy-time
+  constraints generalize eqs 7-8);
+* :mod:`~repro.extensions.chaining` — same-step chaining of dependent
+  operations whose combined delay fits the clock period;
+* :mod:`~repro.extensions.registers` — register (live-value)
+  estimation per temporal segment, the quantity a flip-flop resource
+  constraint would bound;
+* :mod:`~repro.extensions.registers_ilp` — that bound as actual model
+  constraints (the paper's Section-10 program, Gebotys-style);
+* :mod:`~repro.extensions.buses` — per-step operand-traffic (bus)
+  capacity constraints, the other Section-10 resource.
+"""
+
+from repro.extensions.splitting import explode_tasks
+from repro.extensions.multicycle import (
+    MulticycleChecker,
+    build_multicycle_model,
+    compute_multicycle_mobility,
+    decode_multicycle,
+)
+from repro.extensions.chaining import build_chaining_model, chainable_pairs
+from repro.extensions.registers import (
+    estimate_registers,
+    live_values_per_step,
+    peak_registers,
+)
+from repro.extensions.registers_ilp import (
+    add_register_constraints,
+    build_register_model,
+    minimum_feasible_registers,
+)
+from repro.extensions.buses import (
+    add_bus_constraints,
+    build_bus_model,
+    operand_counts,
+)
+
+__all__ = [
+    "explode_tasks",
+    "build_multicycle_model",
+    "compute_multicycle_mobility",
+    "decode_multicycle",
+    "MulticycleChecker",
+    "build_chaining_model",
+    "chainable_pairs",
+    "estimate_registers",
+    "live_values_per_step",
+    "peak_registers",
+    "add_register_constraints",
+    "build_register_model",
+    "minimum_feasible_registers",
+    "add_bus_constraints",
+    "build_bus_model",
+    "operand_counts",
+]

@@ -1,0 +1,84 @@
+"""Bus (interconnect) constraints: the other half of Section 10.
+
+The paper's conclusion names "registers and buses" as the remaining
+resources to model.  In the RT-level template the 1990s formulations
+assume (Gebotys; OSCAR), every operand an executing operation reads in
+a control step travels over one bus, so the number of buses bounds the
+*operand traffic per step*::
+
+    for every step j:   sum_i  operands(i) * x[i,j,*]  <=  max_buses
+
+which is linear in the existing variables — confirming the paper's
+remark that no new variables are needed.  ``operands(i)`` is the
+in-degree of the operation in the combined graph plus the number of
+external inputs it reads (operations with in-degree < 2 read the
+remainder from outside, since every ALU-class op is binary).
+
+Like the register extension, this composes with the base model via
+:func:`add_bus_constraints` or the convenience
+:func:`build_bus_model`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import SpecificationError
+from repro.graph.analysis import combined_operation_graph
+from repro.ilp.expr import lin_sum
+from repro.ilp.model import Model
+from repro.core.formulation import FormulationOptions, build_model
+from repro.core.spec import ProblemSpec
+from repro.core.variables import VariableSpace
+
+#: Every arithmetic/logic operation of the template reads two operands.
+OPERANDS_PER_OP = 2
+
+
+def operand_counts(spec: ProblemSpec) -> "Dict[str, int]":
+    """Operands each operation reads (graph inputs count too)."""
+    dag = combined_operation_graph(spec.graph)
+    return {
+        op_id: max(OPERANDS_PER_OP, dag.in_degree(op_id))
+        for op_id in spec.op_ids
+    }
+
+
+def add_bus_constraints(
+    model: Model,
+    spec: ProblemSpec,
+    space: VariableSpace,
+    max_buses: int,
+) -> int:
+    """Cap per-step operand traffic at ``max_buses``; returns row count."""
+    if not isinstance(max_buses, int) or max_buses < 1:
+        raise SpecificationError(f"max_buses must be an int >= 1, got {max_buses}")
+    counts = operand_counts(spec)
+    rows = 0
+    for j in spec.steps:
+        terms = []
+        total_if_all = 0
+        for op_id in spec.ops_at_step(j):
+            weight = counts[op_id]
+            total_if_all += weight
+            for k in spec.op_fus[op_id]:
+                terms.append(weight * space.x[(op_id, j, k)])
+        if terms and total_if_all > max_buses:
+            model.add(
+                lin_sum(terms) <= max_buses,
+                name=f"buses[{j}]",
+                tag="bus-capacity",
+            )
+            rows += 1
+    return rows
+
+
+def build_bus_model(
+    spec: ProblemSpec,
+    max_buses: int,
+    options: "Optional[FormulationOptions]" = None,
+) -> "Tuple[Model, VariableSpace]":
+    """The full model plus bus-capacity rows."""
+    model, space = build_model(spec, options)
+    add_bus_constraints(model, spec, space, max_buses)
+    return model, space

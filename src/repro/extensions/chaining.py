@@ -1,0 +1,125 @@
+"""Operator chaining: dependent operations sharing a control step.
+
+With chaining, a dependency ``i1 -> i2`` may be scheduled in the *same*
+control step provided the combined combinational delay of the chosen
+functional units fits within the clock period.  The paper defers this
+feature to the Gebotys/OSCAR treatments it cites; here it is a drop-in
+replacement for the eq-8 family: the pairwise forbidden set simply
+changes from ``j2 <= j1`` to ``j2 < j1``, plus ``j2 == j1`` for
+(k1, k2) pairs whose summed delay exceeds the clock.
+
+Only single-link chains are modeled (a chain of three would need the
+transitive delay, which the pairwise form cannot see) — matching what
+the 1990s ILP formulations did.  Same-step same-instance placements
+are already impossible via eq 7.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.ilp.expr import lin_sum
+from repro.ilp.model import Model
+from repro.core.constraints import combine, partitioning, synthesis, tightening
+from repro.core.formulation import FormulationOptions
+from repro.core.objective import set_objective
+from repro.core.spec import ProblemSpec
+from repro.core.variables import VariableSpace, build_variables
+
+
+def chainable_pairs(spec: ProblemSpec, clock_ns: float):
+    """Yield ``(i1, i2, k1, k2)`` combos that may share a step.
+
+    A combination is chainable when ``delay(k1) + delay(k2) <= clock``.
+    """
+    for (i1, i2) in spec.op_edges():
+        for k1 in spec.op_fus[i1]:
+            d1 = spec.allocation.instance(k1).model.delay_ns
+            for k2 in spec.op_fus[i2]:
+                d2 = spec.allocation.instance(k2).model.delay_ns
+                if d1 + d2 <= clock_ns:
+                    yield (i1, i2, k1, k2)
+
+
+def build_chaining_model(
+    spec: ProblemSpec,
+    clock_ns: float,
+    options: "Optional[FormulationOptions]" = None,
+) -> "Tuple[Model, VariableSpace]":
+    """Build the full model with chaining-aware dependency constraints.
+
+    Everything except the eq-8 family is identical to
+    :func:`repro.core.formulation.build_model`.
+    """
+    if options is None:
+        options = FormulationOptions()
+    from repro.core.constraints import linearize
+
+    model = Model(
+        f"tps-chain-{spec.graph.name}-N{spec.n_partitions}-L{spec.relaxation}"
+    )
+    space = build_variables(
+        model,
+        spec,
+        product_vars_integer=linearize.product_vars_need_integrality(
+            options.linearization
+        ),
+    )
+
+    partitioning.add_uniqueness(model, spec, space)
+    partitioning.add_temporal_order(model, spec, space)
+    partitioning.add_memory(model, spec, space)
+    if options.tighten:
+        tightening.add_tight_w_definition(model, spec, space)
+        tightening.add_w_source_cut(model, spec, space)
+        tightening.add_w_sink_cut(model, spec, space)
+        tightening.add_w_colocation_cut(model, spec, space)
+    else:
+        partitioning.add_base_w_definition(model, spec, space, options.linearization)
+
+    synthesis.add_unique_assignment(model, spec, space)
+    synthesis.add_fu_exclusivity(model, spec, space)
+    _add_chaining_dependencies(model, spec, space, clock_ns)
+
+    combine.add_o_definition(model, spec, space)
+    combine.add_u_linkage(model, spec, space, options.linearization)
+    combine.add_resource_capacity(model, spec, space)
+    combine.add_control_step_activity(model, spec, space)
+    combine.add_step_partition_uniqueness(model, spec, space)
+    if options.tighten:
+        tightening.add_u_lift(model, spec, space)
+
+    set_objective(model, spec, space)
+    return model, space
+
+
+def _add_chaining_dependencies(
+    model: Model, spec: ProblemSpec, space: VariableSpace, clock_ns: float
+) -> None:
+    """Eq 8 with chaining: forbid j2 < j1 always; j2 == j1 unless chainable."""
+    chainable = set(chainable_pairs(spec, clock_ns))
+    for (i1, i2) in spec.op_edges():
+        steps2 = spec.op_steps[i2]
+        for j1 in spec.op_steps[i1]:
+            placed1 = lin_sum(space.x[(i1, j1, k1)] for k1 in spec.op_fus[i1])
+            for j2 in steps2:
+                if j2 > j1:
+                    continue
+                if j2 < j1:
+                    placed2 = lin_sum(
+                        space.x[(i2, j2, k2)] for k2 in spec.op_fus[i2]
+                    )
+                    model.add(placed1 + placed2 <= 1, tag="chain-eq8-strict")
+                else:
+                    # Same step: forbid only non-chainable binding pairs.
+                    for k1 in spec.op_fus[i1]:
+                        bad = [
+                            space.x[(i2, j2, k2)]
+                            for k2 in spec.op_fus[i2]
+                            if (i1, i2, k1, k2) not in chainable
+                        ]
+                        if bad:
+                            model.add(
+                                space.x[(i1, j1, k1)] + lin_sum(bad) <= 1,
+                                tag="chain-eq8-same-step",
+                            )

@@ -1,0 +1,316 @@
+"""Multi-cycle and pipelined functional units.
+
+The base model assumes "the latency of each functional unit is one
+control step, and the result of an operation is available at the end
+of the control step".  This extension generalizes, following the
+OSCAR/Gebotys treatment the paper cites:
+
+* ``x[i,j,k] = 1`` now means operation ``i`` *starts* at step ``j`` on
+  instance ``k``; its result is available at the end of step
+  ``j + latency(k) - 1``.
+* **Dependencies**: for an edge ``i1 -> i2`` and candidate bindings,
+  placements with ``j2 < j1 + latency(k1)`` are forbidden (pairwise,
+  generalizing eq 8 — note the unit-latency case reduces to
+  ``j2 <= j1``).
+* **Busy time (non-pipelined)**: instance ``k`` is occupied for
+  ``latency(k)`` consecutive steps, so for every step ``j`` the starts
+  within the window ``[j - latency + 1, j]`` sum to at most one
+  (generalizing eq 7).
+* **Issue exclusivity (pipelined)**: a pipelined instance accepts one
+  *new* operation per step (eq 7 unchanged on start steps).
+
+This exploration is exactly the one the paper holds against Gebotys'
+model ("we cannot explore the possibility of using a non-pipelined and
+a pipelined multiplier in the same design"): put a ``mul16`` and a
+``mul16p`` in one allocation and the model chooses per operation.
+
+Mobility must account for latencies:
+:func:`compute_multicycle_mobility` runs ASAP/ALAP with each
+operation's *minimum* latency over its compatible instances (a valid
+relaxation of every binding choice), so all truly available (j, k)
+start pairs stay inside the variable space; the pairwise constraints
+then enforce exact latencies per chosen binding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.errors import SpecificationError, VerificationError
+from repro.graph.analysis import combined_operation_graph
+from repro.ilp.expr import lin_sum
+from repro.ilp.model import Model
+from repro.core.constraints import combine, partitioning, synthesis, tightening
+from repro.core.formulation import FormulationOptions
+from repro.core.objective import set_objective
+from repro.core.spec import ProblemSpec
+from repro.core.variables import VariableSpace, build_variables
+from repro.core.result import PartitionedDesign
+from repro.schedule.schedule import Schedule, ScheduledOp
+
+
+def compute_multicycle_mobility(
+    graph, allocation, relaxation: int = 0
+) -> "Tuple[Dict[str, int], Dict[str, int], int]":
+    """ASAP/ALAP start times under per-op minimum latencies.
+
+    Returns ``(asap, alap, latency_bound)`` over qualified op ids;
+    ``latency_bound`` is the number of control steps available
+    including the relaxation ``L``.
+    """
+    if relaxation < 0:
+        raise SpecificationError("relaxation must be >= 0")
+    dag = combined_operation_graph(graph)
+    min_lat: "Dict[str, int]" = {}
+    for node, data in dag.nodes(data=True):
+        instances = allocation.instances_for(data["optype"])
+        if not instances:
+            raise SpecificationError(
+                f"no instance can execute {data['optype']} (op {node})"
+            )
+        min_lat[node] = min(fu.model.latency for fu in instances)
+
+    order = list(nx.topological_sort(dag))
+    asap: "Dict[str, int]" = {}
+    for node in order:
+        preds = list(dag.predecessors(node))
+        asap[node] = (
+            1 if not preds else max(asap[p] + min_lat[p] for p in preds)
+        )
+    finish = max((asap[n] + min_lat[n] - 1 for n in order), default=0)
+    bound = finish + relaxation
+    alap: "Dict[str, int]" = {}
+    for node in reversed(order):
+        succs = list(dag.successors(node))
+        if not succs:
+            alap[node] = bound - min_lat[node] + 1
+        else:
+            alap[node] = min(alap[s] for s in succs) - min_lat[node]
+    return asap, alap, bound
+
+
+def build_multicycle_model(
+    spec: ProblemSpec, options: "Optional[FormulationOptions]" = None
+) -> "Tuple[Model, VariableSpace]":
+    """Build the multicycle variant of the full model.
+
+    ``spec`` is a normal :class:`~repro.core.spec.ProblemSpec`; its
+    unit-latency mobility is *replaced* here by multicycle mobility, so
+    create the spec with the same ``relaxation`` you want applied to
+    the multicycle critical path.  Partitioning, combining and
+    tightening families are reused unchanged (they do not depend on
+    latency semantics); only the synthesis family differs.
+    """
+    if options is None:
+        options = FormulationOptions()
+
+    asap, alap, bound = compute_multicycle_mobility(
+        spec.graph, spec.allocation, spec.relaxation
+    )
+    spec = _respecified(spec, asap, alap, bound)
+
+    model = Model(
+        f"tps-mc-{spec.graph.name}-N{spec.n_partitions}-L{spec.relaxation}"
+    )
+    from repro.core.constraints import linearize
+
+    space = build_variables(
+        model,
+        spec,
+        product_vars_integer=linearize.product_vars_need_integrality(
+            options.linearization
+        ),
+    )
+
+    partitioning.add_uniqueness(model, spec, space)
+    partitioning.add_temporal_order(model, spec, space)
+    partitioning.add_memory(model, spec, space)
+    if options.tighten:
+        tightening.add_tight_w_definition(model, spec, space)
+        tightening.add_w_source_cut(model, spec, space)
+        tightening.add_w_sink_cut(model, spec, space)
+        tightening.add_w_colocation_cut(model, spec, space)
+    else:
+        partitioning.add_base_w_definition(model, spec, space, options.linearization)
+
+    synthesis.add_unique_assignment(model, spec, space)
+    _add_busy_exclusivity(model, spec, space)
+    _add_latency_dependencies(model, spec, space)
+
+    combine.add_o_definition(model, spec, space)
+    combine.add_u_linkage(model, spec, space, options.linearization)
+    combine.add_resource_capacity(model, spec, space)
+    _add_busy_activity(model, spec, space)
+    combine.add_step_partition_uniqueness(model, spec, space)
+    if options.tighten:
+        tightening.add_u_lift(model, spec, space)
+
+    set_objective(model, spec, space)
+    return model, space
+
+
+def _respecified(spec: ProblemSpec, asap, alap, bound) -> ProblemSpec:
+    """Clone the spec with multicycle mobility ranges installed."""
+    from dataclasses import replace
+
+    from repro.schedule.asap_alap import MobilityFrames
+
+    mobility = MobilityFrames(
+        asap=dict(asap),
+        alap=dict(alap),
+        latency_bound=bound,
+        relaxation=spec.relaxation,
+    )
+    op_steps = {
+        op: tuple(range(asap[op], alap[op] + 1)) for op in spec.op_ids
+    }
+    return replace(spec, mobility=mobility, op_steps=op_steps)
+
+
+def _latency(spec: ProblemSpec, fu_name: str) -> int:
+    return spec.allocation.instance(fu_name).model.latency
+
+
+def _pipelined(spec: ProblemSpec, fu_name: str) -> bool:
+    return spec.allocation.instance(fu_name).model.pipelined
+
+
+def _busy_steps(spec: ProblemSpec, op_id: str, j: int, k: str) -> "range":
+    """Steps instance ``k`` is occupied by op starting at ``j``."""
+    if _pipelined(spec, k):
+        return range(j, j + 1)
+    return range(j, j + _latency(spec, k))
+
+
+def _add_busy_exclusivity(
+    model: Model, spec: ProblemSpec, space: VariableSpace
+) -> None:
+    """Generalized eq 7: occupancy windows on each instance are disjoint."""
+    bound = spec.mobility.latency_bound
+    for k in spec.fu_names:
+        lat = _latency(spec, k)
+        window = 1 if _pipelined(spec, k) else lat
+        for j in range(1, bound + 1):
+            terms = []
+            for op_id in spec.ops_on_fu(k):
+                for start in spec.op_steps[op_id]:
+                    if start <= j <= start + window - 1:
+                        terms.append(space.x[(op_id, start, k)])
+            if len(terms) > 1:
+                model.add(lin_sum(terms) <= 1, tag="mc-eq7-busy")
+    # Results must also exist within the latency bound.
+    for op_id in spec.op_ids:
+        for j in spec.op_steps[op_id]:
+            for k in spec.op_fus[op_id]:
+                if j + _latency(spec, k) - 1 > bound:
+                    model.add(
+                        space.x[(op_id, j, k)] <= 0, tag="mc-latency-bound"
+                    )
+
+
+def _add_latency_dependencies(
+    model: Model, spec: ProblemSpec, space: VariableSpace
+) -> None:
+    """Generalized eq 8: ``start(i2) >= start(i1) + latency(k1)``."""
+    for (i1, i2) in spec.op_edges():
+        for j1 in spec.op_steps[i1]:
+            for k1 in spec.op_fus[i1]:
+                lat1 = _latency(spec, k1)
+                x1 = space.x[(i1, j1, k1)]
+                late2 = [
+                    space.x[(i2, j2, k2)]
+                    for j2 in spec.op_steps[i2]
+                    if j2 < j1 + lat1
+                    for k2 in spec.op_fus[i2]
+                ]
+                if late2:
+                    model.add(
+                        x1 + lin_sum(late2) <= 1, tag="mc-eq8-dependency"
+                    )
+
+
+def _add_busy_activity(
+    model: Model, spec: ProblemSpec, space: VariableSpace
+) -> None:
+    """Generalized eq 12: ``c[t,j]`` covers the whole occupancy window.
+
+    A task is "active" at every step one of its operations occupies an
+    FU, so step/partition exclusivity (eq 13) accounts for multicycle
+    occupancy as well.  ``c`` variables for window steps beyond the
+    start-step set are created on demand.
+    """
+    for op_id in spec.op_ids:
+        task = spec.op_task[op_id]
+        for j in spec.op_steps[op_id]:
+            for k in spec.op_fus[op_id]:
+                x_var = space.x[(op_id, j, k)]
+                for step in _busy_steps(spec, op_id, j, k):
+                    if step > spec.mobility.latency_bound:
+                        continue
+                    key = (task, step)
+                    if key not in space.c:
+                        space.c[key] = model.add_continuous01(
+                            f"c[{task},{step}]"
+                        )
+                    model.add(space.c[key] >= x_var, tag="mc-eq12-c-lower")
+
+
+@dataclass
+class MulticycleChecker:
+    """Semantic verifier for multicycle designs (replaces Schedule checks)."""
+
+    spec: ProblemSpec
+
+    def check(self, design: PartitionedDesign) -> None:
+        """Raise :class:`VerificationError` on any multicycle violation."""
+        spec = self.spec
+        dag = combined_operation_graph(spec.graph)
+        sched = design.schedule
+        # The spec may carry unit-latency mobility; the binding-aware
+        # latency bound is the multicycle one.
+        _, _, bound = compute_multicycle_mobility(
+            spec.graph, spec.allocation, spec.relaxation
+        )
+
+        busy: "Dict[Tuple[str, int], str]" = {}
+        for op_id in spec.op_ids:
+            placement = sched.placement(op_id)
+            k = placement.fu
+            fu = spec.allocation.instance(k)
+            if not fu.executes(dag.nodes[op_id]["optype"]):
+                raise VerificationError(f"{op_id}: incompatible FU {k}")
+            finish = placement.step + fu.model.latency - 1
+            if finish > bound:
+                raise VerificationError(
+                    f"{op_id}: finishes at {finish}, beyond bound {bound}"
+                )
+            for step in _busy_steps(spec, op_id, placement.step, k):
+                if (k, step) in busy:
+                    raise VerificationError(
+                        f"instance {k} busy conflict at step {step}: "
+                        f"{busy[(k, step)]} vs {op_id}"
+                    )
+                busy[(k, step)] = op_id
+
+        for (i1, i2) in spec.op_edges():
+            p1 = sched.placement(i1)
+            lat1 = spec.allocation.instance(p1.fu).model.latency
+            if sched.placement(i2).step < p1.step + lat1:
+                raise VerificationError(
+                    f"dependency {i1} -> {i2} violated under latency {lat1}"
+                )
+
+
+def decode_multicycle(
+    spec: ProblemSpec, space: VariableSpace, result
+) -> PartitionedDesign:
+    """Decode a multicycle solve (same fundamental variables as base)."""
+    from repro.core.decode import decode_solution
+
+    asap, alap, bound = compute_multicycle_mobility(
+        spec.graph, spec.allocation, spec.relaxation
+    )
+    return decode_solution(_respecified(spec, asap, alap, bound), space, result)

@@ -1,0 +1,72 @@
+"""Register (live-value) estimation per temporal segment.
+
+The paper's Section 3.4 notes: "In this paper, we have not considered
+flip-flop resource constraints.  To consider flip-flop resources, the
+formulation must estimate the number of registers necessary to
+synthesize the design."  This module supplies that estimate for a
+finished design — the classic maximum-live-values measure:
+
+a value produced by operation ``i`` is *live* from the end of its
+producing step until the last step in which a consumer reads it; the
+registers a segment needs equal the maximum number of simultaneously
+live values over the segment's steps.  Values crossing segment
+boundaries live in scratch memory, not registers, so they stop being
+register-live at their segment's last step (and are counted by the
+scratch-memory constraint instead).
+
+The ILP extension the paper sketches (following Gebotys' register
+optimization) would bound this quantity per partition; the estimator
+here is the measurement side of that, and the natural next step for a
+contributor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graph.analysis import combined_operation_graph
+from repro.core.result import PartitionedDesign
+
+
+def live_values_per_step(design: PartitionedDesign) -> "Dict[int, int]":
+    """Number of register-live values at every global control step.
+
+    A value is counted at step ``s`` if it was produced at some step
+    ``< s`` (within the same segment) and is still needed by an
+    intra-segment consumer at step ``>= s``.
+    """
+    spec = design.spec
+    dag = combined_operation_graph(spec.graph)
+    sched = design.schedule
+
+    live: "Dict[int, int]" = {s: 0 for s in range(1, spec.mobility.latency_bound + 1)}
+    for op_id in spec.op_ids:
+        producer_step = sched.step_of(op_id)
+        producer_part = design.assignment[spec.op_task[op_id]]
+        same_segment_uses = [
+            sched.step_of(succ)
+            for succ in dag.successors(op_id)
+            if design.assignment[spec.op_task[succ]] == producer_part
+        ]
+        if not same_segment_uses:
+            continue
+        last_use = max(same_segment_uses)
+        for step in range(producer_step + 1, last_use + 1):
+            live[step] = live.get(step, 0) + 1
+    return live
+
+
+def estimate_registers(design: PartitionedDesign) -> "Dict[int, int]":
+    """Peak register count per (used) partition of a design."""
+    live = live_values_per_step(design)
+    result: "Dict[int, int]" = {}
+    for p in design.partitions_used():
+        steps = design.steps_of(p)
+        result[p] = max((live.get(s, 0) for s in steps), default=0)
+    return result
+
+
+def peak_registers(design: PartitionedDesign) -> int:
+    """The worst per-partition register demand of a design."""
+    per_partition = estimate_registers(design)
+    return max(per_partition.values(), default=0)

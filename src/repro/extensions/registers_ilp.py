@@ -1,0 +1,168 @@
+"""Register-constrained formulation: the paper's Section-10 extension.
+
+The paper closes: "To make our model an effective tool ... we need to
+add constraints to model the registers and buses used in the design.
+Note however that the number of variables (which largely influence the
+solution time) will not increase, as the current variable set is
+enough to model the additional constraints."  This module implements
+exactly that program, following the Gebotys register-modeling style
+the paper cites:
+
+For a dependency edge ``e = (i1, i2)`` the produced value is *live at
+the boundary into step j* when ``i1`` executed before ``j`` and ``i2``
+executes at or after ``j``.  Both facts are linear in the existing
+``x`` variables, so liveness admits the same aggregated Glover-style
+lower bound the paper uses for ``w`` (eq 31)::
+
+    live[e,j] >= sum_{j1 < j} x[i1,j1,*] + sum_{j2 >= j} x[i2,j2,*] - 1
+
+with ``live`` continuous in [0, 1] (the minimizing pressure comes from
+the register-capacity constraint itself).  Bounding the sum of live
+values at every step by ``max_registers`` then caps the register file
+each configuration must synthesize — the flip-flop resource constraint
+the base model omits.
+
+Only *intra-segment* liveness occupies registers: a value crossing a
+temporal cut lives in scratch memory (eq 3 already charges it).  When
+both endpoint tasks sit in different partitions the producing value
+never occupies a register past its own segment, which is guaranteed
+here because tasks in different partitions use disjoint control steps
+(eq 13): at any step owned by another partition, neither endpoint task
+executes, and within the consumer's segment the producer has already
+finished (cross-partition deps are ordered by eq 8).  The bound is
+therefore safe (it may only over-count at boundary steps, never
+under-count), matching the conservative style of 1990s register
+estimation.
+
+Use :func:`build_register_model` as a drop-in replacement for
+:func:`repro.core.formulation.build_model` when a register budget
+matters, and cross-check decoded designs with
+:func:`repro.extensions.registers.estimate_registers`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import SpecificationError
+from repro.ilp.expr import Var, lin_sum
+from repro.ilp.model import Model
+from repro.core.formulation import FormulationOptions, build_model
+from repro.core.spec import ProblemSpec
+from repro.core.variables import VariableSpace
+
+
+def build_register_model(
+    spec: ProblemSpec,
+    max_registers: int,
+    options: "Optional[FormulationOptions]" = None,
+) -> "Tuple[Model, VariableSpace, Dict[Tuple[str, str, int], Var]]":
+    """Build the full model plus per-step register-capacity constraints.
+
+    Returns ``(model, space, live)`` where ``live`` maps
+    ``(producer_op, consumer_op, step)`` to the liveness variable.
+
+    Parameters
+    ----------
+    spec:
+        The problem instance.
+    max_registers:
+        Register budget per configuration (values simultaneously live
+        at any control-step boundary).
+    options:
+        Formulation options for the underlying model.
+    """
+    if not isinstance(max_registers, int) or max_registers < 0:
+        raise SpecificationError(
+            f"max_registers must be an int >= 0, got {max_registers}"
+        )
+    model, space = build_model(spec, options)
+    live = add_register_constraints(model, spec, space, max_registers)
+    return model, space, live
+
+
+def add_register_constraints(
+    model: Model,
+    spec: ProblemSpec,
+    space: VariableSpace,
+    max_registers: int,
+) -> "Dict[Tuple[str, str, int], Var]":
+    """Add liveness variables and per-step register caps to ``model``.
+
+    One continuous [0,1] variable per (dependency edge, interior step),
+    lower-bounded in the eq-31 style; one capacity row per step that at
+    least one edge can span.  Returns the liveness variable map.
+    """
+    live: "Dict[Tuple[str, str, int], Var]" = {}
+    per_step: "Dict[int, list]" = {}
+
+    for (i1, i2) in spec.op_edges():
+        steps1 = spec.op_steps[i1]
+        steps2 = spec.op_steps[i2]
+        # The value can only be live at boundaries into steps where the
+        # producer may already have run and the consumer may still run.
+        lo = min(steps1) + 1
+        hi = max(steps2)
+        for j in range(lo, hi + 1):
+            produced_before = [
+                space.x[(i1, j1, k)]
+                for j1 in steps1
+                if j1 < j
+                for k in spec.op_fus[i1]
+            ]
+            consumed_at_or_after = [
+                space.x[(i2, j2, k)]
+                for j2 in steps2
+                if j2 >= j
+                for k in spec.op_fus[i2]
+            ]
+            if not produced_before or not consumed_at_or_after:
+                continue
+            var = model.add_continuous01(f"live[{i1},{i2},{j}]")
+            live[(i1, i2, j)] = var
+            model.add(
+                var
+                >= lin_sum(produced_before) + lin_sum(consumed_at_or_after) - 1,
+                tag="reg-liveness",
+            )
+            per_step.setdefault(j, []).append(var)
+
+    for j, terms in sorted(per_step.items()):
+        if len(terms) > max_registers:
+            model.add(
+                lin_sum(terms) <= max_registers,
+                name=f"regs[{j}]",
+                tag="reg-capacity",
+            )
+    return live
+
+
+def minimum_feasible_registers(
+    spec: ProblemSpec,
+    options: "Optional[FormulationOptions]" = None,
+    upper_bound: "Optional[int]" = None,
+    time_limit_s: float = 60.0,
+) -> "Optional[int]":
+    """Smallest register budget for which the instance stays feasible.
+
+    Linear scan from 0 up to ``upper_bound`` (default: the number of
+    dependency edges, which can never be exceeded).  Returns ``None``
+    when even the unconstrained instance is infeasible.  Uses the HiGHS
+    backend for speed; intended for analysis/reports, not inner loops.
+    """
+    from repro.ilp.milp_backend import solve_milp_scipy
+    from repro.ilp.solution import SolveStatus
+
+    base_model, _ = build_model(spec, options)
+    base = solve_milp_scipy(base_model, time_limit_s=time_limit_s)
+    if base.status is not SolveStatus.OPTIMAL:
+        return None
+
+    if upper_bound is None:
+        upper_bound = len(spec.op_edges())
+    for budget in range(0, upper_bound + 1):
+        model, _, _ = build_register_model(spec, budget, options)
+        result = solve_milp_scipy(model, time_limit_s=time_limit_s)
+        if result.status is SolveStatus.OPTIMAL:
+            return budget
+    return None

@@ -1,0 +1,66 @@
+"""Behavioral-specification graphs: operations, tasks, and task graphs.
+
+The paper's input (its Figure 1) is a *task graph*: vertices are tasks,
+each composed of a small data-flow graph (DFG) of operations, and the
+directed edges between tasks are labelled with the amount of data
+(bandwidth) that must be stored in on-board scratch memory if the two
+tasks end up in different temporal partitions.
+
+This package provides:
+
+* :class:`~repro.graph.operations.Operation` and
+  :class:`~repro.graph.operations.OpType` — the operation vocabulary;
+* :class:`~repro.graph.taskgraph.Task` and
+  :class:`~repro.graph.taskgraph.TaskGraph` — the specification model,
+  including inter-task operation-level data edges;
+* :class:`~repro.graph.builders.TaskGraphBuilder` — a fluent builder;
+* :mod:`~repro.graph.analysis` — DAG utilities (topological orders,
+  critical paths, level structure);
+* :mod:`~repro.graph.generators` — seeded random task-graph generators,
+  including presets for the paper's six experimental graphs;
+* :mod:`~repro.graph.standard` — classic HLS benchmark DFGs (HAL
+  differential-equation solver, elliptic wave filter, FIR, AR lattice);
+* :mod:`~repro.graph.io` — JSON (de)serialization.
+"""
+
+from repro.graph.operations import OpType, Operation
+from repro.graph.taskgraph import DataEdge, Task, TaskGraph
+from repro.graph.builders import TaskGraphBuilder
+from repro.graph.analysis import (
+    combined_operation_graph,
+    critical_path_length,
+    op_priorities,
+    task_levels,
+    topological_tasks,
+)
+from repro.graph.generators import RandomGraphConfig, paper_graph, random_task_graph
+from repro.graph.standard import (
+    ar_lattice,
+    elliptic_wave_filter,
+    fir_filter,
+    hal_diffeq,
+)
+from repro.graph.io import task_graph_from_dict, task_graph_to_dict
+
+__all__ = [
+    "OpType",
+    "Operation",
+    "DataEdge",
+    "Task",
+    "TaskGraph",
+    "TaskGraphBuilder",
+    "combined_operation_graph",
+    "critical_path_length",
+    "op_priorities",
+    "task_levels",
+    "topological_tasks",
+    "RandomGraphConfig",
+    "paper_graph",
+    "random_task_graph",
+    "hal_diffeq",
+    "elliptic_wave_filter",
+    "fir_filter",
+    "ar_lattice",
+    "task_graph_from_dict",
+    "task_graph_to_dict",
+]

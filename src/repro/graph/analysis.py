@@ -1,0 +1,121 @@
+"""Structural analysis of task graphs and combined operation graphs.
+
+These routines are shared by the scheduling substrate
+(:mod:`repro.schedule`), the ILP formulation (which needs topological
+task priorities for the branching heuristic) and the baselines.
+Everything here is purely combinatorial — no ILP involvement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.errors import SpecificationError
+from repro.graph.taskgraph import TaskGraph
+
+
+def combined_operation_graph(graph: TaskGraph) -> "nx.DiGraph":
+    """Build the combined operation graph of a specification.
+
+    Nodes are qualified ``"task.op"`` ids carrying ``task``, ``op`` and
+    ``optype`` attributes; edges are the union of all intra-task
+    dependency edges and all inter-task data edges (the paper schedules
+    over exactly this graph when computing ASAP/ALAP mobility ranges).
+    """
+    dag = nx.DiGraph()
+    for task in graph.tasks:
+        for op in task.operations:
+            dag.add_node(
+                op.qualified(task.name), task=task.name, op=op.name, optype=op.optype
+            )
+        for src, dst in task.edges:
+            dag.add_edge(f"{task.name}.{src}", f"{task.name}.{dst}")
+    for edge in graph.data_edges:
+        dag.add_edge(
+            f"{edge.src_task}.{edge.src_op}",
+            f"{edge.dst_task}.{edge.dst_op}",
+            width=edge.width,
+        )
+    if not nx.is_directed_acyclic_graph(dag):
+        raise SpecificationError("combined operation graph has a cycle")
+    return dag
+
+
+def task_dependency_graph(graph: TaskGraph) -> "nx.DiGraph":
+    """Build the task-level dependency DAG with ``bandwidth`` edge attrs."""
+    dag = nx.DiGraph()
+    dag.add_nodes_from(graph.task_names)
+    for t1, t2 in graph.task_edges():
+        dag.add_edge(t1, t2, bandwidth=graph.bandwidth(t1, t2))
+    if not nx.is_directed_acyclic_graph(dag):
+        raise SpecificationError("task graph has a cycle")
+    return dag
+
+
+def topological_tasks(graph: TaskGraph) -> Tuple[str, ...]:
+    """Topological order of tasks, breaking ties by insertion order.
+
+    This order defines the paper's branching priorities: for a
+    dependency ``t1 -> t2``, ``t1`` gets the higher priority (earlier
+    position), and within the ILP the index of a task reflects it.
+    """
+    dag = task_dependency_graph(graph)
+    position = {name: idx for idx, name in enumerate(graph.task_names)}
+    order = list(nx.lexicographical_topological_sort(dag, key=position.__getitem__))
+    return tuple(order)
+
+
+def task_levels(graph: TaskGraph) -> "Dict[str, int]":
+    """Longest-path level of every task (sources are level 0).
+
+    Used by the level-based baseline partitioner: tasks at the same
+    level have no dependency between them and can share a partition
+    without forcing any particular order.
+    """
+    dag = task_dependency_graph(graph)
+    levels: "Dict[str, int]" = {}
+    for name in nx.topological_sort(dag):
+        preds = list(dag.predecessors(name))
+        levels[name] = 0 if not preds else 1 + max(levels[p] for p in preds)
+    return levels
+
+
+def critical_path_length(graph: TaskGraph) -> int:
+    """Length (in operations) of the longest path in the operation graph.
+
+    With unit-latency functional units this equals the minimum number
+    of control steps any schedule needs, i.e. the paper's maximum ALAP
+    before latency relaxation.
+    """
+    dag = combined_operation_graph(graph)
+    if dag.number_of_nodes() == 0:
+        return 0
+    return nx.dag_longest_path_length(dag) + 1
+
+
+def op_priorities(graph: TaskGraph) -> "Dict[str, int]":
+    """Longest path *to a sink* from each op (classic list-sched priority).
+
+    Operations on the critical path get the highest value; the list
+    scheduler uses this to decide which ready operation to place first.
+    Keys are qualified op ids.
+    """
+    dag = combined_operation_graph(graph)
+    priority: "Dict[str, int]" = {}
+    for node in reversed(list(nx.topological_sort(dag))):
+        succs = list(dag.successors(node))
+        priority[node] = 1 if not succs else 1 + max(priority[s] for s in succs)
+    return priority
+
+
+def transitive_task_pairs(graph: TaskGraph) -> "List[Tuple[str, str]]":
+    """All ordered task pairs ``(t1, t2)`` with a directed path t1 ->* t2.
+
+    Useful for validity checking of temporal orders: if a path exists,
+    ``partition(t1) <= partition(t2)`` must hold in any feasible design.
+    """
+    dag = task_dependency_graph(graph)
+    closure = nx.transitive_closure_dag(dag)
+    return sorted(closure.edges())

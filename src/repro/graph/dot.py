@@ -1,0 +1,104 @@
+"""Graphviz DOT export of task graphs and partitioned designs.
+
+Produces plain-text DOT; no Graphviz dependency is needed to *write*
+it, and any renderer turns it into the paper's Figure-1-style pictures:
+
+* :func:`task_graph_to_dot` — tasks as clusters of their operation
+  DFGs, inter-task data edges labelled with bandwidths;
+* :func:`design_to_dot` — the same, with clusters grouped and colored
+  by the temporal partition the solution assigned, each operation
+  annotated with its control step and bound FU, and cut traffic on the
+  crossing edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.graph.taskgraph import TaskGraph
+from repro.core.result import PartitionedDesign
+
+#: Fill colors cycled per partition (Graphviz X11 names, print-safe).
+PARTITION_COLORS = (
+    "lightblue", "palegreen", "lightsalmon", "plum",
+    "khaki", "lightcyan", "mistyrose", "lavender",
+)
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def task_graph_to_dot(graph: TaskGraph) -> str:
+    """Render a specification as DOT with one cluster per task."""
+    lines: "List[str]" = [
+        f"digraph {_quote(graph.name)} {{",
+        "  rankdir=TB;",
+        "  node [shape=ellipse, fontsize=10];",
+    ]
+    for idx, task in enumerate(graph.tasks):
+        lines.append(f"  subgraph cluster_{idx} {{")
+        lines.append(f"    label={_quote(task.name)};")
+        lines.append("    style=rounded;")
+        for op in task.operations:
+            node = _quote(op.qualified(task.name))
+            lines.append(f"    {node} [label={_quote(f'{op.name}:{op.optype}')}];")
+        for src, dst in task.edges:
+            lines.append(
+                f"    {_quote(f'{task.name}.{src}')} -> "
+                f"{_quote(f'{task.name}.{dst}')};"
+            )
+        lines.append("  }")
+    for edge in graph.data_edges:
+        lines.append(
+            f"  {_quote(f'{edge.src_task}.{edge.src_op}')} -> "
+            f"{_quote(f'{edge.dst_task}.{edge.dst_op}')} "
+            f"[label={_quote(str(edge.width))}, style=bold];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def design_to_dot(design: PartitionedDesign) -> str:
+    """Render a solved design: clusters per partition, steps/FUs shown."""
+    spec = design.spec
+    graph = spec.graph
+    color_of: "Dict[int, str]" = {
+        p: PARTITION_COLORS[i % len(PARTITION_COLORS)]
+        for i, p in enumerate(design.partitions_used())
+    }
+    lines: "List[str]" = [
+        f"digraph {_quote(graph.name + '-design')} {{",
+        "  rankdir=TB;",
+        "  node [shape=box, style=filled, fontsize=10];",
+    ]
+    for p in design.partitions_used():
+        lines.append(f"  subgraph cluster_p{p} {{")
+        lines.append(
+            f"    label={_quote(f'partition {p} (area {design.area_of(p):.0f})')};"
+        )
+        lines.append(f"    bgcolor={color_of[p]};")
+        for task in design.tasks_in(p):
+            for op_id in spec.task_ops[task]:
+                placement = design.schedule.placement(op_id)
+                label = f"{op_id}\\ns{placement.step} {placement.fu}"
+                lines.append(f"    {_quote(op_id)} [label={_quote(label)}];")
+        lines.append("  }")
+    for task in graph.tasks:
+        for src, dst in task.edges:
+            lines.append(
+                f"  {_quote(f'{task.name}.{src}')} -> "
+                f"{_quote(f'{task.name}.{dst}')};"
+            )
+    for edge in graph.data_edges:
+        crossing = (
+            design.assignment[edge.src_task] != design.assignment[edge.dst_task]
+        )
+        style = "bold, color=red" if crossing else "bold"
+        lines.append(
+            f"  {_quote(f'{edge.src_task}.{edge.src_op}')} -> "
+            f"{_quote(f'{edge.dst_task}.{edge.dst_op}')} "
+            f"[label={_quote(str(edge.width))}, style={_quote(style)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

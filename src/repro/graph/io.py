@@ -1,0 +1,106 @@
+"""JSON (de)serialization of task graphs.
+
+The dictionary schema is stable and versioned so saved specifications
+remain loadable across library versions::
+
+    {
+      "version": 1,
+      "name": "graph1",
+      "tasks": [
+        {"name": "t1",
+         "operations": [{"name": "o1", "optype": "add", "width": 16}],
+         "edges": [["o1", "o2"]]},
+        ...
+      ],
+      "data_edges": [
+        {"src": "t1.o2", "dst": "t2.o1", "width": 3}, ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.errors import SpecificationError
+from repro.graph.operations import Operation, OpType, parse_qualified
+from repro.graph.taskgraph import Task, TaskGraph
+
+SCHEMA_VERSION = 1
+
+
+def task_graph_to_dict(graph: TaskGraph) -> "Dict[str, Any]":
+    """Serialize a task graph to a JSON-compatible dictionary."""
+    return {
+        "version": SCHEMA_VERSION,
+        "name": graph.name,
+        "tasks": [
+            {
+                "name": task.name,
+                "operations": [
+                    {"name": op.name, "optype": op.optype.value, "width": op.width}
+                    for op in task.operations
+                ],
+                "edges": [list(edge) for edge in task.edges],
+            }
+            for task in graph.tasks
+        ],
+        "data_edges": [
+            {
+                "src": f"{e.src_task}.{e.src_op}",
+                "dst": f"{e.dst_task}.{e.dst_op}",
+                "width": e.width,
+            }
+            for e in graph.data_edges
+        ],
+    }
+
+
+def task_graph_from_dict(data: "Dict[str, Any]") -> TaskGraph:
+    """Deserialize a task graph from the dictionary schema.
+
+    Raises :class:`SpecificationError` on any schema violation; the
+    resulting graph is validated before being returned.
+    """
+    if not isinstance(data, dict):
+        raise SpecificationError("task graph data must be a dict")
+    version = data.get("version")
+    if version != SCHEMA_VERSION:
+        raise SpecificationError(
+            f"unsupported task graph schema version: {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    graph = TaskGraph(data.get("name", "spec"))
+    for task_data in data.get("tasks", []):
+        task = Task(task_data["name"])
+        for op_data in task_data.get("operations", []):
+            task.add_operation(
+                Operation(
+                    name=op_data["name"],
+                    optype=OpType.from_string(op_data["optype"]),
+                    width=int(op_data.get("width", 16)),
+                )
+            )
+        for src, dst in task_data.get("edges", []):
+            task.add_edge(src, dst)
+        graph.add_task(task)
+    for edge_data in data.get("data_edges", []):
+        src_task, src_op = parse_qualified(edge_data["src"])
+        dst_task, dst_op = parse_qualified(edge_data["dst"])
+        graph.add_data_edge(
+            src_task, src_op, dst_task, dst_op, int(edge_data.get("width", 1))
+        )
+    graph.validate()
+    return graph
+
+
+def save_task_graph(graph: TaskGraph, path: "str | Path") -> None:
+    """Write a task graph to a JSON file."""
+    Path(path).write_text(json.dumps(task_graph_to_dict(graph), indent=2))
+
+
+def load_task_graph(path: "str | Path") -> TaskGraph:
+    """Read a task graph from a JSON file."""
+    return task_graph_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,136 @@
+"""Operation vocabulary for behavioral specifications.
+
+An :class:`Operation` is the atomic unit of work scheduled by high-level
+synthesis: one arithmetic/logic computation that executes on exactly one
+functional unit in exactly one control step (in the base model of the
+paper, where every FU has unit latency).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro._validation import require_identifier
+from repro.errors import SpecificationError
+
+
+class OpType(enum.Enum):
+    """Kinds of operations that appear in behavioral specifications.
+
+    The set mirrors what 1990s HLS benchmarks use: adds, subtracts,
+    multiplies, divides, comparisons, shifts and bitwise logic.  The
+    component library (:mod:`repro.library`) maps each kind to the
+    functional units that can execute it.
+    """
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    CMP = "cmp"
+    SHIFT = "shift"
+    LOGIC = "logic"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @classmethod
+    def from_string(cls, text: str) -> "OpType":
+        """Parse an :class:`OpType` from its string value.
+
+        Accepts both the enum value (``"add"``) and the enum name
+        (``"ADD"``), case-insensitively.
+        """
+        lowered = text.strip().lower()
+        for member in cls:
+            if member.value == lowered or member.name.lower() == lowered:
+                return member
+        raise SpecificationError(f"unknown operation type: {text!r}")
+
+
+#: Operation types that commute in their inputs.  Used by graph
+#: generators when wiring random DFGs (a commutative op's input order is
+#: irrelevant, so generators need not distinguish left/right operands).
+COMMUTATIVE_TYPES = frozenset({OpType.ADD, OpType.MUL, OpType.LOGIC})
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation in a task's data-flow graph.
+
+    Parameters
+    ----------
+    name:
+        Identifier unique *within the owning task*.  The global
+        identifier used throughout the library is ``"<task>.<op>"``.
+    optype:
+        The operation kind; determines which functional units from the
+        component library can implement the operation.
+    width:
+        Bit width of the produced value.  Only used by the register
+        estimation extension and by generators; the base model treats
+        all operations uniformly.
+    attrs:
+        Free-form metadata (e.g. source line), never interpreted by the
+        library.
+    """
+
+    name: str
+    optype: OpType
+    width: int = 16
+    attrs: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        require_identifier(self.name, SpecificationError, "operation name")
+        if "." in self.name:
+            raise SpecificationError(
+                f"operation name may not contain '.': {self.name!r} "
+                "(the dot separates task and operation in global ids)"
+            )
+        if not isinstance(self.optype, OpType):
+            raise SpecificationError(
+                f"optype must be an OpType, got {type(self.optype).__name__}"
+            )
+        if not isinstance(self.width, int) or isinstance(self.width, bool):
+            raise SpecificationError("operation width must be an int")
+        if self.width <= 0:
+            raise SpecificationError(f"operation width must be positive, got {self.width}")
+
+    def qualified(self, task_name: str) -> str:
+        """Return the global ``task.op`` identifier of this operation."""
+        return f"{task_name}.{self.name}"
+
+
+def parse_qualified(qualified: str) -> "tuple[str, str]":
+    """Split a global ``task.op`` identifier into ``(task, op)``.
+
+    Raises
+    ------
+    SpecificationError
+        If the identifier does not contain exactly one dot separating
+        two non-empty parts.
+    """
+    if not isinstance(qualified, str):
+        raise SpecificationError(
+            f"qualified op id must be a string, got {type(qualified).__name__}"
+        )
+    head, sep, tail = qualified.partition(".")
+    if not sep or not head or not tail or "." in tail:
+        raise SpecificationError(
+            f"qualified op id must look like 'task.op': {qualified!r}"
+        )
+    return head, tail
+
+
+def make_operation(
+    name: str,
+    optype: "OpType | str",
+    width: int = 16,
+    attrs: Optional[Mapping[str, object]] = None,
+) -> Operation:
+    """Convenience constructor accepting the op type as a string."""
+    if isinstance(optype, str):
+        optype = OpType.from_string(optype)
+    return Operation(name=name, optype=optype, width=width, attrs=dict(attrs or {}))

@@ -1,0 +1,380 @@
+"""Task graphs: the behavioral specification model of the paper.
+
+A :class:`TaskGraph` holds a set of :class:`Task` objects, each of which
+owns a small data-flow graph (DFG) of :class:`~repro.graph.operations.Operation`
+objects, plus *inter-task data edges*.  A data edge connects a producer
+operation in one task to a consumer operation in another task and is
+labelled with the number of data units transferred.  The paper's
+``Bandwidth(t1, t2)`` is the sum of the widths of all data edges from
+``t1`` to ``t2``.
+
+The paper's rule "a task cannot be split across two temporal segments"
+is what makes tasks the partitioning granularity; its suggested escape
+hatch — model every operation as its own task — is implemented by
+:func:`repro.extensions.splitting.explode_tasks`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro._validation import require_identifier, require_unique
+from repro.errors import SpecificationError
+from repro.graph.operations import Operation, OpType
+
+
+@dataclass(frozen=True)
+class DataEdge:
+    """A directed inter-task data transfer between two operations.
+
+    ``width`` is the number of data units communicated; if the two
+    endpoint tasks land in different temporal partitions, this many
+    units must be held in scratch memory across every cut between them.
+    """
+
+    src_task: str
+    src_op: str
+    dst_task: str
+    dst_op: str
+    width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.src_task == self.dst_task:
+            raise SpecificationError(
+                f"data edge endpoints must be in different tasks, both in "
+                f"{self.src_task!r} (use Task.add_edge for intra-task edges)"
+            )
+        if not isinstance(self.width, int) or isinstance(self.width, bool):
+            raise SpecificationError("data edge width must be an int")
+        if self.width <= 0:
+            raise SpecificationError(f"data edge width must be positive, got {self.width}")
+
+    @property
+    def task_pair(self) -> Tuple[str, str]:
+        """The ``(src_task, dst_task)`` pair this edge connects."""
+        return (self.src_task, self.dst_task)
+
+
+class Task:
+    """A task: an indivisible cluster of operations with internal deps.
+
+    Operations inside a task always land in the same temporal partition
+    and, when co-resident with other tasks, share control steps and
+    functional units with them.
+
+    Parameters
+    ----------
+    name:
+        Unique task identifier within the owning task graph.
+    """
+
+    def __init__(self, name: str) -> None:
+        require_identifier(name, SpecificationError, "task name")
+        if "." in name:
+            raise SpecificationError(
+                f"task name may not contain '.': {name!r} "
+                "(the dot separates task and operation in global ids)"
+            )
+        self.name = name
+        self._ops: "Dict[str, Operation]" = {}
+        self._edges: "Set[Tuple[str, str]]" = set()
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def add_operation(self, op: Operation) -> Operation:
+        """Add an operation to this task.
+
+        Raises :class:`SpecificationError` if an operation with the same
+        name already exists.
+        """
+        if not isinstance(op, Operation):
+            raise SpecificationError(
+                f"expected Operation, got {type(op).__name__}"
+            )
+        if op.name in self._ops:
+            raise SpecificationError(
+                f"task {self.name!r} already has an operation named {op.name!r}"
+            )
+        self._ops[op.name] = op
+        return op
+
+    def add_edge(self, src: str, dst: str) -> None:
+        """Add an intra-task dependency edge ``src -> dst``.
+
+        Both endpoints must already be operations of this task.  Self
+        loops are rejected; cycle detection happens at task-graph
+        validation time (:meth:`TaskGraph.validate`).
+        """
+        for endpoint in (src, dst):
+            if endpoint not in self._ops:
+                raise SpecificationError(
+                    f"task {self.name!r} has no operation {endpoint!r}"
+                )
+        if src == dst:
+            raise SpecificationError(
+                f"self-dependency on operation {src!r} in task {self.name!r}"
+            )
+        self._edges.add((src, dst))
+
+    # ------------------------------------------------------------------
+    # queries
+
+    @property
+    def operations(self) -> Tuple[Operation, ...]:
+        """All operations, in insertion order."""
+        return tuple(self._ops.values())
+
+    @property
+    def op_names(self) -> Tuple[str, ...]:
+        """Names of all operations, in insertion order."""
+        return tuple(self._ops)
+
+    @property
+    def edges(self) -> Tuple[Tuple[str, str], ...]:
+        """Intra-task dependency edges, sorted for determinism."""
+        return tuple(sorted(self._edges))
+
+    def operation(self, name: str) -> Operation:
+        """Look up an operation by name."""
+        try:
+            return self._ops[name]
+        except KeyError:
+            raise SpecificationError(
+                f"task {self.name!r} has no operation {name!r}"
+            ) from None
+
+    def has_operation(self, name: str) -> bool:
+        """Whether this task contains an operation called ``name``."""
+        return name in self._ops
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Task({self.name!r}, ops={len(self._ops)}, edges={len(self._edges)})"
+
+
+class TaskGraph:
+    """A complete behavioral specification: tasks plus data edges.
+
+    The class enforces, at :meth:`validate` time, that
+
+    * the task-level dependency graph is a DAG (required for temporal
+      ordering to be satisfiable at all), and
+    * the *combined operation graph* (intra-task edges plus inter-task
+      data edges) is a DAG (required for ASAP/ALAP to exist).
+
+    Iteration order of tasks is insertion order, which fixes the
+    topological priority used by the paper's branching heuristic when
+    several orders are valid.
+    """
+
+    def __init__(self, name: str = "spec") -> None:
+        require_identifier(name, SpecificationError, "task graph name")
+        self.name = name
+        self._tasks: "Dict[str, Task]" = {}
+        self._data_edges: "List[DataEdge]" = []
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def add_task(self, task: "Task | str") -> Task:
+        """Add a task (or create an empty one from a name) and return it."""
+        if isinstance(task, str):
+            task = Task(task)
+        if not isinstance(task, Task):
+            raise SpecificationError(f"expected Task, got {type(task).__name__}")
+        if task.name in self._tasks:
+            raise SpecificationError(f"duplicate task name: {task.name!r}")
+        self._tasks[task.name] = task
+        return task
+
+    def add_data_edge(
+        self,
+        src_task: str,
+        src_op: str,
+        dst_task: str,
+        dst_op: str,
+        width: int = 1,
+    ) -> DataEdge:
+        """Add an inter-task data edge and return it.
+
+        Both endpoints must already exist.  Duplicate edges between the
+        same operation pair are allowed and their widths add up (this is
+        how a producer sending two values to the same consumer task is
+        expressed), mirroring the additive ``Bandwidth`` of the paper.
+        """
+        edge = DataEdge(src_task, src_op, dst_task, dst_op, width)
+        for task_name, op_name in ((src_task, src_op), (dst_task, dst_op)):
+            if task_name not in self._tasks:
+                raise SpecificationError(f"unknown task {task_name!r} in data edge")
+            if not self._tasks[task_name].has_operation(op_name):
+                raise SpecificationError(
+                    f"task {task_name!r} has no operation {op_name!r} (in data edge)"
+                )
+        self._data_edges.append(edge)
+        return edge
+
+    # ------------------------------------------------------------------
+    # queries
+
+    @property
+    def tasks(self) -> Tuple[Task, ...]:
+        """All tasks, in insertion order."""
+        return tuple(self._tasks.values())
+
+    @property
+    def task_names(self) -> Tuple[str, ...]:
+        """Names of all tasks, in insertion order."""
+        return tuple(self._tasks)
+
+    @property
+    def data_edges(self) -> Tuple[DataEdge, ...]:
+        """All inter-task data edges, in insertion order."""
+        return tuple(self._data_edges)
+
+    def task(self, name: str) -> Task:
+        """Look up a task by name."""
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise SpecificationError(f"unknown task: {name!r}") from None
+
+    def has_task(self, name: str) -> bool:
+        """Whether a task called ``name`` exists."""
+        return name in self._tasks
+
+    def bandwidth(self, src_task: str, dst_task: str) -> int:
+        """Total data units communicated from ``src_task`` to ``dst_task``.
+
+        This is the paper's ``Bandwidth(t1, t2)``: the amount of scratch
+        memory consumed at every temporal cut separating the two tasks.
+        Returns 0 when no data edge connects the pair.
+        """
+        return sum(
+            e.width
+            for e in self._data_edges
+            if e.src_task == src_task and e.dst_task == dst_task
+        )
+
+    def task_edges(self) -> Tuple[Tuple[str, str], ...]:
+        """Distinct task-level dependency pairs, sorted for determinism.
+
+        A pair ``(t1, t2)`` appears iff at least one data edge runs from
+        an operation of ``t1`` to an operation of ``t2``.
+        """
+        pairs = {e.task_pair for e in self._data_edges}
+        return tuple(sorted(pairs))
+
+    def predecessors(self, task_name: str) -> Tuple[str, ...]:
+        """Tasks with an edge into ``task_name``, sorted."""
+        self.task(task_name)
+        return tuple(sorted({t1 for (t1, t2) in self.task_edges() if t2 == task_name}))
+
+    def successors(self, task_name: str) -> Tuple[str, ...]:
+        """Tasks that ``task_name`` has an edge into, sorted."""
+        self.task(task_name)
+        return tuple(sorted({t2 for (t1, t2) in self.task_edges() if t1 == task_name}))
+
+    @property
+    def num_operations(self) -> int:
+        """Total operation count across all tasks."""
+        return sum(len(t) for t in self._tasks.values())
+
+    def all_operations(self) -> Iterator[Tuple[str, Operation]]:
+        """Yield ``(task_name, operation)`` pairs in deterministic order."""
+        for task in self._tasks.values():
+            for op in task.operations:
+                yield task.name, op
+
+    def op_types_used(self) -> Set[OpType]:
+        """The set of operation types appearing anywhere in the spec."""
+        return {op.optype for _, op in self.all_operations()}
+
+    def total_bandwidth(self) -> int:
+        """Sum of all data-edge widths (an upper bound on any cut cost)."""
+        return sum(e.width for e in self._data_edges)
+
+    # ------------------------------------------------------------------
+    # validation
+
+    def validate(self) -> None:
+        """Check structural sanity; raise :class:`SpecificationError` if broken.
+
+        Checks performed:
+
+        * at least one task, and no empty tasks;
+        * the task-level graph is a DAG;
+        * the combined operation graph is a DAG.
+        """
+        if not self._tasks:
+            raise SpecificationError("task graph has no tasks")
+        for task in self._tasks.values():
+            if len(task) == 0:
+                raise SpecificationError(f"task {task.name!r} has no operations")
+        require_unique(self._tasks, SpecificationError, "task name")
+        self._check_task_dag()
+        self._check_op_dag()
+
+    def _check_task_dag(self) -> None:
+        order = _topo_order(self.task_names, self.task_edges())
+        if order is None:
+            raise SpecificationError(
+                "task-level dependency graph has a cycle; temporal "
+                "ordering is unsatisfiable"
+            )
+
+    def _check_op_dag(self) -> None:
+        nodes: List[str] = []
+        edges: List[Tuple[str, str]] = []
+        for task in self._tasks.values():
+            for op in task.operations:
+                nodes.append(op.qualified(task.name))
+            for src, dst in task.edges:
+                edges.append((f"{task.name}.{src}", f"{task.name}.{dst}"))
+        for e in self._data_edges:
+            edges.append((f"{e.src_task}.{e.src_op}", f"{e.dst_task}.{e.dst_op}"))
+        if _topo_order(nodes, edges) is None:
+            raise SpecificationError(
+                "combined operation graph has a cycle; no schedule exists"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TaskGraph({self.name!r}, tasks={len(self._tasks)}, "
+            f"ops={self.num_operations}, data_edges={len(self._data_edges)})"
+        )
+
+
+def _topo_order(
+    nodes: Sequence[str], edges: Iterable[Tuple[str, str]]
+) -> "Optional[List[str]]":
+    """Kahn's algorithm; returns a topological order or ``None`` on a cycle.
+
+    Ties are broken by the original ``nodes`` order so the result is
+    deterministic and respects insertion order — a property the paper's
+    branching heuristic relies on.
+    """
+    position = {n: idx for idx, n in enumerate(nodes)}
+    indegree = {n: 0 for n in nodes}
+    adjacency: "Dict[str, List[str]]" = {n: [] for n in nodes}
+    for src, dst in edges:
+        adjacency[src].append(dst)
+        indegree[dst] += 1
+    ready = sorted((n for n in nodes if indegree[n] == 0), key=position.__getitem__)
+    order: List[str] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        freed = []
+        for succ in adjacency[node]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                freed.append(succ)
+        ready.extend(sorted(freed, key=position.__getitem__))
+        ready.sort(key=position.__getitem__)
+    if len(order) != len(nodes):
+        return None
+    return order

@@ -1,0 +1,69 @@
+"""Self-contained 0-1 mixed-integer linear programming infrastructure.
+
+The paper solved its models with ``lp_solve`` (a mid-90s public-domain
+LP/ILP code) driven by custom variable-selection rules.  This package
+plays that role here, fully in-repo:
+
+* :mod:`~repro.ilp.expr` / :mod:`~repro.ilp.model` — an algebraic
+  modeling layer (variables, linear expressions, constraints,
+  objective) with branching metadata on variables;
+* :mod:`~repro.ilp.standard_form` — compilation to sparse matrix form;
+* :mod:`~repro.ilp.simplex` — a pure-numpy dense two-phase primal
+  simplex for LPs (reference implementation, cross-checked against
+  scipy in the test suite);
+* :mod:`~repro.ilp.scipy_backend` — fast LP relaxations via
+  ``scipy.optimize.linprog`` (HiGHS);
+* :mod:`~repro.ilp.branch_bound` — a branch-and-bound engine with
+  pluggable :mod:`~repro.ilp.branching` rules, including the paper's
+  heuristic (branch on ``y`` in topological priority order, 1-branch
+  first, then ``u``, then ``x``);
+* :mod:`~repro.ilp.milp_backend` — an independent
+  ``scipy.optimize.milp`` path used as the "leave variable selection to
+  the solver" baseline and as a correctness cross-check;
+* :mod:`~repro.ilp.lp_io` — CPLEX-LP-format export for debugging and
+  for feeding external solvers.
+"""
+
+from repro.ilp.expr import LinExpr, Var
+from repro.ilp.model import Constraint, Model, Sense
+from repro.ilp.solution import LPResult, MilpResult, SolveStats, SolveStatus
+from repro.ilp.standard_form import StandardForm, compile_standard_form
+from repro.ilp.scipy_backend import solve_lp_scipy
+from repro.ilp.simplex import solve_lp_simplex
+from repro.ilp.branching import (
+    BranchDecision,
+    BranchingRule,
+    FirstFractionalBranching,
+    MostFractionalBranching,
+    PaperBranching,
+    PseudoRandomBranching,
+)
+from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig
+from repro.ilp.milp_backend import solve_milp_scipy
+from repro.ilp.lp_io import write_lp_format
+
+__all__ = [
+    "Var",
+    "LinExpr",
+    "Model",
+    "Constraint",
+    "Sense",
+    "SolveStatus",
+    "SolveStats",
+    "LPResult",
+    "MilpResult",
+    "StandardForm",
+    "compile_standard_form",
+    "solve_lp_scipy",
+    "solve_lp_simplex",
+    "BranchDecision",
+    "BranchingRule",
+    "PaperBranching",
+    "MostFractionalBranching",
+    "FirstFractionalBranching",
+    "PseudoRandomBranching",
+    "BranchAndBound",
+    "BranchAndBoundConfig",
+    "solve_milp_scipy",
+    "write_lp_format",
+]

@@ -1,0 +1,249 @@
+"""Linear-expression algebra for the modeling layer.
+
+:class:`Var` is a lightweight handle into a :class:`~repro.ilp.model.Model`;
+:class:`LinExpr` is a sparse linear combination of variables plus a
+constant.  Arithmetic operators build expressions, and comparison
+operators against numbers or expressions produce
+:class:`~repro.ilp.model.Constraint` objects, giving the familiar
+algebraic style::
+
+    model.add(2 * x + y <= 3, name="cap")
+    model.add(x - y == 0)
+
+Expressions are immutable from the caller's perspective; all operators
+return new objects.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+from repro.errors import ModelError
+
+Number = Union[int, float]
+
+
+class Var:
+    """Handle to one model variable.
+
+    Created only by :meth:`repro.ilp.model.Model.add_var`; carries its
+    index, name, bounds, integrality and branching metadata.  Identity
+    is by (model id, index).
+    """
+
+    __slots__ = (
+        "index",
+        "name",
+        "lb",
+        "ub",
+        "is_integer",
+        "branch_group",
+        "branch_key",
+        "branch_up_first",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        name: str,
+        lb: float,
+        ub: float,
+        is_integer: bool,
+        branch_group: int = 99,
+        branch_key: Tuple = (),
+        branch_up_first: bool = True,
+    ) -> None:
+        self.index = index
+        self.name = name
+        self.lb = lb
+        self.ub = ub
+        self.is_integer = is_integer
+        self.branch_group = branch_group
+        self.branch_key = branch_key
+        self.branch_up_first = branch_up_first
+
+    # -- arithmetic --------------------------------------------------
+
+    def to_expr(self) -> "LinExpr":
+        """This variable as a one-term expression."""
+        return LinExpr({self.index: 1.0}, 0.0)
+
+    def __add__(self, other) -> "LinExpr":
+        return self.to_expr() + other
+
+    def __radd__(self, other) -> "LinExpr":
+        return self.to_expr() + other
+
+    def __sub__(self, other) -> "LinExpr":
+        return self.to_expr() - other
+
+    def __rsub__(self, other) -> "LinExpr":
+        return (-self.to_expr()) + other
+
+    def __mul__(self, other) -> "LinExpr":
+        return self.to_expr() * other
+
+    def __rmul__(self, other) -> "LinExpr":
+        return self.to_expr() * other
+
+    def __neg__(self) -> "LinExpr":
+        return -self.to_expr()
+
+    # -- comparisons build constraints -------------------------------
+
+    def __le__(self, other):
+        return self.to_expr() <= other
+
+    def __ge__(self, other):
+        return self.to_expr() >= other
+
+    def __eq__(self, other):  # type: ignore[override]
+        if isinstance(other, Var):
+            # Var == Var used in constraint context; identity tests
+            # should use `is`.
+            return self.to_expr() == other
+        if isinstance(other, (LinExpr, numbers.Real)):
+            return self.to_expr() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((id(type(self)), self.index, self.name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "int" if self.is_integer else "cont"
+        return f"Var({self.index}:{self.name}, {kind}, [{self.lb},{self.ub}])"
+
+
+class LinExpr:
+    """A sparse linear expression: ``sum(coef[i] * var_i) + constant``."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(
+        self, coeffs: "Mapping[int, float] | None" = None, constant: float = 0.0
+    ) -> None:
+        self.coeffs: "Dict[int, float]" = dict(coeffs or {})
+        self.constant = float(constant)
+
+    # -- helpers ------------------------------------------------------
+
+    @staticmethod
+    def _as_expr(value) -> "LinExpr":
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, Var):
+            return value.to_expr()
+        if isinstance(value, numbers.Real):
+            return LinExpr({}, float(value))
+        raise ModelError(
+            f"cannot use {type(value).__name__} in a linear expression"
+        )
+
+    def copy(self) -> "LinExpr":
+        """A shallow copy (coefficient dict duplicated)."""
+        return LinExpr(dict(self.coeffs), self.constant)
+
+    # -- arithmetic ---------------------------------------------------
+
+    def __add__(self, other) -> "LinExpr":
+        other = self._as_expr(other)
+        result = dict(self.coeffs)
+        for idx, coef in other.coeffs.items():
+            result[idx] = result.get(idx, 0.0) + coef
+        return LinExpr(result, self.constant + other.constant)
+
+    def __radd__(self, other) -> "LinExpr":
+        return self.__add__(other)
+
+    def __sub__(self, other) -> "LinExpr":
+        return self.__add__(-self._as_expr(other))
+
+    def __rsub__(self, other) -> "LinExpr":
+        return (-self).__add__(other)
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({i: -c for i, c in self.coeffs.items()}, -self.constant)
+
+    def __mul__(self, other) -> "LinExpr":
+        if not isinstance(other, numbers.Real):
+            raise ModelError(
+                "linear expressions can only be multiplied by numbers; "
+                "products of variables must be linearized (see "
+                "repro.core.constraints.linearize)"
+            )
+        scale = float(other)
+        return LinExpr(
+            {i: c * scale for i, c in self.coeffs.items()}, self.constant * scale
+        )
+
+    def __rmul__(self, other) -> "LinExpr":
+        return self.__mul__(other)
+
+    # -- comparisons build constraints --------------------------------
+
+    def __le__(self, other):
+        from repro.ilp.model import Constraint, Sense
+
+        diff = self - self._as_expr(other)
+        return Constraint(LinExpr(diff.coeffs, 0.0), Sense.LE, -diff.constant)
+
+    def __ge__(self, other):
+        from repro.ilp.model import Constraint, Sense
+
+        diff = self - self._as_expr(other)
+        return Constraint(LinExpr(diff.coeffs, 0.0), Sense.GE, -diff.constant)
+
+    def __eq__(self, other):  # type: ignore[override]
+        from repro.ilp.model import Constraint, Sense
+
+        if not isinstance(other, (LinExpr, Var, numbers.Real)):
+            return NotImplemented
+        diff = self - self._as_expr(other)
+        return Constraint(LinExpr(diff.coeffs, 0.0), Sense.EQ, -diff.constant)
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely used
+        return hash((tuple(sorted(self.coeffs.items())), self.constant))
+
+    # -- evaluation ---------------------------------------------------
+
+    def value(self, assignment: "Mapping[int, float]") -> float:
+        """Evaluate the expression under ``{var_index: value}``."""
+        total = self.constant
+        for idx, coef in self.coeffs.items():
+            total += coef * assignment[idx]
+        return total
+
+    def terms(self) -> "Iterable[Tuple[int, float]]":
+        """Nonzero ``(var_index, coefficient)`` pairs, index-sorted."""
+        return sorted(
+            ((i, c) for i, c in self.coeffs.items() if c != 0.0),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = [f"{c:+g}*v{i}" for i, c in self.terms()]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return "LinExpr(" + " ".join(parts) + ")"
+
+
+def lin_sum(items: "Iterable[Union[Var, LinExpr, Number]]") -> LinExpr:
+    """Sum variables/expressions/numbers into one expression.
+
+    Much faster than repeated ``+`` for long sums because coefficients
+    accumulate into a single dict.
+    """
+    coeffs: "Dict[int, float]" = {}
+    constant = 0.0
+    for item in items:
+        if isinstance(item, Var):
+            coeffs[item.index] = coeffs.get(item.index, 0.0) + 1.0
+        elif isinstance(item, LinExpr):
+            for idx, coef in item.coeffs.items():
+                coeffs[idx] = coeffs.get(idx, 0.0) + coef
+            constant += item.constant
+        elif isinstance(item, numbers.Real):
+            constant += float(item)
+        else:
+            raise ModelError(f"cannot sum {type(item).__name__}")
+    return LinExpr(coeffs, constant)

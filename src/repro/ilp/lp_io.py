@@ -1,0 +1,79 @@
+"""Export models in CPLEX LP text format.
+
+Useful for eyeballing a formulation (the LP format is close to the
+paper's own equation notation) and for feeding the models to external
+solvers — including, fittingly, modern descendants of the ``lp_solve``
+code the paper used.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+from repro.ilp.model import Model, Sense
+
+
+def write_lp_format(model: Model, path: "str | Path | None" = None) -> str:
+    """Render ``model`` in LP format; optionally write it to ``path``.
+
+    Returns the LP text either way.
+    """
+    lines: "List[str]" = [f"\\ Model: {model.name}", "Minimize", " obj:"]
+    lines[-1] += _render_expr(model, model.objective.coeffs) or " 0"
+
+    lines.append("Subject To")
+    for idx, constraint in enumerate(model.constraints):
+        name = constraint.name or f"c{idx + 1}"
+        body = _render_expr(model, constraint.expr.coeffs) or " 0"
+        sense = {Sense.LE: "<=", Sense.GE: ">=", Sense.EQ: "="}[constraint.sense]
+        lines.append(f" {name}:{body} {sense} {_num(constraint.rhs)}")
+
+    lines.append("Bounds")
+    for var in model.variables:
+        if var.lb == 0.0 and var.ub == 1.0:
+            continue  # default handled by Binaries/implicit bounds
+        lines.append(f" {_num(var.lb)} <= {var.name} <= {_num(var.ub)}")
+
+    binaries = [v.name for v in model.variables if v.is_integer]
+    if binaries:
+        lines.append("Binaries")
+        for chunk_start in range(0, len(binaries), 8):
+            lines.append(" " + " ".join(binaries[chunk_start : chunk_start + 8]))
+
+    continuous01 = [
+        v for v in model.variables if not v.is_integer and (v.lb, v.ub) == (0.0, 1.0)
+    ]
+    if continuous01:
+        lines.append("\\ Continuous [0,1] variables (Glover linearization):")
+        lines.append("Bounds")
+        for var in continuous01:
+            lines.append(f" 0 <= {var.name} <= 1")
+
+    lines.append("End")
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def _render_expr(model: Model, coeffs) -> str:
+    parts: "List[str]" = []
+    for idx in sorted(coeffs):
+        coef = coeffs[idx]
+        if coef == 0.0:
+            continue
+        name = model.variables[idx].name
+        sign = "+" if coef >= 0 else "-"
+        magnitude = abs(coef)
+        if magnitude == 1.0:
+            parts.append(f" {sign} {name}")
+        else:
+            parts.append(f" {sign} {_num(magnitude)} {name}")
+    return "".join(parts)
+
+
+def _num(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)

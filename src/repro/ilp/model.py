@@ -1,0 +1,286 @@
+"""The :class:`Model` container: variables, constraints, objective.
+
+A model is built once by the formulation code and then handed to a
+solver backend.  Besides the usual LP data it records, per variable,
+the *branching metadata* the paper's variable-selection heuristic
+needs: a priority group (``y`` before ``u`` before ``x`` before the
+rest), an intra-group sort key (topological task priority, partition
+index, ...), and the preferred first branch direction (the paper always
+explores the 1-branch first).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro._validation import require_identifier
+from repro.errors import ModelError
+from repro.ilp.expr import LinExpr, Var
+
+
+class Sense(enum.Enum):
+    """Constraint sense."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "="
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A linear constraint ``expr (sense) rhs`` with constant-free expr."""
+
+    expr: LinExpr
+    sense: Sense
+    rhs: float
+    name: str = ""
+
+    def named(self, name: str) -> "Constraint":
+        """Return a copy of this constraint carrying ``name``."""
+        return Constraint(self.expr, self.sense, self.rhs, name)
+
+    def is_satisfied(self, assignment, tol: float = 1e-6) -> bool:
+        """Whether the constraint holds under ``{var_index: value}``."""
+        lhs = self.expr.value(assignment)
+        if self.sense is Sense.LE:
+            return lhs <= self.rhs + tol
+        if self.sense is Sense.GE:
+            return lhs >= self.rhs - tol
+        return abs(lhs - self.rhs) <= tol
+
+
+class Model:
+    """A mixed 0-1 linear program under construction.
+
+    The model is *minimizing* (matching the paper's eq. 14); callers
+    needing maximization negate their objective.
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        require_identifier(name, ModelError, "model name")
+        self.name = name
+        self._vars: "List[Var]" = []
+        self._names: "Dict[str, int]" = {}
+        self._constraints: "List[Constraint]" = []
+        self._objective: "Optional[LinExpr]" = None
+        self._constraint_tags: "Dict[str, int]" = {}
+        self._sos1_groups: "List[List[int]]" = []
+
+    # ------------------------------------------------------------------
+    # variables
+
+    def add_var(
+        self,
+        name: str,
+        lb: float = 0.0,
+        ub: float = 1.0,
+        integer: bool = False,
+        branch_group: int = 99,
+        branch_key: "Tuple" = (),
+        branch_up_first: bool = True,
+    ) -> Var:
+        """Create a variable and return its handle.
+
+        ``branch_group``/``branch_key``/``branch_up_first`` feed the
+        branching rules; they do not affect the LP itself.
+        """
+        require_identifier(name, ModelError, "variable name")
+        if name in self._names:
+            raise ModelError(f"duplicate variable name: {name!r}")
+        if not lb <= ub:
+            raise ModelError(f"variable {name!r}: lb {lb} > ub {ub}")
+        var = Var(
+            index=len(self._vars),
+            name=name,
+            lb=float(lb),
+            ub=float(ub),
+            is_integer=bool(integer),
+            branch_group=branch_group,
+            branch_key=tuple(branch_key),
+            branch_up_first=branch_up_first,
+        )
+        self._vars.append(var)
+        self._names[name] = var.index
+        return var
+
+    def add_binary(self, name: str, **branch_kwargs) -> Var:
+        """Create a 0-1 integer variable."""
+        return self.add_var(name, 0.0, 1.0, integer=True, **branch_kwargs)
+
+    def add_continuous01(self, name: str, **branch_kwargs) -> Var:
+        """Create a continuous variable bounded to [0, 1].
+
+        This is the Glover-linearization product-variable kind: the
+        paper's ``z`` (and our ``w``, ``o``, ``c`` relaxations) are
+        real-valued in [0, 1] yet take integral values in any solution
+        where the fundamental 0-1 variables are integral.
+        """
+        return self.add_var(name, 0.0, 1.0, integer=False, **branch_kwargs)
+
+    @property
+    def variables(self) -> "Tuple[Var, ...]":
+        """All variables in index order."""
+        return tuple(self._vars)
+
+    @property
+    def num_vars(self) -> int:
+        """Number of variables."""
+        return len(self._vars)
+
+    @property
+    def num_integer_vars(self) -> int:
+        """Number of integer (0-1) variables."""
+        return sum(1 for v in self._vars if v.is_integer)
+
+    def var_by_name(self, name: str) -> Var:
+        """Look up a variable handle by name."""
+        try:
+            return self._vars[self._names[name]]
+        except KeyError:
+            raise ModelError(f"model has no variable named {name!r}") from None
+
+    def integer_indices(self) -> "List[int]":
+        """Indices of all integer variables."""
+        return [v.index for v in self._vars if v.is_integer]
+
+    def add_sos1_group(self, variables: "Sequence[Var]") -> None:
+        """Declare that at most one of ``variables`` can be 1.
+
+        This is *metadata* for branch and bound (setting one member to
+        1 lets the search fix the others to 0 immediately); the actual
+        at-most/exactly-one constraint must still be added normally.
+        The formulation registers each task's ``y[t, *]`` row this way.
+        """
+        indices = []
+        for var in variables:
+            if not isinstance(var, Var) or not 0 <= var.index < len(self._vars):
+                raise ModelError("sos1 group must contain this model's variables")
+            indices.append(var.index)
+        if len(indices) >= 2:
+            self._sos1_groups.append(indices)
+
+    @property
+    def sos1_groups(self) -> "Tuple[Tuple[int, ...], ...]":
+        """Registered SOS1 groups as tuples of variable indices."""
+        return tuple(tuple(g) for g in self._sos1_groups)
+
+    # ------------------------------------------------------------------
+    # constraints
+
+    def add(self, constraint: Constraint, name: str = "", tag: str = "") -> Constraint:
+        """Add a constraint (built via expression comparisons).
+
+        ``tag`` groups constraints by family ("eq2-temporal-order", ...)
+        for the statistics the paper's tables report.
+        """
+        if not isinstance(constraint, Constraint):
+            raise ModelError(
+                f"expected Constraint (use <=, >=, == on expressions), got "
+                f"{type(constraint).__name__}"
+            )
+        for idx in constraint.expr.coeffs:
+            if not 0 <= idx < len(self._vars):
+                raise ModelError(
+                    f"constraint references unknown variable index {idx}"
+                )
+        if name:
+            constraint = constraint.named(name)
+        self._constraints.append(constraint)
+        if tag:
+            self._constraint_tags[tag] = self._constraint_tags.get(tag, 0) + 1
+        return constraint
+
+    @property
+    def constraints(self) -> "Tuple[Constraint, ...]":
+        """All constraints in insertion order."""
+        return tuple(self._constraints)
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of constraints."""
+        return len(self._constraints)
+
+    def constraint_counts_by_tag(self) -> "Dict[str, int]":
+        """Constraint counts per family tag (for model-size reports)."""
+        return dict(self._constraint_tags)
+
+    # ------------------------------------------------------------------
+    # objective
+
+    def set_objective(self, expr: "LinExpr | Var") -> None:
+        """Set the (minimization) objective; may be set only once."""
+        if self._objective is not None:
+            raise ModelError("objective already set")
+        if isinstance(expr, Var):
+            expr = expr.to_expr()
+        if not isinstance(expr, LinExpr):
+            raise ModelError(
+                f"objective must be a linear expression, got {type(expr).__name__}"
+            )
+        self._objective = expr
+
+    @property
+    def objective(self) -> LinExpr:
+        """The objective expression (zero expression if never set)."""
+        return self._objective if self._objective is not None else LinExpr()
+
+    # ------------------------------------------------------------------
+    # solution utilities
+
+    def check_feasible(
+        self, assignment: "Dict[int, float]", tol: float = 1e-6
+    ) -> "List[Constraint]":
+        """Return all constraints violated by ``assignment``.
+
+        Bounds and integrality of integer variables are checked too; a
+        violated bound is reported as a synthetic constraint.
+        """
+        violated: "List[Constraint]" = []
+        for var in self._vars:
+            value = assignment[var.index]
+            if value < var.lb - tol or value > var.ub + tol:
+                violated.append(
+                    Constraint(
+                        LinExpr({var.index: 1.0}),
+                        Sense.LE,
+                        var.ub,
+                        name=f"bounds[{var.name}]",
+                    )
+                )
+            elif var.is_integer and abs(value - round(value)) > tol:
+                violated.append(
+                    Constraint(
+                        LinExpr({var.index: 1.0}),
+                        Sense.EQ,
+                        round(value),
+                        name=f"integrality[{var.name}]",
+                    )
+                )
+        for constraint in self._constraints:
+            if not constraint.is_satisfied(assignment, tol):
+                violated.append(constraint)
+        return violated
+
+    def objective_value(self, assignment: "Dict[int, float]") -> float:
+        """Evaluate the objective under ``{var_index: value}``."""
+        return self.objective.value(assignment)
+
+    def stats(self) -> "Dict[str, int]":
+        """Model-size statistics matching the paper's Var/Const columns."""
+        return {
+            "vars": self.num_vars,
+            "integer_vars": self.num_integer_vars,
+            "continuous_vars": self.num_vars - self.num_integer_vars,
+            "constraints": self.num_constraints,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Model({self.name!r}, vars={self.num_vars} "
+            f"[{self.num_integer_vars} int], constraints={self.num_constraints})"
+        )

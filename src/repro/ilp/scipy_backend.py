@@ -1,0 +1,64 @@
+"""LP relaxation solves via SciPy's HiGHS ``linprog``.
+
+This is the workhorse backend used inside branch and bound: one call
+per node, with per-node variable-bound overrides (the branching
+decisions).  The model matrices are compiled once into a
+:class:`~repro.ilp.standard_form.StandardForm` and reused.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import SolverError
+from repro.ilp.solution import LPResult, SolveStatus
+from repro.ilp.standard_form import StandardForm
+
+
+def solve_lp_scipy(
+    form: StandardForm,
+    lb_override: "Optional[np.ndarray]" = None,
+    ub_override: "Optional[np.ndarray]" = None,
+) -> LPResult:
+    """Solve the LP relaxation of ``form`` with optional bound overrides.
+
+    Integrality is ignored (that is the point of a relaxation); the
+    overrides carry the branch-and-bound fixings.  Returns an
+    :class:`~repro.ilp.solution.LPResult` whose values dict is keyed by
+    variable index.
+    """
+    lb = form.lb if lb_override is None else lb_override
+    ub = form.ub if ub_override is None else ub_override
+    if np.any(lb > ub + 1e-12):
+        # A branching fixation contradicts the bounds: trivially infeasible,
+        # no need to call the solver.
+        return LPResult(status=SolveStatus.INFEASIBLE)
+
+    result = linprog(
+        c=form.c,
+        A_ub=form.a_ub if form.a_ub.shape[0] else None,
+        b_ub=form.b_ub if form.b_ub.shape[0] else None,
+        A_eq=form.a_eq if form.a_eq.shape[0] else None,
+        b_eq=form.b_eq if form.b_eq.shape[0] else None,
+        bounds=list(zip(lb.tolist(), ub.tolist())),
+        method="highs",
+    )
+    # HiGHS status codes: 0 optimal, 1 iteration limit, 2 infeasible,
+    # 3 unbounded, 4 numerical trouble.
+    if result.status == 0:
+        values = {idx: float(v) for idx, v in enumerate(result.x)}
+        return LPResult(
+            status=SolveStatus.OPTIMAL,
+            objective=float(result.fun),
+            values=values,
+        )
+    if result.status == 2:
+        return LPResult(status=SolveStatus.INFEASIBLE)
+    if result.status == 3:
+        return LPResult(status=SolveStatus.UNBOUNDED)
+    raise SolverError(
+        f"linprog failed with status {result.status}: {result.message}"
+    )

@@ -1,0 +1,247 @@
+"""A self-contained dense two-phase primal simplex LP solver.
+
+This is the reference LP implementation of the repo: small, readable,
+and dependency-free beyond numpy.  The production path uses SciPy's
+HiGHS (:mod:`repro.ilp.scipy_backend`); this solver exists so the whole
+pipeline can run without scipy's compiled solvers, and so the test
+suite can cross-check two independent LP implementations against each
+other (property-based tests in ``tests/ilp/test_simplex.py``).
+
+Method
+------
+The bounded-variable problem ::
+
+    min c'x   s.t.  A_ub x <= b_ub,  A_eq x == b_eq,  lb <= x <= ub
+
+is shifted to ``y = x - lb >= 0`` and finite upper bounds become extra
+``y_i <= ub_i - lb_i`` rows.  Slack variables convert inequalities to
+equalities, rows are sign-normalized to non-negative right-hand sides,
+artificial variables complete an identity basis, and a standard
+two-phase full-tableau simplex with Bland's anti-cycling rule runs to
+optimality.  Dense tableau updates are O(rows x cols) per pivot — fine
+for the reference role; do not use it for the big Table-4 models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.ilp.solution import LPResult, SolveStatus
+from repro.ilp.standard_form import StandardForm
+
+#: Tolerance for optimality / feasibility decisions in the tableau.
+_TOL = 1e-9
+
+
+def solve_lp_simplex(
+    form: StandardForm,
+    lb_override: "Optional[np.ndarray]" = None,
+    ub_override: "Optional[np.ndarray]" = None,
+    max_iter: int = 20_000,
+) -> LPResult:
+    """Solve the LP relaxation of ``form`` with the built-in simplex.
+
+    Same contract as :func:`repro.ilp.scipy_backend.solve_lp_scipy`;
+    integrality is ignored.  Unbounded below is reported as
+    ``UNBOUNDED`` (cannot happen for the paper's models, whose variables
+    are all box-bounded).
+    """
+    lb = np.asarray(form.lb if lb_override is None else lb_override, dtype=float)
+    ub = np.asarray(form.ub if ub_override is None else ub_override, dtype=float)
+    if np.any(lb > ub + 1e-12):
+        return LPResult(status=SolveStatus.INFEASIBLE)
+    if np.any(np.isinf(lb)):
+        raise SolverError("simplex backend requires finite lower bounds")
+
+    n = form.num_vars
+    a_ub = form.a_ub.toarray() if form.a_ub.shape[0] else np.zeros((0, n))
+    a_eq = form.a_eq.toarray() if form.a_eq.shape[0] else np.zeros((0, n))
+
+    # Shift: x = y + lb with y >= 0.
+    shift = lb
+    b_ub = form.b_ub - a_ub @ shift if a_ub.shape[0] else np.zeros(0)
+    b_eq = form.b_eq - a_eq @ shift if a_eq.shape[0] else np.zeros(0)
+
+    # Finite upper bounds as extra <= rows: y_i <= ub_i - lb_i.
+    finite = np.where(np.isfinite(ub))[0]
+    bound_rows = np.zeros((len(finite), n))
+    bound_rhs = np.zeros(len(finite))
+    for row, idx in enumerate(finite):
+        bound_rows[row, idx] = 1.0
+        bound_rhs[row] = ub[idx] - lb[idx]
+        if bound_rhs[row] < -1e-12:
+            return LPResult(status=SolveStatus.INFEASIBLE)
+
+    a_le = np.vstack([a_ub, bound_rows]) if a_ub.shape[0] else bound_rows
+    b_le = np.concatenate([b_ub, bound_rhs]) if b_ub.shape[0] else bound_rhs
+
+    tableau, basis, n_struct, n_slack = _build_phase1(a_le, b_le, a_eq, b_eq, n)
+    n_art = tableau.shape[1] - 1 - n_struct - n_slack
+
+    if n_art:
+        status = _run_simplex(tableau, basis, max_iter)
+        if status != SolveStatus.OPTIMAL:  # pragma: no cover - phase 1 is bounded
+            raise SolverError("phase-1 simplex did not terminate optimally")
+        if tableau[-1, -1] < -1e-7:
+            return LPResult(status=SolveStatus.INFEASIBLE)
+        _drive_out_artificials(tableau, basis, n_struct + n_slack)
+        # Any artificial still basic sits in a redundant (all-zero) row at
+        # value 0; drop those rows entirely before stripping the columns.
+        keep = [row for row in range(len(basis)) if basis[row] < n_struct + n_slack]
+        if len(keep) != len(basis):
+            tableau = np.vstack([tableau[keep, :], tableau[-1:, :]])
+            basis = [basis[row] for row in keep]
+
+    # Phase 2: swap in the real objective (on shifted variables).
+    c_full = np.zeros(tableau.shape[1] - 1)
+    c_full[:n] = form.c
+    tableau = _strip_artificials(tableau, n_struct + n_slack)
+    _install_objective(tableau, basis, c_full[: n_struct + n_slack])
+
+    status = _run_simplex(tableau, basis, max_iter)
+    if status is SolveStatus.UNBOUNDED:
+        return LPResult(status=SolveStatus.UNBOUNDED)
+
+    y = np.zeros(n_struct + n_slack)
+    for row, var in enumerate(basis):
+        if var < len(y):
+            y[var] = tableau[row, -1]
+    x = y[:n] + shift
+    objective = float(form.c @ x)
+    return LPResult(
+        status=SolveStatus.OPTIMAL,
+        objective=objective,
+        values={idx: float(v) for idx, v in enumerate(x)},
+    )
+
+
+def _build_phase1(a_le, b_le, a_eq, b_eq, n):
+    """Assemble the phase-1 tableau with slacks and artificials.
+
+    Returns ``(tableau, basis, n_struct, n_slack)``.  The last tableau
+    row is the (phase-1) objective row; the last column is the rhs.
+    """
+    m_le = a_le.shape[0]
+    m_eq = a_eq.shape[0]
+    m = m_le + m_eq
+
+    a = np.zeros((m, n + m_le))
+    b = np.zeros(m)
+    if m_le:
+        a[:m_le, :n] = a_le
+        a[:m_le, n : n + m_le] = np.eye(m_le)
+        b[:m_le] = b_le
+    if m_eq:
+        a[m_le:, :n] = a_eq
+        b[m_le:] = b_eq
+
+    # Normalize to b >= 0 (flips slack signs where applied).
+    for row in range(m):
+        if b[row] < 0:
+            a[row, :] = -a[row, :]
+            b[row] = -b[row]
+
+    # Rows whose slack still forms an identity column can use it as the
+    # initial basic variable; the rest get artificials.
+    basis: "List[int]" = [-1] * m
+    needs_art: "List[int]" = []
+    for row in range(m):
+        if row < m_le and a[row, n + row] == 1.0:
+            basis[row] = n + row
+        else:
+            needs_art.append(row)
+
+    n_art = len(needs_art)
+    tableau = np.zeros((m + 1, n + m_le + n_art + 1))
+    tableau[:m, : n + m_le] = a
+    tableau[:m, -1] = b
+    for art_idx, row in enumerate(needs_art):
+        col = n + m_le + art_idx
+        tableau[row, col] = 1.0
+        basis[row] = col
+
+    # Phase-1 objective: minimize sum of artificials; express the
+    # objective row in terms of non-basic variables (price out).
+    if n_art:
+        obj = np.zeros(tableau.shape[1])
+        for art_idx in range(n_art):
+            obj[n + m_le + art_idx] = 1.0
+        tableau[-1, :] = obj
+        for row in needs_art:
+            tableau[-1, :] -= tableau[row, :]
+    return tableau, basis, n, m_le
+
+
+def _install_objective(tableau, basis, c):
+    """Write a phase-2 objective row priced out against the basis."""
+    ncols = tableau.shape[1]
+    obj = np.zeros(ncols)
+    obj[: len(c)] = c
+    tableau[-1, :] = obj
+    for row, var in enumerate(basis):
+        coef = tableau[-1, var]
+        if coef != 0.0:
+            tableau[-1, :] -= coef * tableau[row, :]
+
+
+def _strip_artificials(tableau, n_real):
+    """Drop artificial columns, keeping structural+slack plus rhs."""
+    return np.hstack([tableau[:, :n_real], tableau[:, -1:]]).copy()
+
+
+def _drive_out_artificials(tableau, basis, n_real):
+    """Pivot basic artificials out of the basis where possible.
+
+    A basic artificial at value 0 whose row has some nonzero real
+    coefficient is replaced by that real variable; a fully zero row is
+    redundant and harmlessly keeps its artificial at value 0 (the
+    column is then stripped — the row becomes an identity-free zero row,
+    which later pivots ignore).
+    """
+    m = len(basis)
+    for row in range(m):
+        if basis[row] >= n_real:
+            cols = np.where(np.abs(tableau[row, :n_real]) > _TOL)[0]
+            if len(cols):
+                _pivot(tableau, basis, row, int(cols[0]))
+
+
+def _run_simplex(tableau, basis, max_iter) -> SolveStatus:
+    """Run primal simplex to optimality with Bland's rule."""
+    ncols = tableau.shape[1] - 1
+    for _ in range(max_iter):
+        reduced = tableau[-1, :ncols]
+        entering = -1
+        for col in range(ncols):
+            if reduced[col] < -_TOL:
+                entering = col
+                break  # Bland: smallest index
+        if entering < 0:
+            return SolveStatus.OPTIMAL
+        ratios = []
+        for row in range(len(basis)):
+            coef = tableau[row, entering]
+            if coef > _TOL:
+                ratios.append((tableau[row, -1] / coef, basis[row], row))
+        if not ratios:
+            return SolveStatus.UNBOUNDED
+        # Bland tie-break: smallest ratio, then smallest basic-variable index.
+        ratios.sort(key=lambda t: (t[0], t[1]))
+        _, _, leave_row = ratios[0]
+        _pivot(tableau, basis, leave_row, entering)
+    raise SolverError(f"simplex exceeded {max_iter} iterations")
+
+
+def _pivot(tableau, basis, row, col) -> None:
+    """Gauss-Jordan pivot on (row, col)."""
+    pivot_val = tableau[row, col]
+    if abs(pivot_val) <= _TOL:  # pragma: no cover - guarded by callers
+        raise SolverError("attempted pivot on a (near-)zero element")
+    tableau[row, :] /= pivot_val
+    for other in range(tableau.shape[0]):
+        if other != row and tableau[other, col] != 0.0:
+            tableau[other, :] -= tableau[other, col] * tableau[row, :]
+    basis[row] = col

@@ -1,0 +1,96 @@
+"""Solver result types shared by every backend.
+
+Statuses distinguish the *outcome kinds* the paper's tables need:
+optimal (their "Yes" rows), proven infeasible (their "No" rows), and
+timeout (their ">7200" rows).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of an LP or MILP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    TIMEOUT = "timeout"
+    NODE_LIMIT = "node_limit"
+    ERROR = "error"
+
+    @property
+    def is_success(self) -> bool:
+        """Whether a (provably optimal) solution was produced."""
+        return self is SolveStatus.OPTIMAL
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """Result of one LP (relaxation) solve.
+
+    ``values`` maps variable index to value; present only when
+    ``status`` is OPTIMAL.
+    """
+
+    status: SolveStatus
+    objective: Optional[float] = None
+    values: "Optional[Dict[int, float]]" = None
+
+    def __post_init__(self) -> None:
+        if self.status is SolveStatus.OPTIMAL:
+            if self.objective is None or self.values is None:
+                raise ValueError("OPTIMAL LPResult requires objective and values")
+
+
+@dataclass
+class SolveStats:
+    """Search statistics of a branch-and-bound run."""
+
+    nodes_explored: int = 0
+    lp_solves: int = 0
+    incumbent_updates: int = 0
+    nodes_pruned_bound: int = 0
+    nodes_pruned_infeasible: int = 0
+    max_depth: int = 0
+    wall_time_s: float = 0.0
+
+    def as_dict(self) -> "Dict[str, float]":
+        """Plain-dict view for reports."""
+        return {
+            "nodes_explored": self.nodes_explored,
+            "lp_solves": self.lp_solves,
+            "incumbent_updates": self.incumbent_updates,
+            "nodes_pruned_bound": self.nodes_pruned_bound,
+            "nodes_pruned_infeasible": self.nodes_pruned_infeasible,
+            "max_depth": self.max_depth,
+            "wall_time_s": self.wall_time_s,
+        }
+
+
+@dataclass(frozen=True)
+class MilpResult:
+    """Result of a full MILP solve (branch and bound or scipy.milp).
+
+    When ``status`` is TIMEOUT or NODE_LIMIT a feasible-but-unproven
+    incumbent may still be present in ``objective``/``values``.
+    """
+
+    status: SolveStatus
+    objective: Optional[float] = None
+    values: "Optional[Dict[int, float]]" = None
+    stats: SolveStats = field(default_factory=SolveStats)
+
+    @property
+    def has_solution(self) -> bool:
+        """Whether any integer-feasible solution is attached."""
+        return self.values is not None
+
+    def value_by_name(self, model, name: str) -> float:
+        """Convenience: value of a variable looked up by model name."""
+        if self.values is None:
+            raise ValueError(f"result carries no solution (status={self.status})")
+        return self.values[model.var_by_name(name).index]

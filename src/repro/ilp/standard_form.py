@@ -1,0 +1,126 @@
+"""Compilation of a :class:`~repro.ilp.model.Model` to matrix form.
+
+Both solver backends consume the same :class:`StandardForm`:
+
+* objective vector ``c`` (minimization),
+* inequality system ``A_ub x <= b_ub`` (GE rows are negated),
+* equality system ``A_eq x == b_eq``,
+* variable bounds and integrality mask.
+
+The matrices are SciPy CSR sparse — the paper's models are extremely
+sparse (each constraint touches a handful of the hundreds of
+variables), and branch-and-bound re-solves the same matrices with only
+bound changes, so compiling once and reusing matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import ModelError
+from repro.ilp.model import Model, Sense
+
+
+@dataclass(frozen=True)
+class StandardForm:
+    """Matrix form of a model, shared by all backends."""
+
+    c: "np.ndarray"
+    a_ub: "sparse.csr_matrix"
+    b_ub: "np.ndarray"
+    a_eq: "sparse.csr_matrix"
+    b_eq: "np.ndarray"
+    lb: "np.ndarray"
+    ub: "np.ndarray"
+    integrality: "np.ndarray"  # 1.0 where integer, 0.0 where continuous
+
+    @property
+    def num_vars(self) -> int:
+        """Number of variables (columns)."""
+        return int(self.c.shape[0])
+
+    def bounds_pairs(
+        self,
+        lb_override: "Optional[np.ndarray]" = None,
+        ub_override: "Optional[np.ndarray]" = None,
+    ) -> "List[Tuple[float, float]]":
+        """Per-variable ``(lb, ub)`` pairs with optional overrides."""
+        lb = self.lb if lb_override is None else lb_override
+        ub = self.ub if ub_override is None else ub_override
+        return list(zip(lb.tolist(), ub.tolist()))
+
+
+def compile_standard_form(model: Model) -> StandardForm:
+    """Compile ``model`` into a :class:`StandardForm`.
+
+    GE constraints are negated into LE rows; EQ constraints go to the
+    equality system.  Raises :class:`ModelError` on NaN coefficients.
+    """
+    n = model.num_vars
+    c = np.zeros(n)
+    for idx, coef in model.objective.coeffs.items():
+        _check_finite(coef, "objective coefficient")
+        c[idx] = coef
+
+    ub_rows: "List[Tuple[List[int], List[float], float]]" = []
+    eq_rows: "List[Tuple[List[int], List[float], float]]" = []
+    for constraint in model.constraints:
+        indices: "List[int]" = []
+        values: "List[float]" = []
+        for idx, coef in constraint.expr.coeffs.items():
+            _check_finite(coef, f"coefficient in {constraint.name or 'constraint'}")
+            if coef != 0.0:
+                indices.append(idx)
+                values.append(coef)
+        rhs = float(constraint.rhs)
+        _check_finite(rhs, f"rhs of {constraint.name or 'constraint'}")
+        if constraint.sense is Sense.LE:
+            ub_rows.append((indices, values, rhs))
+        elif constraint.sense is Sense.GE:
+            ub_rows.append((indices, [-v for v in values], -rhs))
+        else:
+            eq_rows.append((indices, values, rhs))
+
+    a_ub, b_ub = _build_csr(ub_rows, n)
+    a_eq, b_eq = _build_csr(eq_rows, n)
+
+    lb = np.array([v.lb for v in model.variables], dtype=float)
+    ub = np.array([v.ub for v in model.variables], dtype=float)
+    integrality = np.array(
+        [1.0 if v.is_integer else 0.0 for v in model.variables], dtype=float
+    )
+    return StandardForm(
+        c=c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq,
+        lb=lb, ub=ub, integrality=integrality,
+    )
+
+
+def _build_csr(
+    rows: "List[Tuple[List[int], List[float], float]]", n: int
+) -> "Tuple[sparse.csr_matrix, np.ndarray]":
+    """Assemble CSR matrix + rhs vector from row triples."""
+    if not rows:
+        return sparse.csr_matrix((0, n)), np.zeros(0)
+    data: "List[float]" = []
+    col_indices: "List[int]" = []
+    indptr: "List[int]" = [0]
+    rhs: "List[float]" = []
+    for indices, values, b in rows:
+        data.extend(values)
+        col_indices.extend(indices)
+        indptr.append(len(data))
+        rhs.append(b)
+    matrix = sparse.csr_matrix(
+        (np.array(data), np.array(col_indices, dtype=np.int32), np.array(indptr)),
+        shape=(len(rows), n),
+    )
+    return matrix, np.array(rhs)
+
+
+def _check_finite(value: float, what: str) -> None:
+    if value != value or value in (float("inf"), float("-inf")):
+        raise ModelError(f"{what} is not finite: {value}")

@@ -1,0 +1,33 @@
+"""Component library: functional-unit models and exploration allocations.
+
+The paper assumes "a component library consisting of various functional
+units which can execute the operations in the specification", each
+characterized by delay and FPGA resource (function-generator) cost.
+This package provides:
+
+* :class:`~repro.library.components.FUModel` — a characterized FU type;
+* :class:`~repro.library.components.FUInstance` — one concrete unit in
+  the exploration set ``F`` of the formulation;
+* :class:`~repro.library.components.ComponentLibrary` — the catalog;
+* :class:`~repro.library.components.Allocation` — the ordered set ``F``
+  of FU instances made available to scheduling/binding;
+* :mod:`~repro.library.catalogs` — a default XC4000-class catalog and
+  the paper's "2A+2M+1S"-style mix notation.
+"""
+
+from repro.library.components import (
+    Allocation,
+    ComponentLibrary,
+    FUInstance,
+    FUModel,
+)
+from repro.library.catalogs import default_library, mix_from_string
+
+__all__ = [
+    "FUModel",
+    "FUInstance",
+    "ComponentLibrary",
+    "Allocation",
+    "default_library",
+    "mix_from_string",
+]

@@ -1,0 +1,94 @@
+"""Machine-readable export of experiment rows and designs.
+
+The ASCII tables (:mod:`repro.reporting.tables`) are for humans; this
+module writes the same row dictionaries as CSV or JSON for downstream
+analysis, plus a full JSON dump of a partitioned design (assignment,
+per-partition local schedules, cut traffic) for consumption by other
+tools — e.g. a downstream bitstream-scheduling flow.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.result import PartitionedDesign
+
+
+def rows_to_csv(
+    rows: "Sequence[Mapping[str, object]]",
+    path: "str | Path",
+    columns: "Optional[Sequence[str]]" = None,
+) -> None:
+    """Write experiment rows to a CSV file.
+
+    ``columns`` selects/orders fields; by default the union of all keys
+    in first-appearance order is used, so heterogeneous rows are safe.
+    """
+    if columns is None:
+        seen: "Dict[str, None]" = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key, None)
+        columns = list(seen)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: row.get(k) for k in columns})
+
+
+def rows_to_json(
+    rows: "Sequence[Mapping[str, object]]", path: "str | Path"
+) -> None:
+    """Write experiment rows to a JSON file (list of objects)."""
+    Path(path).write_text(json.dumps([dict(r) for r in rows], indent=2))
+
+
+def design_to_dict(design: PartitionedDesign) -> "Dict[str, object]":
+    """Serialize a partitioned design to a JSON-compatible dict.
+
+    Contains everything a downstream flow needs to realize the design:
+    the assignment, each partition's FU set and locally renumbered
+    schedule, the cut traffic, and the summary metrics.
+    """
+    spec = design.spec
+    partitions = []
+    local = design.local_schedules()
+    for p in design.partitions_used():
+        partitions.append(
+            {
+                "index": p,
+                "tasks": list(design.tasks_in(p)),
+                "fus": list(design.fus_used_in(p)),
+                "area_effective": design.area_of(p),
+                "steps": len(design.steps_of(p)),
+                "schedule": {
+                    op_id: {"step": step, "fu": fu}
+                    for op_id, (step, fu) in sorted(local[p].items())
+                },
+            }
+        )
+    cuts = {
+        str(cut): design.cut_traffic(cut)
+        for cut in range(2, spec.n_partitions + 1)
+        if design.cut_traffic(cut)
+    }
+    return {
+        "graph": spec.graph.name,
+        "n_partitions_bound": spec.n_partitions,
+        "relaxation": spec.relaxation,
+        "device": spec.device.name,
+        "assignment": dict(design.assignment),
+        "partitions": partitions,
+        "cut_traffic": cuts,
+        "communication_cost": design.communication_cost(),
+        "partitions_used": design.num_partitions_used,
+    }
+
+
+def save_design(design: PartitionedDesign, path: "str | Path") -> None:
+    """Write a design's JSON dump to ``path``."""
+    Path(path).write_text(json.dumps(design_to_dict(design), indent=2))

@@ -1,0 +1,79 @@
+"""ASCII table rendering shaped like the paper's result tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: "Sequence[str]", rows: "Sequence[Sequence[object]]"
+) -> str:
+    """Render rows as an aligned ASCII table with a header rule."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    rule = "-+-".join("-" * w for w in widths)
+    body = [
+        " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in cells
+    ]
+    return "\n".join([header_line, rule, *body])
+
+
+#: Column order for paper-style result rows (missing keys are skipped).
+_PAPER_COLUMNS = [
+    ("graph", "Graph"),
+    ("tasks", "Tasks"),
+    ("opers", "Opers"),
+    ("N", "N"),
+    ("mix", "A+M+S"),
+    ("L", "L"),
+    ("vars", "Var"),
+    ("consts", "Const"),
+    ("runtime_s", "RunTime"),
+    ("status", "Status"),
+    ("feasible", "Feasible"),
+    ("objective", "Cost"),
+    ("partitions_used", "Used"),
+    ("paper_vars", "PaperVar"),
+    ("paper_consts", "PaperConst"),
+    ("paper_runtime_s", "PaperTime"),
+    ("paper_feasible", "PaperFeas"),
+]
+
+
+def render_rows(
+    rows: "Sequence[Mapping[str, object]]",
+    columns: "Optional[Sequence[str]]" = None,
+    title: str = "",
+) -> str:
+    """Render experiment-result dicts as a paper-style table.
+
+    ``columns`` selects/orders keys explicitly; by default all known
+    paper columns present in the first row are used.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        keys = [key for key, _ in _PAPER_COLUMNS if key in rows[0]]
+        headers = [h for key, h in _PAPER_COLUMNS if key in rows[0]]
+    else:
+        keys = list(columns)
+        headers = list(columns)
+    table = format_table(headers, [[row.get(k) for k in keys] for row in rows])
+    return f"{title}\n{table}" if title else table
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if value is True:
+        return "Yes"
+    if value is False:
+        return "No"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

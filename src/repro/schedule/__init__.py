@@ -1,0 +1,22 @@
+"""HLS scheduling substrate: ASAP/ALAP mobility, list scheduling, N estimation.
+
+This package implements the preprocessing boxes of the paper's Figure 2
+flow: the ASAP/ALAP schedules that set each operation's mobility range
+``CS(i)``, the fast list scheduler, and the heuristic estimate of the
+number of temporal segments ``N`` that upper-bounds the partition count
+in the ILP.
+"""
+
+from repro.schedule.asap_alap import MobilityFrames, compute_mobility
+from repro.schedule.schedule import Schedule, ScheduledOp
+from repro.schedule.list_scheduler import list_schedule
+from repro.schedule.estimator import estimate_num_segments
+
+__all__ = [
+    "MobilityFrames",
+    "compute_mobility",
+    "Schedule",
+    "ScheduledOp",
+    "list_schedule",
+    "estimate_num_segments",
+]

@@ -1,0 +1,118 @@
+"""ASAP/ALAP schedules and operation mobility frames.
+
+With unit-latency functional units (the paper's base model), the ASAP
+control step of an operation is one more than the latest ASAP among its
+predecessors, and the ALAP step is measured backwards from the critical
+path length.  The mobility range of operation ``i`` is the paper's
+
+    ``CS(i) = ASAP(i) .. ALAP(i) + L``
+
+where ``L`` is the user-specified latency relaxation.  The total number
+of control steps available to the whole (multi-partition) execution is
+``critical_path + L``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+import networkx as nx
+
+from repro.errors import SpecificationError
+from repro.graph.analysis import combined_operation_graph
+from repro.graph.taskgraph import TaskGraph
+
+
+@dataclass(frozen=True)
+class MobilityFrames:
+    """ASAP/ALAP results for one specification at one relaxation ``L``.
+
+    Attributes
+    ----------
+    asap / alap:
+        1-indexed earliest / latest control step per qualified op id;
+        ``alap`` already *includes* the relaxation ``L``.
+    latency_bound:
+        Total number of control steps available: critical path + L.
+    relaxation:
+        The ``L`` used.
+    """
+
+    asap: "Mapping[str, int]"
+    alap: "Mapping[str, int]"
+    latency_bound: int
+    relaxation: int
+
+    def control_steps(self, op_id: str) -> "Tuple[int, ...]":
+        """The mobility range ``CS(i)`` of a qualified op id, inclusive."""
+        try:
+            lo = self.asap[op_id]
+            hi = self.alap[op_id]
+        except KeyError:
+            raise SpecificationError(f"unknown operation id: {op_id!r}") from None
+        return tuple(range(lo, hi + 1))
+
+    def mobility(self, op_id: str) -> int:
+        """Slack of an operation: ``ALAP(i) - ASAP(i)`` (includes L)."""
+        return self.alap[op_id] - self.asap[op_id]
+
+    def ops_at_step(self, step: int) -> "Tuple[str, ...]":
+        """All op ids whose mobility range contains ``step`` (``CS^-1(j)``)."""
+        return tuple(
+            op_id
+            for op_id in self.asap
+            if self.asap[op_id] <= step <= self.alap[op_id]
+        )
+
+    @property
+    def all_steps(self) -> "Tuple[int, ...]":
+        """All control steps ``1 .. latency_bound``."""
+        return tuple(range(1, self.latency_bound + 1))
+
+
+def compute_mobility(graph: TaskGraph, relaxation: int = 0) -> MobilityFrames:
+    """Compute ASAP/ALAP mobility frames over the combined op graph.
+
+    Parameters
+    ----------
+    graph:
+        The validated specification.
+    relaxation:
+        The paper's ``L >= 0``: extra control steps granted beyond the
+        critical path.  Larger ``L`` enlarges every operation's mobility
+        range (and the model), but may be necessary for feasibility —
+        Table 3 of the paper is exactly this trade-off.
+    """
+    if not isinstance(relaxation, int) or isinstance(relaxation, bool):
+        raise SpecificationError("relaxation L must be an int")
+    if relaxation < 0:
+        raise SpecificationError(f"relaxation L must be >= 0, got {relaxation}")
+
+    dag = combined_operation_graph(graph)
+    order = list(nx.topological_sort(dag))
+
+    asap: "Dict[str, int]" = {}
+    for node in order:
+        preds = list(dag.predecessors(node))
+        asap[node] = 1 if not preds else 1 + max(asap[p] for p in preds)
+
+    critical_path = max(asap.values(), default=0)
+    latency_bound = critical_path + relaxation
+
+    alap: "Dict[str, int]" = {}
+    for node in reversed(order):
+        succs = list(dag.successors(node))
+        if not succs:
+            alap[node] = latency_bound
+        else:
+            alap[node] = min(alap[s] for s in succs) - 1
+
+    for node in order:
+        if alap[node] < asap[node]:  # pragma: no cover - defensive
+            raise SpecificationError(
+                f"internal error: ALAP < ASAP for {node!r}"
+            )
+    return MobilityFrames(
+        asap=asap, alap=alap, latency_bound=latency_bound, relaxation=relaxation
+    )

@@ -1,0 +1,107 @@
+"""Heuristic estimation of the number of temporal segments ``N``.
+
+The paper's flow "proceeds by first heuristically estimating the number
+of segments (N), which becomes an upper bound on the number of temporal
+segments in the NLP formulation", using fast list scheduling.  The ILP
+may of course use fewer segments — the objective drives it to — but a
+too-small ``N`` renders the model infeasible while a too-large ``N``
+merely enlarges it, so the estimator errs upward.
+
+Algorithm
+---------
+Greedy first-fit over a topological order of tasks: keep appending
+tasks to the current tentative segment while the segment still fits the
+device, where "fits" means the *cheapest possible* FU set able to run
+the segment's operation mix (one cheapest-model instance per op type
+present) passes eq. 11's area test.  When a task does not fit, close
+the segment and start a new one.  A single task whose minimal FU set
+exceeds the device is reported as infeasible immediately.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.errors import InfeasibleSpecError
+from repro.graph.analysis import topological_tasks
+from repro.graph.operations import OpType
+from repro.graph.taskgraph import TaskGraph
+from repro.library.components import Allocation, ComponentLibrary
+from repro.target.fpga import FPGADevice
+
+
+def estimate_num_segments(
+    graph: TaskGraph,
+    library: ComponentLibrary,
+    device: FPGADevice,
+    slack: int = 1,
+) -> int:
+    """Estimate an upper bound ``N`` on the number of temporal segments.
+
+    Parameters
+    ----------
+    graph:
+        The validated specification.
+    library:
+        Component library used to cost each tentative segment.
+    device:
+        Target device providing capacity ``C`` and factor ``alpha``.
+    slack:
+        Extra segments added on top of the greedy count (default 1) so
+        the ILP has room to trade partitions for communication; the
+        paper's estimator errs upward for the same reason.
+
+    Raises
+    ------
+    InfeasibleSpecError
+        If any single task cannot fit the device even with the cheapest
+        compatible FU per operation type — no temporal partitioning can
+        fix that.
+    """
+    if slack < 0:
+        raise InfeasibleSpecError(f"slack must be >= 0, got {slack}")
+
+    order = topological_tasks(graph)
+    segments = 1
+    current_types: "Set[OpType]" = set()
+
+    for task_name in order:
+        task = graph.task(task_name)
+        task_types = {op.optype for op in task.operations}
+        if not _fits(library, device, task_types):
+            raise InfeasibleSpecError(
+                f"task {task_name!r} alone exceeds device {device.name!r} "
+                f"capacity {device.capacity} even with cheapest FUs"
+            )
+        merged = current_types | task_types
+        if _fits(library, device, merged):
+            current_types = merged
+        else:
+            segments += 1
+            current_types = set(task_types)
+
+    return segments + slack
+
+
+def _fits(
+    library: ComponentLibrary, device: FPGADevice, optypes: "Set[OpType]"
+) -> bool:
+    """Whether one cheapest instance per op type passes the area test."""
+    total = sum(library.cheapest_model_for(t).fg_cost for t in optypes)
+    return device.fits(total)
+
+
+def minimal_allocation_for(
+    graph: TaskGraph, library: ComponentLibrary
+) -> Allocation:
+    """Cheapest single-instance-per-type allocation covering a spec.
+
+    Useful as a degenerate exploration set: it serializes everything
+    but always exists when the library covers the specification.
+    """
+    optypes = sorted(graph.op_types_used(), key=lambda t: t.value)
+    counts = {}
+    for optype in optypes:
+        model = library.cheapest_model_for(optype)
+        counts[model.name] = 1
+    return Allocation.from_counts(library, counts)

@@ -1,0 +1,180 @@
+"""Schedule data type shared by the list scheduler and the ILP decoder.
+
+A :class:`Schedule` maps every operation (by qualified id) to a control
+step and a bound functional-unit instance.  It knows how to check its
+own structural validity against a specification and an allocation —
+the same checks the independent design verifier reuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.errors import SpecificationError, VerificationError
+from repro.graph.analysis import combined_operation_graph
+from repro.graph.taskgraph import TaskGraph
+from repro.library.components import Allocation
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """Placement of one operation: control step plus FU binding."""
+
+    op_id: str
+    step: int
+    fu: str
+
+    def __post_init__(self) -> None:
+        if self.step < 1:
+            raise SpecificationError(
+                f"control steps are 1-indexed; got {self.step} for {self.op_id!r}"
+            )
+
+
+class Schedule:
+    """An operation schedule with functional-unit bindings.
+
+    The mapping is immutable after construction.  ``length`` is the
+    highest control step used (0 for an empty schedule).
+    """
+
+    def __init__(self, placements: "Mapping[str, ScheduledOp]") -> None:
+        for op_id, placement in placements.items():
+            if op_id != placement.op_id:
+                raise SpecificationError(
+                    f"schedule key {op_id!r} does not match placement id "
+                    f"{placement.op_id!r}"
+                )
+        self._placements: "Dict[str, ScheduledOp]" = dict(placements)
+
+    @classmethod
+    def from_triples(
+        cls, triples: "Mapping[str, Tuple[int, str]]"
+    ) -> "Schedule":
+        """Build from ``{op_id: (step, fu_name)}``."""
+        return cls(
+            {
+                op_id: ScheduledOp(op_id, step, fu)
+                for op_id, (step, fu) in triples.items()
+            }
+        )
+
+    def __len__(self) -> int:
+        return len(self._placements)
+
+    def __iter__(self) -> "Iterator[ScheduledOp]":
+        return iter(self._placements.values())
+
+    def __contains__(self, op_id: str) -> bool:
+        return op_id in self._placements
+
+    def placement(self, op_id: str) -> ScheduledOp:
+        """Look up the placement of a qualified op id."""
+        try:
+            return self._placements[op_id]
+        except KeyError:
+            raise SpecificationError(f"operation {op_id!r} is not scheduled") from None
+
+    def step_of(self, op_id: str) -> int:
+        """Control step of an operation."""
+        return self.placement(op_id).step
+
+    def fu_of(self, op_id: str) -> str:
+        """Bound FU instance name of an operation."""
+        return self.placement(op_id).fu
+
+    @property
+    def length(self) -> int:
+        """Highest control step used (the schedule latency)."""
+        return max((p.step for p in self._placements.values()), default=0)
+
+    def ops_at(self, step: int) -> "Tuple[ScheduledOp, ...]":
+        """All placements at a control step, sorted by op id."""
+        return tuple(
+            sorted(
+                (p for p in self._placements.values() if p.step == step),
+                key=lambda p: p.op_id,
+            )
+        )
+
+    def fus_used(self) -> "Tuple[str, ...]":
+        """Distinct FU instances actually bound, sorted."""
+        return tuple(sorted({p.fu for p in self._placements.values()}))
+
+    def steps_used(self) -> "Tuple[int, ...]":
+        """Distinct control steps actually used, sorted."""
+        return tuple(sorted({p.step for p in self._placements.values()}))
+
+    # ------------------------------------------------------------------
+    # validation
+
+    def check_against(
+        self,
+        graph: TaskGraph,
+        allocation: Allocation,
+        latency_bound: "Optional[int]" = None,
+    ) -> None:
+        """Validate this schedule against a spec and allocation.
+
+        Checks (raising :class:`VerificationError` on the first failure):
+
+        * every operation of the specification is scheduled exactly once;
+        * every binding names an allocation instance able to execute the
+          operation's type;
+        * no two operations share an FU instance in the same step;
+        * every dependency ``i1 -> i2`` has ``step(i1) < step(i2)``;
+        * if given, no step exceeds ``latency_bound``.
+        """
+        dag = combined_operation_graph(graph)
+        expected = set(dag.nodes)
+        scheduled = set(self._placements)
+        missing = expected - scheduled
+        if missing:
+            raise VerificationError(
+                f"operations not scheduled: {sorted(missing)[:5]} "
+                f"({len(missing)} total)"
+            )
+        extra = scheduled - expected
+        if extra:
+            raise VerificationError(
+                f"scheduled ops not in specification: {sorted(extra)[:5]}"
+            )
+
+        by_name = {fu.name: fu for fu in allocation}
+        for placement in self._placements.values():
+            fu = by_name.get(placement.fu)
+            if fu is None:
+                raise VerificationError(
+                    f"{placement.op_id}: bound to unknown FU {placement.fu!r}"
+                )
+            optype = dag.nodes[placement.op_id]["optype"]
+            if not fu.executes(optype):
+                raise VerificationError(
+                    f"{placement.op_id}: FU {placement.fu!r} cannot execute {optype}"
+                )
+            if latency_bound is not None and placement.step > latency_bound:
+                raise VerificationError(
+                    f"{placement.op_id}: step {placement.step} exceeds latency "
+                    f"bound {latency_bound}"
+                )
+
+        usage: "Dict[Tuple[int, str], str]" = {}
+        for placement in self._placements.values():
+            key = (placement.step, placement.fu)
+            if key in usage:
+                raise VerificationError(
+                    f"FU {placement.fu!r} used by both {usage[key]!r} and "
+                    f"{placement.op_id!r} in step {placement.step}"
+                )
+            usage[key] = placement.op_id
+
+        for src, dst in dag.edges:
+            if self.step_of(src) >= self.step_of(dst):
+                raise VerificationError(
+                    f"dependency violated: {src} (step {self.step_of(src)}) must "
+                    f"finish before {dst} (step {self.step_of(dst)})"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Schedule(ops={len(self)}, length={self.length})"

@@ -1,0 +1,109 @@
+"""Shared fixtures: tiny specifications every layer's tests reuse."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builders import TaskGraphBuilder
+from repro.library.catalogs import default_library, mix_from_string
+from repro.target.fpga import FPGADevice
+from repro.target.memory import ScratchMemory
+from repro.core.spec import ProblemSpec
+
+
+@pytest.fixture
+def chain3_graph():
+    """Three tasks in a chain (like the paper's Figure 3 example)."""
+    b = TaskGraphBuilder("chain3")
+    b.task("t1").op("a1", "add").op("m1", "mul").edge("a1", "m1")
+    b.task("t2").op("a2", "add").op("s2", "sub").edge("a2", "s2")
+    b.task("t3").op("m3", "mul")
+    b.data_edge("t1.m1", "t2.a2", width=2)
+    b.data_edge("t2.s2", "t3.m3", width=3)
+    return b.build()
+
+
+@pytest.fixture
+def diamond_graph():
+    """Four tasks in a diamond with unequal bandwidths."""
+    b = TaskGraphBuilder("diamond")
+    b.task("src").op("a1", "add").op("a2", "add").edge("a1", "a2")
+    b.task("left").op("m1", "mul")
+    b.task("right").op("s1", "sub")
+    b.task("sink").op("a3", "add")
+    b.data_edge("src.a2", "left.m1", width=1)
+    b.data_edge("src.a2", "right.s1", width=4)
+    b.data_edge("left.m1", "sink.a3", width=2)
+    b.data_edge("right.s1", "sink.a3", width=1)
+    return b.build()
+
+
+@pytest.fixture
+def forced_split_graph():
+    """Mul-heavy then add-heavy tasks: splitting is forced by capacity."""
+    b = TaskGraphBuilder("forced")
+    b.task("t1").op("a1", "add").op("a2", "add").edge("a1", "a2")
+    b.task("t2").op("m1", "mul").op("m2", "mul").edge("m1", "m2")
+    b.task("t3").op("a3", "add")
+    b.data_edge("t1.a2", "t2.m1", width=2)
+    b.data_edge("t2.m2", "t3.a3", width=3)
+    b.data_edge("t1.a2", "t3.a3", width=1)
+    return b.build()
+
+
+@pytest.fixture
+def library():
+    return default_library()
+
+
+@pytest.fixture
+def small_device():
+    """Fits one multiplier plus small FUs, never two multipliers."""
+    return FPGADevice("small", capacity=160, alpha=0.7)
+
+
+@pytest.fixture
+def tight_device():
+    """Fits a multiplier alone (123.2) but not multiplier+adder (135.8)."""
+    return FPGADevice("tight", capacity=125, alpha=0.7)
+
+
+@pytest.fixture
+def big_device():
+    return FPGADevice("big", capacity=2048, alpha=0.7)
+
+
+def make_spec(
+    graph,
+    mix: str = "1A+1M+1S",
+    device=None,
+    memory_size: int = 100,
+    n_partitions: int = 3,
+    relaxation: int = 2,
+) -> ProblemSpec:
+    """Helper used by many test modules (importable from conftest)."""
+    return ProblemSpec.create(
+        graph=graph,
+        allocation=mix_from_string(mix),
+        device=device or FPGADevice("dflt", capacity=2048, alpha=0.7),
+        memory=ScratchMemory(memory_size),
+        n_partitions=n_partitions,
+        relaxation=relaxation,
+    )
+
+
+@pytest.fixture
+def chain3_spec(chain3_graph, big_device):
+    return make_spec(chain3_graph, device=big_device)
+
+
+@pytest.fixture
+def forced_spec(forced_split_graph, tight_device):
+    return make_spec(
+        forced_split_graph,
+        mix="1A+1M",
+        device=tight_device,
+        memory_size=10,
+        n_partitions=3,
+        relaxation=3,
+    )

@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main, resolve_device
+from repro.graph.io import save_task_graph
+
+
+class TestParser:
+    def test_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--mix", "1A"])
+
+    def test_sources_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["--graph", "x.json", "--paper-graph", "1", "--mix", "1A"]
+            )
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["--paper-graph", "1", "--mix", "2A"])
+        args_dict = vars(args)
+        assert args_dict["branching"] == "paper"
+        assert args_dict["backend"] == "bnb"
+        assert args_dict["relaxation"] == 0
+
+
+class TestResolveDevice:
+    def test_catalog_name(self):
+        assert resolve_device("xc4005").capacity == 392
+
+    def test_custom_capacity(self):
+        dev = resolve_device("300")
+        assert dev.capacity == 300
+        assert dev.alpha == 0.7
+
+    def test_custom_capacity_alpha(self):
+        dev = resolve_device("300:0.5")
+        assert dev.alpha == 0.5
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SystemExit):
+            resolve_device("not-a-device")
+
+
+class TestMain:
+    def run_cli(self, capsys, *argv):
+        code = main(list(argv))
+        return code, capsys.readouterr().out
+
+    def test_solve_json_output(self, capsys, tmp_path, chain3_graph):
+        path = tmp_path / "g.json"
+        save_task_graph(chain3_graph, path)
+        code, out = self.run_cli(
+            capsys,
+            "--graph", str(path), "--mix", "1A+1M+1S",
+            "-N", "2", "-L", "2", "--device", "2048:0.7", "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["status"] == "optimal"
+        assert payload["objective"] == 0
+        assert set(payload["assignment"]) == {"t1", "t2", "t3"}
+
+    def test_solve_text_report(self, capsys, tmp_path, chain3_graph):
+        path = tmp_path / "g.json"
+        save_task_graph(chain3_graph, path)
+        code, out = self.run_cli(
+            capsys,
+            "--graph", str(path), "--mix", "1A+1M+1S",
+            "-N", "2", "-L", "2", "--device", "2048:0.7",
+        )
+        assert code == 0
+        assert "solve: optimal" in out
+        assert "partition" in out
+
+    def test_infeasible_exit_ok(self, capsys, tmp_path, chain3_graph):
+        path = tmp_path / "g.json"
+        save_task_graph(chain3_graph, path)
+        code, out = self.run_cli(
+            capsys,
+            "--graph", str(path), "--mix", "1A+1M+1S",
+            "-N", "1", "-L", "0", "--device", "130:0.7",
+        )
+        # A proven infeasibility is a successful run (exit 0).
+        assert code == 0
+        assert "infeasible" in out
+
+    def test_dump_lp(self, capsys, tmp_path, chain3_graph):
+        graph_path = tmp_path / "g.json"
+        lp_path = tmp_path / "model.lp"
+        save_task_graph(chain3_graph, graph_path)
+        code, out = self.run_cli(
+            capsys,
+            "--graph", str(graph_path), "--mix", "1A+1M+1S",
+            "-N", "2", "-L", "1", "--dump-lp", str(lp_path),
+        )
+        assert code == 0
+        text = lp_path.read_text()
+        assert "Minimize" in text and "Binaries" in text
+
+    def test_milp_backend_flag(self, capsys, tmp_path, chain3_graph):
+        path = tmp_path / "g.json"
+        save_task_graph(chain3_graph, path)
+        code, out = self.run_cli(
+            capsys,
+            "--graph", str(path), "--mix", "1A+1M+1S",
+            "-N", "2", "-L", "2", "--device", "2048:0.7",
+            "--backend", "milp", "--json",
+        )
+        assert json.loads(out)["status"] == "optimal"

@@ -1,0 +1,158 @@
+"""Tests for solution decoding, design queries and the verifier."""
+
+import pytest
+
+from repro.errors import DecodeError, VerificationError
+from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig
+from repro.ilp.solution import MilpResult, SolveStatus
+from repro.schedule.schedule import Schedule, ScheduledOp
+from repro.core.decode import decode_solution
+from repro.core.formulation import build_model
+from repro.core.result import PartitionedDesign
+from repro.core.verify import verify_design
+
+
+def solve_design(spec):
+    model, space = build_model(spec)
+    result = BranchAndBound(
+        model, config=BranchAndBoundConfig(objective_is_integral=True)
+    ).solve()
+    assert result.status is SolveStatus.OPTIMAL
+    return decode_solution(spec, space, result), result
+
+
+class TestDecode:
+    def test_decode_roundtrip(self, forced_spec):
+        design, result = solve_design(forced_spec)
+        assert design.communication_cost() == result.objective
+        verify_design(design, expected_objective=result.objective)
+
+    def test_decode_requires_solution(self, forced_spec):
+        model, space = build_model(forced_spec)
+        empty = MilpResult(status=SolveStatus.INFEASIBLE)
+        with pytest.raises(DecodeError, match="no solution"):
+            decode_solution(forced_spec, space, empty)
+
+    def test_decode_rejects_fractional(self, forced_spec):
+        model, space = build_model(forced_spec)
+        result = BranchAndBound(
+            model, config=BranchAndBoundConfig(objective_is_integral=True)
+        ).solve()
+        values = dict(result.values)
+        some_y = next(iter(space.y.values()))
+        values[some_y.index] = 0.5
+        broken = MilpResult(
+            status=SolveStatus.OPTIMAL, objective=result.objective, values=values
+        )
+        with pytest.raises(DecodeError):
+            decode_solution(forced_spec, space, broken)
+
+
+class TestDesignQueries:
+    def test_partitions_and_traffic(self, forced_spec):
+        design, _ = solve_design(forced_spec)
+        assert design.num_partitions_used == 3
+        # t1 -> t2 (bw 2) crosses cut 2; t2 -> t3 (bw 3) crosses cut 3;
+        # t1 -> t3 (bw 1) crosses both.
+        assert design.cut_traffic(2) == 3
+        assert design.cut_traffic(3) == 4
+        assert design.communication_cost() == 7
+
+    def test_tasks_in_and_fus_used(self, forced_spec):
+        design, _ = solve_design(forced_spec)
+        assert design.tasks_in(design.assignment["t1"]) == ("t1",)
+        mul_partition = design.assignment["t2"]
+        assert design.fus_used_in(mul_partition) == ("mul16_1",)
+
+    def test_areas_within_capacity(self, forced_spec):
+        design, _ = solve_design(forced_spec)
+        for p in design.partitions_used():
+            assert design.area_of(p) <= forced_spec.device.capacity
+
+    def test_local_schedules_renumbered(self, forced_spec):
+        design, _ = solve_design(forced_spec)
+        local = design.local_schedules()
+        for p, sched in local.items():
+            steps = sorted(step for step, _ in sched.values())
+            assert steps[0] == 1
+            assert steps == list(range(1, len(steps) + 1))
+
+    def test_report_mentions_everything(self, forced_spec):
+        design, _ = solve_design(forced_spec)
+        text = str(design.report())
+        assert "3 partition(s)" in text
+        assert "transfer: 7" in text
+        assert "cut before partition 2" in text
+
+
+class TestVerifier:
+    def test_accepts_valid(self, forced_spec):
+        design, result = solve_design(forced_spec)
+        verify_design(design, expected_objective=result.objective)
+
+    def broken_assignment(self, design, **changes):
+        assignment = dict(design.assignment)
+        assignment.update(changes)
+        return PartitionedDesign(
+            spec=design.spec, assignment=assignment, schedule=design.schedule
+        )
+
+    def test_catches_temporal_order(self, forced_spec):
+        design, _ = solve_design(forced_spec)
+        broken = self.broken_assignment(
+            design, t1=3, t3=1
+        )  # consumer before producer
+        with pytest.raises(VerificationError, match="temporal order"):
+            verify_design(broken)
+
+    def test_catches_out_of_range_partition(self, forced_spec):
+        design, _ = solve_design(forced_spec)
+        broken = self.broken_assignment(design, t1=9)
+        with pytest.raises(VerificationError, match="outside"):
+            verify_design(broken)
+
+    def test_catches_memory_overflow(self, forced_spec):
+        # Rebuild the same design against a spec with tiny memory.
+        from dataclasses import replace
+
+        from repro.target.memory import ScratchMemory
+
+        design, _ = solve_design(forced_spec)
+        tiny = replace(forced_spec, memory=ScratchMemory(1))
+        moved = PartitionedDesign(
+            spec=tiny, assignment=design.assignment, schedule=design.schedule
+        )
+        with pytest.raises(VerificationError, match="scratch memory"):
+            verify_design(moved)
+
+    def test_catches_shared_step_across_partitions(self, forced_spec):
+        design, _ = solve_design(forced_spec)
+        # Move every op of t2 onto the steps of t1's partition.
+        placements = {p.op_id: p for p in design.schedule}
+        t1_steps = design.steps_of(design.assignment["t1"])
+        victim = "t2.m1"
+        placements[victim] = ScheduledOp(
+            victim, t1_steps[0], placements[victim].fu
+        )
+        broken = PartitionedDesign(
+            spec=forced_spec,
+            assignment=design.assignment,
+            schedule=Schedule(placements),
+        )
+        with pytest.raises(VerificationError):
+            verify_design(broken)
+
+    def test_catches_objective_mismatch(self, forced_spec):
+        design, _ = solve_design(forced_spec)
+        with pytest.raises(VerificationError, match="objective mismatch"):
+            verify_design(design, expected_objective=0.0)
+
+    def test_catches_missing_assignment(self, forced_spec):
+        design, _ = solve_design(forced_spec)
+        assignment = dict(design.assignment)
+        del assignment["t3"]
+        broken = PartitionedDesign(
+            spec=forced_spec, assignment=assignment, schedule=design.schedule
+        )
+        with pytest.raises(VerificationError, match="no partition"):
+            verify_design(broken)

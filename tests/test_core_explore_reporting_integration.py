@@ -1,0 +1,81 @@
+"""Integration tests tying explore drivers, reporting rows and the
+reference experiment platform together on the regenerated paper graphs."""
+
+import pytest
+
+from repro.graph.generators import PAPER_GRAPH_SPECS, paper_graph
+from repro.ilp.solution import SolveStatus
+from repro.library.catalogs import mix_from_string
+from repro.reporting.experiments import (
+    reference_device,
+    reference_memory,
+    run_row,
+    table_rows,
+)
+from repro.core.partitioner import TemporalPartitioner
+
+
+@pytest.fixture(scope="module")
+def reference_partitioner():
+    return TemporalPartitioner(
+        device=reference_device(),
+        memory=reference_memory(),
+        time_limit_s=90,
+    )
+
+
+class TestGraph1ReferenceBehaviour:
+    """Graph 1 on the pinned platform: the Table-3 anchor rows."""
+
+    def test_infeasible_without_relaxation(self, reference_partitioner):
+        outcome = reference_partitioner.partition(
+            paper_graph(1), "2A+2M+1S", n_partitions=3, relaxation=0
+        )
+        assert outcome.status is SolveStatus.INFEASIBLE
+
+    def test_splits_at_l1(self, reference_partitioner):
+        outcome = reference_partitioner.partition(
+            paper_graph(1), "2A+2M+1S", n_partitions=3, relaxation=1
+        )
+        assert outcome.status is SolveStatus.OPTIMAL
+        assert outcome.objective > 0
+        assert outcome.design.num_partitions_used >= 2
+        # The split's raison d'etre: the segments use different FU
+        # subsets, at least one carrying both multipliers.
+        fu_sets = [
+            set(outcome.design.fus_used_in(p))
+            for p in outcome.design.partitions_used()
+        ]
+        assert any({"mul16_1", "mul16_2"} <= s for s in fu_sets)
+
+    def test_single_partition_at_l3(self, reference_partitioner):
+        outcome = reference_partitioner.partition(
+            paper_graph(1), "2A+2M+1S", n_partitions=2, relaxation=3
+        )
+        assert outcome.status is SolveStatus.OPTIMAL
+        assert outcome.objective == 0
+        assert outcome.design.num_partitions_used == 1
+
+
+class TestRunRowIntegration:
+    def test_row_vs_direct_partitioner(self, reference_partitioner):
+        row = table_rows("t3")[1]  # graph1 N=3 L=1
+        measured = run_row(row, time_limit_s=90)
+        direct = reference_partitioner.partition(
+            paper_graph(1), mix_from_string(row.mix),
+            n_partitions=row.n_partitions, relaxation=row.relaxation,
+        )
+        assert measured["status"] == direct.status.value
+        assert measured["objective"] == direct.objective
+        assert measured["vars"] == direct.model_stats["vars"]
+
+    @pytest.mark.parametrize("number", sorted(PAPER_GRAPH_SPECS))
+    def test_paper_graphs_build_specs(self, number):
+        """Every regenerated graph forms a valid spec on the platform."""
+        graph = paper_graph(number)
+        tp = TemporalPartitioner(
+            device=reference_device(), memory=reference_memory()
+        )
+        spec = tp.make_spec(graph, "2A+2M+2S", n_partitions=2, relaxation=1)
+        assert spec.n_partitions == 2
+        assert len(spec.op_ids) == graph.num_operations

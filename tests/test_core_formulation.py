@@ -1,0 +1,176 @@
+"""Tests for model assembly: variables, constraint families, options.
+
+The deep invariants (every option combination yields the *same* optimal
+objective; decoded designs verify) live in
+``test_core_solver_crosscheck.py``; this module checks structure.
+"""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ilp.branch_bound import BranchAndBound
+from repro.ilp.solution import SolveStatus
+from repro.core.constraints.linearize import (
+    add_product_constraints,
+    check_method,
+    product_vars_need_integrality,
+)
+from repro.core.formulation import (
+    FormulationOptions,
+    build_model,
+    model_size_report,
+)
+from repro.ilp.model import Model
+
+
+class TestOptions:
+    def test_defaults(self):
+        options = FormulationOptions()
+        assert options.tighten is True
+        assert options.linearization == "glover"
+
+    def test_bad_linearization_rejected(self):
+        with pytest.raises(ModelError, match="unknown linearization"):
+            FormulationOptions(linearization="banana")
+
+    def test_method_helpers(self):
+        assert check_method("glover") == "glover"
+        assert product_vars_need_integrality("fortet")
+        assert not product_vars_need_integrality("glover")
+
+
+class TestLinearizeHelpers:
+    def test_fortet_requires_integer_product(self):
+        model = Model("m")
+        a = model.add_binary("a")
+        b = model.add_binary("b")
+        c = model.add_continuous01("c")
+        with pytest.raises(ModelError, match="requires integer"):
+            add_product_constraints(model, a, b, c, "fortet", tag="t")
+
+    @pytest.mark.parametrize("method", ["glover", "fortet"])
+    def test_product_pinned_at_integer_points(self, method):
+        # For all four (a, b) integer points, the only feasible product
+        # value is a*b — solved as tiny LPs over c.
+        for a_val in (0.0, 1.0):
+            for b_val in (0.0, 1.0):
+                model = Model("m")
+                a = model.add_binary("a")
+                b = model.add_binary("b")
+                c = (
+                    model.add_binary("c")
+                    if method == "fortet"
+                    else model.add_continuous01("c")
+                )
+                model.add(a.to_expr() == a_val)
+                model.add(b.to_expr() == b_val)
+                add_product_constraints(model, a, b, c, method, tag="t")
+                model.set_objective(-1 * c)  # push c up as hard as possible
+                hi = BranchAndBound(model).solve()
+                assert hi.status is SolveStatus.OPTIMAL
+                assert hi.values[c.index] == pytest.approx(a_val * b_val)
+
+
+class TestBuildModel:
+    def test_variable_families_created(self, chain3_spec):
+        model, space = build_model(chain3_spec)
+        counts = space.counts()
+        assert counts["y"] == 3 * 3
+        assert counts["u"] == 3 * 3  # 3 partitions x 3 FU instances
+        assert counts["w"] == 2 * 2  # cuts 2..3 x 2 edges
+        assert counts["v"] == 0  # tightened model has no y*y products
+        assert counts["x"] > 0
+        assert model.num_integer_vars == counts["y"] + counts["x"] + counts["u"]
+
+    def test_base_model_has_product_vars(self, chain3_spec):
+        model, space = build_model(
+            chain3_spec, FormulationOptions(tighten=False)
+        )
+        # v[t1,t2,p1,p2] for each edge and p1<p2 pair: 2 edges x 3 pairs.
+        assert space.counts()["v"] == 6
+
+    def test_fortet_products_are_integer(self, chain3_spec):
+        model, space = build_model(
+            chain3_spec,
+            FormulationOptions(tighten=False, linearization="fortet"),
+        )
+        assert all(v.is_integer for v in space.v.values())
+        assert all(z.is_integer for z in space.z.values())
+
+    def test_glover_products_are_continuous(self, chain3_spec):
+        model, space = build_model(chain3_spec)
+        assert all(not z.is_integer for z in space.z.values())
+
+    def test_tightened_has_expected_families(self, chain3_spec):
+        model, _ = build_model(chain3_spec)
+        tags = model.constraint_counts_by_tag()
+        for family in (
+            "eq1-uniqueness",
+            "eq2-temporal-order",
+            "eq3-memory",
+            "eq6-unique-assignment",
+            "eq8-dependency",
+            "eq11-resource",
+            "eq12-c-lower",
+            "eq13-step-partition",
+            "eq22-u-lower",
+            "eq23-u-upper",
+            "eq26-o-lower",
+            "eq27-o-upper",
+            "eq28-w-source",
+            "eq29-w-sink",
+            "eq30-w-colocated",
+            "eq31-w-compact",
+            "eq32-u-lift",
+        ):
+            assert tags.get(family, 0) > 0, family
+
+    def test_base_has_eq5_not_eq31(self, chain3_spec):
+        model, _ = build_model(chain3_spec, FormulationOptions(tighten=False))
+        tags = model.constraint_counts_by_tag()
+        assert tags.get("eq5-w-exact", 0) > 0
+        assert "eq31-w-compact" not in tags
+        assert "eq32-u-lift" not in tags
+
+    def test_aggregated_dependencies_smaller(self, chain3_spec):
+        pairwise, _ = build_model(chain3_spec)
+        aggregated, _ = build_model(
+            chain3_spec, FormulationOptions(aggregated_dependencies=True)
+        )
+        assert (
+            aggregated.constraint_counts_by_tag()["eq8-dependency"]
+            < pairwise.constraint_counts_by_tag()["eq8-dependency"]
+        )
+
+    def test_tightening_adds_constraints(self, chain3_spec):
+        base, _ = build_model(chain3_spec, FormulationOptions(tighten=False))
+        tight, _ = build_model(chain3_spec)
+        # The tightened model swaps eq4/5 for eq28-31 and adds eq32; both
+        # should be reported, and the *variable* count must shrink (no v).
+        assert tight.num_vars < base.num_vars
+
+    def test_branching_metadata(self, chain3_spec):
+        model, space = build_model(chain3_spec)
+        y_var = space.y[("t1", 1)]
+        assert y_var.branch_group == 0
+        assert y_var.branch_key == (0, 1)
+        u_var = space.u[(1, "add16_1")]
+        assert u_var.branch_group == 1
+        x_vars = list(space.x.values())
+        assert all(v.branch_group == 2 for v in x_vars)
+
+    def test_size_report(self, chain3_spec):
+        model, space = build_model(chain3_spec)
+        report = model_size_report(model, space)
+        assert report["vars"] == model.num_vars
+        assert report["vars_by_family"]["y"] == 9
+        assert sum(report["constraints_by_family"].values()) == (
+            model.num_constraints
+        )
+
+    def test_objective_only_w_terms(self, chain3_spec):
+        model, space = build_model(chain3_spec)
+        w_indices = {v.index for v in space.w.values()}
+        assert set(model.objective.coeffs) <= w_indices
+        # Coefficients are the bandwidths (2 and 3 in the chain fixture).
+        assert sorted(set(model.objective.coeffs.values())) == [2.0, 3.0]

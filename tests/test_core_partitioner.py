@@ -1,0 +1,167 @@
+"""Tests for the end-to-end TemporalPartitioner and exploration drivers."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.ilp.solution import SolveStatus
+from repro.library.catalogs import mix_from_string
+from repro.target.fpga import FPGADevice
+from repro.target.memory import ScratchMemory
+from repro.core.explore import (
+    explore_fu_mixes,
+    explore_latency_partitions,
+    minimum_feasible_relaxation,
+)
+from repro.core.formulation import FormulationOptions
+from repro.core.partitioner import TemporalPartitioner
+
+
+@pytest.fixture
+def tight_partitioner(tight_device):
+    return TemporalPartitioner(
+        device=tight_device,
+        memory=ScratchMemory(10),
+        time_limit_s=60,
+    )
+
+
+class TestPartitioner:
+    def test_full_flow(self, forced_split_graph, tight_partitioner):
+        outcome = tight_partitioner.partition(
+            forced_split_graph, "1A+1M", n_partitions=3, relaxation=3
+        )
+        assert outcome.status is SolveStatus.OPTIMAL
+        assert outcome.feasible
+        assert outcome.objective == 7
+        assert outcome.design.num_partitions_used == 3
+
+    def test_mix_string_accepted(self, forced_split_graph, tight_partitioner):
+        outcome = tight_partitioner.partition(
+            forced_split_graph, "1A+1M", n_partitions=2, relaxation=3
+        )
+        assert outcome.status in (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE)
+
+    def test_allocation_object_accepted(self, forced_split_graph, tight_partitioner):
+        alloc = mix_from_string("1A+1M")
+        outcome = tight_partitioner.partition(
+            forced_split_graph, alloc, n_partitions=3, relaxation=3
+        )
+        assert outcome.feasible
+
+    def test_infeasible_is_status_not_exception(
+        self, forced_split_graph, tight_partitioner
+    ):
+        outcome = tight_partitioner.partition(
+            forced_split_graph, "1A+1M", n_partitions=1, relaxation=0
+        )
+        assert outcome.status is SolveStatus.INFEASIBLE
+        assert outcome.design is None
+        assert outcome.summary_row()["feasible"] is False
+
+    def test_n_estimated_when_omitted(self, forced_split_graph, tight_device):
+        tp = TemporalPartitioner(
+            device=tight_device, memory=ScratchMemory(10), time_limit_s=60
+        )
+        spec = tp.make_spec(forced_split_graph, "1A+1M", relaxation=3)
+        assert spec.n_partitions >= 2  # estimator sees the capacity wall
+
+    def test_memory_defaults_to_unbounded(self, forced_split_graph, tight_device):
+        tp = TemporalPartitioner(device=tight_device, time_limit_s=60)
+        spec = tp.make_spec(
+            forced_split_graph, "1A+1M", n_partitions=2, relaxation=3
+        )
+        assert spec.memory.size >= forced_split_graph.total_bandwidth()
+
+    def test_milp_backend_agrees(self, forced_split_graph, tight_device):
+        results = {}
+        for backend in ("bnb", "milp"):
+            tp = TemporalPartitioner(
+                device=tight_device,
+                memory=ScratchMemory(10),
+                backend=backend,
+                time_limit_s=60,
+            )
+            outcome = tp.partition(
+                forced_split_graph, "1A+1M", n_partitions=3, relaxation=3
+            )
+            results[backend] = outcome.objective
+        assert results["bnb"] == results["milp"]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ReproError, match="unknown backend"):
+            TemporalPartitioner(backend="quantum")
+
+    def test_summary_row_shape(self, forced_split_graph, tight_partitioner):
+        outcome = tight_partitioner.partition(
+            forced_split_graph, "1A+1M", n_partitions=3, relaxation=3
+        )
+        row = outcome.summary_row()
+        assert row["graph"] == "forced"
+        assert row["N"] == 3
+        assert row["vars"] > 0
+        assert row["consts"] > 0
+
+    def test_options_respected(self, forced_split_graph, tight_device):
+        tp = TemporalPartitioner(
+            device=tight_device,
+            memory=ScratchMemory(10),
+            options=FormulationOptions(tighten=False),
+            time_limit_s=60,
+        )
+        outcome = tp.partition(
+            forced_split_graph, "1A+1M", n_partitions=3, relaxation=3
+        )
+        assert outcome.objective == 7  # same optimum, different model
+        assert outcome.model_stats["vars_by_family"]["v"] > 0
+
+
+class TestExplore:
+    def test_latency_partition_sweep(self, forced_split_graph, tight_partitioner):
+        rows = explore_latency_partitions(
+            tight_partitioner,
+            forced_split_graph,
+            "1A+1M",
+            points=[(1, 0), (3, 3)],
+        )
+        assert len(rows) == 2
+        assert rows[0]["feasible"] is False
+        assert rows[1]["feasible"] is True
+        assert rows[1]["partitions_used"] == 3
+
+    def test_minimum_feasible_relaxation(
+        self, forced_split_graph, tight_partitioner
+    ):
+        l_min = minimum_feasible_relaxation(
+            tight_partitioner, forced_split_graph, "1A+1M", n_partitions=3,
+            max_relaxation=5,
+        )
+        assert l_min is not None
+        # And one less must be infeasible (it is the minimum).
+        if l_min > 0:
+            outcome = tight_partitioner.partition(
+                forced_split_graph, "1A+1M",
+                n_partitions=3, relaxation=l_min - 1,
+            )
+            assert not outcome.feasible
+
+    def test_minimum_relaxation_none_when_impossible(
+        self, forced_split_graph, tight_partitioner
+    ):
+        assert (
+            minimum_feasible_relaxation(
+                tight_partitioner, forced_split_graph, "1A+1M",
+                n_partitions=1, max_relaxation=1,
+            )
+            is None
+        )
+
+    def test_fu_mix_sweep(self, forced_split_graph, tight_device):
+        tp = TemporalPartitioner(
+            device=tight_device, memory=ScratchMemory(10), time_limit_s=60
+        )
+        rows = explore_fu_mixes(
+            tp, forced_split_graph, ["1A+1M", "2A+1M"],
+            n_partitions=3, relaxation=3,
+        )
+        assert [r["fu_mix"] for r in rows] == ["1A+1M", "2A+1M"]
+        assert all(r["feasible"] for r in rows)

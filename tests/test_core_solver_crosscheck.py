@@ -1,0 +1,171 @@
+"""The correctness core: every solver path agrees with ground truth.
+
+For a family of small specs we assert that
+
+* brute force (exhaustive enumeration + backtracking synthesis),
+* our branch and bound under every branching rule,
+* SciPy HiGHS MILP,
+* every formulation option combination (tightened/base x Glover/Fortet
+  x pairwise/aggregated dependencies)
+
+all report the same feasibility and the same optimal communication
+cost, and that every decoded design passes the independent verifier.
+"""
+
+import pytest
+
+from repro.graph.builders import TaskGraphBuilder
+from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig
+from repro.ilp.branching import make_rule
+from repro.ilp.milp_backend import solve_milp_scipy
+from repro.ilp.solution import SolveStatus
+from repro.target.fpga import FPGADevice
+from repro.core.bruteforce import brute_force_optimum
+from repro.core.decode import decode_solution
+from repro.core.formulation import FormulationOptions, build_model
+from repro.core.verify import verify_design
+from tests.conftest import make_spec
+
+
+def split_pressure_graph():
+    """Mul-task and add-tasks with bandwidths that make cuts costly."""
+    b = TaskGraphBuilder("pressure")
+    b.task("t1").op("a1", "add").op("a2", "add").edge("a1", "a2")
+    b.task("t2").op("m1", "mul").op("m2", "mul").edge("m1", "m2")
+    b.task("t3").op("s1", "sub")
+    b.data_edge("t1.a2", "t2.m1", width=2)
+    b.data_edge("t2.m2", "t3.s1", width=1)
+    b.data_edge("t1.a2", "t3.s1", width=3)
+    return b.build()
+
+
+def spec_cases():
+    """(name, spec) pairs small enough for brute force."""
+    tight = FPGADevice("tight", capacity=125, alpha=0.7)
+    small = FPGADevice("small", capacity=160, alpha=0.7)
+    cases = []
+
+    graph = split_pressure_graph()
+    cases.append(
+        (
+            "pressure-tight-N3",
+            make_spec(graph, mix="1A+1M+1S", device=tight,
+                      memory_size=10, n_partitions=3, relaxation=3),
+        )
+    )
+    cases.append(
+        (
+            "pressure-small-N2",
+            make_spec(graph, mix="1A+1M+1S", device=small,
+                      memory_size=10, n_partitions=2, relaxation=2),
+        )
+    )
+    cases.append(
+        (
+            "pressure-memory-bound",
+            make_spec(graph, mix="1A+1M+1S", device=tight,
+                      memory_size=3, n_partitions=3, relaxation=4),
+        )
+    )
+    return cases
+
+
+CASES = spec_cases()
+OPTION_GRID = [
+    FormulationOptions(tighten=True, linearization="glover"),
+    FormulationOptions(tighten=True, linearization="fortet"),
+    FormulationOptions(tighten=False, linearization="glover"),
+    FormulationOptions(tighten=False, linearization="fortet"),
+    FormulationOptions(tighten=True, aggregated_dependencies=True),
+]
+
+
+@pytest.fixture(scope="module")
+def ground_truth():
+    return {name: brute_force_optimum(spec) for name, spec in CASES}
+
+
+@pytest.mark.parametrize("name,spec", CASES, ids=[n for n, _ in CASES])
+@pytest.mark.parametrize(
+    "options",
+    OPTION_GRID,
+    ids=["tight-glover", "tight-fortet", "base-glover", "base-fortet", "aggdep"],
+)
+def test_all_formulations_match_bruteforce(name, spec, options, ground_truth):
+    truth = ground_truth[name]
+    model, space = build_model(spec, options)
+    config = BranchAndBoundConfig(objective_is_integral=True, time_limit_s=60)
+    result = BranchAndBound(model, config=config).solve()
+    if truth is None:
+        assert result.status is SolveStatus.INFEASIBLE
+        return
+    assert result.status is SolveStatus.OPTIMAL
+    assert result.objective == pytest.approx(truth[0])
+    design = decode_solution(spec, space, result)
+    verify_design(design, expected_objective=result.objective)
+
+
+@pytest.mark.parametrize("name,spec", CASES, ids=[n for n, _ in CASES])
+@pytest.mark.parametrize("rule_name", ["paper", "first", "most-fractional"])
+def test_all_branching_rules_agree(name, spec, rule_name, ground_truth):
+    truth = ground_truth[name]
+    model, space = build_model(spec)
+    config = BranchAndBoundConfig(objective_is_integral=True, time_limit_s=60)
+    result = BranchAndBound(model, rule=make_rule(rule_name), config=config).solve()
+    if truth is None:
+        assert result.status is SolveStatus.INFEASIBLE
+    else:
+        assert result.objective == pytest.approx(truth[0])
+
+
+@pytest.mark.parametrize("name,spec", CASES, ids=[n for n, _ in CASES])
+def test_scipy_milp_agrees(name, spec, ground_truth):
+    truth = ground_truth[name]
+    model, space = build_model(spec)
+    result = solve_milp_scipy(model)
+    if truth is None:
+        assert result.status is SolveStatus.INFEASIBLE
+    else:
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(truth[0])
+        design = decode_solution(spec, space, result)
+        verify_design(design, expected_objective=result.objective)
+
+
+def test_memory_constraint_changes_answer():
+    """Shrinking Ms below the optimum's cut traffic must change things.
+
+    With the tight device the pressure graph needs >= 2 partitions; the
+    cheapest cut costs some traffic T.  Setting Ms = T-1 must either
+    raise the cost (a pricier but slimmer cut) or go infeasible.
+    """
+    tight = FPGADevice("tight", capacity=125, alpha=0.7)
+    graph = split_pressure_graph()
+    roomy = make_spec(graph, mix="1A+1M+1S", device=tight,
+                      memory_size=50, n_partitions=3, relaxation=3)
+    truth = brute_force_optimum(roomy)
+    assert truth is not None and truth[0] > 0
+
+    # Find the max cut traffic of the optimal design via the ILP.
+    model, space = build_model(roomy)
+    result = BranchAndBound(
+        model, config=BranchAndBoundConfig(objective_is_integral=True)
+    ).solve()
+    design = decode_solution(roomy, space, result)
+    peak = max(
+        design.cut_traffic(p) for p in range(2, roomy.n_partitions + 1)
+    )
+    assert peak > 0
+
+    tight_mem = make_spec(graph, mix="1A+1M+1S", device=tight,
+                          memory_size=peak - 1, n_partitions=3, relaxation=3)
+    constrained = brute_force_optimum(tight_mem)
+    model2, space2 = build_model(tight_mem)
+    result2 = BranchAndBound(
+        model2, config=BranchAndBoundConfig(objective_is_integral=True)
+    ).solve()
+    if constrained is None:
+        assert result2.status is SolveStatus.INFEASIBLE
+    else:
+        assert result2.objective == pytest.approx(constrained[0])
+        assert constrained[0] >= truth[0]

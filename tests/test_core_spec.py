@@ -1,0 +1,90 @@
+"""Tests for ProblemSpec construction and index sets."""
+
+import pytest
+
+from repro.errors import InfeasibleSpecError, SpecificationError
+from repro.graph.builders import TaskGraphBuilder
+from repro.library.catalogs import mix_from_string
+from repro.target.fpga import FPGADevice
+from repro.target.memory import ScratchMemory
+from repro.core.spec import ProblemSpec
+from tests.conftest import make_spec
+
+
+class TestCreateValidation:
+    def test_basic(self, chain3_spec):
+        assert chain3_spec.n_partitions == 3
+        assert chain3_spec.partitions == (1, 2, 3)
+        assert len(chain3_spec.op_ids) == 5
+
+    def test_rejects_bad_n(self, chain3_graph, big_device):
+        with pytest.raises(SpecificationError, match="n_partitions"):
+            make_spec(chain3_graph, device=big_device, n_partitions=0)
+
+    def test_rejects_bad_relaxation(self, chain3_graph, big_device):
+        with pytest.raises(SpecificationError, match="relaxation"):
+            make_spec(chain3_graph, device=big_device, relaxation=-1)
+
+    def test_rejects_uncovered_optype(self, chain3_graph, big_device):
+        with pytest.raises(InfeasibleSpecError, match="no FU instance"):
+            make_spec(chain3_graph, mix="1A+1M", device=big_device)
+
+    def test_rejects_fu_bigger_than_device(self, chain3_graph):
+        nano = FPGADevice("nano", capacity=20, alpha=1.0)
+        with pytest.raises(InfeasibleSpecError, match="exceeds device"):
+            make_spec(chain3_graph, device=nano)
+
+
+class TestIndexSets:
+    def test_task_order_topological(self, chain3_spec):
+        assert chain3_spec.task_order == ("t1", "t2", "t3")
+        assert chain3_spec.task_priority["t1"] == 0
+
+    def test_op_ids_follow_task_order(self, chain3_spec):
+        assert list(chain3_spec.op_ids) == [
+            "t1.a1", "t1.m1", "t2.a2", "t2.s2", "t3.m3",
+        ]
+
+    def test_op_fus_compatibility(self, chain3_spec):
+        assert chain3_spec.op_fus["t1.a1"] == ("add16_1",)
+        assert chain3_spec.op_fus["t1.m1"] == ("mul16_1",)
+
+    def test_op_steps_are_mobility_ranges(self, chain3_spec):
+        # Chain graph with L=2: first op may sit at steps 1..3.
+        assert chain3_spec.op_steps["t1.a1"] == (1, 2, 3)
+
+    def test_ops_at_step(self, chain3_spec):
+        assert "t1.a1" in chain3_spec.ops_at_step(1)
+        assert "t3.m3" not in chain3_spec.ops_at_step(1)
+
+    def test_task_ops_at_step(self, chain3_spec):
+        assert chain3_spec.task_ops_at_step("t1", 1) == ("t1.a1",)
+
+    def test_task_steps_union(self, chain3_spec):
+        assert chain3_spec.task_steps("t1") == (1, 2, 3, 4)  # a1:1-3, m1:2-4
+
+    def test_ops_on_fu(self, chain3_spec):
+        assert chain3_spec.ops_on_fu("mul16_1") == ("t1.m1", "t3.m3")
+
+    def test_op_edges_sorted(self, chain3_spec):
+        edges = chain3_spec.op_edges()
+        assert ("t1.a1", "t1.m1") in edges
+        assert ("t1.m1", "t2.a2") in edges
+        assert len(edges) == 4
+
+    def test_fu_index(self, chain3_spec):
+        assert chain3_spec.fu_index("add16_1") == 0
+        assert chain3_spec.fu_index("sub16_1") == 2
+
+    def test_summary_keys(self, chain3_spec):
+        summary = chain3_spec.summary()
+        assert summary["tasks"] == 3
+        assert summary["operations"] == 5
+        assert summary["n_partitions"] == 3
+        assert summary["latency_bound"] == 7
+
+
+class TestTaskEdges:
+    def test_task_edges_with_bandwidth(self, chain3_spec):
+        assert chain3_spec.task_edges == (("t1", "t2"), ("t2", "t3"))
+        assert chain3_spec.graph.bandwidth("t1", "t2") == 2

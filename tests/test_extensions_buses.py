@@ -1,0 +1,90 @@
+"""Tests for the bus-capacity extension."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.graph.builders import TaskGraphBuilder
+from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig
+from repro.ilp.solution import SolveStatus
+from repro.core.decode import decode_solution
+from repro.core.verify import verify_design
+from repro.extensions.buses import (
+    add_bus_constraints,
+    build_bus_model,
+    operand_counts,
+)
+from repro.core.formulation import build_model
+from tests.conftest import make_spec
+
+
+def parallel_adds_graph(n: int = 4):
+    b = TaskGraphBuilder("par")
+    t = b.task("t1")
+    for i in range(n):
+        t.op(f"a{i}", "add")
+    return b.build()
+
+
+def solve(model):
+    return BranchAndBound(
+        model,
+        config=BranchAndBoundConfig(objective_is_integral=True, time_limit_s=60),
+    ).solve()
+
+
+class TestOperandCounts:
+    def test_sources_read_two_externals(self, chain3_spec):
+        counts = operand_counts(chain3_spec)
+        assert counts["t1.a1"] == 2  # graph source: both operands external
+
+    def test_joins_count_in_degree(self, diamond_graph, big_device):
+        spec = make_spec(diamond_graph, mix="2A+1M+1S", device=big_device)
+        counts = operand_counts(spec)
+        assert counts["sink.a3"] == 2  # two producers
+
+
+class TestBusConstraints:
+    def test_bad_budget(self, chain3_spec):
+        model, space = build_model(chain3_spec)
+        with pytest.raises(SpecificationError, match="max_buses"):
+            add_bus_constraints(model, chain3_spec, space, 0)
+
+    def test_generous_budget_adds_no_rows(self, chain3_spec):
+        model, space = build_model(chain3_spec)
+        rows = add_bus_constraints(model, chain3_spec, space, 100)
+        assert rows == 0
+
+    def test_budget_serializes_parallel_ops(self):
+        # 4 independent adds on 2 adders: unconstrained schedule packs 2
+        # per step (4 operands/step).  2 buses allow only one add per
+        # step, so the schedule must stretch; with zero relaxation over
+        # the 1-step critical path that is infeasible.
+        spec = make_spec(
+            parallel_adds_graph(4), mix="2A", n_partitions=1, relaxation=1
+        )
+        unconstrained, space = build_model(spec)
+        assert solve(unconstrained).status is SolveStatus.OPTIMAL
+
+        tight, _ = build_bus_model(spec, 2)
+        assert solve(tight).status is SolveStatus.INFEASIBLE
+
+    def test_budget_feasible_with_enough_slack(self):
+        spec = make_spec(
+            parallel_adds_graph(4), mix="2A", n_partitions=1, relaxation=3
+        )
+        model, space = build_bus_model(spec, 2)
+        result = solve(model)
+        assert result.status is SolveStatus.OPTIMAL
+        design = decode_solution(spec, space, result)
+        verify_design(design)
+        # At most one 2-operand add per step under a 2-bus budget.
+        for step in design.schedule.steps_used():
+            assert len(design.schedule.ops_at(step)) <= 1
+
+    def test_four_buses_restore_parallelism(self):
+        spec = make_spec(
+            parallel_adds_graph(4), mix="2A", n_partitions=1, relaxation=1
+        )
+        model, space = build_bus_model(spec, 4)
+        result = solve(model)
+        assert result.status is SolveStatus.OPTIMAL

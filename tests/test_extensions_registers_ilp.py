@@ -1,0 +1,117 @@
+"""Tests for the register-constrained formulation (Section-10 extension)."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.graph.builders import TaskGraphBuilder
+from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig
+from repro.ilp.milp_backend import solve_milp_scipy
+from repro.ilp.solution import SolveStatus
+from repro.core.decode import decode_solution
+from repro.core.verify import verify_design
+from repro.extensions.registers import peak_registers
+from repro.extensions.registers_ilp import (
+    add_register_constraints,
+    build_register_model,
+    minimum_feasible_registers,
+)
+from tests.conftest import make_spec
+
+
+def wide_graph():
+    """Four parallel producers feeding one late consumer: register-hungry."""
+    b = TaskGraphBuilder("wide")
+    t = b.task("t1")
+    for i in range(4):
+        t.op(f"p{i}", "add")
+    t.op("c", "add")
+    for i in range(4):
+        t.edge(f"p{i}", "c")
+    return b.build()
+
+
+def solve(model):
+    return BranchAndBound(
+        model,
+        config=BranchAndBoundConfig(objective_is_integral=True, time_limit_s=60),
+    ).solve()
+
+
+class TestBuildRegisterModel:
+    def test_bad_budget_rejected(self, chain3_spec):
+        with pytest.raises(SpecificationError, match="max_registers"):
+            build_register_model(chain3_spec, -1)
+
+    def test_generous_budget_preserves_optimum(self, chain3_spec):
+        model, space, live = build_register_model(chain3_spec, 50)
+        result = solve(model)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == 0
+        design = decode_solution(chain3_spec, space, result)
+        verify_design(design)
+
+    def test_liveness_vars_created(self, chain3_spec):
+        model, space, live = build_register_model(chain3_spec, 50)
+        assert live  # the chain has spanning edges
+        tags = model.constraint_counts_by_tag()
+        assert tags.get("reg-liveness", 0) == len(live)
+
+
+class TestRegisterPressure:
+    def test_budget_binds_on_wide_graph(self):
+        # 4 producers, 1 consumer; with 2 adders and 2 extra steps the
+        # unconstrained schedule holds up to 4 values live at once.
+        spec = make_spec(
+            wide_graph(), mix="2A", n_partitions=1, relaxation=2
+        )
+        unconstrained, space, _ = build_register_model(spec, 50)
+        base = solve(unconstrained)
+        assert base.status is SolveStatus.OPTIMAL
+
+        # A budget of 1 cannot work: the last producer's step boundary
+        # must carry at least 3 earlier values (2 adders/step, consumer
+        # needs all four).
+        tight_model, _, _ = build_register_model(spec, 1)
+        tight = solve(tight_model)
+        assert tight.status is SolveStatus.INFEASIBLE
+
+    def test_minimum_budget_matches_estimator(self):
+        spec = make_spec(
+            wide_graph(), mix="2A", n_partitions=1, relaxation=2
+        )
+        minimum = minimum_feasible_registers(spec, time_limit_s=30)
+        assert minimum is not None
+
+        # A design solved under exactly that budget estimates within it.
+        model, space, _ = build_register_model(spec, minimum)
+        result = solve_milp_scipy(model, time_limit_s=30)
+        assert result.status is SolveStatus.OPTIMAL
+        design = decode_solution(spec, space, result)
+        assert peak_registers(design) <= minimum
+
+    def test_minimum_none_when_base_infeasible(self, forced_split_graph):
+        from repro.target.fpga import FPGADevice
+
+        spec = make_spec(
+            forced_split_graph, mix="1A+1M",
+            device=FPGADevice("tight", capacity=125, alpha=0.7),
+            memory_size=10, n_partitions=1, relaxation=0,
+        )
+        assert minimum_feasible_registers(spec, time_limit_s=30) is None
+
+
+class TestCrossPartitionAccounting:
+    def test_cut_values_do_not_consume_registers(self, forced_spec):
+        """Cross-partition dependencies live in scratch, not registers.
+
+        The forced 3-way split has every inter-task edge crossing a
+        cut; a tiny register budget must still be feasible because only
+        intra-segment liveness counts.
+        """
+        model, space, live = build_register_model(forced_spec, 2)
+        result = solve(model)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == 7  # unchanged optimum
+        design = decode_solution(forced_spec, space, result)
+        verify_design(design, expected_objective=result.objective)
+        assert peak_registers(design) <= 2

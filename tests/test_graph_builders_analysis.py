@@ -1,0 +1,92 @@
+"""Tests for the fluent builder and the graph analysis routines."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.graph.analysis import (
+    combined_operation_graph,
+    critical_path_length,
+    op_priorities,
+    task_dependency_graph,
+    task_levels,
+    topological_tasks,
+    transitive_task_pairs,
+)
+from repro.graph.builders import TaskGraphBuilder
+
+
+class TestBuilder:
+    def test_chain_helper(self):
+        b = TaskGraphBuilder("g")
+        b.task("t1").op("a", "add").op("b", "add").op("c", "add").chain(
+            "a", "b", "c"
+        )
+        graph = b.build()
+        assert graph.task("t1").edges == (("a", "b"), ("b", "c"))
+
+    def test_chain_needs_two(self):
+        b = TaskGraphBuilder("g")
+        b.task("t1").op("a", "add")
+        with pytest.raises(SpecificationError, match="at least two"):
+            b.task("t1").chain("a")
+
+    def test_task_builder_reused(self):
+        b = TaskGraphBuilder("g")
+        first = b.task("t1")
+        second = b.task("t1")
+        assert first is second
+
+    def test_data_edge_parses_qualified(self):
+        b = TaskGraphBuilder("g")
+        b.task("t1").op("a", "add")
+        b.task("t2").op("b", "sub")
+        b.data_edge("t1.a", "t2.b", width=5)
+        graph = b.build()
+        assert graph.bandwidth("t1", "t2") == 5
+
+    def test_build_validates(self):
+        b = TaskGraphBuilder("g")
+        b.task("t1")  # empty task
+        with pytest.raises(SpecificationError, match="no operations"):
+            b.build()
+
+
+class TestAnalysis:
+    def test_combined_graph_nodes_and_edges(self, chain3_graph):
+        dag = combined_operation_graph(chain3_graph)
+        assert dag.number_of_nodes() == 5
+        assert dag.has_edge("t1.a1", "t1.m1")
+        assert dag.has_edge("t1.m1", "t2.a2")
+        assert dag.nodes["t3.m3"]["task"] == "t3"
+
+    def test_task_dependency_graph_bandwidth(self, chain3_graph):
+        dag = task_dependency_graph(chain3_graph)
+        assert dag.edges["t1", "t2"]["bandwidth"] == 2
+
+    def test_topological_tasks_chain(self, chain3_graph):
+        assert topological_tasks(chain3_graph) == ("t1", "t2", "t3")
+
+    def test_topological_tasks_ties_by_insertion(self, diamond_graph):
+        order = topological_tasks(diamond_graph)
+        assert order[0] == "src"
+        assert order[-1] == "sink"
+        assert order.index("left") < order.index("right")
+
+    def test_task_levels(self, diamond_graph):
+        levels = task_levels(diamond_graph)
+        assert levels == {"src": 0, "left": 1, "right": 1, "sink": 2}
+
+    def test_critical_path_chain3(self, chain3_graph):
+        # a1 -> m1 -> a2 -> s2 -> m3 is 5 ops long.
+        assert critical_path_length(chain3_graph) == 5
+
+    def test_op_priorities_sink_is_one(self, chain3_graph):
+        pri = op_priorities(chain3_graph)
+        assert pri["t3.m3"] == 1
+        assert pri["t1.a1"] == 5
+
+    def test_transitive_pairs(self, chain3_graph):
+        pairs = transitive_task_pairs(chain3_graph)
+        assert ("t1", "t3") in pairs
+        assert ("t1", "t2") in pairs
+        assert len(pairs) == 3

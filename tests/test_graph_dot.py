@@ -1,0 +1,55 @@
+"""Tests for DOT export."""
+
+from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig
+from repro.graph.dot import design_to_dot, task_graph_to_dot
+from repro.core.decode import decode_solution
+from repro.core.formulation import build_model
+
+
+def solved_design(spec):
+    model, space = build_model(spec)
+    result = BranchAndBound(
+        model, config=BranchAndBoundConfig(objective_is_integral=True)
+    ).solve()
+    return decode_solution(spec, space, result)
+
+
+class TestTaskGraphDot:
+    def test_structure(self, chain3_graph):
+        dot = task_graph_to_dot(chain3_graph)
+        assert dot.startswith('digraph "chain3"')
+        assert dot.rstrip().endswith("}")
+        # One cluster per task.
+        assert dot.count("subgraph cluster_") == 3
+        # Bandwidth labels present.
+        assert '[label="2", style=bold]' in dot
+        assert '"t1.a1" -> "t1.m1"' in dot
+
+    def test_quoting(self, chain3_graph):
+        dot = task_graph_to_dot(chain3_graph)
+        # All node ids are quoted (dots in names need it).
+        assert '"t2.s2"' in dot
+
+
+class TestDesignDot:
+    def test_partitions_as_clusters(self, forced_spec):
+        design = solved_design(forced_spec)
+        dot = design_to_dot(design)
+        assert dot.count("subgraph cluster_p") == 3
+        assert "bgcolor=lightblue" in dot
+
+    def test_crossing_edges_red(self, forced_spec):
+        design = solved_design(forced_spec)
+        dot = design_to_dot(design)
+        assert "color=red" in dot
+
+    def test_steps_and_fus_annotated(self, forced_spec):
+        design = solved_design(forced_spec)
+        dot = design_to_dot(design)
+        placement = design.schedule.placement("t2.m1")
+        assert f"s{placement.step} {placement.fu}" in dot
+
+    def test_same_partition_edges_not_red(self, chain3_spec):
+        design = solved_design(chain3_spec)  # roomy: single partition
+        dot = design_to_dot(design)
+        assert "color=red" not in dot

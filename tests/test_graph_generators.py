@@ -1,0 +1,125 @@
+"""Tests for random task-graph generators, incl. property-based checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecificationError
+from repro.graph.analysis import topological_tasks
+from repro.graph.generators import (
+    PAPER_GRAPH_SPECS,
+    RandomGraphConfig,
+    layered_task_graph,
+    paper_graph,
+    paper_graph_config,
+    random_task_graph,
+)
+from repro.graph.io import task_graph_to_dict
+
+
+class TestConfigValidation:
+    def test_rejects_more_tasks_than_ops(self):
+        with pytest.raises(SpecificationError, match="n_ops"):
+            RandomGraphConfig(n_tasks=5, n_ops=3)
+
+    def test_rejects_zero_tasks(self):
+        with pytest.raises(SpecificationError, match="n_tasks"):
+            RandomGraphConfig(n_tasks=0, n_ops=3)
+
+    def test_rejects_bad_bandwidth_range(self):
+        with pytest.raises(SpecificationError, match="bandwidth_range"):
+            RandomGraphConfig(n_tasks=2, n_ops=4, bandwidth_range=(3, 1))
+
+    def test_rejects_bad_cluster_skew(self):
+        with pytest.raises(SpecificationError, match="cluster_skew"):
+            RandomGraphConfig(n_tasks=2, n_ops=4, cluster_skew=1.0)
+
+
+class TestRandomTaskGraph:
+    def test_exact_counts(self):
+        config = RandomGraphConfig(n_tasks=4, n_ops=17, seed=3)
+        graph = random_task_graph(config)
+        assert len(graph.tasks) == 4
+        assert graph.num_operations == 17
+
+    def test_deterministic(self):
+        config = RandomGraphConfig(n_tasks=4, n_ops=17, seed=3)
+        a = task_graph_to_dict(random_task_graph(config))
+        b = task_graph_to_dict(random_task_graph(config))
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        base = RandomGraphConfig(n_tasks=4, n_ops=17, seed=3)
+        other = RandomGraphConfig(n_tasks=4, n_ops=17, seed=4)
+        assert task_graph_to_dict(random_task_graph(base)) != task_graph_to_dict(
+            random_task_graph(other)
+        )
+
+    def test_every_nonroot_task_has_predecessor(self):
+        config = RandomGraphConfig(n_tasks=6, n_ops=20, seed=9)
+        graph = random_task_graph(config)
+        order = topological_tasks(graph)
+        roots = [t for t in graph.task_names if not graph.predecessors(t)]
+        assert roots == [order[0]]
+
+    @given(
+        n_tasks=st.integers(1, 6),
+        extra_ops=st.integers(0, 18),
+        seed=st.integers(0, 1_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_valid_dag(self, n_tasks, extra_ops, seed):
+        config = RandomGraphConfig(
+            n_tasks=n_tasks, n_ops=n_tasks + extra_ops, seed=seed
+        )
+        graph = random_task_graph(config)
+        graph.validate()  # raises on any cycle/empty-task problem
+        assert graph.num_operations == n_tasks + extra_ops
+        # Topological order exists and covers every task.
+        assert len(topological_tasks(graph)) == n_tasks
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_property_cluster_skew_keeps_counts(self, seed):
+        config = RandomGraphConfig(
+            n_tasks=5, n_ops=22, seed=seed, cluster_skew=0.6
+        )
+        graph = random_task_graph(config)
+        assert graph.num_operations == 22
+        graph.validate()
+
+
+class TestPaperGraphs:
+    @pytest.mark.parametrize("number", list(PAPER_GRAPH_SPECS))
+    def test_published_sizes(self, number):
+        n_tasks, n_ops, _ = PAPER_GRAPH_SPECS[number]
+        graph = paper_graph(number)
+        assert len(graph.tasks) == n_tasks
+        assert graph.num_operations == n_ops
+        assert graph.name == f"graph{number}"
+
+    def test_unknown_number(self):
+        with pytest.raises(SpecificationError, match="1..6"):
+            paper_graph(7)
+
+    def test_config_accessible(self):
+        config = paper_graph_config(1)
+        assert config.n_tasks == 5
+        assert config.cluster_skew > 0
+
+
+class TestLayeredGraph:
+    def test_shape(self):
+        graph = layered_task_graph(3, 2, 4, seed=1)
+        assert len(graph.tasks) == 6
+        assert graph.num_operations == 24
+        # Every layer>0 task has exactly one predecessor.
+        for name in graph.task_names:
+            if name.startswith("l1"):
+                assert graph.predecessors(name) == ()
+            else:
+                assert len(graph.predecessors(name)) == 1
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(SpecificationError):
+            layered_task_graph(0, 2, 2)

@@ -1,0 +1,105 @@
+"""Unit tests for the operation vocabulary."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.graph.operations import (
+    COMMUTATIVE_TYPES,
+    Operation,
+    OpType,
+    make_operation,
+    parse_qualified,
+)
+
+
+class TestOpType:
+    def test_from_string_value(self):
+        assert OpType.from_string("add") is OpType.ADD
+
+    def test_from_string_name(self):
+        assert OpType.from_string("MUL") is OpType.MUL
+
+    def test_from_string_mixed_case(self):
+        assert OpType.from_string("Sub") is OpType.SUB
+
+    def test_from_string_strips_whitespace(self):
+        assert OpType.from_string("  cmp ") is OpType.CMP
+
+    def test_from_string_unknown(self):
+        with pytest.raises(SpecificationError, match="unknown operation type"):
+            OpType.from_string("frobnicate")
+
+    def test_str_is_value(self):
+        assert str(OpType.SHIFT) == "shift"
+
+    def test_commutative_set(self):
+        assert OpType.ADD in COMMUTATIVE_TYPES
+        assert OpType.SUB not in COMMUTATIVE_TYPES
+
+
+class TestOperation:
+    def test_basic_construction(self):
+        op = Operation("o1", OpType.ADD)
+        assert op.name == "o1"
+        assert op.width == 16
+
+    def test_qualified(self):
+        assert Operation("o1", OpType.ADD).qualified("t1") == "t1.o1"
+
+    def test_rejects_dot_in_name(self):
+        with pytest.raises(SpecificationError, match="may not contain"):
+            Operation("a.b", OpType.ADD)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SpecificationError):
+            Operation("", OpType.ADD)
+
+    def test_rejects_whitespace_name(self):
+        with pytest.raises(SpecificationError):
+            Operation("a b", OpType.ADD)
+
+    def test_rejects_non_optype(self):
+        with pytest.raises(SpecificationError, match="optype"):
+            Operation("o1", "add")  # type: ignore[arg-type]
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(SpecificationError, match="width"):
+            Operation("o1", OpType.ADD, width=0)
+
+    def test_rejects_bool_width(self):
+        with pytest.raises(SpecificationError, match="width"):
+            Operation("o1", OpType.ADD, width=True)
+
+    def test_frozen(self):
+        op = Operation("o1", OpType.ADD)
+        with pytest.raises(AttributeError):
+            op.name = "o2"  # type: ignore[misc]
+
+
+class TestMakeOperation:
+    def test_string_optype(self):
+        assert make_operation("o1", "mul").optype is OpType.MUL
+
+    def test_enum_optype_passthrough(self):
+        assert make_operation("o1", OpType.DIV).optype is OpType.DIV
+
+    def test_attrs_copied(self):
+        attrs = {"line": 12}
+        op = make_operation("o1", "add", attrs=attrs)
+        assert op.attrs == {"line": 12}
+        attrs["line"] = 99
+        assert op.attrs["line"] == 12
+
+
+class TestParseQualified:
+    def test_roundtrip(self):
+        assert parse_qualified("t1.o2") == ("t1", "o2")
+
+    @pytest.mark.parametrize("bad", ["t1", "t1.", ".o1", "a.b.c", ""])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(SpecificationError):
+            parse_qualified(bad)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(SpecificationError):
+            parse_qualified(42)  # type: ignore[arg-type]

@@ -1,0 +1,119 @@
+"""Tests for standard HLS benchmarks and JSON (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.graph.analysis import critical_path_length
+from repro.graph.generators import paper_graph
+from repro.graph.io import (
+    load_task_graph,
+    save_task_graph,
+    task_graph_from_dict,
+    task_graph_to_dict,
+)
+from repro.graph.operations import OpType
+from repro.graph.standard import (
+    ar_lattice,
+    elliptic_wave_filter,
+    fir_filter,
+    hal_diffeq,
+)
+
+
+def type_histogram(graph):
+    counts = {}
+    for _, op in graph.all_operations():
+        counts[op.optype] = counts.get(op.optype, 0) + 1
+    return counts
+
+
+class TestStandardBenchmarks:
+    def test_hal_profile(self):
+        graph = hal_diffeq()
+        counts = type_histogram(graph)
+        assert graph.num_operations == 11
+        assert counts[OpType.MUL] == 6
+        assert counts[OpType.ADD] == 2
+        assert counts[OpType.SUB] == 2
+        assert counts[OpType.CMP] == 1
+        assert critical_path_length(graph) == 4
+
+    def test_ewf_profile(self):
+        graph = elliptic_wave_filter()
+        counts = type_histogram(graph)
+        assert graph.num_operations == 34
+        assert counts[OpType.ADD] == 26
+        assert counts[OpType.MUL] == 8
+        # Realistic depth with genuine parallelism (not a chain).
+        assert 12 <= critical_path_length(graph) <= 20
+
+    def test_fir_profile(self):
+        graph = fir_filter(taps=16)
+        counts = type_histogram(graph)
+        assert counts[OpType.MUL] == 16
+        assert counts[OpType.ADD] == 15
+        # Adder-tree depth: 1 (mul) + ceil(log2(16)) = 5.
+        assert critical_path_length(graph) == 5
+
+    def test_fir_odd_taps(self):
+        graph = fir_filter(taps=5)
+        counts = type_histogram(graph)
+        assert counts[OpType.MUL] == 5
+        assert counts[OpType.ADD] == 4
+
+    def test_ar_profile(self):
+        graph = ar_lattice()
+        counts = type_histogram(graph)
+        assert graph.num_operations == 28
+        assert counts[OpType.MUL] == 16
+        assert counts[OpType.ADD] == 12
+
+    @pytest.mark.parametrize("n_tasks", [1, 2, 5, 11])
+    def test_hal_clustering_counts(self, n_tasks):
+        graph = hal_diffeq(n_tasks=n_tasks)
+        assert len(graph.tasks) == n_tasks
+        assert graph.num_operations == 11
+        graph.validate()
+
+    def test_too_many_tasks_rejected(self):
+        with pytest.raises(SpecificationError, match="cannot split"):
+            hal_diffeq(n_tasks=12)
+
+    def test_fir_needs_two_taps(self):
+        with pytest.raises(SpecificationError, match="at least 2"):
+            fir_filter(taps=1)
+
+
+class TestIO:
+    def test_roundtrip_fixture(self, chain3_graph):
+        data = task_graph_to_dict(chain3_graph)
+        restored = task_graph_from_dict(data)
+        assert task_graph_to_dict(restored) == data
+
+    def test_roundtrip_paper_graph(self):
+        graph = paper_graph(1)
+        data = task_graph_to_dict(graph)
+        restored = task_graph_from_dict(data)
+        assert task_graph_to_dict(restored) == data
+        assert restored.num_operations == graph.num_operations
+
+    def test_roundtrip_is_json_serializable(self, diamond_graph):
+        text = json.dumps(task_graph_to_dict(diamond_graph))
+        restored = task_graph_from_dict(json.loads(text))
+        assert restored.bandwidth("src", "right") == 4
+
+    def test_file_roundtrip(self, tmp_path, chain3_graph):
+        path = tmp_path / "g.json"
+        save_task_graph(chain3_graph, path)
+        restored = load_task_graph(path)
+        assert task_graph_to_dict(restored) == task_graph_to_dict(chain3_graph)
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(SpecificationError, match="schema version"):
+            task_graph_from_dict({"version": 99, "tasks": []})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(SpecificationError, match="must be a dict"):
+            task_graph_from_dict([1, 2])  # type: ignore[arg-type]

@@ -1,0 +1,160 @@
+"""Unit tests for tasks, data edges and task graphs."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.graph.operations import Operation, OpType
+from repro.graph.taskgraph import DataEdge, Task, TaskGraph
+
+
+def two_op_task(name="t1"):
+    task = Task(name)
+    task.add_operation(Operation("o1", OpType.ADD))
+    task.add_operation(Operation("o2", OpType.MUL))
+    return task
+
+
+class TestTask:
+    def test_add_and_lookup(self):
+        task = two_op_task()
+        assert task.operation("o1").optype is OpType.ADD
+        assert len(task) == 2
+        assert task.op_names == ("o1", "o2")
+
+    def test_duplicate_operation_rejected(self):
+        task = two_op_task()
+        with pytest.raises(SpecificationError, match="already has"):
+            task.add_operation(Operation("o1", OpType.SUB))
+
+    def test_edge_requires_existing_ops(self):
+        task = two_op_task()
+        with pytest.raises(SpecificationError, match="no operation"):
+            task.add_edge("o1", "nope")
+
+    def test_self_edge_rejected(self):
+        task = two_op_task()
+        with pytest.raises(SpecificationError, match="self-dependency"):
+            task.add_edge("o1", "o1")
+
+    def test_edges_sorted(self):
+        task = two_op_task()
+        task.add_edge("o1", "o2")
+        assert task.edges == (("o1", "o2"),)
+
+    def test_dot_in_task_name_rejected(self):
+        with pytest.raises(SpecificationError, match="may not contain"):
+            Task("a.b")
+
+    def test_unknown_operation_lookup(self):
+        with pytest.raises(SpecificationError, match="no operation"):
+            two_op_task().operation("zzz")
+
+
+class TestDataEdge:
+    def test_same_task_rejected(self):
+        with pytest.raises(SpecificationError, match="different tasks"):
+            DataEdge("t1", "o1", "t1", "o2")
+
+    def test_nonpositive_width_rejected(self):
+        with pytest.raises(SpecificationError, match="positive"):
+            DataEdge("t1", "o1", "t2", "o1", width=0)
+
+    def test_task_pair(self):
+        edge = DataEdge("t1", "o1", "t2", "o1", width=3)
+        assert edge.task_pair == ("t1", "t2")
+
+
+class TestTaskGraph:
+    def make_graph(self):
+        graph = TaskGraph("g")
+        graph.add_task(two_op_task("t1"))
+        graph.add_task(two_op_task("t2"))
+        graph.add_data_edge("t1", "o2", "t2", "o1", width=2)
+        return graph
+
+    def test_duplicate_task_rejected(self):
+        graph = TaskGraph("g")
+        graph.add_task(two_op_task("t1"))
+        with pytest.raises(SpecificationError, match="duplicate task"):
+            graph.add_task(two_op_task("t1"))
+
+    def test_add_task_by_name(self):
+        graph = TaskGraph("g")
+        task = graph.add_task("t9")
+        assert isinstance(task, Task)
+        assert graph.has_task("t9")
+
+    def test_data_edge_validates_endpoints(self):
+        graph = self.make_graph()
+        with pytest.raises(SpecificationError, match="unknown task"):
+            graph.add_data_edge("zz", "o1", "t2", "o1")
+        with pytest.raises(SpecificationError, match="no operation"):
+            graph.add_data_edge("t1", "zz", "t2", "o1")
+
+    def test_bandwidth_sums_parallel_edges(self):
+        graph = self.make_graph()
+        graph.add_data_edge("t1", "o1", "t2", "o2", width=3)
+        assert graph.bandwidth("t1", "t2") == 5
+        assert graph.bandwidth("t2", "t1") == 0
+
+    def test_task_edges_deduplicated(self):
+        graph = self.make_graph()
+        graph.add_data_edge("t1", "o1", "t2", "o2", width=3)
+        assert graph.task_edges() == (("t1", "t2"),)
+
+    def test_predecessors_successors(self):
+        graph = self.make_graph()
+        assert graph.predecessors("t2") == ("t1",)
+        assert graph.successors("t1") == ("t2",)
+        assert graph.predecessors("t1") == ()
+
+    def test_num_operations(self):
+        assert self.make_graph().num_operations == 4
+
+    def test_total_bandwidth(self):
+        assert self.make_graph().total_bandwidth() == 2
+
+    def test_op_types_used(self):
+        assert self.make_graph().op_types_used() == {OpType.ADD, OpType.MUL}
+
+    def test_validate_empty_graph(self):
+        with pytest.raises(SpecificationError, match="no tasks"):
+            TaskGraph("g").validate()
+
+    def test_validate_empty_task(self):
+        graph = TaskGraph("g")
+        graph.add_task(Task("t1"))
+        with pytest.raises(SpecificationError, match="no operations"):
+            graph.validate()
+
+    def test_validate_task_cycle(self):
+        graph = TaskGraph("g")
+        graph.add_task(two_op_task("t1"))
+        graph.add_task(two_op_task("t2"))
+        graph.add_data_edge("t1", "o2", "t2", "o1")
+        graph.add_data_edge("t2", "o2", "t1", "o1")
+        with pytest.raises(SpecificationError, match="cycle"):
+            graph.validate()
+
+    def test_validate_op_cycle_through_tasks(self):
+        # Task-level DAG is fine only if op-level combined graph is too;
+        # here t1.o1 -> t2.o1 -> t1.o2 with t1.o2 -> t1.o1 forms a cycle.
+        graph = TaskGraph("g")
+        t1 = two_op_task("t1")
+        t1.add_edge("o2", "o1")
+        graph.add_task(t1)
+        graph.add_task(two_op_task("t2"))
+        graph.add_data_edge("t1", "o1", "t2", "o1")
+        graph.add_data_edge("t2", "o1", "t1", "o2")
+        with pytest.raises(SpecificationError, match="cycle"):
+            graph.validate()
+
+    def test_all_operations_order(self):
+        graph = self.make_graph()
+        ids = [op.qualified(t) for t, op in graph.all_operations()]
+        assert ids == ["t1.o1", "t1.o2", "t2.o1", "t2.o2"]
+
+    def test_fixture_graphs_validate(self, chain3_graph, diamond_graph):
+        # Fixtures are built via the builder, which validates; re-validate.
+        chain3_graph.validate()
+        diamond_graph.validate()

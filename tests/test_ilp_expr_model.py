@@ -1,0 +1,170 @@
+"""Tests for the linear-expression algebra and the Model container."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ilp.expr import LinExpr, lin_sum
+from repro.ilp.model import Constraint, Model, Sense
+
+
+@pytest.fixture
+def model():
+    return Model("m")
+
+
+class TestExprAlgebra:
+    def test_var_addition(self, model):
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        expr = x + y
+        assert expr.coeffs == {0: 1.0, 1: 1.0}
+
+    def test_scalar_multiplication(self, model):
+        x = model.add_binary("x")
+        expr = 3 * x
+        assert expr.coeffs == {0: 3.0}
+        assert (x * 3).coeffs == {0: 3.0}
+
+    def test_subtraction_and_negation(self, model):
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        expr = x - 2 * y
+        assert expr.coeffs == {0: 1.0, 1: -2.0}
+        assert (-expr).coeffs == {0: -1.0, 1: 2.0}
+
+    def test_constants_fold(self, model):
+        x = model.add_binary("x")
+        expr = x + 5 - 2
+        assert expr.constant == 3.0
+
+    def test_rsub(self, model):
+        x = model.add_binary("x")
+        expr = 1 - x
+        assert expr.coeffs == {0: -1.0}
+        assert expr.constant == 1.0
+
+    def test_var_times_var_rejected(self, model):
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        with pytest.raises(ModelError, match="linearized"):
+            _ = x.to_expr() * y.to_expr()  # type: ignore[operator]
+
+    def test_lin_sum_accumulates(self, model):
+        xs = [model.add_binary(f"x{i}") for i in range(4)]
+        expr = lin_sum([*xs, xs[0], 2.5])
+        assert expr.coeffs[xs[0].index] == 2.0
+        assert expr.constant == 2.5
+
+    def test_lin_sum_rejects_junk(self):
+        with pytest.raises(ModelError, match="cannot sum"):
+            lin_sum(["hello"])  # type: ignore[list-item]
+
+    def test_value_evaluation(self, model):
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        expr = 2 * x - y + 1
+        assert expr.value({0: 1.0, 1: 0.5}) == 2.5
+
+    def test_terms_sorted_nonzero(self, model):
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        expr = 0 * x + 2 * y
+        assert list(expr.terms()) == [(1, 2.0)]
+
+
+class TestComparisons:
+    def test_le_builds_constraint(self, model):
+        x = model.add_binary("x")
+        c = x + 1 <= 3
+        assert isinstance(c, Constraint)
+        assert c.sense is Sense.LE
+        assert c.rhs == 2.0  # constant moved to rhs
+        assert c.expr.constant == 0.0
+
+    def test_ge_builds_constraint(self, model):
+        x = model.add_binary("x")
+        c = x >= 1
+        assert c.sense is Sense.GE
+        assert c.rhs == 1.0
+
+    def test_eq_builds_constraint(self, model):
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        c = x + y == 1
+        assert c.sense is Sense.EQ
+
+    def test_expr_vs_expr(self, model):
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        c = x + 1 <= y
+        assert c.expr.coeffs == {0: 1.0, 1: -1.0}
+        assert c.rhs == -1.0
+
+    def test_is_satisfied(self, model):
+        x = model.add_binary("x")
+        c = x <= 1
+        assert c.is_satisfied({0: 1.0})
+        assert not c.is_satisfied({0: 1.1})
+
+
+class TestModel:
+    def test_duplicate_var_name(self, model):
+        model.add_binary("x")
+        with pytest.raises(ModelError, match="duplicate"):
+            model.add_binary("x")
+
+    def test_bad_bounds(self, model):
+        with pytest.raises(ModelError, match="lb"):
+            model.add_var("x", lb=2, ub=1)
+
+    def test_var_by_name(self, model):
+        x = model.add_binary("x")
+        assert model.var_by_name("x") is x
+        with pytest.raises(ModelError, match="no variable"):
+            model.var_by_name("y")
+
+    def test_counts(self, model):
+        model.add_binary("x")
+        model.add_continuous01("z")
+        assert model.num_vars == 2
+        assert model.num_integer_vars == 1
+        assert model.integer_indices() == [0]
+
+    def test_add_requires_constraint(self, model):
+        with pytest.raises(ModelError, match="expected Constraint"):
+            model.add("not a constraint")  # type: ignore[arg-type]
+
+    def test_constraint_tags_counted(self, model):
+        x = model.add_binary("x")
+        model.add(x <= 1, tag="fam")
+        model.add(x >= 0, tag="fam")
+        assert model.constraint_counts_by_tag() == {"fam": 2}
+
+    def test_objective_set_once(self, model):
+        x = model.add_binary("x")
+        model.set_objective(x + 0)
+        with pytest.raises(ModelError, match="already set"):
+            model.set_objective(x + 0)
+
+    def test_objective_accepts_var(self, model):
+        x = model.add_binary("x")
+        model.set_objective(x)
+        assert model.objective.coeffs == {0: 1.0}
+
+    def test_check_feasible_reports_violations(self, model):
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        model.add(x + y <= 1, name="cap")
+        violated = model.check_feasible({0: 1.0, 1: 1.0})
+        assert [c.name for c in violated] == ["cap"]
+
+    def test_check_feasible_bounds_and_integrality(self, model):
+        x = model.add_binary("x")
+        violated = model.check_feasible({0: 1.5})
+        assert any("bounds" in c.name for c in violated)
+        violated = model.check_feasible({0: 0.5})
+        assert any("integrality" in c.name for c in violated)
+
+    def test_stats(self, model):
+        model.add_binary("x")
+        assert model.stats()["vars"] == 1

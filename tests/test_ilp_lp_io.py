@@ -1,0 +1,61 @@
+"""Tests for LP-format export."""
+
+from repro.ilp.lp_io import write_lp_format
+from repro.ilp.model import Model
+
+
+def small_model():
+    model = Model("demo")
+    x = model.add_binary("x")
+    y = model.add_binary("y")
+    t = model.add_var("t", 0.0, 5.0)
+    model.add(x + 2 * y <= 2, name="cap")
+    model.add(x - y >= 0)
+    model.add(x + y == 1, name="pick")
+    model.add(t <= 3)
+    model.set_objective(3 * x + t)
+    return model
+
+
+class TestLPFormat:
+    def test_sections_present(self):
+        text = write_lp_format(small_model())
+        for section in ("Minimize", "Subject To", "Bounds", "Binaries", "End"):
+            assert section in text
+
+    def test_objective_rendered(self):
+        text = write_lp_format(small_model())
+        assert "+ 3 x" in text
+        assert "+ t" in text
+
+    def test_named_and_autonamed_constraints(self):
+        text = write_lp_format(small_model())
+        assert " cap:" in text
+        assert " pick:" in text
+        assert " c2:" in text  # the unnamed >= row
+
+    def test_senses(self):
+        text = write_lp_format(small_model())
+        assert "<= 2" in text
+        assert ">= 0" in text
+        assert "= 1" in text
+
+    def test_nondefault_bounds_rendered(self):
+        text = write_lp_format(small_model())
+        assert "0 <= t <= 5" in text
+
+    def test_binaries_listed(self):
+        text = write_lp_format(small_model())
+        binaries_idx = text.index("Binaries")
+        assert "x y" in text[binaries_idx:]
+
+    def test_file_written(self, tmp_path):
+        path = tmp_path / "model.lp"
+        text = write_lp_format(small_model(), path)
+        assert path.read_text() == text
+
+    def test_empty_objective(self):
+        model = Model("m")
+        model.add_binary("x")
+        text = write_lp_format(model)
+        assert "obj: 0" in text

@@ -1,0 +1,95 @@
+"""Tests for SOS1 group metadata and its branch-and-bound propagation."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig
+from repro.ilp.expr import lin_sum
+from repro.ilp.model import Model
+from repro.ilp.solution import SolveStatus
+
+
+def exactly_one_model(n: int = 4):
+    """Pick exactly one of n items, maximizing a weighted value."""
+    model = Model("pick")
+    xs = [model.add_binary(f"x{i}", branch_group=0, branch_key=(i,)) for i in range(n)]
+    model.add(lin_sum(xs) == 1)
+    model.add_sos1_group(xs)
+    model.set_objective(lin_sum((-(i + 1)) * x for i, x in enumerate(xs)))
+    return model, xs
+
+
+class TestSOS1Metadata:
+    def test_groups_recorded(self):
+        model, xs = exactly_one_model()
+        assert model.sos1_groups == (tuple(x.index for x in xs),)
+
+    def test_single_member_group_ignored(self):
+        model = Model("m")
+        x = model.add_binary("x")
+        model.add_sos1_group([x])
+        assert model.sos1_groups == ()
+
+    def test_foreign_variable_rejected(self):
+        model = Model("m")
+        other = Model("o")
+        x = model.add_binary("x")
+        y = other.add_binary("y")
+        y.index = 99  # simulate foreign index
+        with pytest.raises(ModelError, match="this model's variables"):
+            model.add_sos1_group([x, y])
+
+
+class TestSOS1Propagation:
+    @pytest.mark.parametrize("propagate", [False, True])
+    def test_same_optimum_either_way(self, propagate):
+        model, xs = exactly_one_model()
+        config = BranchAndBoundConfig(
+            objective_is_integral=True, propagate_sos1=propagate
+        )
+        result = BranchAndBound(model, config=config).solve()
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(-4.0)
+        assert result.values[xs[-1].index] == 1.0
+
+    def test_propagation_with_harder_model(self):
+        # Two exclusive groups linked by a constraint; propagation must
+        # not change the optimum, only speed the search.
+        model = Model("two-groups")
+        a = [model.add_binary(f"a{i}") for i in range(3)]
+        b = [model.add_binary(f"b{i}") for i in range(3)]
+        model.add(lin_sum(a) == 1)
+        model.add(lin_sum(b) == 1)
+        model.add_sos1_group(a)
+        model.add_sos1_group(b)
+        # Forbid matching indices.
+        for i in range(3):
+            model.add(a[i] + b[i] <= 1)
+        model.set_objective(
+            lin_sum((-(i + 1)) * v for i, v in enumerate(a))
+            + lin_sum((-2 * (i + 1)) * v for i, v in enumerate(b))
+        )
+        plain = BranchAndBound(
+            model, config=BranchAndBoundConfig(objective_is_integral=True)
+        ).solve()
+        model2 = Model("two-groups")
+        a = [model2.add_binary(f"a{i}") for i in range(3)]
+        b = [model2.add_binary(f"b{i}") for i in range(3)]
+        model2.add(lin_sum(a) == 1)
+        model2.add(lin_sum(b) == 1)
+        model2.add_sos1_group(a)
+        model2.add_sos1_group(b)
+        for i in range(3):
+            model2.add(a[i] + b[i] <= 1)
+        model2.set_objective(
+            lin_sum((-(i + 1)) * v for i, v in enumerate(a))
+            + lin_sum((-2 * (i + 1)) * v for i, v in enumerate(b))
+        )
+        propagated = BranchAndBound(
+            model2,
+            config=BranchAndBoundConfig(
+                objective_is_integral=True, propagate_sos1=True
+            ),
+        ).solve()
+        # Optimum: b2 (value 6) + a1 (value 2) -> -8.
+        assert plain.objective == propagated.objective == pytest.approx(-8.0)

@@ -1,0 +1,153 @@
+"""Tests for FU models, libraries, allocations and the mix notation."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.graph.operations import OpType
+from repro.library.catalogs import MIX_LETTERS, default_library, mix_from_string
+from repro.library.components import (
+    Allocation,
+    ComponentLibrary,
+    FUInstance,
+    FUModel,
+)
+
+
+def adder():
+    return FUModel("add16", frozenset({OpType.ADD}), 18, 24.0)
+
+
+class TestFUModel:
+    def test_executes(self):
+        assert adder().executes(OpType.ADD)
+        assert not adder().executes(OpType.MUL)
+
+    def test_rejects_empty_optypes(self):
+        with pytest.raises(LibraryError, match="no operation types"):
+            FUModel("bad", frozenset(), 10)
+
+    def test_rejects_nonpositive_cost(self):
+        with pytest.raises(LibraryError, match="fg_cost"):
+            FUModel("bad", frozenset({OpType.ADD}), 0)
+
+    def test_rejects_bad_latency(self):
+        with pytest.raises(LibraryError, match="latency"):
+            FUModel("bad", frozenset({OpType.ADD}), 10, latency=0)
+
+    def test_rejects_non_optype_entries(self):
+        with pytest.raises(LibraryError, match="non-OpType"):
+            FUModel("bad", frozenset({"add"}), 10)  # type: ignore[arg-type]
+
+
+class TestComponentLibrary:
+    def test_add_and_lookup(self):
+        lib = ComponentLibrary("lib")
+        lib.add_model(adder())
+        assert lib.model("add16").fg_cost == 18
+
+    def test_identical_redefinition_ok(self):
+        lib = ComponentLibrary("lib")
+        lib.add_model(adder())
+        lib.add_model(adder())
+        assert len(lib.models) == 1
+
+    def test_conflicting_redefinition_rejected(self):
+        lib = ComponentLibrary("lib")
+        lib.add_model(adder())
+        with pytest.raises(LibraryError, match="redefined"):
+            lib.add_model(FUModel("add16", frozenset({OpType.ADD}), 20, 24.0))
+
+    def test_models_for(self):
+        lib = default_library()
+        names = {m.name for m in lib.models_for(OpType.ADD)}
+        assert names == {"add16", "alu16"}
+
+    def test_cheapest_model_for(self):
+        lib = default_library()
+        assert lib.cheapest_model_for(OpType.ADD).name == "add16"
+        assert lib.cheapest_model_for(OpType.CMP).name == "cmp16"
+
+    def test_cheapest_model_missing(self):
+        lib = ComponentLibrary("lib")
+        lib.add_model(adder())
+        with pytest.raises(LibraryError, match="no FU model executing"):
+            lib.cheapest_model_for(OpType.DIV)
+
+    def test_covers(self):
+        lib = default_library()
+        assert lib.covers({OpType.ADD, OpType.MUL, OpType.DIV})
+
+    def test_unknown_model(self):
+        with pytest.raises(LibraryError, match="no FU model"):
+            default_library().model("nonexistent")
+
+
+class TestAllocation:
+    def test_from_counts_naming_and_order(self):
+        alloc = Allocation.from_counts(
+            default_library(), {"add16": 2, "mul16": 1}
+        )
+        assert alloc.names == ("add16_1", "add16_2", "mul16_1")
+
+    def test_rejects_empty(self):
+        with pytest.raises(LibraryError, match="at least one"):
+            Allocation([])
+
+    def test_rejects_duplicates(self):
+        fu = FUInstance("a", adder())
+        with pytest.raises(LibraryError, match="duplicate"):
+            Allocation([fu, FUInstance("a", adder())])
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(LibraryError, match=">= 1"):
+            Allocation.from_counts(default_library(), {"add16": 0})
+
+    def test_instances_for(self):
+        alloc = mix_from_string("2A+1M")
+        assert [f.name for f in alloc.instances_for(OpType.ADD)] == [
+            "add16_1",
+            "add16_2",
+        ]
+        assert [f.name for f in alloc.instances_for(OpType.MUL)] == ["mul16_1"]
+
+    def test_total_fg_cost(self):
+        alloc = mix_from_string("2A+1M")
+        assert alloc.total_fg_cost() == 18 + 18 + 176
+
+    def test_count_by_model(self):
+        alloc = mix_from_string("2A+2M+1S")
+        assert alloc.count_by_model() == {"add16": 2, "mul16": 2, "sub16": 1}
+
+    def test_covers(self):
+        alloc = mix_from_string("1A+1M")
+        assert alloc.covers({OpType.ADD, OpType.MUL})
+        assert not alloc.covers({OpType.DIV})
+
+    def test_instance_lookup(self):
+        alloc = mix_from_string("1A")
+        assert alloc.instance("add16_1").fg_cost == 18
+        with pytest.raises(LibraryError, match="no FU instance"):
+            alloc.instance("zzz")
+
+
+class TestMixNotation:
+    def test_paper_mixes(self):
+        for mix, size in [("2A+2M+1S", 5), ("3A+2M+2S", 7), ("2A+2M+2S", 6)]:
+            assert len(mix_from_string(mix)) == size
+
+    def test_letters_cover_known_models(self):
+        lib = default_library()
+        for model_name in MIX_LETTERS.values():
+            lib.model(model_name)  # raises if missing
+
+    def test_repeated_letter_accumulates(self):
+        alloc = mix_from_string("1A+1A")
+        assert alloc.count_by_model() == {"add16": 2}
+
+    @pytest.mark.parametrize("bad", ["", "2X", "A2", "2", "2A++1M", "0A"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(LibraryError):
+            mix_from_string(bad)
+
+    def test_lowercase_letter_ok(self):
+        assert mix_from_string("2a").count_by_model() == {"add16": 2}

@@ -1,0 +1,147 @@
+"""Regression tests for the two corrected printed equations.
+
+DESIGN.md documents two places where the paper's *printed* equations
+contradict its own semantics; these tests demonstrate both by building
+the literal variants and showing they break against ground truth,
+while the implemented (corrected) forms agree with brute force.
+
+1. **eq 23**: printed ``sum_t z[p,t,k] - u[p,k] <= 0``.  With two
+   co-resident tasks sharing an FU, both z's are 1, forcing
+   ``u >= 2`` — infeasible for a 0-1 variable, so feasible designs
+   would be rejected.  The parent non-linear eq 10 says the opposite
+   direction (``u <= sum``), which we implement.
+
+2. **eq 29**: printed range ``1 <= p <= p1`` would also forbid the
+   *legal* case "consumer exactly at the cut" (t2 at p1 is precisely
+   when the edge crosses cut p1); the paper's own Figure-4 case list
+   implies the strict range ``p < p1``, which we implement.
+"""
+
+import pytest
+
+from repro.graph.builders import TaskGraphBuilder
+from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig
+from repro.ilp.expr import lin_sum
+from repro.ilp.solution import SolveStatus
+from repro.core.bruteforce import brute_force_optimum
+from repro.core.formulation import build_model
+from repro.core.variables import build_variables
+from repro.core.constraints import partitioning, synthesis, combine, tightening
+from repro.core.objective import set_objective
+from repro.ilp.model import Model
+from repro.target.fpga import FPGADevice
+from tests.conftest import make_spec
+
+
+def shared_fu_spec():
+    """Two add-tasks that must share one adder in one partition."""
+    b = TaskGraphBuilder("share")
+    b.task("t1").op("a1", "add")
+    b.task("t2").op("a2", "add")
+    b.data_edge("t1.a1", "t2.a2", width=1)
+    return make_spec(b.build(), mix="1A", n_partitions=2, relaxation=2)
+
+
+class TestEq23Direction:
+    def test_implemented_direction_accepts_sharing(self):
+        spec = shared_fu_spec()
+        model, space = build_model(spec)
+        result = BranchAndBound(
+            model, config=BranchAndBoundConfig(objective_is_integral=True)
+        ).solve()
+        # Both tasks co-locate on partition 1 sharing adder -> cost 0.
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == 0
+
+    def test_literal_paper_direction_breaks(self):
+        """Adding the printed `sum z <= u` makes co-location infeasible."""
+        spec = shared_fu_spec()
+        model, space = build_model(spec)
+        k = "add16_1"
+        for p in spec.partitions:
+            z_terms = [
+                space.z[(p, task, k)]
+                for task in spec.task_order
+                if (p, task, k) in space.z
+            ]
+            model.add(lin_sum(z_terms) - space.u[(p, k)] <= 0)  # printed eq 23
+        result = BranchAndBound(
+            model, config=BranchAndBoundConfig(objective_is_integral=True)
+        ).solve()
+        # Ground truth says cost 0 (share one partition); the literal
+        # direction forbids u >= 2, so sharing one FU in one partition
+        # becomes impossible and the model must pay a split (or die).
+        truth = brute_force_optimum(spec)
+        assert truth is not None and truth[0] == 0
+        assert (
+            result.status is SolveStatus.INFEASIBLE
+            or result.objective > truth[0]
+        )
+
+
+class TestEq29Range:
+    def build_with_eq29_variant(self, spec, strict: bool):
+        """Full tightened model, with eq 29 in strict or literal range."""
+        model = Model("eq29-variant")
+        space = build_variables(model, spec)
+        partitioning.add_uniqueness(model, spec, space)
+        partitioning.add_temporal_order(model, spec, space)
+        partitioning.add_memory(model, spec, space)
+        tightening.add_tight_w_definition(model, spec, space)
+        tightening.add_w_source_cut(model, spec, space)
+        n = spec.n_partitions
+        for (t1, t2) in spec.task_edges:
+            for p1 in range(2, n + 1):
+                top = p1 if strict else p1 + 1  # literal includes p == p1
+                head = lin_sum(space.y[(t2, p)] for p in range(1, top))
+                model.add(space.w[(p1, t1, t2)] + head <= 1)
+        tightening.add_w_colocation_cut(model, spec, space)
+        synthesis.add_unique_assignment(model, spec, space)
+        synthesis.add_fu_exclusivity(model, spec, space)
+        synthesis.add_dependencies(model, spec, space)
+        combine.add_o_definition(model, spec, space)
+        combine.add_u_linkage(model, spec, space, "glover")
+        combine.add_resource_capacity(model, spec, space)
+        combine.add_control_step_activity(model, spec, space)
+        combine.add_step_partition_uniqueness(model, spec, space)
+        tightening.add_u_lift(model, spec, space)
+        set_objective(model, spec, space)
+        return model, space
+
+    def split_spec(self):
+        """Forced split: the edge *must* cross cut 2 with t2 at 2."""
+        b = TaskGraphBuilder("cross")
+        b.task("t1").op("a1", "add")
+        b.task("t2").op("m1", "mul")
+        b.data_edge("t1.a1", "t2.m1", width=3)
+        tight = FPGADevice("tight", capacity=125, alpha=0.7)
+        return make_spec(
+            b.build(), mix="1A+1M", device=tight,
+            memory_size=10, n_partitions=2, relaxation=1,
+        )
+
+    def test_strict_range_matches_bruteforce(self):
+        spec = self.split_spec()
+        truth = brute_force_optimum(spec)
+        assert truth == (3, {"t1": 1, "t2": 2})
+        model, _ = self.build_with_eq29_variant(spec, strict=True)
+        result = BranchAndBound(
+            model, config=BranchAndBoundConfig(objective_is_integral=True)
+        ).solve()
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == 3
+
+    def test_literal_range_contradicts(self):
+        """The printed range forces w=0 for a cut that IS crossed.
+
+        With t2 at partition p1 = 2 the edge legitimately crosses cut
+        2 (w must be 1 by eq 31), but literal eq 29 sums y[t2,1..2]
+        and forbids w = 1 -- the model goes infeasible even though a
+        feasible design exists.
+        """
+        spec = self.split_spec()
+        model, _ = self.build_with_eq29_variant(spec, strict=False)
+        result = BranchAndBound(
+            model, config=BranchAndBoundConfig(objective_is_integral=True)
+        ).solve()
+        assert result.status is SolveStatus.INFEASIBLE

@@ -1,0 +1,107 @@
+"""End-to-end property tests: random specs through every solver path.
+
+For randomly generated small task graphs (sizes where HiGHS is fast),
+the full pipeline must uphold:
+
+* production branch and bound (with accelerators) and HiGHS MILP agree
+  on feasibility and optimal cost;
+* decoded designs always pass the independent verifier;
+* the raw (1998-style) search agrees too when given enough time.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import RandomGraphConfig, random_task_graph
+from repro.ilp.solution import SolveStatus
+from repro.library.catalogs import mix_from_string
+from repro.target.fpga import FPGADevice
+from repro.target.memory import ScratchMemory
+from repro.core.partitioner import TemporalPartitioner
+from repro.core.spec import ProblemSpec
+from repro.core.verify import verify_design
+
+
+def tiny_graph(seed: int, n_tasks: int, n_ops: int):
+    config = RandomGraphConfig(
+        n_tasks=n_tasks,
+        n_ops=n_ops,
+        seed=seed,
+        cluster_skew=0.5,
+    )
+    return random_task_graph(config)
+
+
+def partitioner(backend: str, plain: bool = False) -> TemporalPartitioner:
+    return TemporalPartitioner(
+        device=FPGADevice("prop", capacity=150, alpha=0.7),
+        memory=ScratchMemory(12),
+        backend=backend,
+        time_limit_s=60,
+        plain_search=plain,
+    )
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    n_tasks=st.integers(2, 4),
+    extra=st.integers(0, 4),
+    n=st.integers(2, 3),
+    l=st.integers(1, 3),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_backends_agree_and_verify(seed, n_tasks, extra, n, l):
+    graph = tiny_graph(seed, n_tasks, n_tasks + extra)
+    bnb = partitioner("bnb").partition(
+        graph, "1A+1M+1S", n_partitions=n, relaxation=l
+    )
+    milp = partitioner("milp").partition(
+        graph, "1A+1M+1S", n_partitions=n, relaxation=l
+    )
+    assert bnb.status in (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE)
+    assert bnb.status == milp.status
+    if bnb.status is SolveStatus.OPTIMAL:
+        assert bnb.objective == pytest.approx(milp.objective)
+        verify_design(bnb.design, expected_objective=bnb.objective)
+        verify_design(milp.design, expected_objective=milp.objective)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_property_plain_search_agrees(seed):
+    graph = tiny_graph(seed, 3, 6)
+    fast = partitioner("bnb").partition(
+        graph, "1A+1M+1S", n_partitions=2, relaxation=2
+    )
+    plain = partitioner("bnb", plain=True).partition(
+        graph, "1A+1M+1S", n_partitions=2, relaxation=2
+    )
+    assert fast.status == plain.status
+    if fast.status is SolveStatus.OPTIMAL:
+        assert fast.objective == pytest.approx(plain.objective)
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    ms=st.integers(0, 8),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_memory_monotonicity(seed, ms):
+    """Shrinking Ms can only raise the optimal cost or kill feasibility."""
+    graph = tiny_graph(seed, 3, 5)
+
+    def solve(memory):
+        tp = TemporalPartitioner(
+            device=FPGADevice("prop", capacity=150, alpha=0.7),
+            memory=ScratchMemory(memory),
+            backend="milp",
+            time_limit_s=60,
+        )
+        return tp.partition(graph, "1A+1M+1S", n_partitions=3, relaxation=2)
+
+    small = solve(ms)
+    big = solve(ms + 5)
+    if small.feasible:
+        assert big.feasible
+        assert big.objective <= small.objective

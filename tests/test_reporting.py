@@ -1,0 +1,95 @@
+"""Tests for experiment definitions and table rendering."""
+
+import pytest
+
+from repro.reporting.experiments import (
+    EXPERIMENT_ROWS,
+    reference_device,
+    reference_memory,
+    run_row,
+    table_rows,
+)
+from repro.reporting.tables import format_table, render_rows
+
+
+class TestExperimentRows:
+    def test_all_tables_present(self):
+        for table in ("t1", "t2", "t3", "t4"):
+            assert table_rows(table)
+
+    def test_row_counts_match_paper(self):
+        assert len(table_rows("t1")) == 4
+        assert len(table_rows("t2")) == 4
+        assert len(table_rows("t3")) == 4
+        assert len(table_rows("t4")) == 9
+
+    def test_unknown_table(self):
+        with pytest.raises(ValueError, match="unknown table"):
+            table_rows("t9")
+
+    def test_keys_unique_within_table(self):
+        for table in ("t3", "t4"):
+            keys = [r.key for r in table_rows(table)]
+            assert len(keys) == len(set(keys))
+
+    def test_paper_values_recorded(self):
+        row = table_rows("t4")[0]
+        assert row.paper_vars == 230
+        assert row.paper_consts == 656
+        assert row.paper_runtime_s == pytest.approx(8.96)
+        assert row.paper_feasible is True
+
+    def test_timeout_rows_have_no_runtime(self):
+        t1 = table_rows("t1")
+        assert sum(1 for r in t1 if r.paper_runtime_s is None) == 3
+
+    def test_reference_platform(self):
+        dev = reference_device()
+        assert dev.capacity == 265
+        assert reference_memory().size == 25
+        # The deliberate regime: 2M+1A fits, the full 2A+2M+1S does not.
+        assert dev.fits(176 * 2 + 18)
+        assert not dev.fits(176 * 2 + 18 * 3)
+
+
+class TestRunRow:
+    def test_run_one_fast_row(self):
+        row = table_rows("t3")[0]  # graph1 N=3 L=0: small & infeasible
+        result = run_row(row, time_limit_s=60)
+        assert result["graph"] == 1
+        assert result["vars"] > 0
+        assert result["consts"] > 0
+        assert result["status"] in ("optimal", "infeasible", "timeout")
+        assert result["paper_feasible"] is False
+
+    def test_backend_override(self):
+        row = table_rows("t3")[0]
+        result = run_row(row, backend="milp", time_limit_s=60)
+        assert result["status"] in ("optimal", "infeasible", "timeout")
+
+
+class TestTables:
+    def test_format_alignment(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_render_rows_formats_values(self):
+        rows = [
+            {"graph": 1, "N": 3, "feasible": True, "runtime_s": 1.234},
+            {"graph": 2, "N": 2, "feasible": None, "runtime_s": None},
+        ]
+        text = render_rows(rows, title="Demo")
+        assert "Demo" in text
+        assert "Yes" in text
+        assert "1.23" in text
+        assert "-" in text  # None rendering
+
+    def test_render_rows_empty(self):
+        assert "(no rows)" in render_rows([])
+
+    def test_render_rows_explicit_columns(self):
+        rows = [{"x": 1, "y": 2}]
+        text = render_rows(rows, columns=["y"])
+        assert "y" in text and "x" not in text

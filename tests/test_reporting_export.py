@@ -1,0 +1,79 @@
+"""Tests for CSV/JSON export of rows and designs."""
+
+import csv
+import json
+
+from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig
+from repro.core.decode import decode_solution
+from repro.core.formulation import build_model
+from repro.reporting.export import (
+    design_to_dict,
+    rows_to_csv,
+    rows_to_json,
+    save_design,
+)
+
+
+def make_design(spec):
+    model, space = build_model(spec)
+    result = BranchAndBound(
+        model, config=BranchAndBoundConfig(objective_is_integral=True)
+    ).solve()
+    return decode_solution(spec, space, result)
+
+
+class TestRowExport:
+    ROWS = [
+        {"graph": 1, "N": 3, "status": "optimal", "objective": 2},
+        {"graph": 2, "N": 4, "status": "infeasible", "objective": None},
+    ]
+
+    def test_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        rows_to_csv(self.ROWS, path)
+        with open(path) as handle:
+            back = list(csv.DictReader(handle))
+        assert back[0]["graph"] == "1"
+        assert back[1]["objective"] == ""
+
+    def test_csv_column_selection(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        rows_to_csv(self.ROWS, path, columns=["status"])
+        header = path.read_text().splitlines()[0]
+        assert header == "status"
+
+    def test_csv_heterogeneous_rows(self, tmp_path):
+        rows = [{"a": 1}, {"b": 2}]
+        path = tmp_path / "rows.csv"
+        rows_to_csv(rows, path)
+        header = path.read_text().splitlines()[0]
+        assert header == "a,b"
+
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "rows.json"
+        rows_to_json(self.ROWS, path)
+        assert json.loads(path.read_text())[0]["objective"] == 2
+
+
+class TestDesignExport:
+    def test_design_dict_structure(self, forced_spec):
+        design = make_design(forced_spec)
+        data = design_to_dict(design)
+        assert data["communication_cost"] == 7
+        assert data["partitions_used"] == 3
+        assert set(data["assignment"]) == {"t1", "t2", "t3"}
+        first = data["partitions"][0]
+        assert set(first) >= {"tasks", "fus", "schedule", "steps"}
+        # Local schedules start at step 1.
+        steps = [entry["step"] for entry in first["schedule"].values()]
+        assert min(steps) == 1
+
+    def test_design_dict_cut_traffic(self, forced_spec):
+        data = design_to_dict(make_design(forced_spec))
+        assert data["cut_traffic"] == {"2": 3, "3": 4}
+
+    def test_save_design_json(self, tmp_path, forced_spec):
+        design = make_design(forced_spec)
+        path = tmp_path / "design.json"
+        save_design(design, path)
+        assert json.loads(path.read_text())["graph"] == "forced"

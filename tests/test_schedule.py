@@ -1,0 +1,208 @@
+"""Tests for ASAP/ALAP mobility, Schedule, list scheduler, N estimator."""
+
+import pytest
+
+from repro.errors import (
+    InfeasibleSpecError,
+    SpecificationError,
+    VerificationError,
+)
+from repro.graph.builders import TaskGraphBuilder
+from repro.graph.generators import paper_graph
+from repro.library.catalogs import default_library, mix_from_string
+from repro.schedule.asap_alap import compute_mobility
+from repro.schedule.estimator import estimate_num_segments, minimal_allocation_for
+from repro.schedule.list_scheduler import list_schedule
+from repro.schedule.schedule import Schedule, ScheduledOp
+from repro.target.fpga import FPGADevice
+
+
+class TestMobility:
+    def test_chain_mobility_zero_without_relaxation(self, chain3_graph):
+        mob = compute_mobility(chain3_graph, 0)
+        # chain3 is a pure chain: every op is on the critical path.
+        for op_id in mob.asap:
+            assert mob.mobility(op_id) == 0
+        assert mob.latency_bound == 5
+
+    def test_relaxation_extends_ranges(self, chain3_graph):
+        mob = compute_mobility(chain3_graph, 2)
+        assert mob.latency_bound == 7
+        assert mob.control_steps("t1.a1") == (1, 2, 3)
+        assert mob.control_steps("t3.m3") == (5, 6, 7)
+
+    def test_diamond_mobility(self, diamond_graph):
+        mob = compute_mobility(diamond_graph, 0)
+        # left.m1 and right.s1 both sit between src.a2 (step 2) and sink.
+        assert mob.asap["left.m1"] == 3
+        assert mob.alap["left.m1"] == 3
+        assert mob.latency_bound == 4
+
+    def test_ops_at_step(self, diamond_graph):
+        mob = compute_mobility(diamond_graph, 0)
+        assert set(mob.ops_at_step(3)) == {"left.m1", "right.s1"}
+
+    def test_rejects_negative_relaxation(self, chain3_graph):
+        with pytest.raises(SpecificationError, match=">= 0"):
+            compute_mobility(chain3_graph, -1)
+
+    def test_unknown_op(self, chain3_graph):
+        mob = compute_mobility(chain3_graph, 0)
+        with pytest.raises(SpecificationError, match="unknown operation"):
+            mob.control_steps("zz.zz")
+
+
+class TestSchedule:
+    def test_basic_queries(self):
+        sched = Schedule.from_triples(
+            {"t1.a": (1, "add16_1"), "t1.b": (2, "add16_1")}
+        )
+        assert sched.length == 2
+        assert sched.step_of("t1.a") == 1
+        assert sched.fu_of("t1.b") == "add16_1"
+        assert sched.fus_used() == ("add16_1",)
+        assert sched.steps_used() == (1, 2)
+        assert len(sched.ops_at(1)) == 1
+
+    def test_key_mismatch_rejected(self):
+        with pytest.raises(SpecificationError, match="does not match"):
+            Schedule({"x": ScheduledOp("y", 1, "f")})
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(SpecificationError, match="1-indexed"):
+            ScheduledOp("a", 0, "f")
+
+    def test_unscheduled_lookup(self):
+        sched = Schedule({})
+        with pytest.raises(SpecificationError, match="not scheduled"):
+            sched.step_of("a")
+
+
+class TestCheckAgainst:
+    def make_valid(self, chain3_graph):
+        alloc = mix_from_string("1A+1M+1S")
+        return list_schedule(chain3_graph, alloc), alloc
+
+    def test_valid_schedule_passes(self, chain3_graph):
+        sched, alloc = self.make_valid(chain3_graph)
+        sched.check_against(chain3_graph, alloc)
+
+    def test_missing_op_detected(self, chain3_graph):
+        alloc = mix_from_string("1A+1M+1S")
+        sched = Schedule.from_triples({"t1.a1": (1, "add16_1")})
+        with pytest.raises(VerificationError, match="not scheduled"):
+            sched.check_against(chain3_graph, alloc)
+
+    def test_wrong_fu_type_detected(self, chain3_graph):
+        alloc = mix_from_string("1A+1M+1S")
+        triples = {
+            "t1.a1": (1, "mul16_1"),  # an ADD on a multiplier
+            "t1.m1": (2, "mul16_1"),
+            "t2.a2": (3, "add16_1"),
+            "t2.s2": (4, "sub16_1"),
+            "t3.m3": (5, "mul16_1"),
+        }
+        with pytest.raises(VerificationError, match="cannot execute"):
+            Schedule.from_triples(triples).check_against(chain3_graph, alloc)
+
+    def test_fu_conflict_detected(self, diamond_graph):
+        alloc = mix_from_string("2A+1M+1S")
+        triples = {
+            "src.a1": (1, "add16_1"),
+            "src.a2": (2, "add16_1"),
+            "left.m1": (3, "mul16_1"),
+            "right.s1": (3, "sub16_1"),
+            "sink.a3": (4, "add16_1"),
+        }
+        Schedule.from_triples(triples).check_against(diamond_graph, alloc)
+        triples["right.s1"] = (3, "mul16_1")  # now mul16_1 is double-booked
+        with pytest.raises(VerificationError):
+            Schedule.from_triples(triples).check_against(diamond_graph, alloc)
+
+    def test_dependency_violation_detected(self, chain3_graph):
+        alloc = mix_from_string("1A+1M+1S")
+        triples = {
+            "t1.a1": (2, "add16_1"),
+            "t1.m1": (2, "mul16_1"),  # same step as its producer
+            "t2.a2": (3, "add16_1"),
+            "t2.s2": (4, "sub16_1"),
+            "t3.m3": (5, "mul16_1"),
+        }
+        with pytest.raises(VerificationError, match="dependency"):
+            Schedule.from_triples(triples).check_against(chain3_graph, alloc)
+
+    def test_latency_bound_enforced(self, chain3_graph):
+        sched, alloc = self.make_valid(chain3_graph)
+        with pytest.raises(VerificationError, match="latency"):
+            sched.check_against(chain3_graph, alloc, latency_bound=3)
+
+
+class TestListScheduler:
+    def test_schedules_paper_graph(self):
+        graph = paper_graph(1)
+        alloc = mix_from_string("2A+2M+1S")
+        sched = list_schedule(graph, alloc)
+        sched.check_against(graph, alloc)
+        assert len(sched) == graph.num_operations
+
+    def test_restrict_ops(self, chain3_graph):
+        alloc = mix_from_string("1A+1M+1S")
+        sched = list_schedule(
+            chain3_graph, alloc, restrict_ops={"t3.m3"}
+        )
+        assert len(sched) == 1
+        assert sched.step_of("t3.m3") == 1
+
+    def test_restrict_ops_unknown(self, chain3_graph):
+        alloc = mix_from_string("1A+1M+1S")
+        with pytest.raises(SpecificationError, match="unknown op ids"):
+            list_schedule(chain3_graph, alloc, restrict_ops={"zz.zz"})
+
+    def test_missing_fu_type(self, chain3_graph):
+        alloc = mix_from_string("1A+1M")  # no subtracter
+        with pytest.raises(InfeasibleSpecError, match="no FU instance"):
+            list_schedule(chain3_graph, alloc)
+
+    def test_max_steps_enforced(self, chain3_graph):
+        alloc = mix_from_string("1A+1M+1S")
+        with pytest.raises(InfeasibleSpecError, match="exceeded"):
+            list_schedule(chain3_graph, alloc, max_steps=2)
+
+    def test_prefers_specialized_fu(self, chain3_graph):
+        # alu16 also executes ADD; the dedicated adder should be used
+        # first so the ALU stays free.
+        lib = default_library()
+        alloc = mix_from_string("1A+1M+1S+1L", lib)
+        sched = list_schedule(chain3_graph, alloc)
+        assert sched.fu_of("t1.a1") == "add16_1"
+
+
+class TestEstimator:
+    def test_small_graph_single_segment(self, chain3_graph, big_device, library):
+        n = estimate_num_segments(chain3_graph, library, big_device, slack=0)
+        assert n == 1
+
+    def test_slack_added(self, chain3_graph, big_device, library):
+        assert (
+            estimate_num_segments(chain3_graph, library, big_device, slack=2)
+            == 3
+        )
+
+    def test_tight_device_splits(self, forced_split_graph, tight_device, library):
+        n = estimate_num_segments(
+            forced_split_graph, library, tight_device, slack=0
+        )
+        assert n >= 2
+
+    def test_impossible_task_detected(self, library):
+        b = TaskGraphBuilder("g")
+        b.task("t1").op("m", "mul")
+        graph = b.build()
+        tiny = FPGADevice("tiny", capacity=10, alpha=1.0)
+        with pytest.raises(InfeasibleSpecError, match="exceeds device"):
+            estimate_num_segments(graph, library, tiny)
+
+    def test_minimal_allocation(self, chain3_graph, library):
+        alloc = minimal_allocation_for(chain3_graph, library)
+        assert alloc.covers(chain3_graph.op_types_used())
+        assert len(alloc) == 3

@@ -1,0 +1,89 @@
+"""Tests for FPGA devices, scratch memory, reconfiguration cost model."""
+
+import pytest
+
+from repro.errors import TargetError
+from repro.target.fpga import FPGADevice, device_catalog
+from repro.target.memory import ScratchMemory
+from repro.target.reconfig import ReconfigCostModel
+
+
+class TestFPGADevice:
+    def test_effective_cost(self):
+        dev = FPGADevice("d", capacity=100, alpha=0.5)
+        assert dev.effective_cost(100) == 50.0
+
+    def test_fits(self):
+        dev = FPGADevice("d", capacity=100, alpha=0.5)
+        assert dev.fits(200)
+        assert not dev.fits(201)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(TargetError, match="alpha"):
+            FPGADevice("d", capacity=100, alpha=0.0)
+        with pytest.raises(TargetError, match="alpha"):
+            FPGADevice("d", capacity=100, alpha=1.5)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(TargetError, match="capacity"):
+            FPGADevice("d", capacity=0)
+
+    def test_negative_fg_cost_rejected(self):
+        dev = FPGADevice("d", capacity=100)
+        with pytest.raises(TargetError, match="fg_cost"):
+            dev.effective_cost(-1)
+
+    def test_catalog(self):
+        catalog = device_catalog()
+        assert catalog["xc4010"].capacity == 800
+        assert catalog["xc4025"].capacity > catalog["xc4005"].capacity
+
+
+class TestScratchMemory:
+    def test_admits(self):
+        mem = ScratchMemory(10)
+        assert mem.admits(10)
+        assert not mem.admits(11)
+
+    def test_zero_size_allowed(self):
+        assert ScratchMemory(0).admits(0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(TargetError, match=">= 0"):
+            ScratchMemory(-1)
+
+    def test_rejects_negative_traffic(self):
+        with pytest.raises(TargetError, match="traffic"):
+            ScratchMemory(5).admits(-1)
+
+    def test_unbounded_for(self, chain3_graph):
+        mem = ScratchMemory.unbounded_for(chain3_graph.total_bandwidth())
+        assert mem.admits(chain3_graph.total_bandwidth())
+
+
+class TestReconfigCostModel:
+    def model(self):
+        dev = FPGADevice("d", capacity=100, reconfig_time_us=1000.0)
+        return ReconfigCostModel(dev, transfer_ns_per_unit=100.0, clock_ns=50.0)
+
+    def test_single_partition_no_reconfig_overhead(self):
+        assert self.model().reconfiguration_overhead_ns(1) == 0.0
+
+    def test_reconfig_overhead_scales(self):
+        model = self.model()
+        assert model.reconfiguration_overhead_ns(3) == 2 * 1000.0 * 1000.0
+
+    def test_transfer_overhead(self):
+        assert self.model().transfer_overhead_ns(7) == 700.0
+
+    def test_compute_time(self):
+        assert self.model().compute_time_ns(10) == 500.0
+
+    def test_total(self):
+        model = self.model()
+        total = model.total_time_ns(2, 5, 10)
+        assert total == 1_000_000.0 + 500.0 + 500.0
+
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(TargetError, match=">= 1"):
+            self.model().reconfiguration_overhead_ns(0)
