@@ -16,7 +16,7 @@ any reasonable time").
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Mapping
 
 import pytest
 
@@ -25,14 +25,24 @@ TIME_LIMIT_S = 60.0
 
 
 def run_once(benchmark, fn: "Callable[[], object]"):
-    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    """Run ``fn`` exactly once under pytest-benchmark and return its result.
+
+    When the result is an experiment row carrying a ``telemetry``
+    record (``repro.reporting.experiments.run_row`` attaches one), the
+    record is copied onto the benchmark's ``extra_info`` so
+    ``--benchmark-json`` artifacts keep the full solver trajectory
+    (nodes, LP calls, incumbent events, final gap) next to the timing.
+    """
     holder: "Dict[str, object]" = {}
 
     def wrapper():
         holder["result"] = fn()
 
     benchmark.pedantic(wrapper, rounds=1, iterations=1)
-    return holder["result"]
+    result = holder["result"]
+    if isinstance(result, Mapping) and "telemetry" in result:
+        benchmark.extra_info["telemetry"] = result["telemetry"]
+    return result
 
 
 @pytest.fixture(scope="session")

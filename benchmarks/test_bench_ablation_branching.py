@@ -55,7 +55,7 @@ def test_branching_summary(benchmark, results_bucket):
     ))
     completions = {
         rule: sum(
-            1 for r in rows if r["rule"] == rule and r["status"] != "timeout"
+            1 for r in rows if r["rule"] == rule and not r["hit_limit"]
         )
         for rule in RULES
     }

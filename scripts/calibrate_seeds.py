@@ -25,7 +25,6 @@ from repro.graph.generators import (
 from repro.library.catalogs import mix_from_string
 from repro.reporting.experiments import reference_device, reference_memory
 from repro.core.partitioner import TemporalPartitioner
-from repro.ilp.solution import SolveStatus
 
 # Target rows per graph: (N, L, mix, must_be_feasible).
 TARGETS = {
@@ -101,7 +100,7 @@ def check_seed(number: int, seed: int, time_limit: float) -> "tuple[bool, bool]"
         outcome = tp.partition(
             graph, mix_from_string(mix), n_partitions=n, relaxation=l
         )
-        if outcome.status is SolveStatus.TIMEOUT:
+        if outcome.hit_limit:
             return False, False
         if outcome.feasible != want_feasible:
             return False, False

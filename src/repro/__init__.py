@@ -53,6 +53,7 @@ from repro.graph import (
     paper_graph,
     random_task_graph,
 )
+from repro.ilp import IncumbentEvent, MilpResult, NodeEvent, SolveStats, SolveStatus
 from repro.library import Allocation, ComponentLibrary, FUModel, default_library, mix_from_string
 from repro.target import FPGADevice, ReconfigCostModel, ScratchMemory, device_catalog
 from repro.schedule import compute_mobility, estimate_num_segments, list_schedule
@@ -99,6 +100,12 @@ __all__ = [
     "device_catalog",
     "ScratchMemory",
     "ReconfigCostModel",
+    # ilp telemetry surface
+    "SolveStatus",
+    "SolveStats",
+    "MilpResult",
+    "IncumbentEvent",
+    "NodeEvent",
     # schedule
     "compute_mobility",
     "list_schedule",

@@ -11,7 +11,7 @@ can beat.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.errors import InfeasibleSpecError
 from repro.graph.analysis import task_levels, topological_tasks

@@ -99,7 +99,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", dest="as_json",
         help="emit the outcome as JSON instead of a text report",
     )
+    parser.add_argument(
+        "--verbose-solve", action="store_true",
+        help="live branch-and-bound trace on stderr "
+        "(incumbents and periodic node progress)",
+    )
+    parser.add_argument(
+        "--trace-every", type=int, default=100, metavar="N",
+        help="with --verbose-solve, print node progress every N nodes "
+        "(default 100)",
+    )
+    parser.add_argument(
+        "--telemetry", metavar="FILE",
+        help="write the per-run solve-telemetry JSON artifact to FILE",
+    )
     return parser
+
+
+def make_solve_trace(trace_every: int):
+    """Build (on_node, on_incumbent) callbacks printing to stderr.
+
+    Incumbent improvements always print; node progress prints every
+    ``trace_every`` nodes (the solver already decimates, so the hook
+    itself stays cheap).
+    """
+
+    def fmt(value) -> str:
+        return "-" if value is None else f"{value:g}"
+
+    def on_node(event) -> None:
+        print(
+            f"[bnb] t={event.wall_time_s:8.2f}s nodes={event.nodes_explored:>7}"
+            f" open={event.open_nodes:>5} depth={event.depth:>4}"
+            f" incumbent={fmt(event.incumbent_objective)}"
+            f" bound={fmt(event.best_bound)} gap={fmt(event.gap)}",
+            file=sys.stderr,
+        )
+
+    def on_incumbent(event) -> None:
+        print(
+            f"[bnb] t={event.wall_time_s:8.2f}s *** incumbent"
+            f" objective={event.objective:g}"
+            f" bound={fmt(event.bound)} gap={fmt(event.gap)}",
+            file=sys.stderr,
+        )
+
+    return on_node, on_incumbent
 
 
 def resolve_device(text: str) -> FPGADevice:
@@ -134,6 +179,11 @@ def main(argv: "Optional[list]" = None) -> int:
         tighten=not args.base_model,
         linearization="fortet" if args.fortet else "glover",
     )
+    if args.trace_every < 1:
+        raise SystemExit(f"--trace-every must be >= 1, got {args.trace_every}")
+    on_node = on_incumbent = None
+    if args.verbose_solve:
+        on_node, on_incumbent = make_solve_trace(args.trace_every)
     partitioner = TemporalPartitioner(
         library=default_library(),
         device=device,
@@ -143,6 +193,9 @@ def main(argv: "Optional[list]" = None) -> int:
         backend=args.backend,
         time_limit_s=args.time_limit,
         plain_search=args.plain_search,
+        on_node=on_node,
+        on_incumbent=on_incumbent,
+        callback_every=args.trace_every if args.verbose_solve else 1,
     )
 
     if args.dump_lp:
@@ -166,15 +219,33 @@ def main(argv: "Optional[list]" = None) -> int:
         print(json.dumps(payload, indent=2))
     else:
         row = outcome.summary_row()
+        stats = outcome.solve_stats
         print(f"graph {row['graph']}: {row['tasks']} tasks, "
               f"{row['opers']} ops | N={row['N']} L={row['L']} "
               f"mix={args.mix}")
         print(f"model: {row['vars']} vars, {row['consts']} constraints")
         print(f"solve: {row['status']} in {row['runtime_s']}s "
-              f"({outcome.solve_stats.nodes_explored} nodes)")
+              f"({stats.nodes_explored} nodes, {stats.lp_calls} LP calls)")
+        if outcome.hit_limit and outcome.feasible:
+            gap_text = (
+                f"{outcome.gap:.4f}" if outcome.gap is not None else "unknown"
+            )
+            print(f"  limit hit ({stats.stop_reason}): best incumbent "
+                  f"returned, optimality gap {gap_text} "
+                  f"(bound {outcome.bound})")
         if outcome.design is not None:
             print()
             print(outcome.design.report())
+
+    if args.telemetry:
+        from repro.reporting.export import save_telemetry
+
+        try:
+            save_telemetry(outcome, args.telemetry)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot write telemetry file {args.telemetry!r}: {exc}"
+            )
     return 0 if outcome.feasible or outcome.status.value == "infeasible" else 1
 
 

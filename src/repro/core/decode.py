@@ -5,6 +5,11 @@ all secondary variables are derived quantities that the design recomputes
 semantically, which is also how decode-then-verify catches any
 formulation bug that lets secondary variables drift from their
 definitions.
+
+It is status-agnostic: any result carrying an integer-feasible value
+vector decodes, so a FEASIBLE (deadline-expired) incumbent yields the
+same verified :class:`~repro.core.result.PartitionedDesign` as a proven
+optimum — the caller keeps the gap annotation on the outcome.
 """
 
 from __future__ import annotations

@@ -44,8 +44,9 @@ from repro.core.verify import verify_design
 class PartitionOutcome:
     """Everything produced by one partitioning run.
 
-    ``design`` is present only for OPTIMAL runs (and TIMEOUT runs that
-    found an incumbent); it has always passed
+    ``design`` is present for OPTIMAL runs and for FEASIBLE runs (a
+    search limit expired but an incumbent was in hand — ``gap`` then
+    says how far from proven-optimal it might be); it has always passed
     :func:`~repro.core.verify.verify_design`.
     """
 
@@ -56,11 +57,22 @@ class PartitionOutcome:
     model_stats: "Dict[str, object]"
     solve_stats: SolveStats
     wall_time_s: float
+    bound: "Optional[float]" = None
+    gap: "Optional[float]" = None
 
     @property
     def feasible(self) -> bool:
         """The paper's "Feasible" column: did an implementation exist?"""
         return self.design is not None
+
+    @property
+    def hit_limit(self) -> bool:
+        """Whether a time/node limit cut the search short.
+
+        True for FEASIBLE (incumbent in hand) as well as bare
+        TIMEOUT/NODE_LIMIT outcomes — the paper's ">7200" notion.
+        """
+        return self.solve_stats.stop_reason != "exhausted"
 
     def summary_row(self) -> "Dict[str, object]":
         """One row in the shape of the paper's result tables."""
@@ -76,6 +88,26 @@ class PartitionOutcome:
             "status": self.status.value,
             "feasible": self.feasible,
             "objective": self.objective,
+            "gap": self.gap,
+        }
+
+    def telemetry(self) -> "Dict[str, object]":
+        """Per-run solve-telemetry record (see DESIGN.md for the schema)."""
+        return {
+            "schema": "repro.solve_telemetry/v1",
+            "graph": self.spec.graph.name,
+            "n_partitions": self.spec.n_partitions,
+            "relaxation": self.spec.relaxation,
+            "device": self.spec.device.name,
+            "status": self.status.value,
+            "feasible": self.feasible,
+            "hit_limit": self.hit_limit,
+            "objective": self.objective,
+            "bound": self.bound,
+            "gap": self.gap,
+            "wall_time_s": self.wall_time_s,
+            "model": dict(self.model_stats),
+            "solve": self.solve_stats.as_dict(),
         }
 
 
@@ -101,11 +133,19 @@ class TemporalPartitioner:
         ``"bnb"`` for the in-repo branch and bound (default),
         ``"milp"`` for SciPy HiGHS.
     time_limit_s / node_limit:
-        Search limits passed to the backend.
+        Search limits passed to the backend.  Expiry with an incumbent
+        yields a FEASIBLE outcome carrying the proven bound and gap.
     plain_search:
         When True, run the branch and bound *without* its SOS1
         propagation and exact leaf sub-solve — the raw 1998-style
         search the formulation benchmarks (Tables 1-2) measure.
+    on_node / on_incumbent:
+        Optional progress callbacks forwarded to the branch and bound
+        (see :class:`~repro.ilp.branch_bound.BranchAndBoundConfig`);
+        the CLI's ``--verbose-solve`` live trace is built on these.
+        Ignored by the ``"milp"`` backend.
+    callback_every:
+        Node-callback decimation factor (1 = every node).
     """
 
     def __init__(
@@ -119,6 +159,9 @@ class TemporalPartitioner:
         time_limit_s: "Optional[float]" = None,
         node_limit: "Optional[int]" = None,
         plain_search: bool = False,
+        on_node=None,
+        on_incumbent=None,
+        callback_every: int = 1,
     ) -> None:
         if backend not in ("bnb", "milp"):
             raise ReproError(f"unknown backend {backend!r}; use 'bnb' or 'milp'")
@@ -133,6 +176,9 @@ class TemporalPartitioner:
         self.time_limit_s = time_limit_s
         self.node_limit = node_limit
         self.plain_search = plain_search
+        self.on_node = on_node
+        self.on_incumbent = on_incumbent
+        self.callback_every = callback_every
 
     # ------------------------------------------------------------------
 
@@ -198,6 +244,8 @@ class TemporalPartitioner:
             model_stats=model_size_report(model, space),
             solve_stats=result.stats,
             wall_time_s=wall,
+            bound=result.bound,
+            gap=result.gap,
         )
 
     # ------------------------------------------------------------------
@@ -221,5 +269,8 @@ class TemporalPartitioner:
             leaf_subsolve=not self.plain_search,
             node_prober=prober,
             leaf_solver=leaf_solver,
+            on_node=self.on_node,
+            on_incumbent=self.on_incumbent,
+            callback_every=self.callback_every,
         )
         return BranchAndBound(model, rule=self.branching, config=config).solve()

@@ -16,7 +16,7 @@ per-step candidate sets ``CS^-1(j)``, and per-task op lists ``Op(t)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Tuple
 
 from repro.errors import InfeasibleSpecError, SpecificationError

@@ -35,7 +35,7 @@ then enforce exact latencies per chosen binding.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import networkx as nx
 
@@ -49,7 +49,6 @@ from repro.core.objective import set_objective
 from repro.core.spec import ProblemSpec
 from repro.core.variables import VariableSpace, build_variables
 from repro.core.result import PartitionedDesign
-from repro.schedule.schedule import Schedule, ScheduledOp
 
 
 def compute_multicycle_mobility(

@@ -22,7 +22,7 @@ contributor.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict
 
 from repro.graph.analysis import combined_operation_graph
 from repro.core.result import PartitionedDesign

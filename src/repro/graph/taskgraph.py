@@ -16,8 +16,8 @@ hatch — model every operation as its own task — is implemented by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro._validation import require_identifier, require_unique
 from repro.errors import SpecificationError

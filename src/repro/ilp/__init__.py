@@ -26,7 +26,14 @@ plays that role here, fully in-repo:
 
 from repro.ilp.expr import LinExpr, Var
 from repro.ilp.model import Constraint, Model, Sense
-from repro.ilp.solution import LPResult, MilpResult, SolveStats, SolveStatus
+from repro.ilp.solution import (
+    IncumbentEvent,
+    LPResult,
+    MilpResult,
+    NodeEvent,
+    SolveStats,
+    SolveStatus,
+)
 from repro.ilp.standard_form import StandardForm, compile_standard_form
 from repro.ilp.scipy_backend import solve_lp_scipy
 from repro.ilp.simplex import solve_lp_simplex
@@ -50,6 +57,8 @@ __all__ = [
     "Sense",
     "SolveStatus",
     "SolveStats",
+    "IncumbentEvent",
+    "NodeEvent",
     "LPResult",
     "MilpResult",
     "StandardForm",

@@ -34,13 +34,34 @@ turns them on):
   not bound-fixed are driven to fixation by branching on an unfixed
   group-0 variable (a valid space partition even at integral LP
   values).
+
+Telemetry and deadline robustness
+---------------------------------
+Every run produces a structured :class:`~repro.ilp.solution.SolveStats`
+record: node outcomes bucketed by cause (branched / pruned-by-bound /
+pruned-infeasible / integral / leaf-solved), LP calls and cumulative LP
+time, SOS1-propagation and leaf-subsolve hit counts, and the incumbent
+improvement event log ``(wall_time, objective, bound)``.  Progress
+callbacks (``on_node``, ``on_incumbent``) expose the same events live.
+
+Deadline expiry is a first-class outcome, not an error path.  Each open
+node carries the LP bound it inherited from its parent, so at any
+moment the minimum over the open set is a *proven* global lower bound.
+On ``time_limit_s`` exhaustion the solver returns the incumbent with
+status FEASIBLE plus that bound and the relative gap; if the deadline
+fires before any incumbent exists, a bounded **rescue dive**
+(``rescue_on_deadline``) keeps popping preferred nodes — limited by
+``rescue_node_budget``, not by the clock — until a first feasible
+solution is in hand, so even a ``time_limit_s=0`` run on a feasible
+model yields a usable answer.  Only a rescue that also exhausts its
+node budget empty-handed returns a bare TIMEOUT.
 """
 
 from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set
 
 import numpy as np
@@ -49,7 +70,15 @@ from repro.errors import SolverError
 from repro.ilp.branching import BranchDecision, BranchingRule, PaperBranching
 from repro.ilp.model import Model
 from repro.ilp.scipy_backend import solve_lp_scipy
-from repro.ilp.solution import LPResult, MilpResult, SolveStats, SolveStatus
+from repro.ilp.solution import (
+    IncumbentEvent,
+    LPResult,
+    MilpResult,
+    NodeEvent,
+    SolveStats,
+    SolveStatus,
+    relative_gap,
+)
 from repro.ilp.standard_form import StandardForm, compile_standard_form
 
 
@@ -61,8 +90,8 @@ class BranchAndBoundConfig:
     ----------
     time_limit_s:
         Wall-clock limit; on expiry the best incumbent (if any) is
-        returned with status TIMEOUT.  The paper's ">7200" rows are
-        exactly this outcome.
+        returned with status FEASIBLE plus the proven bound and gap.
+        The paper's ">7200" rows are exactly this outcome.
     node_limit:
         Maximum number of explored nodes (safety valve for the
         deliberately-bad baselines).
@@ -97,6 +126,24 @@ class BranchAndBoundConfig:
         model (:func:`repro.core.leafsolve.make_leaf_solver`); when
         absent, leaves are decided by a HiGHS MILP call on the full
         model with the node's bounds.
+    on_node:
+        Optional callback receiving a
+        :class:`~repro.ilp.solution.NodeEvent` after every
+        ``callback_every``-th explored node (live progress traces).
+    on_incumbent:
+        Optional callback receiving each
+        :class:`~repro.ilp.solution.IncumbentEvent` as the incumbent
+        improves.
+    callback_every:
+        Node-callback decimation factor (1 = every node).
+    rescue_on_deadline:
+        When the deadline fires before any incumbent exists, keep
+        diving (preferred branches first) for up to
+        ``rescue_node_budget`` more nodes to secure a first feasible
+        solution.  Node-bounded, not time-bounded — the point is a
+        usable answer, not punctuality to the microsecond.
+    rescue_node_budget:
+        Maximum extra nodes the rescue dive may explore.
     """
 
     time_limit_s: Optional[float] = None
@@ -109,15 +156,26 @@ class BranchAndBoundConfig:
     subsolve_time_limit_s: float = 30.0
     node_prober: "Optional[Callable]" = None
     leaf_solver: "Optional[Callable]" = None
+    on_node: "Optional[Callable[[NodeEvent], None]]" = None
+    on_incumbent: "Optional[Callable[[IncumbentEvent], None]]" = None
+    callback_every: int = 1
+    rescue_on_deadline: bool = True
+    rescue_node_budget: int = 64
 
 
 @dataclass
 class _Node:
-    """One open node: bound overrides plus bookkeeping."""
+    """One open node: bound overrides plus bookkeeping.
+
+    ``bound`` is the LP objective of the parent (a valid lower bound on
+    every solution in this subtree); the root starts at ``-inf`` until
+    its own LP is solved.
+    """
 
     lb: "np.ndarray"
     ub: "np.ndarray"
     depth: int
+    bound: float = -math.inf
 
 
 class BranchAndBound:
@@ -156,6 +214,12 @@ class BranchAndBound:
                 self._sos1_of.setdefault(idx, []).extend(
                     peer for peer in group if peer != idx
                 )
+        # Per-run state, (re)initialized by solve().
+        self._start = 0.0
+        self._stats = SolveStats()
+        self._stack: "List[_Node]" = []
+        self._incumbent_values: "Optional[Dict[int, float]]" = None
+        self._incumbent_obj = math.inf
 
     # ------------------------------------------------------------------
 
@@ -166,106 +230,227 @@ class BranchAndBound:
 
         * OPTIMAL — incumbent proved optimal (tree exhausted);
         * INFEASIBLE — tree exhausted without any integer solution;
-        * TIMEOUT / NODE_LIMIT — limits hit; an incumbent may or may
-          not be attached.
+        * FEASIBLE — a limit expired but an incumbent (with a proven
+          bound and gap) is attached;
+        * TIMEOUT / NODE_LIMIT — the limit expired with no incumbent
+          (for deadlines: even after the rescue dive, if enabled).
         """
-        start = time.monotonic()
-        stats = SolveStats()
-        incumbent_values: "Optional[Dict[int, float]]" = None
-        incumbent_obj = math.inf
-
-        stack: "List[_Node]" = [
+        self._start = time.monotonic()
+        self._stats = SolveStats()
+        self._incumbent_values = None
+        self._incumbent_obj = math.inf
+        self._stack = [
             _Node(self.form.lb.copy(), self.form.ub.copy(), depth=0)
         ]
 
         limit_status: "Optional[SolveStatus]" = None
-        while stack:
-            if self._out_of_time(start):
+        while self._stack:
+            if self._out_of_time():
                 limit_status = SolveStatus.TIMEOUT
                 break
             if (
                 self.config.node_limit is not None
-                and stats.nodes_explored >= self.config.node_limit
+                and self._stats.nodes_explored >= self.config.node_limit
             ):
                 limit_status = SolveStatus.NODE_LIMIT
                 break
+            self._process_node(self._stack.pop())
 
-            node = stack.pop()
-            stats.nodes_explored += 1
-            stats.max_depth = max(stats.max_depth, node.depth)
+        if (
+            limit_status is SolveStatus.TIMEOUT
+            and self._incumbent_values is None
+            and self.config.rescue_on_deadline
+        ):
+            self._rescue_dive()
+            if not self._stack:
+                # The rescue finished the whole tree: the deadline is
+                # moot and the normal exhaustion semantics apply.
+                limit_status = None
 
+        return self._finish(limit_status)
+
+    # ------------------------------------------------------------------
+    # node processing
+
+    def _process_node(self, node: _Node, rescue: bool = False) -> None:
+        """Explore one node: prune, update the incumbent, or branch."""
+        stats = self._stats
+        stats.nodes_explored += 1
+        if rescue:
+            stats.rescue_nodes += 1
+        stats.max_depth = max(stats.max_depth, node.depth)
+
+        try:
             if self.config.node_prober is not None and self.config.node_prober(
                 node.lb, node.ub
             ):
+                stats.prober_hits += 1
                 stats.nodes_pruned_infeasible += 1
-                continue
+                return
 
+            lp_start = time.monotonic()
             lp = self.config.lp_backend(self.form, node.lb, node.ub)
             stats.lp_solves += 1
+            stats.lp_time_s += time.monotonic() - lp_start
 
             if lp.status is SolveStatus.INFEASIBLE:
                 stats.nodes_pruned_infeasible += 1
-                continue
+                return
             if lp.status is SolveStatus.UNBOUNDED:
                 raise SolverError(
                     "LP relaxation unbounded; 0-1 models must be box-bounded"
                 )
             assert lp.values is not None and lp.objective is not None
 
-            if lp.objective >= self._prune_threshold(incumbent_obj):
+            if lp.objective >= self._prune_threshold(self._incumbent_obj):
                 stats.nodes_pruned_bound += 1
-                continue
+                return
 
             fractional = self._fractional_indices(lp.values)
             if not fractional:
                 # Integer feasible: new incumbent (strictly better, else
                 # the bound test above would have pruned).
-                incumbent_obj = lp.objective
-                incumbent_values = self._round_integers(lp.values)
-                stats.incumbent_updates += 1
-                continue
+                stats.nodes_integral += 1
+                self._new_incumbent(lp.objective, self._round_integers(lp.values))
+                return
 
-            decision = self._decide(node, lp.values, fractional, start, stats)
+            decision = self._decide(node, lp.values, fractional)
             if decision is None:
                 # Leaf: every group-0 variable bound-fixed.
-                kind, payload = self._leaf_subsolve(node, start, stats)
+                kind, payload = self._leaf_subsolve(node)
                 if kind == "optimal":
+                    stats.nodes_leaf_solved += 1
                     sub_obj, sub_values = payload
-                    if sub_obj < self._prune_threshold(incumbent_obj):
-                        incumbent_obj = sub_obj
-                        incumbent_values = sub_values
-                        stats.incumbent_updates += 1
-                    continue
+                    if sub_obj < self._prune_threshold(self._incumbent_obj):
+                        self._new_incumbent(sub_obj, sub_values)
+                    return
                 if kind == "infeasible":
-                    continue
+                    stats.nodes_leaf_solved += 1
+                    return
                 # Sub-solve timed out: stay exact by branching normally.
                 decision = self.rule.select(self.model, lp.values, fractional)
 
-            self._push_children(stack, node, decision, lp.values)
+            stats.nodes_branched += 1
+            self._push_children(node, decision, lp.values, lp.objective)
+        finally:
+            self._emit_node_event(node)
 
-        stats.wall_time_s = time.monotonic() - start
+    def _rescue_dive(self) -> None:
+        """Deadline fired empty-handed: dive for a first incumbent.
 
-        if limit_status is not None:
-            return MilpResult(
-                status=limit_status,
-                objective=None if incumbent_values is None else incumbent_obj,
-                values=incumbent_values,
-                stats=stats,
+        Continues the normal depth-first search (preferred branches are
+        already on top of the LIFO stack) but bounded by *nodes* rather
+        than the already-spent clock, stopping the moment any incumbent
+        exists.  Keeps the result contract honest: a feasible model
+        with an absurdly small ``time_limit_s`` still yields a usable
+        answer plus a finite proven gap.
+        """
+        budget = self.config.rescue_node_budget
+        while (
+            self._stack
+            and self._incumbent_values is None
+            and self._stats.rescue_nodes < budget
+        ):
+            self._process_node(self._stack.pop(), rescue=True)
+
+    # ------------------------------------------------------------------
+    # incumbent / bound / event bookkeeping
+
+    def _new_incumbent(self, objective: float, values: "Dict[int, float]") -> None:
+        self._incumbent_obj = objective
+        self._incumbent_values = values
+        self._stats.incumbent_updates += 1
+        event = IncumbentEvent(
+            wall_time_s=time.monotonic() - self._start,
+            objective=objective,
+            bound=self._open_bound(),
+        )
+        self._stats.incumbent_events.append(event)
+        if self.config.on_incumbent is not None:
+            self.config.on_incumbent(event)
+
+    def _open_bound(self) -> "Optional[float]":
+        """Best proven global lower bound from the open-node set.
+
+        Every open node carries its parent's LP objective, a valid
+        lower bound for its subtree; optimality can only hide in open
+        subtrees, so their minimum bounds the global optimum.  With the
+        tree exhausted the incumbent itself is the bound.  ``None``
+        while no finite bound exists (root LP not yet solved).
+        """
+        if not self._stack:
+            if math.isfinite(self._incumbent_obj):
+                return self._incumbent_obj
+            return None
+        bound = min(node.bound for node in self._stack)
+        if math.isfinite(self._incumbent_obj):
+            bound = min(bound, self._incumbent_obj)
+        return bound if math.isfinite(bound) else None
+
+    def _emit_node_event(self, node: _Node) -> None:
+        if self.config.on_node is None:
+            return
+        if self._stats.nodes_explored % max(1, self.config.callback_every):
+            return
+        self.config.on_node(
+            NodeEvent(
+                wall_time_s=time.monotonic() - self._start,
+                nodes_explored=self._stats.nodes_explored,
+                depth=node.depth,
+                open_nodes=len(self._stack),
+                incumbent_objective=(
+                    None
+                    if self._incumbent_values is None
+                    else self._incumbent_obj
+                ),
+                best_bound=self._open_bound(),
             )
-        if incumbent_values is None:
-            return MilpResult(status=SolveStatus.INFEASIBLE, stats=stats)
+        )
+
+    def _finish(self, limit_status: "Optional[SolveStatus]") -> MilpResult:
+        """Assemble the result and final telemetry for any stop cause."""
+        stats = self._stats
+        stats.wall_time_s = time.monotonic() - self._start
+        has_incumbent = self._incumbent_values is not None
+
+        if limit_status is None:
+            stats.stop_reason = "exhausted"
+            if not has_incumbent:
+                return MilpResult(status=SolveStatus.INFEASIBLE, stats=stats)
+            stats.best_bound = self._incumbent_obj
+            stats.gap = 0.0
+            return MilpResult(
+                status=SolveStatus.OPTIMAL,
+                objective=self._incumbent_obj,
+                values=self._incumbent_values,
+                stats=stats,
+                bound=self._incumbent_obj,
+                gap=0.0,
+            )
+
+        stats.stop_reason = (
+            "time_limit" if limit_status is SolveStatus.TIMEOUT else "node_limit"
+        )
+        bound = self._open_bound()
+        stats.best_bound = bound
+        if not has_incumbent:
+            return MilpResult(status=limit_status, stats=stats, bound=bound)
+        gap = None if bound is None else relative_gap(self._incumbent_obj, bound)
+        stats.gap = gap
         return MilpResult(
-            status=SolveStatus.OPTIMAL,
-            objective=incumbent_obj,
-            values=incumbent_values,
+            status=SolveStatus.FEASIBLE,
+            objective=self._incumbent_obj,
+            values=self._incumbent_values,
             stats=stats,
+            bound=bound,
+            gap=gap,
         )
 
     # ------------------------------------------------------------------
     # branching machinery
 
     def _decide(
-        self, node: _Node, values, fractional, start, stats
+        self, node: _Node, values, fractional
     ) -> "Optional[BranchDecision]":
         """Pick the branching decision, or None to trigger a leaf sub-solve."""
         if not self.config.leaf_subsolve or not self._group0:
@@ -298,7 +483,7 @@ class BranchAndBound:
             return BranchDecision(pick, up_first=True)
         return None  # every group-0 variable bound-fixed: sub-solve
 
-    def _push_children(self, stack, node, decision, values) -> None:
+    def _push_children(self, node, decision, values, lp_bound: float) -> None:
         """Split the node on the decided variable.
 
         For a fractional value the children are the classic
@@ -307,13 +492,16 @@ class BranchAndBound:
         is keep/exclude: one child pins ``>= v`` (v >= 1) or ``<= 0``
         (v == 0), the other excludes v — naive floor/ceil would leave
         one child's bounds unchanged and loop forever.
+
+        Children inherit this node's LP objective as their subtree
+        bound (the telemetry layer's source of proven global bounds).
         """
         idx = decision.var_index
         value = values[idx]
         if node.lb[idx] == node.ub[idx]:  # pragma: no cover - defensive
             raise SolverError(f"branching on a fixed variable {idx}")
-        down = _Node(node.lb.copy(), node.ub.copy(), node.depth + 1)
-        up = _Node(node.lb.copy(), node.ub.copy(), node.depth + 1)
+        down = _Node(node.lb.copy(), node.ub.copy(), node.depth + 1, bound=lp_bound)
+        up = _Node(node.lb.copy(), node.ub.copy(), node.depth + 1, bound=lp_bound)
         if abs(value - round(value)) > self.config.int_tol:
             down.ub[idx] = math.floor(value)
             up.lb[idx] = math.ceil(value)
@@ -327,17 +515,19 @@ class BranchAndBound:
                 up.lb[idx] = 1
         if up.lb[idx] >= 1.0 and self.config.propagate_sos1:
             for peer in self._sos1_of.get(idx, ()):
-                up.ub[peer] = min(up.ub[peer], 0.0)
+                if up.ub[peer] > 0.0:
+                    up.ub[peer] = 0.0
+                    self._stats.sos1_propagations += 1
         # LIFO stack: push the non-preferred branch first so the
         # preferred one is explored first.
         if decision.up_first:
-            stack.append(down)
-            stack.append(up)
+            self._stack.append(down)
+            self._stack.append(up)
         else:
-            stack.append(up)
-            stack.append(down)
+            self._stack.append(up)
+            self._stack.append(down)
 
-    def _leaf_subsolve(self, node: _Node, start, stats):
+    def _leaf_subsolve(self, node: _Node):
         """Decide a group-0-fixed leaf exactly with one HiGHS MILP call.
 
         Returns ``("optimal", (obj, values))``, ``("infeasible", None)``
@@ -346,16 +536,15 @@ class BranchAndBound:
         """
         from repro.ilp.milp_backend import solve_milp_scipy
 
-        stats.lp_solves += 1  # counted as one (heavier) solve
+        self._stats.leaf_subsolve_calls += 1
         budget = self.config.subsolve_time_limit_s
         if self.config.time_limit_s is not None:
-            remaining = self.config.time_limit_s - (time.monotonic() - start)
+            remaining = self.config.time_limit_s - (
+                time.monotonic() - self._start
+            )
             budget = max(0.1, min(budget, remaining))
         if self.config.leaf_solver is not None:
-            kind, payload = self.config.leaf_solver(node.lb, node.ub, budget)
-            if kind == "infeasible":
-                stats.nodes_pruned_infeasible += 1
-            return kind, payload
+            return self.config.leaf_solver(node.lb, node.ub, budget)
         sub_form = StandardForm(
             c=self.form.c,
             a_ub=self.form.a_ub,
@@ -370,16 +559,15 @@ class BranchAndBound:
         if result.status is SolveStatus.OPTIMAL:
             return "optimal", (result.objective, dict(result.values))
         if result.status is SolveStatus.INFEASIBLE:
-            stats.nodes_pruned_infeasible += 1
             return "infeasible", None
         return "timeout", None
 
     # ------------------------------------------------------------------
     # helpers
 
-    def _out_of_time(self, start: float) -> bool:
+    def _out_of_time(self) -> bool:
         limit = self.config.time_limit_s
-        return limit is not None and (time.monotonic() - start) >= limit
+        return limit is not None and (time.monotonic() - self._start) >= limit
 
     def _prune_threshold(self, incumbent_obj: float) -> float:
         """LP bounds at or above this value cannot improve the incumbent."""

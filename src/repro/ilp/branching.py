@@ -24,7 +24,7 @@ paper's implicit baselines: "leave the variable selection to the solver
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Protocol, Sequence
+from typing import Dict, Protocol, Sequence
 
 from repro.ilp.model import Model
 

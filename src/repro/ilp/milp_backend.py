@@ -59,25 +59,47 @@ def solve_milp_scipy(
     )
     elapsed = time.monotonic() - start
     stats = SolveStats(wall_time_s=elapsed)
+    node_count = getattr(result, "mip_node_count", None)
+    if node_count is not None:
+        stats.nodes_explored = int(node_count)
 
     # scipy.milp status: 0 optimal, 1 iteration/time limit, 2 infeasible,
     # 3 unbounded, 4 other.
     if result.status == 0:
         values = {idx: float(v) for idx, v in enumerate(result.x)}
+        objective = float(result.fun)
+        stats.best_bound = objective
+        stats.gap = 0.0
         return MilpResult(
             status=SolveStatus.OPTIMAL,
-            objective=float(result.fun),
+            objective=objective,
             values=values,
             stats=stats,
+            bound=objective,
+            gap=0.0,
         )
     if result.status == 1:
-        values = None
-        objective = None
-        if result.x is not None:
-            values = {idx: float(v) for idx, v in enumerate(result.x)}
-            objective = float(result.fun)
+        stats.stop_reason = "time_limit"
+        if result.x is None:
+            return MilpResult(status=SolveStatus.TIMEOUT, stats=stats)
+        # Limit expired with an incumbent: same FEASIBLE-plus-gap
+        # contract as the in-repo branch and bound.  HiGHS reports its
+        # proven dual bound / gap when available.
+        values = {idx: float(v) for idx, v in enumerate(result.x)}
+        objective = float(result.fun)
+        bound = getattr(result, "mip_dual_bound", None)
+        bound = float(bound) if bound is not None else None
+        gap = getattr(result, "mip_gap", None)
+        gap = float(gap) if gap is not None else None
+        stats.best_bound = bound
+        stats.gap = gap
         return MilpResult(
-            status=SolveStatus.TIMEOUT, objective=objective, values=values, stats=stats
+            status=SolveStatus.FEASIBLE,
+            objective=objective,
+            values=values,
+            stats=stats,
+            bound=bound,
+            gap=gap,
         )
     if result.status == 2:
         return MilpResult(status=SolveStatus.INFEASIBLE, stats=stats)

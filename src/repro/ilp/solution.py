@@ -1,21 +1,41 @@
-"""Solver result types shared by every backend.
+"""Solver result and telemetry types shared by every backend.
 
 Statuses distinguish the *outcome kinds* the paper's tables need:
 optimal (their "Yes" rows), proven infeasible (their "No" rows), and
-timeout (their ">7200" rows).
+limit expiry (their ">7200" rows) — which since the telemetry layer
+comes in two flavors: FEASIBLE (deadline hit but an incumbent plus a
+proven bound/gap are in hand) and TIMEOUT/NODE_LIMIT (expired truly
+empty-handed).
+
+Beyond the status, a solve produces a structured telemetry record:
+
+* :class:`SolveStats` — the full counter set of a branch-and-bound run
+  (node outcomes by cause, LP calls and cumulative LP time, SOS1 and
+  leaf-subsolve hit counts, the incumbent event log, final bound/gap);
+* :class:`IncumbentEvent` — one ``(wall_time, objective, bound)``
+  improvement event, the trajectory the paper's run-time tables talk
+  about;
+* :class:`NodeEvent` — a progress snapshot handed to ``on_node``
+  callbacks for live traces.
+
+Everything is JSON-serializable via ``as_dict`` so reports and the
+benchmark harness can persist a run without reaching into solver
+internals.
 """
 
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 
 class SolveStatus(enum.Enum):
     """Outcome of an LP or MILP solve."""
 
     OPTIMAL = "optimal"
+    FEASIBLE = "feasible"
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     TIMEOUT = "timeout"
@@ -26,6 +46,161 @@ class SolveStatus(enum.Enum):
     def is_success(self) -> bool:
         """Whether a (provably optimal) solution was produced."""
         return self is SolveStatus.OPTIMAL
+
+    @property
+    def carries_incumbent(self) -> bool:
+        """Whether this status guarantees an attached solution.
+
+        FEASIBLE is exactly "limit hit *with* an incumbent"; OPTIMAL is
+        the proven case.  TIMEOUT/NODE_LIMIT mean the search expired
+        empty-handed.
+        """
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+
+def relative_gap(objective: float, bound: float) -> float:
+    """MIP-style relative optimality gap ``(obj - bound) / max(1, |obj|)``.
+
+    Safe near zero objectives; 0.0 means proven optimal.  For the
+    minimization problems here ``bound <= objective`` always holds, so
+    the gap is non-negative (clamped defensively).
+    """
+    return max(0.0, (objective - bound) / max(1.0, abs(objective)))
+
+
+@dataclass(frozen=True)
+class IncumbentEvent:
+    """One incumbent improvement: when, to what, against which bound.
+
+    ``bound`` is the best proven global lower bound at the moment of
+    the improvement (``None`` while no finite bound exists yet, e.g.
+    before the root LP has been solved).
+    """
+
+    wall_time_s: float
+    objective: float
+    bound: Optional[float] = None
+
+    @property
+    def gap(self) -> Optional[float]:
+        """Relative gap at the time of the event, if a bound existed."""
+        if self.bound is None:
+            return None
+        return relative_gap(self.objective, self.bound)
+
+    def as_dict(self) -> "Dict[str, object]":
+        return {
+            "wall_time_s": self.wall_time_s,
+            "objective": self.objective,
+            "bound": self.bound,
+            "gap": self.gap,
+        }
+
+
+@dataclass(frozen=True)
+class NodeEvent:
+    """Progress snapshot delivered to ``on_node`` callbacks."""
+
+    wall_time_s: float
+    nodes_explored: int
+    depth: int
+    open_nodes: int
+    incumbent_objective: Optional[float] = None
+    best_bound: Optional[float] = None
+
+    @property
+    def gap(self) -> Optional[float]:
+        """Relative gap at the snapshot, when both sides are known."""
+        if self.incumbent_objective is None or self.best_bound is None:
+            return None
+        return relative_gap(self.incumbent_objective, self.best_bound)
+
+    def as_dict(self) -> "Dict[str, object]":
+        return {
+            "wall_time_s": self.wall_time_s,
+            "nodes_explored": self.nodes_explored,
+            "depth": self.depth,
+            "open_nodes": self.open_nodes,
+            "incumbent_objective": self.incumbent_objective,
+            "best_bound": self.best_bound,
+            "gap": self.gap,
+        }
+
+
+@dataclass
+class SolveStats:
+    """Search telemetry of a branch-and-bound run.
+
+    Node accounting: every explored node lands in exactly one outcome
+    bucket, so
+
+        nodes_explored == nodes_branched + nodes_pruned_bound
+                        + nodes_pruned_infeasible + nodes_integral
+                        + nodes_leaf_solved
+
+    holds at all times (the telemetry tests assert it).  ``lp_solves``
+    counts LP *relaxation* calls only; exact leaf sub-solves are
+    tracked separately in ``leaf_subsolve_calls``.
+    """
+
+    nodes_explored: int = 0
+    nodes_branched: int = 0
+    nodes_pruned_bound: int = 0
+    nodes_pruned_infeasible: int = 0
+    nodes_integral: int = 0
+    nodes_leaf_solved: int = 0
+    lp_solves: int = 0
+    lp_time_s: float = 0.0
+    incumbent_updates: int = 0
+    prober_hits: int = 0
+    sos1_propagations: int = 0
+    leaf_subsolve_calls: int = 0
+    rescue_nodes: int = 0
+    max_depth: int = 0
+    wall_time_s: float = 0.0
+    stop_reason: str = "exhausted"
+    best_bound: Optional[float] = None
+    gap: Optional[float] = None
+    incumbent_events: "List[IncumbentEvent]" = field(default_factory=list)
+
+    @property
+    def lp_calls(self) -> int:
+        """Alias for ``lp_solves`` (the telemetry schema's name)."""
+        return self.lp_solves
+
+    @property
+    def nodes_pruned(self) -> int:
+        """Nodes closed without branching, by any cause."""
+        return (
+            self.nodes_pruned_bound
+            + self.nodes_pruned_infeasible
+            + self.nodes_integral
+            + self.nodes_leaf_solved
+        )
+
+    def as_dict(self) -> "Dict[str, object]":
+        """Plain JSON-serializable view for reports and artifacts."""
+        return {
+            "nodes_explored": self.nodes_explored,
+            "nodes_branched": self.nodes_branched,
+            "nodes_pruned_bound": self.nodes_pruned_bound,
+            "nodes_pruned_infeasible": self.nodes_pruned_infeasible,
+            "nodes_integral": self.nodes_integral,
+            "nodes_leaf_solved": self.nodes_leaf_solved,
+            "lp_calls": self.lp_solves,
+            "lp_time_s": self.lp_time_s,
+            "incumbent_updates": self.incumbent_updates,
+            "prober_hits": self.prober_hits,
+            "sos1_propagations": self.sos1_propagations,
+            "leaf_subsolve_calls": self.leaf_subsolve_calls,
+            "rescue_nodes": self.rescue_nodes,
+            "max_depth": self.max_depth,
+            "wall_time_s": self.wall_time_s,
+            "stop_reason": self.stop_reason,
+            "best_bound": self.best_bound,
+            "gap": self.gap,
+            "incumbent_events": [e.as_dict() for e in self.incumbent_events],
+        }
 
 
 @dataclass(frozen=True)
@@ -46,51 +221,47 @@ class LPResult:
                 raise ValueError("OPTIMAL LPResult requires objective and values")
 
 
-@dataclass
-class SolveStats:
-    """Search statistics of a branch-and-bound run."""
-
-    nodes_explored: int = 0
-    lp_solves: int = 0
-    incumbent_updates: int = 0
-    nodes_pruned_bound: int = 0
-    nodes_pruned_infeasible: int = 0
-    max_depth: int = 0
-    wall_time_s: float = 0.0
-
-    def as_dict(self) -> "Dict[str, float]":
-        """Plain-dict view for reports."""
-        return {
-            "nodes_explored": self.nodes_explored,
-            "lp_solves": self.lp_solves,
-            "incumbent_updates": self.incumbent_updates,
-            "nodes_pruned_bound": self.nodes_pruned_bound,
-            "nodes_pruned_infeasible": self.nodes_pruned_infeasible,
-            "max_depth": self.max_depth,
-            "wall_time_s": self.wall_time_s,
-        }
-
-
 @dataclass(frozen=True)
 class MilpResult:
     """Result of a full MILP solve (branch and bound or scipy.milp).
 
-    When ``status`` is TIMEOUT or NODE_LIMIT a feasible-but-unproven
-    incumbent may still be present in ``objective``/``values``.
+    ``bound`` is the best proven lower bound on the optimum; ``gap``
+    the relative distance between ``objective`` and ``bound``.  For an
+    OPTIMAL result ``bound == objective`` and ``gap == 0.0``; for a
+    FEASIBLE (deadline-expired) result the gap quantifies how far the
+    incumbent is *proven* to be from optimal.  TIMEOUT / NODE_LIMIT
+    mean the limit expired with no incumbent at all.
     """
 
     status: SolveStatus
     objective: Optional[float] = None
     values: "Optional[Dict[int, float]]" = None
     stats: SolveStats = field(default_factory=SolveStats)
+    bound: Optional[float] = None
+    gap: Optional[float] = None
 
     @property
     def has_solution(self) -> bool:
         """Whether any integer-feasible solution is attached."""
         return self.values is not None
 
+    @property
+    def is_gap_proven(self) -> bool:
+        """Whether a finite optimality gap was established."""
+        return self.gap is not None and math.isfinite(self.gap)
+
     def value_by_name(self, model, name: str) -> float:
         """Convenience: value of a variable looked up by model name."""
         if self.values is None:
             raise ValueError(f"result carries no solution (status={self.status})")
         return self.values[model.var_by_name(name).index]
+
+    def telemetry(self) -> "Dict[str, object]":
+        """The per-run telemetry record (see docs/DESIGN.md schema)."""
+        return {
+            "status": self.status.value,
+            "objective": self.objective,
+            "bound": self.bound,
+            "gap": self.gap,
+            "stats": self.stats.as_dict(),
+        }

@@ -14,7 +14,7 @@ Terminology (matching the paper):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
 
 from repro._validation import require_identifier, require_positive

@@ -21,6 +21,8 @@ from repro.reporting.export import (
     rows_to_csv,
     rows_to_json,
     save_design,
+    save_telemetry,
+    telemetry_to_dict,
 )
 
 __all__ = [
@@ -36,4 +38,6 @@ __all__ = [
     "rows_to_json",
     "design_to_dict",
     "save_design",
+    "telemetry_to_dict",
+    "save_telemetry",
 ]

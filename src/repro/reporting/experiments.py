@@ -22,8 +22,8 @@ paper-vs-measured side by side.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.graph.generators import paper_graph
 from repro.library.catalogs import mix_from_string
@@ -162,13 +162,17 @@ def run_row(
         "runtime_s": round(elapsed, 2),
         "status": outcome.status.value,
         "feasible": outcome.feasible,
+        "hit_limit": outcome.hit_limit,
         "objective": outcome.objective,
+        "gap": outcome.gap,
         "partitions_used": (
             outcome.design.num_partitions_used if outcome.design else None
         ),
         "nodes": outcome.solve_stats.nodes_explored,
+        "lp_calls": outcome.solve_stats.lp_calls,
         "paper_vars": row.paper_vars,
         "paper_consts": row.paper_consts,
         "paper_runtime_s": row.paper_runtime_s,
         "paper_feasible": row.paper_feasible,
+        "telemetry": outcome.telemetry(),
     }

@@ -1,10 +1,17 @@
-"""Machine-readable export of experiment rows and designs.
+"""Machine-readable export of experiment rows, designs, and telemetry.
 
 The ASCII tables (:mod:`repro.reporting.tables`) are for humans; this
 module writes the same row dictionaries as CSV or JSON for downstream
 analysis, plus a full JSON dump of a partitioned design (assignment,
 per-partition local schedules, cut traffic) for consumption by other
 tools — e.g. a downstream bitstream-scheduling flow.
+
+It also persists the per-run **solve telemetry artifact**
+(``repro.solve_telemetry/v1``): the structured record of one solve —
+status, objective, proven bound and gap, the node/LP counter set, and
+the incumbent improvement event log.  The CLI's ``--telemetry`` flag
+and the benchmark harness both emit exactly this document, so solver
+trajectories are comparable across runs and machines.
 """
 
 from __future__ import annotations
@@ -12,8 +19,9 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
+from repro.core.partitioner import PartitionOutcome
 from repro.core.result import PartitionedDesign
 
 
@@ -92,3 +100,21 @@ def design_to_dict(design: PartitionedDesign) -> "Dict[str, object]":
 def save_design(design: PartitionedDesign, path: "str | Path") -> None:
     """Write a design's JSON dump to ``path``."""
     Path(path).write_text(json.dumps(design_to_dict(design), indent=2))
+
+
+def telemetry_to_dict(outcome: PartitionOutcome) -> "Dict[str, object]":
+    """The ``repro.solve_telemetry/v1`` record for one run.
+
+    Top-level keys: ``schema``, instance identity (``graph``,
+    ``n_partitions``, ``relaxation``, ``device``), the outcome
+    (``status``, ``feasible``, ``hit_limit``, ``objective``, ``bound``,
+    ``gap``, ``wall_time_s``), the ``model`` size report, and ``solve``
+    — the full :meth:`~repro.ilp.solution.SolveStats.as_dict` counter
+    set including ``incumbent_events``.
+    """
+    return outcome.telemetry()
+
+
+def save_telemetry(outcome: PartitionOutcome, path: "str | Path") -> None:
+    """Write one run's solve-telemetry artifact as JSON to ``path``."""
+    Path(path).write_text(json.dumps(telemetry_to_dict(outcome), indent=2))

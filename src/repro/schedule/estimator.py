@@ -20,7 +20,7 @@ exceeds the device is reported as infeasible immediately.
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import Set
 
 from repro.errors import InfeasibleSpecError
 from repro.graph.analysis import topological_tasks

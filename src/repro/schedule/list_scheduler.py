@@ -9,7 +9,7 @@ to compare the ILP against.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.errors import InfeasibleSpecError, SpecificationError
 from repro.graph.analysis import combined_operation_graph, op_priorities

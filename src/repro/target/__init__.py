@@ -1,0 +1,30 @@
+"""Target-platform models: FPGA devices, scratch memory, reconfiguration cost.
+
+The paper targets a dynamically reconfigurable FPGA (an XC4000-class
+part) attached to a scratch memory that carries data across temporal
+segments.  This package pins those platform facts behind three small,
+validated value types:
+
+``fpga``
+    :class:`FPGADevice` — capacity ``C`` in function generators and the
+    synthesis-efficiency factor ``alpha`` of eq. 11's per-partition
+    area test, plus the :func:`device_catalog` of XC4000-series parts.
+``memory``
+    :class:`ScratchMemory` — the eq. 3 bound ``Ms`` on data stored
+    across any partition cut.
+``reconfig``
+    :class:`ReconfigCostModel` — wall-clock model of a partitioned
+    execution (reconfiguration + transfer + compute), used for
+    reporting rather than by the ILP itself.
+"""
+
+from repro.target.fpga import FPGADevice, device_catalog
+from repro.target.memory import ScratchMemory
+from repro.target.reconfig import ReconfigCostModel
+
+__all__ = [
+    "FPGADevice",
+    "device_catalog",
+    "ScratchMemory",
+    "ReconfigCostModel",
+]

@@ -1,0 +1,47 @@
+"""Scratch memory: the eq. 3 bound on data stored across a cut.
+
+Between consecutive temporal segments every live value is parked in a
+scratch memory of ``Ms`` data units; eq. 3 bounds the traffic across
+*each* partition cut by ``Ms``.  :class:`ScratchMemory` is that bound
+as a value type with the single admission test the constraint builders,
+verifier and baselines all share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TargetError
+
+
+@dataclass(frozen=True)
+class ScratchMemory:
+    """Scratch memory of ``size`` data units (eq. 3's ``Ms``).
+
+    ``size`` may be 0 (no inter-segment storage at all — only designs
+    with empty cuts are then feasible).
+    """
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.size, int) or self.size < 0:
+            raise TargetError(
+                f"scratch memory size must be an int >= 0, got {self.size!r}"
+            )
+
+    def admits(self, traffic: int) -> bool:
+        """Eq. 3's test: does ``traffic`` data units fit the memory?"""
+        if traffic < 0:
+            raise TargetError(f"cut traffic must be >= 0, got {traffic!r}")
+        return traffic <= self.size
+
+    @classmethod
+    def unbounded_for(cls, total_bandwidth: int) -> "ScratchMemory":
+        """A memory no cut of a given graph can ever exceed.
+
+        Any cut's traffic is at most the graph's total inter-task
+        bandwidth, so ``ScratchMemory(total_bandwidth)`` makes eq. 3
+        vacuous while keeping the type finite and printable.
+        """
+        return cls(int(total_bandwidth))

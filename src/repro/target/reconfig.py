@@ -1,0 +1,86 @@
+"""Wall-clock cost model of a temporally partitioned execution.
+
+The ILP minimizes inter-segment *traffic*; this module prices a
+partitioned design in nanoseconds so reports can show what the
+objective buys.  One pass over N partitions costs
+
+    (N - 1) * reconfiguration     (full-device reloads between segments)
+  +  transferred_units * t_unit   (scratch-memory store/load traffic)
+  +  cycles * t_clock             (the computation itself)
+
+Reconfiguration dominates on XC4000-class parts (milliseconds against
+nanosecond-scale transfers), which is the paper's motivation for
+bounding N tightly rather than minimizing reconfigurations in the
+objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TargetError
+from repro.target.fpga import FPGADevice
+
+
+@dataclass(frozen=True)
+class ReconfigCostModel:
+    """Prices a partitioned execution on a device.
+
+    Parameters
+    ----------
+    device:
+        Target device; supplies the per-reload reconfiguration time.
+    transfer_ns_per_unit:
+        Nanoseconds to move one data unit to/from scratch memory.
+    clock_ns:
+        System clock period; one control step costs one clock.
+    """
+
+    device: FPGADevice
+    transfer_ns_per_unit: float = 100.0
+    clock_ns: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.transfer_ns_per_unit < 0:
+            raise TargetError(
+                f"transfer_ns_per_unit must be >= 0, "
+                f"got {self.transfer_ns_per_unit!r}"
+            )
+        if self.clock_ns <= 0:
+            raise TargetError(f"clock_ns must be > 0, got {self.clock_ns!r}")
+
+    # ------------------------------------------------------------------
+
+    def reconfiguration_overhead_ns(self, n_partitions: int) -> float:
+        """Time spent reloading the device: ``(N - 1)`` full reloads."""
+        if n_partitions < 1:
+            raise TargetError(
+                f"n_partitions must be >= 1, got {n_partitions!r}"
+            )
+        return (n_partitions - 1) * self.device.reconfig_time_us * 1000.0
+
+    def transfer_overhead_ns(self, transferred_units: int) -> float:
+        """Time spent moving data through the scratch memory."""
+        if transferred_units < 0:
+            raise TargetError(
+                f"transferred_units must be >= 0, got {transferred_units!r}"
+            )
+        return transferred_units * self.transfer_ns_per_unit
+
+    def compute_time_ns(self, control_steps: int) -> float:
+        """Time spent computing: one clock per control step."""
+        if control_steps < 0:
+            raise TargetError(
+                f"control_steps must be >= 0, got {control_steps!r}"
+            )
+        return control_steps * self.clock_ns
+
+    def total_time_ns(
+        self, n_partitions: int, transferred_units: int, control_steps: int
+    ) -> float:
+        """Total wall-clock estimate of one pass through the design."""
+        return (
+            self.reconfiguration_overhead_ns(n_partitions)
+            + self.transfer_overhead_ns(transferred_units)
+            + self.compute_time_ns(control_steps)
+        )

@@ -101,6 +101,54 @@ class TestMain:
         text = lp_path.read_text()
         assert "Minimize" in text and "Binaries" in text
 
+    def test_verbose_solve_traces_incumbents(self, capsys, tmp_path, chain3_graph):
+        path = tmp_path / "g.json"
+        save_task_graph(chain3_graph, path)
+        code = main([
+            "--graph", str(path), "--mix", "1A+1M+1S",
+            "-N", "2", "-L", "2", "--device", "2048:0.7",
+            "--verbose-solve", "--trace-every", "1",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "[bnb]" in captured.err
+        assert "*** incumbent" in captured.err
+        assert "LP calls" in captured.out
+
+    def test_telemetry_artifact_written(self, capsys, tmp_path, chain3_graph):
+        path = tmp_path / "g.json"
+        save_task_graph(chain3_graph, path)
+        telemetry_path = tmp_path / "telemetry.json"
+        code, out = self.run_cli(
+            capsys,
+            "--graph", str(path), "--mix", "1A+1M+1S",
+            "-N", "2", "-L", "2", "--device", "2048:0.7",
+            "--telemetry", str(telemetry_path),
+        )
+        assert code == 0
+        record = json.loads(telemetry_path.read_text())
+        assert record["schema"] == "repro.solve_telemetry/v1"
+        assert record["status"] == "optimal"
+        assert record["solve"]["nodes_explored"] >= 1
+
+    def test_deadline_expiry_reports_gap(self, capsys, tmp_path, chain3_graph):
+        path = tmp_path / "g.json"
+        save_task_graph(chain3_graph, path)
+        code, out = self.run_cli(
+            capsys,
+            "--graph", str(path), "--mix", "1A+1M+1S",
+            "-N", "2", "-L", "2", "--device", "130:0.7",
+            "--time-limit", "0", "--plain-search", "--json",
+        )
+        payload = json.loads(out)
+        # The rescue dive either proves the answer or returns a
+        # gap-annotated incumbent; never an empty-handed crash.
+        assert payload["status"] in ("optimal", "feasible", "infeasible",
+                                     "timeout")
+        if payload["status"] == "feasible":
+            assert code == 0
+            assert payload["gap"] is not None
+
     def test_milp_backend_flag(self, capsys, tmp_path, chain3_graph):
         path = tmp_path / "g.json"
         save_task_graph(chain3_graph, path)

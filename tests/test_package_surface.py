@@ -1,0 +1,63 @@
+"""Smoke tests keeping the package surface honest.
+
+The seed repository shipped with ``repro/__init__.py`` re-exporting a
+``repro.target`` package that did not exist, which bricked *collection*
+of the entire suite with a ``ModuleNotFoundError`` instead of failing
+one test.  These tests make that class of regression loud and local:
+
+* every module under ``src/repro`` imports cleanly;
+* every name listed in ``repro.__all__`` (and each subpackage's
+  ``__all__``) actually resolves;
+* the package map advertised in the top-level docstring exists.
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+#: Every module under src/repro, discovered from the installed package.
+ALL_MODULES = sorted(
+    info.name
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+)
+
+SUBPACKAGES = [
+    "repro.graph",
+    "repro.library",
+    "repro.target",
+    "repro.schedule",
+    "repro.ilp",
+    "repro.core",
+    "repro.baselines",
+    "repro.extensions",
+    "repro.reporting",
+]
+
+
+def test_module_discovery_found_the_tree():
+    # A misconfigured walk would vacuously pass everything below.
+    assert "repro.target.fpga" in ALL_MODULES
+    assert "repro.ilp.branch_bound" in ALL_MODULES
+    assert len(ALL_MODULES) > 40
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_every_module_imports(module_name):
+    importlib.import_module(module_name)
+
+
+@pytest.mark.parametrize("name", sorted(repro.__all__))
+def test_every_top_level_export_resolves(name):
+    assert getattr(repro, name, None) is not None
+
+
+@pytest.mark.parametrize("package_name", SUBPACKAGES)
+def test_documented_subpackages_exist_and_export_all(package_name):
+    package = importlib.import_module(package_name)
+    for name in getattr(package, "__all__", []):
+        assert getattr(package, name, None) is not None, (
+            f"{package_name}.__all__ lists {name!r} but it does not resolve"
+        )

@@ -1,0 +1,251 @@
+"""Tests for the solve-telemetry and deadline-robustness layer.
+
+Covers the contract the rest of the system builds on:
+
+* deadline expiry is an outcome, not an error — the incumbent comes
+  back with status FEASIBLE, a proven bound, and a finite gap (the
+  rescue dive guarantees this even for ``time_limit_s=0``);
+* the incumbent event log is monotone (objectives strictly improve,
+  timestamps never go backwards) and ends at the returned objective;
+* the per-cause node counters reconcile exactly with nodes explored;
+* progress callbacks see the same events the stats record;
+* the whole record propagates through the core pipeline
+  (``TemporalPartitioner`` -> ``PartitionOutcome``) and serializes to
+  the telemetry JSON artifact.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.core.partitioner import TemporalPartitioner
+from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig
+from repro.ilp.expr import lin_sum
+from repro.ilp.model import Model
+from repro.ilp.solution import IncumbentEvent, NodeEvent, SolveStatus, relative_gap
+from repro.reporting.export import save_telemetry, telemetry_to_dict
+
+
+def two_incumbent_model():
+    """min -(4a+3b) s.t. 2a+2b <= 3.
+
+    The root LP is uniquely ``a=1, b=0.5`` (a has the better ratio), so
+    every rule branches on ``b``.  Depth-first with the 1-branch first
+    finds ``(0, 1)`` (objective -3) before ``(1, 0)`` (objective -4):
+    exactly two incumbent improvements, optimum -4.
+    """
+    model = Model("two-inc")
+    a = model.add_binary("a")
+    b = model.add_binary("b")
+    model.add(2 * a + 2 * b <= 3)
+    model.set_objective(-4 * a - 3 * b)
+    return model
+
+
+def wide_model(n=8):
+    """A larger 0-1 knapsack-style model with a genuinely deep tree."""
+    model = Model("wide")
+    xs = [model.add_binary(f"x{i}") for i in range(n)]
+    model.add(lin_sum((2 + (i % 3)) * x for i, x in enumerate(xs)) <= n)
+    model.set_objective(lin_sum(-(3 + (i % 4)) * x for i, x in enumerate(xs)))
+    return model
+
+
+def assert_counters_reconcile(stats):
+    """Every explored node must land in exactly one outcome bucket."""
+    assert stats.nodes_explored == (
+        stats.nodes_branched
+        + stats.nodes_pruned_bound
+        + stats.nodes_pruned_infeasible
+        + stats.nodes_integral
+        + stats.nodes_leaf_solved
+    )
+
+
+class TestDeadlineRobustness:
+    def test_zero_deadline_returns_incumbent_with_finite_gap(self):
+        config = BranchAndBoundConfig(time_limit_s=0.0)
+        result = BranchAndBound(two_incumbent_model(), config=config).solve()
+        assert result.status is SolveStatus.FEASIBLE
+        assert result.has_solution
+        assert result.objective == pytest.approx(-3.0)
+        # The open root-child inherits the root LP bound (-5.5).
+        assert result.bound == pytest.approx(-5.5)
+        assert result.gap is not None and math.isfinite(result.gap)
+        assert result.gap == pytest.approx(relative_gap(-3.0, -5.5))
+        assert result.stats.stop_reason == "time_limit"
+        assert result.stats.rescue_nodes >= 1
+
+    def test_zero_deadline_telemetry_populated(self):
+        config = BranchAndBoundConfig(time_limit_s=0.0)
+        result = BranchAndBound(two_incumbent_model(), config=config).solve()
+        stats = result.stats
+        assert stats.nodes_explored >= 1
+        assert stats.lp_calls >= 1
+        assert stats.lp_time_s >= 0.0
+        assert len(stats.incumbent_events) == stats.incumbent_updates >= 1
+        assert stats.best_bound == result.bound
+        assert stats.gap == result.gap
+        assert_counters_reconcile(stats)
+
+    def test_rescue_disabled_times_out_empty_handed(self):
+        config = BranchAndBoundConfig(time_limit_s=0.0, rescue_on_deadline=False)
+        result = BranchAndBound(two_incumbent_model(), config=config).solve()
+        assert result.status is SolveStatus.TIMEOUT
+        assert not result.has_solution
+        assert result.gap is None
+
+    def test_rescue_budget_zero_times_out(self):
+        config = BranchAndBoundConfig(time_limit_s=0.0, rescue_node_budget=0)
+        result = BranchAndBound(two_incumbent_model(), config=config).solve()
+        assert result.status is SolveStatus.TIMEOUT
+        assert result.stats.rescue_nodes == 0
+
+    def test_optimal_run_has_zero_gap(self):
+        result = BranchAndBound(two_incumbent_model()).solve()
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(-4.0)
+        assert result.bound == pytest.approx(-4.0)
+        assert result.gap == 0.0
+        assert result.stats.stop_reason == "exhausted"
+
+    def test_node_limit_with_incumbent_is_feasible(self):
+        # Enough nodes to find the first incumbent of the deep model,
+        # far too few to finish the tree.
+        config = BranchAndBoundConfig(node_limit=12)
+        result = BranchAndBound(wide_model(), config=config).solve()
+        if result.has_solution:
+            assert result.status is SolveStatus.FEASIBLE
+            assert result.stats.stop_reason == "node_limit"
+            assert result.gap is not None
+        else:
+            assert result.status is SolveStatus.NODE_LIMIT
+
+
+class TestIncumbentEventLog:
+    def test_two_incumbents_recorded_in_order(self):
+        result = BranchAndBound(two_incumbent_model()).solve()
+        events = result.stats.incumbent_events
+        assert [e.objective for e in events] == [
+            pytest.approx(-3.0),
+            pytest.approx(-4.0),
+        ]
+
+    def test_log_is_monotone(self):
+        result = BranchAndBound(wide_model()).solve()
+        events = result.stats.incumbent_events
+        assert events, "expected at least one incumbent"
+        objectives = [e.objective for e in events]
+        assert objectives == sorted(objectives, reverse=True)
+        assert len(set(objectives)) == len(objectives), "strictly improving"
+        times = [e.wall_time_s for e in events]
+        assert times == sorted(times)
+        assert events[-1].objective == pytest.approx(result.objective)
+
+    def test_events_carry_bounds_and_gap(self):
+        result = BranchAndBound(two_incumbent_model()).solve()
+        for event in result.stats.incumbent_events:
+            assert event.bound is None or event.bound <= event.objective + 1e-9
+            payload = event.as_dict()
+            assert set(payload) == {"wall_time_s", "objective", "bound", "gap"}
+
+
+class TestCounterReconciliation:
+    @pytest.mark.parametrize("model_fn", [two_incumbent_model, wide_model])
+    def test_buckets_sum_to_nodes_explored(self, model_fn):
+        result = BranchAndBound(model_fn()).solve()
+        assert_counters_reconcile(result.stats)
+
+    def test_lp_calls_match_non_probed_nodes(self):
+        result = BranchAndBound(wide_model()).solve()
+        stats = result.stats
+        # No prober configured: every explored node got exactly one LP.
+        assert stats.lp_solves == stats.nodes_explored
+        assert stats.prober_hits == 0
+
+    def test_as_dict_round_trips_through_json(self):
+        result = BranchAndBound(two_incumbent_model()).solve()
+        payload = json.loads(json.dumps(result.telemetry()))
+        assert payload["status"] == "optimal"
+        assert payload["stats"]["nodes_explored"] >= 1
+        assert payload["stats"]["incumbent_events"]
+
+
+class TestProgressCallbacks:
+    def test_on_node_and_on_incumbent_fire(self):
+        node_events, incumbent_events = [], []
+        config = BranchAndBoundConfig(
+            on_node=node_events.append,
+            on_incumbent=incumbent_events.append,
+        )
+        result = BranchAndBound(two_incumbent_model(), config=config).solve()
+        assert len(node_events) == result.stats.nodes_explored
+        assert all(isinstance(e, NodeEvent) for e in node_events)
+        counts = [e.nodes_explored for e in node_events]
+        assert counts == sorted(counts)
+        assert [e.objective for e in incumbent_events] == [
+            e.objective for e in result.stats.incumbent_events
+        ]
+        assert all(isinstance(e, IncumbentEvent) for e in incumbent_events)
+
+    def test_callback_decimation(self):
+        node_events = []
+        config = BranchAndBoundConfig(
+            on_node=node_events.append, callback_every=2
+        )
+        result = BranchAndBound(wide_model(), config=config).solve()
+        assert len(node_events) == result.stats.nodes_explored // 2
+
+
+class TestPipelinePropagation:
+    def test_timed_out_partition_still_yields_design(
+        self, forced_split_graph, tight_device
+    ):
+        tp = TemporalPartitioner(
+            device=tight_device, time_limit_s=0.0, plain_search=True
+        )
+        outcome = tp.partition(
+            forced_split_graph, "1A+1M", n_partitions=3, relaxation=3
+        )
+        assert outcome.hit_limit or outcome.status is SolveStatus.OPTIMAL
+        if outcome.status is SolveStatus.FEASIBLE:
+            assert outcome.design is not None
+            assert outcome.gap is not None and math.isfinite(outcome.gap)
+            assert outcome.bound is not None
+            assert outcome.summary_row()["gap"] == outcome.gap
+        else:
+            # The rescue dive finished the tree: a proven answer.
+            assert outcome.status in (
+                SolveStatus.OPTIMAL,
+                SolveStatus.INFEASIBLE,
+                SolveStatus.TIMEOUT,
+            )
+
+    def test_partitioner_callbacks_forwarded(self, chain3_graph, big_device):
+        node_events, incumbent_events = [], []
+        tp = TemporalPartitioner(
+            device=big_device,
+            on_node=node_events.append,
+            on_incumbent=incumbent_events.append,
+        )
+        outcome = tp.partition(chain3_graph, "1A+1M+1S", n_partitions=2,
+                               relaxation=2)
+        assert outcome.status is SolveStatus.OPTIMAL
+        assert node_events
+        assert len(incumbent_events) == outcome.solve_stats.incumbent_updates
+
+    def test_telemetry_artifact_schema(self, chain3_graph, big_device, tmp_path):
+        tp = TemporalPartitioner(device=big_device)
+        outcome = tp.partition(chain3_graph, "1A+1M+1S", n_partitions=2,
+                               relaxation=2)
+        record = telemetry_to_dict(outcome)
+        assert record["schema"] == "repro.solve_telemetry/v1"
+        assert record["status"] == "optimal"
+        assert record["solve"]["nodes_explored"] >= 1
+        assert record["solve"]["lp_calls"] >= 1
+        path = tmp_path / "telemetry.json"
+        save_telemetry(outcome, path)
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(record)
+        )
