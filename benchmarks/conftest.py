@@ -32,6 +32,9 @@ def run_once(benchmark, fn: "Callable[[], object]"):
     record is copied onto the benchmark's ``extra_info`` so
     ``--benchmark-json`` artifacts keep the full solver trajectory
     (nodes, LP calls, incumbent events, final gap) next to the timing.
+    Runs that presolved their model additionally get a ``presolve``
+    entry summarizing the reduction counts and the root-LP size the
+    search actually started from.
     """
     holder: "Dict[str, object]" = {}
 
@@ -42,6 +45,17 @@ def run_once(benchmark, fn: "Callable[[], object]"):
     result = holder["result"]
     if isinstance(result, Mapping) and "telemetry" in result:
         benchmark.extra_info["telemetry"] = result["telemetry"]
+        solve = result["telemetry"].get("solve") or {}
+        reductions = solve.get("presolve")
+        if reductions is not None:
+            benchmark.extra_info["presolve"] = {
+                "rows_removed": reductions["rows_removed"],
+                "vars_fixed": reductions["vars_fixed"],
+                "bounds_tightened": reductions["bounds_tightened"],
+                "coeffs_tightened": reductions["coeffs_tightened"],
+                "root_lp_rows": reductions["rows_after"],
+                "root_lp_nonzeros": reductions["nonzeros_after"],
+            }
     return result
 
 

@@ -12,6 +12,11 @@ Usage examples::
     # export the ILP instead of solving it:
     python -m repro.cli --paper-graph 1 --mix 2A+2M+1S -N 2 -L 2 \\
         --dump-lp model.lp
+
+    # statically analyze a spec without solving (exit 0 clean,
+    # 1 warnings, 2 errors or proven infeasible):
+    python -m repro.cli lint --graph myspec.json --mix 1A+1M+1S \\
+        --device xc4005 --format json
 """
 
 from __future__ import annotations
@@ -165,8 +170,178 @@ def resolve_device(text: str) -> FPGADevice:
         )
 
 
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tps lint",
+        description="Statically analyze a specification's 0-1 model "
+        "without solving it: lint diagnostics, presolve reduction "
+        "counts, and infeasibility certificates.  Exit status: 0 "
+        "clean, 1 warnings, 2 errors or proven infeasible.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--graph", help="path to a task-graph JSON file (see repro.graph.io)"
+    )
+    source.add_argument(
+        "--paper-graph", type=int, choices=range(1, 7), metavar="1..6",
+        help="one of the paper's regenerated experimental graphs",
+    )
+    parser.add_argument(
+        "--mix", required=True,
+        help="FU mix in the paper's notation, e.g. 2A+2M+1S",
+    )
+    parser.add_argument(
+        "-N", "--partitions", type=int, default=None,
+        help="partition bound N (default: estimate heuristically)",
+    )
+    parser.add_argument(
+        "-L", "--relaxation", type=int, default=0,
+        help="latency relaxation L over the critical path (default 0)",
+    )
+    parser.add_argument(
+        "--device", default="xc4010",
+        help="device name from the catalog, or CAPACITY[:ALPHA]",
+    )
+    parser.add_argument(
+        "--memory", type=int, default=None,
+        help="scratch memory Ms in data units (default: unbounded)",
+    )
+    parser.add_argument(
+        "--base-model", action="store_true",
+        help="analyze the untightened Section-5 formulation",
+    )
+    parser.add_argument(
+        "--fortet", action="store_true",
+        help="use Fortet's linearization instead of Glover's",
+    )
+    parser.add_argument(
+        "--no-presolve", action="store_true",
+        help="lint only; skip the presolve reduction pass",
+    )
+    parser.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="report format (default text)",
+    )
+    return parser
+
+
+def _lint_report(payload: "dict", as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(payload, indent=2))
+        return
+    for cert in payload["certificates"]:
+        print(f"error: infeasible ({cert['code']}): {cert['reason']}")
+    for diag in payload["diagnostics"]:
+        where = f" [{diag['constraint_tag']}]" if diag["constraint_tag"] else ""
+        print(f"{diag['severity']}: {diag['code']}{where}: {diag['message']}")
+    presolve = payload.get("presolve")
+    if presolve is not None:
+        print(
+            f"presolve: {presolve['rows_removed']} rows removed, "
+            f"{presolve['vars_fixed']} vars fixed, "
+            f"{presolve['bounds_tightened']} bounds tightened, "
+            f"{presolve['coeffs_tightened']} coefficients tightened "
+            f"({presolve['rows_before']} -> {presolve['rows_after']} rows, "
+            f"{presolve['nonzeros_before']} -> {presolve['nonzeros_after']} "
+            f"nonzeros)"
+        )
+    counts = payload["severity_counts"]
+    print(
+        f"lint: {counts.get('error', 0)} errors, "
+        f"{counts.get('warning', 0)} warnings, "
+        f"{counts.get('info', 0)} notes"
+    )
+
+
+def lint_main(argv: "Optional[list]" = None) -> int:
+    from repro.ilp.analysis import analyze_model
+    from repro.core.precheck import precheck_graph, precheck_spec
+    from repro.core.spec import ProblemSpec
+    from repro.errors import InfeasibleSpecError, SpecificationError
+    from repro.schedule.estimator import estimate_num_segments
+    from repro.target.memory import ScratchMemory as _ScratchMemory
+
+    args = build_lint_parser().parse_args(argv)
+    as_json = args.format == "json"
+
+    if args.paper_graph is not None:
+        graph = paper_graph(args.paper_graph)
+    else:
+        graph = load_task_graph(args.graph, validate=False)
+
+    payload: "dict" = {
+        "graph": graph.name,
+        "certificates": [],
+        "diagnostics": [],
+        "severity_counts": {},
+    }
+
+    certificates = list(precheck_graph(graph))
+    if not certificates:
+        try:
+            graph.validate()
+        except SpecificationError as exc:
+            raise SystemExit(f"malformed specification: {exc}")
+        library = default_library()
+        try:
+            allocation = mix_from_string(args.mix, library)
+            device = resolve_device(args.device)
+            memory = (
+                _ScratchMemory(args.memory)
+                if args.memory is not None
+                else _ScratchMemory.unbounded_for(graph.total_bandwidth())
+            )
+            n_partitions = args.partitions
+            if n_partitions is None:
+                n_partitions = estimate_num_segments(graph, library, device)
+            spec = ProblemSpec.create(
+                graph, allocation, device, memory, n_partitions, args.relaxation
+            )
+        except InfeasibleSpecError as exc:
+            payload["certificates"] = [{
+                "code": "task-exceeds-capacity",
+                "reason": str(exc),
+                "details": {},
+            }]
+            payload["exit_code"] = 2
+            _lint_report(payload, as_json)
+            return 2
+        certificates.extend(precheck_spec(spec))
+        options = FormulationOptions(
+            tighten=not args.base_model,
+            linearization="fortet" if args.fortet else "glover",
+        )
+        model, _ = build_model(spec, options)
+        report = analyze_model(model, run_presolve=not args.no_presolve)
+        certificates.extend(report.certificates)
+        payload["model"] = dict(model.stats())
+        payload["diagnostics"] = [d.as_dict() for d in report.diagnostics]
+        if report.presolve is not None:
+            payload["presolve"] = report.presolve.stats.as_dict()
+
+    payload["certificates"] = [
+        c if isinstance(c, dict) else c.as_dict() for c in certificates
+    ]
+    counts: "dict" = {}
+    for diag in payload["diagnostics"]:
+        counts[diag["severity"]] = counts.get(diag["severity"], 0) + 1
+    payload["severity_counts"] = counts
+    if payload["certificates"] or counts.get("error"):
+        code = 2
+    elif counts.get("warning"):
+        code = 1
+    else:
+        code = 0
+    payload["exit_code"] = code
+    _lint_report(payload, as_json)
+    return code
+
+
 def main(argv: "Optional[list]" = None) -> int:
-    args = build_parser().parse_args(argv)
+    arguments = list(argv) if argv is not None else sys.argv[1:]
+    if arguments and arguments[0] == "lint":
+        return lint_main(arguments[1:])
+    args = build_parser().parse_args(arguments)
 
     if args.paper_graph is not None:
         graph = paper_graph(args.paper_graph)

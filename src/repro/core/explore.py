@@ -52,12 +52,12 @@ def minimum_feasible_relaxation(
     of the paper's tool runs by hand when a design "could not be
     feasibly partitioned", as in Table 3's narrative.
     """
-    for l in range(max_relaxation + 1):
+    for level in range(max_relaxation + 1):
         outcome = partitioner.partition(
-            graph, allocation, n_partitions=n_partitions, relaxation=l
+            graph, allocation, n_partitions=n_partitions, relaxation=level
         )
         if outcome.feasible:
-            return l
+            return level
     return None
 
 

@@ -116,4 +116,5 @@ def model_size_report(model: Model, space: VariableSpace) -> "Dict[str, object]"
     report: "Dict[str, object]" = dict(model.stats())
     report["vars_by_family"] = space.counts()
     report["constraints_by_family"] = model.constraint_counts_by_tag()
+    report["integer_vars_by_family"] = model.integer_counts_by_tag()
     return report

@@ -24,10 +24,11 @@ from typing import Dict, Optional, Union
 
 from repro.errors import ReproError
 from repro.graph.taskgraph import TaskGraph
+from repro.ilp.analysis.diagnostics import InfeasibilityCertificate
 from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig
 from repro.ilp.branching import BranchingRule, make_rule
 from repro.ilp.milp_backend import solve_milp_scipy
-from repro.ilp.solution import MilpResult, SolveStats, SolveStatus
+from repro.ilp.solution import SolveStats, SolveStatus
 from repro.library.catalogs import default_library, mix_from_string
 from repro.library.components import Allocation, ComponentLibrary
 from repro.schedule.estimator import estimate_num_segments
@@ -35,6 +36,7 @@ from repro.target.fpga import FPGADevice, device_catalog
 from repro.target.memory import ScratchMemory
 from repro.core.decode import decode_solution
 from repro.core.formulation import FormulationOptions, build_model, model_size_report
+from repro.core.precheck import precheck_spec
 from repro.core.result import PartitionedDesign
 from repro.core.spec import ProblemSpec
 from repro.core.verify import verify_design
@@ -59,6 +61,7 @@ class PartitionOutcome:
     wall_time_s: float
     bound: "Optional[float]" = None
     gap: "Optional[float]" = None
+    certificate: "Optional[InfeasibilityCertificate]" = None
 
     @property
     def feasible(self) -> bool:
@@ -71,8 +74,12 @@ class PartitionOutcome:
 
         True for FEASIBLE (incumbent in hand) as well as bare
         TIMEOUT/NODE_LIMIT outcomes — the paper's ">7200" notion.
+        Certificate rejections (precheck or presolve) are proofs, not
+        limits.
         """
-        return self.solve_stats.stop_reason != "exhausted"
+        return self.solve_stats.stop_reason not in (
+            "exhausted", "precheck_infeasible", "presolve_infeasible"
+        )
 
     def summary_row(self) -> "Dict[str, object]":
         """One row in the shape of the paper's result tables."""
@@ -94,7 +101,7 @@ class PartitionOutcome:
     def telemetry(self) -> "Dict[str, object]":
         """Per-run solve-telemetry record (see DESIGN.md for the schema)."""
         return {
-            "schema": "repro.solve_telemetry/v1",
+            "schema": "repro.solve_telemetry/v2",
             "graph": self.spec.graph.name,
             "n_partitions": self.spec.n_partitions,
             "relaxation": self.spec.relaxation,
@@ -108,6 +115,9 @@ class PartitionOutcome:
             "wall_time_s": self.wall_time_s,
             "model": dict(self.model_stats),
             "solve": self.solve_stats.as_dict(),
+            "certificate": (
+                None if self.certificate is None else self.certificate.as_dict()
+            ),
         }
 
 
@@ -139,6 +149,15 @@ class TemporalPartitioner:
         When True, run the branch and bound *without* its SOS1
         propagation and exact leaf sub-solve — the raw 1998-style
         search the formulation benchmarks (Tables 1-2) measure.
+        Also disables presolve (the 1998 flow had none).
+    presolve:
+        When True (default), run the structural prechecks
+        (:mod:`repro.core.precheck`, eqs. 3 and 11 plus cycle
+        detection) before formulating, and the static presolve pass
+        (:mod:`repro.ilp.analysis`) before the branch and bound.  A
+        certificate ends the run with an INFEASIBLE outcome carrying
+        it — no LP is ever solved.  Only the ``"bnb"`` backend
+        presolves the model; prechecks apply to both backends.
     on_node / on_incumbent:
         Optional progress callbacks forwarded to the branch and bound
         (see :class:`~repro.ilp.branch_bound.BranchAndBoundConfig`);
@@ -159,6 +178,7 @@ class TemporalPartitioner:
         time_limit_s: "Optional[float]" = None,
         node_limit: "Optional[int]" = None,
         plain_search: bool = False,
+        presolve: bool = True,
         on_node=None,
         on_incumbent=None,
         callback_every: int = 1,
@@ -176,6 +196,7 @@ class TemporalPartitioner:
         self.time_limit_s = time_limit_s
         self.node_limit = node_limit
         self.plain_search = plain_search
+        self.presolve = presolve
         self.on_node = on_node
         self.on_incumbent = on_incumbent
         self.callback_every = callback_every
@@ -225,8 +246,24 @@ class TemporalPartitioner:
     def partition_spec(self, spec: ProblemSpec) -> PartitionOutcome:
         """Steps 3-5 of the flow, on an already-built spec."""
         start = time.monotonic()
+        if self.presolve and not self.plain_search:
+            certificates = precheck_spec(spec)
+            if certificates:
+                model, space = build_model(spec, self.options)
+                stats = SolveStats(stop_reason="precheck_infeasible")
+                stats.wall_time_s = time.monotonic() - start
+                return PartitionOutcome(
+                    status=SolveStatus.INFEASIBLE,
+                    spec=spec,
+                    design=None,
+                    objective=None,
+                    model_stats=model_size_report(model, space),
+                    solve_stats=stats,
+                    wall_time_s=stats.wall_time_s,
+                    certificate=certificates[0],
+                )
         model, space = build_model(spec, self.options)
-        result = self._solve(model, spec, space)
+        result, certificate = self._solve(model, spec, space)
         wall = time.monotonic() - start
 
         design: "Optional[PartitionedDesign]" = None
@@ -246,13 +283,15 @@ class TemporalPartitioner:
             wall_time_s=wall,
             bound=result.bound,
             gap=result.gap,
+            certificate=certificate,
         )
 
     # ------------------------------------------------------------------
 
-    def _solve(self, model, spec, space) -> MilpResult:
+    def _solve(self, model, spec, space):
+        """Solve the model; returns (MilpResult, presolve certificate)."""
         if self.backend == "milp":
-            return solve_milp_scipy(model, time_limit_s=self.time_limit_s)
+            return solve_milp_scipy(model, time_limit_s=self.time_limit_s), None
         prober = None
         leaf_solver = None
         if not self.plain_search:
@@ -272,5 +311,7 @@ class TemporalPartitioner:
             on_node=self.on_node,
             on_incumbent=self.on_incumbent,
             callback_every=self.callback_every,
+            presolve=self.presolve and not self.plain_search,
         )
-        return BranchAndBound(model, rule=self.branching, config=config).solve()
+        solver = BranchAndBound(model, rule=self.branching, config=config)
+        return solver.solve(), solver.presolve_certificate

@@ -1,0 +1,205 @@
+"""Structural feasibility prechecks: reject before formulating.
+
+These checks exploit problem structure the raw 0-1 model hides from a
+generic presolve, and each one maps to a paper equation:
+
+* **task area** (eq. 11) — a task's operations must all live in one
+  partition, so that partition's configuration needs at least one FU
+  instance per distinct operation type the task uses.  The cheapest
+  such FU set is a *lower bound* on the partition's area; if
+  ``alpha * area > C`` for some task, no assignment exists at all.
+* **edge bandwidth** (eq. 3) — a data edge wider than the scratch
+  memory crosses no cut, so its endpoint tasks are forced into the
+  same partition; the eq.-11 bound on their combined FU needs then
+  applies to the pair.
+* **precedence cycles** (eq. 2) — a cycle in the task dependency
+  graph (or in the combined operation graph) makes any temporal
+  order, and hence any schedule, unsatisfiable.
+
+Each violated check yields an
+:class:`~repro.ilp.analysis.diagnostics.InfeasibilityCertificate`
+holding the human-readable argument and the numbers behind it.  The
+:class:`~repro.core.partitioner.TemporalPartitioner` runs
+:func:`precheck_spec` before any model is solved; the ``repro lint``
+CLI additionally runs :func:`precheck_graph` on not-yet-validated
+graphs so cycles are reported as certificates, not stack traces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.graph.operations import OpType
+from repro.graph.taskgraph import TaskGraph
+from repro.ilp.analysis.diagnostics import InfeasibilityCertificate
+from repro.core.spec import ProblemSpec
+
+
+def _find_cycle(nodes: "Iterable[str]", edges) -> "Optional[List[str]]":
+    """A directed cycle as a node list (first == last), or None."""
+    adjacency = {node: [] for node in nodes}
+    for src, dst in edges:
+        adjacency.setdefault(src, []).append(dst)
+        adjacency.setdefault(dst, [])
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in adjacency}
+    parent: "dict" = {}
+    for root in adjacency:
+        if color[root] != WHITE:
+            continue
+        stack = [(root, iter(adjacency[root]))]
+        color[root] = GREY
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                if color[child] == WHITE:
+                    color[child] = GREY
+                    parent[child] = node
+                    stack.append((child, iter(adjacency[child])))
+                    advanced = True
+                    break
+                if color[child] == GREY:
+                    cycle = [child, node]
+                    walk = node
+                    while walk != child:
+                        walk = parent[walk]
+                        cycle.append(walk)
+                    cycle.reverse()
+                    return cycle
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return None
+
+
+def find_task_cycle(graph: TaskGraph) -> "Optional[List[str]]":
+    """A cycle in the task dependency graph, or None.
+
+    Works on graphs that have *not* passed ``validate()`` (that is the
+    point: validation raises on exactly this defect).
+    """
+    return _find_cycle(graph.task_names, graph.task_edges())
+
+
+def find_operation_cycle(graph: TaskGraph) -> "Optional[List[str]]":
+    """A cycle in the combined operation graph, or None."""
+    nodes: "List[str]" = []
+    edges: "List[tuple]" = []
+    for task in graph.tasks:
+        for op in task.operations:
+            nodes.append(op.qualified(task.name))
+        for src, dst in task.edges:
+            edges.append((f"{task.name}.{src}", f"{task.name}.{dst}"))
+    for edge in graph.data_edges:
+        edges.append(
+            (f"{edge.src_task}.{edge.src_op}", f"{edge.dst_task}.{edge.dst_op}")
+        )
+    return _find_cycle(nodes, edges)
+
+
+def precheck_graph(graph: TaskGraph) -> "List[InfeasibilityCertificate]":
+    """Cycle certificates for a possibly-unvalidated task graph."""
+    certificates: "List[InfeasibilityCertificate]" = []
+    cycle = find_task_cycle(graph)
+    if cycle is not None:
+        certificates.append(InfeasibilityCertificate(
+            code="precedence-cycle",
+            reason=(
+                "task dependency graph has a cycle "
+                f"({' -> '.join(cycle)}); no temporal order satisfies eq. 2"
+            ),
+            details={"cycle": cycle, "level": "task"},
+        ))
+        return certificates
+    cycle = find_operation_cycle(graph)
+    if cycle is not None:
+        certificates.append(InfeasibilityCertificate(
+            code="precedence-cycle",
+            reason=(
+                "combined operation graph has a cycle "
+                f"({' -> '.join(cycle)}); no schedule exists"
+            ),
+            details={"cycle": cycle, "level": "operation"},
+        ))
+    return certificates
+
+
+def _min_area_for_optypes(spec: ProblemSpec, optypes: "Iterable[OpType]") -> int:
+    """Cheapest raw FG cost of covering each op type with one FU.
+
+    Operations of the same type can time-share a single instance
+    across control steps, so one instance per distinct type is a valid
+    lower bound on any configuration executing them.
+    """
+    total = 0
+    for optype in optypes:
+        instances = spec.allocation.instances_for(optype)
+        total += min(fu.fg_cost for fu in instances)
+    return total
+
+
+def min_task_area(spec: ProblemSpec, task_name: str) -> int:
+    """Eq.-11 lower bound on the raw FG area any partition hosting
+    ``task_name`` must synthesize."""
+    task = spec.graph.task(task_name)
+    return _min_area_for_optypes(spec, {op.optype for op in task.operations})
+
+
+def precheck_spec(spec: ProblemSpec) -> "List[InfeasibilityCertificate]":
+    """Structural area/memory certificates for a validated spec."""
+    certificates: "List[InfeasibilityCertificate]" = []
+    device = spec.device
+
+    for task_name in spec.task_order:
+        area = min_task_area(spec, task_name)
+        if not device.fits(area):
+            certificates.append(InfeasibilityCertificate(
+                code="task-exceeds-capacity",
+                reason=(
+                    f"task {task_name} needs at least {area} FGs of FUs "
+                    f"(effective {device.effective_cost(area):g}) but device "
+                    f"{device.name} caps at {device.capacity} (eq. 11)"
+                ),
+                details={
+                    "task": task_name,
+                    "min_area_fg": area,
+                    "effective_area": device.effective_cost(area),
+                    "capacity": device.capacity,
+                    "alpha": device.alpha,
+                },
+            ))
+
+    for t1, t2 in spec.task_edges:
+        bandwidth = spec.graph.bandwidth(t1, t2)
+        if bandwidth <= spec.memory.size:
+            continue
+        # The edge can cross no cut (eq. 3), so t1 and t2 must share a
+        # partition; bound that partition's area from below.
+        optypes = {
+            op.optype
+            for name in (t1, t2)
+            for op in spec.graph.task(name).operations
+        }
+        area = _min_area_for_optypes(spec, optypes)
+        if not device.fits(area):
+            certificates.append(InfeasibilityCertificate(
+                code="edge-exceeds-memory",
+                reason=(
+                    f"edge {t1} -> {t2} moves {bandwidth} units but scratch "
+                    f"memory holds {spec.memory.size}, forcing the tasks "
+                    f"into one partition whose minimum area {area} FGs "
+                    f"(effective {device.effective_cost(area):g}) exceeds "
+                    f"device {device.name} capacity {device.capacity} "
+                    f"(eqs. 3 and 11)"
+                ),
+                details={
+                    "edge": [t1, t2],
+                    "bandwidth": bandwidth,
+                    "scratch_memory": spec.memory.size,
+                    "min_area_fg": area,
+                    "effective_area": device.effective_cost(area),
+                    "capacity": device.capacity,
+                },
+            ))
+    return certificates

@@ -1,0 +1,131 @@
+"""Structured findings of the static analyzer.
+
+Two result kinds come out of :mod:`repro.ilp.analysis`:
+
+* :class:`Diagnostic` — a lint finding about a model (a suspicious or
+  provably-broken row, an orphaned variable, ...), graded by
+  :class:`Severity`.  The registered codes live in
+  :data:`DIAGNOSTIC_CODES`; every emitted diagnostic must use one of
+  them so downstream tooling (the ``repro lint`` CLI, the JSON
+  output) can rely on a closed vocabulary.
+* :class:`InfeasibilityCertificate` — a human-readable proof that a
+  model or problem specification admits *no* solution, produced
+  before any LP is solved (structural spec checks, presolve bound
+  contradictions).
+
+Both are plain frozen dataclasses with ``as_dict`` so they serialize
+into telemetry and CLI JSON without further ceremony.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+
+class Severity(enum.IntEnum):
+    """Lint severity, ordered so ``max()`` picks the worst finding."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+#: Registered diagnostic codes and what each one means.  ``lint_model``
+#: only ever emits these; the CLI documents them verbatim.
+DIAGNOSTIC_CODES: "Dict[str, str]" = {
+    "unused-variable": "continuous variable appears in no constraint and not in the objective",
+    "free-binary": "integer variable appears in no constraint and not in the objective",
+    "empty-row": "constraint has no nonzero coefficient and is trivially satisfied",
+    "constant-violated-row": "constraint has no nonzero coefficient and is violated outright",
+    "infeasible-row": "no point within the variable bounds can satisfy this constraint",
+    "redundant-row": "every point within the variable bounds satisfies this constraint",
+    "duplicate-row": "another constraint has identical coefficients, sense and rhs",
+    "dominated-row": "another constraint with the same coefficients is at least as tight",
+    "conflicting-equalities": "two equality rows share coefficients but disagree on the rhs",
+    "sos1-conflict": "two or more members of an SOS1 group are fixed to 1",
+    "sos1-fixed-overlap": "an SOS1 member is fixed to 1 while peers are still free",
+    "coefficient-range": "coefficient magnitudes in one row span a numerically risky range",
+}
+
+
+#: Registered infeasibility-certificate codes.
+CERTIFICATE_CODES: "Dict[str, str]" = {
+    "task-exceeds-capacity": "one task's minimum FU area exceeds the device capacity (eq. 11)",
+    "edge-exceeds-memory": "a data edge exceeds scratch memory yet its endpoints cannot share a partition",
+    "precedence-cycle": "the task dependency graph contains a cycle, so no temporal order exists",
+    "row-infeasible": "a constraint is violated by every point within the variable bounds",
+    "bound-contradiction": "bound propagation crossed a variable's bounds (lb > ub)",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    ``constraint_tag`` carries the formulation family tag of the row
+    the finding is about (``"eq2-temporal-order"``, ...), or ``""``
+    for variable-level findings and untagged rows.
+    """
+
+    severity: Severity
+    code: str
+    constraint_tag: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.code not in DIAGNOSTIC_CODES:
+            raise ValueError(f"unregistered diagnostic code: {self.code!r}")
+
+    def as_dict(self) -> "Dict[str, object]":
+        return {
+            "severity": str(self.severity),
+            "code": self.code,
+            "constraint_tag": self.constraint_tag,
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        where = f" [{self.constraint_tag}]" if self.constraint_tag else ""
+        return f"{self.severity}: {self.code}{where}: {self.message}"
+
+
+@dataclass(frozen=True)
+class InfeasibilityCertificate:
+    """A structural proof that no feasible solution exists.
+
+    ``reason`` is the human-readable argument; ``details`` holds the
+    numbers it rests on (task name, areas, capacities, the offending
+    cycle, ...) for machine consumption.
+    """
+
+    code: str
+    reason: str
+    details: "Mapping[str, object]" = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.code not in CERTIFICATE_CODES:
+            raise ValueError(f"unregistered certificate code: {self.code!r}")
+
+    def as_dict(self) -> "Dict[str, object]":
+        return {
+            "code": self.code,
+            "reason": self.reason,
+            "details": dict(self.details),
+        }
+
+    def __str__(self) -> str:
+        return f"infeasible ({self.code}): {self.reason}"
+
+
+def worst_severity(diagnostics: "Iterable[Diagnostic]") -> "Optional[Severity]":
+    """The highest severity among ``diagnostics``, or None when empty."""
+    worst: "Optional[Severity]" = None
+    for diag in diagnostics:
+        if worst is None or diag.severity > worst:
+            worst = diag.severity
+    return worst

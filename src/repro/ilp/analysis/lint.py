@@ -1,0 +1,222 @@
+"""Model lint: structural diagnostics without solving anything.
+
+:func:`lint_model` inspects a :class:`~repro.ilp.model.Model` and
+returns a list of :class:`~repro.ilp.analysis.diagnostics.Diagnostic`
+findings.  Checks are purely static — variable usage, per-row activity
+ranges under the declared bounds, duplicate/dominated row pairs, SOS1
+group consistency and coefficient magnitudes — so linting a model is
+cheap compared to even a single LP solve.
+
+Severity policy: findings that make the model *wrong* (a row no point
+can satisfy, conflicting equalities, two SOS1 members fixed to 1) are
+ERROR; findings that usually indicate a formulation bug but keep the
+model solvable (orphaned binaries, empty or duplicate rows, risky
+coefficient ranges) are WARNING; harmless slack (redundant or
+dominated rows, unused continuous variables) is INFO.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ilp.analysis.diagnostics import Diagnostic, Severity
+from repro.ilp.model import Model, Sense
+
+#: One-row coefficient magnitude spread beyond which we warn.
+_RANGE_RATIO = 1e8
+#: Absolute magnitudes outside [1/_RANGE_ABS, _RANGE_ABS] draw a warning.
+_RANGE_ABS = 1e10
+
+
+def _row_label(model: Model, index: int) -> str:
+    name = model.constraints[index].name
+    return name if name else f"row#{index}"
+
+
+def _activity(model: Model, coeffs: "Dict[int, float]") -> "Tuple[float, float]":
+    lo = hi = 0.0
+    variables = model.variables
+    for idx, coef in coeffs.items():
+        a = coef * variables[idx].lb
+        b = coef * variables[idx].ub
+        lo += min(a, b)
+        hi += max(a, b)
+    return lo, hi
+
+
+def _check_variable_usage(model: Model, out: "List[Diagnostic]") -> None:
+    used = set(model.objective.coeffs)
+    for constraint in model.constraints:
+        for idx, coef in constraint.expr.coeffs.items():
+            if coef != 0.0:
+                used.add(idx)
+    for var in model.variables:
+        if var.index in used:
+            continue
+        if var.is_integer:
+            out.append(Diagnostic(
+                Severity.WARNING, "free-binary", "",
+                f"integer variable {var.name} appears in no constraint and "
+                f"not in the objective; the solver will branch on it for "
+                f"nothing",
+            ))
+        else:
+            out.append(Diagnostic(
+                Severity.INFO, "unused-variable", "",
+                f"variable {var.name} appears in no constraint and not in "
+                f"the objective",
+            ))
+
+
+def _check_rows(model: Model, out: "List[Diagnostic]") -> None:
+    tol = 1e-9
+    tags = model.constraint_tags
+    for index, constraint in enumerate(model.constraints):
+        tag = tags[index]
+        label = _row_label(model, index)
+        coeffs = {i: c for i, c in constraint.expr.coeffs.items() if c != 0.0}
+
+        if not coeffs:
+            violated = (
+                (constraint.sense is Sense.LE and 0.0 > constraint.rhs + tol)
+                or (constraint.sense is Sense.GE and 0.0 < constraint.rhs - tol)
+                or (constraint.sense is Sense.EQ and abs(constraint.rhs) > tol)
+            )
+            if violated:
+                out.append(Diagnostic(
+                    Severity.ERROR, "constant-violated-row", tag,
+                    f"{label} has no nonzero coefficient yet demands "
+                    f"0 {constraint.sense} {constraint.rhs:g}",
+                ))
+            else:
+                out.append(Diagnostic(
+                    Severity.WARNING, "empty-row", tag,
+                    f"{label} has no nonzero coefficient and is trivially "
+                    f"satisfied",
+                ))
+            continue
+
+        lo, hi = _activity(model, coeffs)
+        if constraint.sense is Sense.LE:
+            infeasible = lo > constraint.rhs + tol
+            redundant = hi <= constraint.rhs + tol
+        elif constraint.sense is Sense.GE:
+            infeasible = hi < constraint.rhs - tol
+            redundant = lo >= constraint.rhs - tol
+        else:
+            infeasible = lo > constraint.rhs + tol or hi < constraint.rhs - tol
+            redundant = abs(hi - lo) <= tol and abs(lo - constraint.rhs) <= tol
+        if infeasible:
+            out.append(Diagnostic(
+                Severity.ERROR, "infeasible-row", tag,
+                f"{label} requires activity {constraint.sense} "
+                f"{constraint.rhs:g} but the bounds only allow "
+                f"[{lo:g}, {hi:g}]",
+            ))
+        elif redundant:
+            out.append(Diagnostic(
+                Severity.INFO, "redundant-row", tag,
+                f"{label} is satisfied by every point within the bounds "
+                f"(activity range [{lo:g}, {hi:g}], rhs {constraint.rhs:g})",
+            ))
+
+        magnitudes = [abs(c) for c in coeffs.values()]
+        biggest, smallest = max(magnitudes), min(magnitudes)
+        if (
+            biggest / smallest > _RANGE_RATIO
+            or biggest > _RANGE_ABS
+            or smallest < 1.0 / _RANGE_ABS
+        ):
+            out.append(Diagnostic(
+                Severity.WARNING, "coefficient-range", tag,
+                f"{label} mixes coefficient magnitudes {smallest:g} and "
+                f"{biggest:g}; expect numerical trouble in the LP",
+            ))
+
+
+def _normalized_key(constraint) -> "Optional[Tuple]":
+    """Sense-normalized coefficient signature plus scaled rhs."""
+    coeffs = {i: c for i, c in constraint.expr.coeffs.items() if c != 0.0}
+    if not coeffs:
+        return None
+    sense = constraint.sense
+    rhs = constraint.rhs
+    if sense is Sense.GE:
+        coeffs = {i: -c for i, c in coeffs.items()}
+        rhs = -rhs
+        sense = Sense.LE
+    items = sorted(coeffs.items())
+    scale = max(abs(c) for _, c in items)
+    if sense is Sense.EQ and items[0][1] < 0:
+        scale = -scale
+    key = (sense.value, tuple((i, round(c / scale, 12)) for i, c in items))
+    return key, rhs / scale
+
+
+def _check_twins(model: Model, out: "List[Diagnostic]") -> None:
+    tags = model.constraint_tags
+    groups: "Dict[Tuple, List[Tuple[int, float]]]" = {}
+    for index, constraint in enumerate(model.constraints):
+        sig = _normalized_key(constraint)
+        if sig is None:
+            continue
+        key, rhs = sig
+        groups.setdefault(key, []).append((index, rhs))
+    for key, members in groups.items():
+        if len(members) < 2:
+            continue
+        sense_value = key[0]
+        members.sort(key=lambda item: (item[1], item[0]))
+        keeper_index, keeper_rhs = members[0]
+        keeper = _row_label(model, keeper_index)
+        for index, rhs in members[1:]:
+            label = _row_label(model, index)
+            if sense_value == Sense.EQ.value and abs(rhs - keeper_rhs) > 1e-9:
+                out.append(Diagnostic(
+                    Severity.ERROR, "conflicting-equalities", tags[index],
+                    f"{label} and {keeper} share coefficients but demand "
+                    f"different right-hand sides",
+                ))
+            elif abs(rhs - keeper_rhs) <= 1e-9:
+                out.append(Diagnostic(
+                    Severity.WARNING, "duplicate-row", tags[index],
+                    f"{label} duplicates {keeper}",
+                ))
+            else:
+                out.append(Diagnostic(
+                    Severity.INFO, "dominated-row", tags[index],
+                    f"{label} is dominated by the tighter {keeper}",
+                ))
+
+
+def _check_sos1(model: Model, out: "List[Diagnostic]") -> None:
+    variables = model.variables
+    for number, group in enumerate(model.sos1_groups, start=1):
+        fixed_one = [idx for idx in group if variables[idx].lb > 0.5]
+        free = [
+            idx for idx in group
+            if variables[idx].lb <= 0.5 < variables[idx].ub
+        ]
+        names_one = [variables[idx].name for idx in fixed_one]
+        if len(fixed_one) >= 2:
+            out.append(Diagnostic(
+                Severity.ERROR, "sos1-conflict", "",
+                f"SOS1 group {number} has {len(fixed_one)} members fixed to "
+                f"1: {', '.join(names_one)}",
+            ))
+        elif len(fixed_one) == 1 and free:
+            out.append(Diagnostic(
+                Severity.WARNING, "sos1-fixed-overlap", "",
+                f"SOS1 group {number} member {names_one[0]} is fixed to 1 "
+                f"while {len(free)} peers can still take 1",
+            ))
+
+
+def lint_model(model: Model) -> "List[Diagnostic]":
+    """All lint findings for ``model``, in check order."""
+    out: "List[Diagnostic]" = []
+    _check_variable_usage(model, out)
+    _check_rows(model, out)
+    _check_twins(model, out)
+    _check_sos1(model, out)
+    return out

@@ -144,6 +144,19 @@ class BranchAndBoundConfig:
         usable answer, not punctuality to the microsecond.
     rescue_node_budget:
         Maximum extra nodes the rescue dive may explore.
+    presolve:
+        Run the static presolve pass (:mod:`repro.ilp.analysis`) over
+        the model before compiling the standard form: bound
+        propagation, variable fixing, coefficient tightening and
+        redundant-row removal, all in the *original* variable space
+        (no column is eliminated), so probers, leaf solvers and
+        branching metadata keep their indices.  A presolve
+        infeasibility certificate short-circuits :meth:`solve` to an
+        INFEASIBLE result without a single LP call; the reduction
+        counters land in ``SolveStats.presolve``.
+    presolve_options:
+        Override the :class:`~repro.ilp.analysis.PresolveOptions`;
+        must keep ``eliminate=False`` (enforced).
     """
 
     time_limit_s: Optional[float] = None
@@ -161,6 +174,8 @@ class BranchAndBoundConfig:
     callback_every: int = 1
     rescue_on_deadline: bool = True
     rescue_node_budget: int = 64
+    presolve: bool = False
+    presolve_options: "Optional[object]" = None
 
 
 @dataclass
@@ -197,9 +212,14 @@ class BranchAndBound:
         rule: "Optional[BranchingRule]" = None,
         config: "Optional[BranchAndBoundConfig]" = None,
     ) -> None:
-        self.model = model
+        self.original_model = model
         self.rule = rule if rule is not None else PaperBranching()
         self.config = config if config is not None else BranchAndBoundConfig()
+        self._presolve_certificate = None
+        self._presolve_stats: "Optional[Dict[str, object]]" = None
+        if self.config.presolve:
+            model = self._run_presolve(model)
+        self.model = model
         self.form: StandardForm = compile_standard_form(model)
         self._int_indices = np.array(model.integer_indices(), dtype=int)
         self._group0: "List[int]" = [
@@ -223,6 +243,36 @@ class BranchAndBound:
 
     # ------------------------------------------------------------------
 
+    def _run_presolve(self, model: Model) -> Model:
+        """Reduce ``model`` in place-compatible (non-eliminating) mode.
+
+        Returns the reduced model to search, or the original when the
+        pass proved infeasibility (the certificate is kept and
+        :meth:`solve` returns immediately).
+        """
+        from repro.ilp.analysis.presolve import PresolveOptions, presolve
+
+        opts = self.config.presolve_options
+        if opts is None:
+            opts = PresolveOptions(eliminate=False)
+        if opts.eliminate:
+            raise SolverError(
+                "BranchAndBound presolve must keep the variable space; "
+                "use PresolveOptions(eliminate=False)"
+            )
+        result = presolve(model, opts)
+        self._presolve_stats = result.stats.as_dict()
+        if result.certificate is not None:
+            self._presolve_certificate = result.certificate
+            return model
+        assert result.model is not None
+        return result.model
+
+    @property
+    def presolve_certificate(self):
+        """Infeasibility certificate produced by presolve, if any."""
+        return self._presolve_certificate
+
     def solve(self) -> MilpResult:
         """Run the search and return the result.
 
@@ -237,8 +287,14 @@ class BranchAndBound:
         """
         self._start = time.monotonic()
         self._stats = SolveStats()
+        self._stats.presolve = self._presolve_stats
         self._incumbent_values = None
         self._incumbent_obj = math.inf
+        if self._presolve_certificate is not None:
+            # Presolve proved infeasibility; no LP is ever solved.
+            self._stats.stop_reason = "presolve_infeasible"
+            self._stats.wall_time_s = time.monotonic() - self._start
+            return MilpResult(status=SolveStatus.INFEASIBLE, stats=self._stats)
         self._stack = [
             _Node(self.form.lb.copy(), self.form.ub.copy(), depth=0)
         ]

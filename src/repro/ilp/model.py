@@ -69,6 +69,7 @@ class Model:
         self._constraints: "List[Constraint]" = []
         self._objective: "Optional[LinExpr]" = None
         self._constraint_tags: "Dict[str, int]" = {}
+        self._tag_of_row: "List[str]" = []
         self._sos1_groups: "List[List[int]]" = []
 
     # ------------------------------------------------------------------
@@ -191,6 +192,7 @@ class Model:
         if name:
             constraint = constraint.named(name)
         self._constraints.append(constraint)
+        self._tag_of_row.append(tag)
         if tag:
             self._constraint_tags[tag] = self._constraint_tags.get(tag, 0) + 1
         return constraint
@@ -201,6 +203,15 @@ class Model:
         return tuple(self._constraints)
 
     @property
+    def constraint_tags(self) -> "Tuple[str, ...]":
+        """Family tag of every constraint, in insertion order.
+
+        Untagged rows carry ``""``.  The static analyzer uses this to
+        attribute each diagnostic to a constraint family.
+        """
+        return tuple(self._tag_of_row)
+
+    @property
     def num_constraints(self) -> int:
         """Number of constraints."""
         return len(self._constraints)
@@ -208,6 +219,32 @@ class Model:
     def constraint_counts_by_tag(self) -> "Dict[str, int]":
         """Constraint counts per family tag (for model-size reports)."""
         return dict(self._constraint_tags)
+
+    def integer_counts_by_tag(self) -> "Dict[str, int]":
+        """Distinct integer variables referenced per constraint family.
+
+        Shares the tag vocabulary with :meth:`constraint_counts_by_tag`
+        so model-size reports and analyzer diagnostics agree on names.
+        """
+        seen: "Dict[str, set]" = {}
+        for constraint, tag in zip(self._constraints, self._tag_of_row):
+            if not tag:
+                continue
+            bucket = seen.setdefault(tag, set())
+            for idx, coef in constraint.expr.coeffs.items():
+                if coef != 0.0 and self._vars[idx].is_integer:
+                    bucket.add(idx)
+        return {tag: len(indices) for tag, indices in sorted(seen.items())}
+
+    @property
+    def num_nonzeros(self) -> int:
+        """Nonzero constraint-matrix coefficients across all rows."""
+        return sum(
+            1
+            for constraint in self._constraints
+            for coef in constraint.expr.coeffs.values()
+            if coef != 0.0
+        )
 
     # ------------------------------------------------------------------
     # objective
@@ -270,13 +307,22 @@ class Model:
         """Evaluate the objective under ``{var_index: value}``."""
         return self.objective.value(assignment)
 
-    def stats(self) -> "Dict[str, int]":
-        """Model-size statistics matching the paper's Var/Const columns."""
+    def stats(self) -> "Dict[str, object]":
+        """Model-size statistics matching the paper's Var/Const columns.
+
+        Beyond the paper's counts this reports the constraint-matrix
+        ``nonzeros`` and ``density`` (nonzeros over rows*cols), the
+        vocabulary the static analyzer's reduction counters use.
+        """
+        nonzeros = self.num_nonzeros
+        cells = self.num_vars * self.num_constraints
         return {
             "vars": self.num_vars,
             "integer_vars": self.num_integer_vars,
             "continuous_vars": self.num_vars - self.num_integer_vars,
             "constraints": self.num_constraints,
+            "nonzeros": nonzeros,
+            "density": (nonzeros / cells) if cells else 0.0,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -162,6 +162,7 @@ class SolveStats:
     best_bound: Optional[float] = None
     gap: Optional[float] = None
     incumbent_events: "List[IncumbentEvent]" = field(default_factory=list)
+    presolve: "Optional[Dict[str, object]]" = None
 
     @property
     def lp_calls(self) -> int:
@@ -200,6 +201,7 @@ class SolveStats:
             "best_bound": self.best_bound,
             "gap": self.gap,
             "incumbent_events": [e.as_dict() for e in self.incumbent_events],
+            "presolve": self.presolve,
         }
 
 

@@ -117,14 +117,18 @@ def run_row(
     linearization: str = "glover",
     plain_search: bool = False,
     aggregated_dependencies: bool = False,
+    presolve: bool = True,
 ) -> "Dict[str, object]":
     """Execute one experiment row and return a measured-result dict.
 
     ``plain_search=True`` runs the raw 1998-style branch and bound
     (no SOS1 propagation, slot prober or leaf sub-solve) — what the
-    formulation-quality benchmarks (Tables 1-2) measure.  The returned
-    dict carries both the measurement and the paper's reported values,
-    ready for :func:`repro.reporting.tables.render_rows`.
+    formulation-quality benchmarks (Tables 1-2) measure.
+    ``presolve=False`` skips the structural prechecks and the static
+    presolve pass (the presolve ablation benchmark compares both).
+    The returned dict carries both the measurement and the paper's
+    reported values, ready for
+    :func:`repro.reporting.tables.render_rows`.
     """
     graph = paper_graph(row.graph)
     options = FormulationOptions(
@@ -140,6 +144,7 @@ def run_row(
         backend=backend,
         time_limit_s=time_limit_s,
         plain_search=plain_search,
+        presolve=presolve,
     )
     start = time.monotonic()
     outcome = partitioner.partition(

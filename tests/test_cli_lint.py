@@ -1,0 +1,198 @@
+"""Tests for the ``repro lint`` CLI subcommand.
+
+Covers all three exit statuses (0 clean, 1 warnings, 2 errors or
+proven infeasible), the text report, and the ``--format json``
+payload.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph.builders import TaskGraphBuilder
+from repro.graph.io import save_task_graph, task_graph_to_dict
+from repro.graph.operations import Operation, OpType
+from repro.graph.taskgraph import Task, TaskGraph
+
+
+def run_lint(capsys, *argv):
+    code = main(["lint", *argv])
+    return code, capsys.readouterr().out
+
+
+@pytest.fixture
+def chain_graph_file(tmp_path):
+    b = TaskGraphBuilder("chain")
+    b.task("t1").op("a1", "add").op("m1", "mul").edge("a1", "m1")
+    b.task("t2").op("s1", "sub")
+    b.data_edge("t1.m1", "t2.s1", width=2)
+    path = tmp_path / "chain.json"
+    save_task_graph(b.build(), path)
+    return str(path)
+
+
+@pytest.fixture
+def cyclic_graph_file(tmp_path):
+    graph = TaskGraph("cyclic")
+    t1 = Task("t1")
+    t1.add_operation(Operation("a", OpType.ADD, 16))
+    t2 = Task("t2")
+    t2.add_operation(Operation("b", OpType.ADD, 16))
+    graph.add_task(t1)
+    graph.add_task(t2)
+    graph.add_data_edge("t1", "a", "t2", "b", 1)
+    graph.add_data_edge("t2", "b", "t1", "a", 1)
+    path = tmp_path / "cyclic.json"
+    path.write_text(json.dumps(task_graph_to_dict(graph)))
+    return str(path)
+
+
+@pytest.fixture
+def wide_edge_graph_file(tmp_path):
+    b = TaskGraphBuilder("pair")
+    b.task("t1").op("m1", "mul")
+    b.task("t2").op("a1", "add")
+    b.data_edge("t1.m1", "t2.a1", width=5)
+    path = tmp_path / "pair.json"
+    save_task_graph(b.build(), path)
+    return str(path)
+
+
+CHAIN_ARGS = ("--mix", "1A+1M+1S", "--device", "2048", "-N", "3", "-L", "2")
+
+
+class TestExitCodes:
+    def test_clean_spec_exits_zero(self, capsys, chain_graph_file):
+        code, out = run_lint(capsys, "--graph", chain_graph_file, *CHAIN_ARGS)
+        assert code == 0
+        assert "lint: 0 errors, 0 warnings" in out
+        assert "presolve:" in out
+
+    def test_warning_exits_one(self, capsys, monkeypatch, chain_graph_file):
+        import repro.cli as cli_module
+
+        real_build_model = cli_module.build_model
+
+        def build_with_seeded_defect(spec, options):
+            model, space = real_build_model(spec, options)
+            # Re-adding an existing row seeds a duplicate-row warning.
+            model.add(model.constraints[0], tag="seeded-twin")
+            return model, space
+
+        monkeypatch.setattr(cli_module, "build_model", build_with_seeded_defect)
+        code, out = run_lint(capsys, "--graph", chain_graph_file, *CHAIN_ARGS)
+        assert code == 1
+        assert "duplicate-row" in out
+        assert "warning:" in out
+
+    def test_precedence_cycle_exits_two(self, capsys, cyclic_graph_file):
+        code, out = run_lint(
+            capsys, "--graph", cyclic_graph_file, "--mix", "1A", "-N", "2"
+        )
+        assert code == 2
+        assert "precedence-cycle" in out
+        assert "error: infeasible" in out
+
+    def test_infeasible_spec_exits_two(self, capsys, chain_graph_file):
+        # Capacity 40 cannot host even one multiplier (176 FGs).
+        code, out = run_lint(
+            capsys,
+            "--graph", chain_graph_file,
+            "--mix", "1A+1M+1S",
+            "--device", "40",
+            "-N", "3",
+        )
+        assert code == 2
+        assert "task-exceeds-capacity" in out
+
+    def test_precheck_certificate_exits_two(self, capsys, wide_edge_graph_file):
+        # Tasks fit alone on a 125-FG device but the 5-wide edge with a
+        # 1-word scratch memory forces them together, overflowing it.
+        code, out = run_lint(
+            capsys,
+            "--graph", wide_edge_graph_file,
+            "--mix", "1A+1M",
+            "--device", "125",
+            "--memory", "1",
+            "-N", "2",
+        )
+        assert code == 2
+        assert "edge-exceeds-memory" in out
+
+
+class TestJsonFormat:
+    def test_json_payload_shape(self, capsys, chain_graph_file):
+        code, out = run_lint(
+            capsys, "--graph", chain_graph_file, *CHAIN_ARGS, "--format", "json"
+        )
+        payload = json.loads(out)
+        assert payload["exit_code"] == code == 0
+        assert payload["graph"] == "chain"
+        assert payload["certificates"] == []
+        assert isinstance(payload["diagnostics"], list)
+        assert "vars" in payload["model"]
+        assert "nonzeros" in payload["model"]
+        assert payload["presolve"]["rows_after"] <= payload["presolve"]["rows_before"]
+        for diag in payload["diagnostics"]:
+            assert {"severity", "code", "constraint_tag", "message"} <= set(diag)
+
+    def test_json_certificate_payload(self, capsys, cyclic_graph_file):
+        code, out = run_lint(
+            capsys,
+            "--graph", cyclic_graph_file,
+            "--mix", "1A",
+            "-N", "2",
+            "--format", "json",
+        )
+        payload = json.loads(out)
+        assert code == 2
+        assert payload["exit_code"] == 2
+        (cert,) = payload["certificates"]
+        assert cert["code"] == "precedence-cycle"
+        cycle = cert["details"]["cycle"]
+        assert cycle[0] == cycle[-1]
+
+
+class TestOptions:
+    def test_no_presolve_skips_reduction_pass(self, capsys, chain_graph_file):
+        code, out = run_lint(
+            capsys,
+            "--graph", chain_graph_file,
+            *CHAIN_ARGS,
+            "--no-presolve",
+            "--format", "json",
+        )
+        payload = json.loads(out)
+        assert code == 0
+        assert "presolve" not in payload
+
+    def test_base_model_analyzes_section5_formulation(
+        self, capsys, chain_graph_file
+    ):
+        code, out = run_lint(
+            capsys,
+            "--graph", chain_graph_file,
+            *CHAIN_ARGS,
+            "--base-model",
+            "--format", "json",
+        )
+        payload = json.loads(out)
+        assert code == 0
+        # The base model's eq-4 rows are proven implied-redundant.
+        assert payload["presolve"]["rows_removed"] > 0
+
+    def test_lint_requires_source(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "--mix", "1A"])
+
+    def test_lint_sources_exclusive(self, chain_graph_file):
+        with pytest.raises(SystemExit):
+            main([
+                "lint",
+                "--graph", chain_graph_file,
+                "--paper-graph", "1",
+                "--mix", "1A",
+            ])

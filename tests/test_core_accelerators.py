@@ -1,9 +1,7 @@
 """Tests for the search accelerators: slot prober and compact leaf solver."""
 
 import numpy as np
-import pytest
 
-from repro.graph.builders import TaskGraphBuilder
 from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig
 from repro.ilp.solution import SolveStatus
 from repro.core.bruteforce import brute_force_optimum

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import ReproError
 from repro.ilp.solution import SolveStatus
 from repro.library.catalogs import mix_from_string
-from repro.target.fpga import FPGADevice
 from repro.target.memory import ScratchMemory
 from repro.core.explore import (
     explore_fu_mixes,

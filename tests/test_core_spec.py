@@ -3,11 +3,7 @@
 import pytest
 
 from repro.errors import InfeasibleSpecError, SpecificationError
-from repro.graph.builders import TaskGraphBuilder
-from repro.library.catalogs import mix_from_string
 from repro.target.fpga import FPGADevice
-from repro.target.memory import ScratchMemory
-from repro.core.spec import ProblemSpec
 from tests.conftest import make_spec
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.graph.builders import TaskGraphBuilder
-from repro.graph.operations import OpType
 from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig
 from repro.ilp.solution import SolveStatus
 from repro.library.catalogs import default_library

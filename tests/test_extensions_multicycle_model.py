@@ -1,6 +1,5 @@
 """Deeper tests of the multicycle formulation internals."""
 
-import pytest
 
 from repro.graph.builders import TaskGraphBuilder
 from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig

@@ -11,7 +11,6 @@ from repro.core.decode import decode_solution
 from repro.core.verify import verify_design
 from repro.extensions.registers import peak_registers
 from repro.extensions.registers_ilp import (
-    add_register_constraints,
     build_register_model,
     minimum_feasible_registers,
 )

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ModelError
-from repro.ilp.expr import LinExpr, lin_sum
+from repro.ilp.expr import lin_sum
 from repro.ilp.model import Constraint, Model, Sense
 
 

@@ -5,7 +5,6 @@ SciPy's HiGHS must agree (status and optimal value) on random bounded
 LPs — two independent implementations validating each other.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -17,7 +17,6 @@ while the implemented (corrected) forms agree with brute force.
    implies the strict range ``p < p1``, which we implement.
 """
 
-import pytest
 
 from repro.graph.builders import TaskGraphBuilder
 from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig

@@ -15,11 +15,9 @@ from hypothesis import strategies as st
 
 from repro.graph.generators import RandomGraphConfig, random_task_graph
 from repro.ilp.solution import SolveStatus
-from repro.library.catalogs import mix_from_string
 from repro.target.fpga import FPGADevice
 from repro.target.memory import ScratchMemory
 from repro.core.partitioner import TemporalPartitioner
-from repro.core.spec import ProblemSpec
 from repro.core.verify import verify_design
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.reporting.experiments import (
-    EXPERIMENT_ROWS,
     reference_device,
     reference_memory,
     run_row,
