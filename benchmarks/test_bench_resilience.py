@@ -1,0 +1,73 @@
+"""Ablation E — resilience armor on vs off, and under chaos.
+
+Three variants of each feasible Table-3 row:
+
+* ``plain`` — the bare SciPy backend (no validation, no fallback);
+* ``armored`` — the default ``ResilientLPBackend`` chain, which every
+  production solve now runs through: this measures the steady-state
+  price of validating every LP result (it should be noise next to the
+  LP solves themselves, and the objective must be identical);
+* ``chaos`` — seeded fault injection on the primary backend at a 20%
+  rate over all fault classes: this measures what recovery costs when
+  the armor actually works for a living, and asserts the recovered
+  optimum still matches the fault-free one.
+
+``degraded`` rows would mean the chain failed to recover — the
+assertion keeps this benchmark a regression tripwire, not just a
+stopwatch.
+"""
+
+import pytest
+
+from repro.ilp.resilience import FAULT_KINDS, FaultPlan
+from repro.reporting.experiments import run_row, table_rows
+from benchmarks.conftest import TIME_LIMIT_S, run_once
+
+ROWS = [r for r in table_rows("t3") if r.paper_feasible]
+
+VARIANTS = [
+    ("plain", {"resilient": False}),
+    ("armored", {"resilient": True}),
+    (
+        "chaos",
+        {
+            "resilient": True,
+            "chaos": FaultPlan(
+                kinds=FAULT_KINDS, rate=0.2, seed=42, slow_s=0.0
+            ),
+        },
+    ),
+]
+
+
+@pytest.mark.parametrize("name,kwargs", VARIANTS, ids=[v[0] for v in VARIANTS])
+@pytest.mark.parametrize("row", ROWS, ids=[r.key for r in ROWS])
+def test_resilience_variant(benchmark, row, name, kwargs, results_bucket):
+    result = run_once(
+        benchmark,
+        lambda: run_row(row, time_limit_s=TIME_LIMIT_S, **kwargs),
+    )
+    result["variant"] = name
+    resilience = (result["telemetry"]["solve"] or {}).get("resilience")
+    result["lp_failures"] = (
+        resilience["lp_failures"] if resilience else 0
+    )
+    results_bucket.append(("resilience", result))
+    assert result["status"] == "optimal"
+    assert result["degraded"] is False
+
+
+def test_objectives_agree_across_variants(results_bucket):
+    """Armored and chaotic runs must land on the plain run's optimum."""
+    rows = [r for tag, r in results_bucket if tag == "resilience"]
+    if not rows:
+        pytest.skip("variant benchmarks did not run")
+    by_key = {}
+    for r in rows:
+        by_key.setdefault(r["key"], {})[r["variant"]] = r["objective"]
+    for key, variants in by_key.items():
+        baseline = variants.get("plain")
+        for name, objective in variants.items():
+            assert objective == baseline, (
+                f"{key}: {name} objective {objective} != plain {baseline}"
+            )

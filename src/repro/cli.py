@@ -30,6 +30,7 @@ from repro.errors import ReproError
 from repro.graph.generators import paper_graph
 from repro.graph.io import load_task_graph
 from repro.ilp.branching import RULES
+from repro.ilp.resilience import FAULT_KINDS, FaultPlan
 from repro.ilp.lp_io import write_lp_format
 from repro.library.catalogs import default_library, mix_from_string
 from repro.target.fpga import FPGADevice, device_catalog
@@ -117,6 +118,44 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--telemetry", metavar="FILE",
         help="write the per-run solve-telemetry JSON artifact to FILE",
+    )
+    resilience = parser.add_argument_group(
+        "resilience",
+        "LP-fault injection (chaos testing) and search checkpointing; "
+        "see DESIGN.md section 9",
+    )
+    resilience.add_argument(
+        "--no-resilience", action="store_true",
+        help="solve with the bare LP backend instead of the validating "
+        "retry/fallback chain",
+    )
+    resilience.add_argument(
+        "--chaos-faults", metavar="KINDS",
+        help="inject LP-backend faults: comma-separated subset of "
+        f"{{{','.join(FAULT_KINDS)}}}",
+    )
+    resilience.add_argument(
+        "--chaos-rate", type=float, default=0.25, metavar="P",
+        help="per-call fault injection probability (default 0.25)",
+    )
+    resilience.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="SEED",
+        help="fault-injection RNG seed; same seed => same fault "
+        "sequence (default 0)",
+    )
+    resilience.add_argument(
+        "--chaos-all-backends", action="store_true",
+        help="inject faults into every backend in the chain, not just "
+        "the primary",
+    )
+    resilience.add_argument(
+        "--checkpoint", metavar="FILE",
+        help="periodically save the branch-and-bound state to FILE "
+        "(atomic write); resume from it automatically when it exists",
+    )
+    resilience.add_argument(
+        "--checkpoint-every", type=int, default=256, metavar="N",
+        help="nodes between periodic checkpoint saves (default 256)",
     )
     return parser
 
@@ -359,6 +398,21 @@ def main(argv: "Optional[list]" = None) -> int:
     on_node = on_incumbent = None
     if args.verbose_solve:
         on_node, on_incumbent = make_solve_trace(args.trace_every)
+    chaos = None
+    if args.chaos_faults:
+        try:
+            chaos = FaultPlan.from_cli(
+                args.chaos_faults,
+                rate=args.chaos_rate,
+                seed=args.chaos_seed,
+                targets="all" if args.chaos_all_backends else "primary",
+            )
+        except ValueError as exc:
+            raise SystemExit(f"bad --chaos-* options: {exc}")
+    if args.checkpoint_every < 1:
+        raise SystemExit(
+            f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
+        )
     partitioner = TemporalPartitioner(
         library=default_library(),
         device=device,
@@ -371,6 +425,10 @@ def main(argv: "Optional[list]" = None) -> int:
         on_node=on_node,
         on_incumbent=on_incumbent,
         callback_every=args.trace_every if args.verbose_solve else 1,
+        resilient=not args.no_resilience,
+        chaos=chaos,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
     )
 
     if args.dump_lp:
@@ -408,6 +466,15 @@ def main(argv: "Optional[list]" = None) -> int:
             print(f"  limit hit ({stats.stop_reason}): best incumbent "
                   f"returned, optimality gap {gap_text} "
                   f"(bound {outcome.bound})")
+        if outcome.degraded:
+            rescue = (
+                f"heuristic fallback '{outcome.fallback}' returned a "
+                f"verified design"
+                if outcome.fallback is not None
+                else "no fallback design available"
+            )
+            print(f"  DEGRADED ({outcome.degradation_cause}): exact solve "
+                  f"abandoned; {rescue}")
         if outcome.design is not None:
             print()
             print(outcome.design.report())

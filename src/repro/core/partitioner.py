@@ -14,21 +14,49 @@
 Every stage's statistics are kept on the returned
 :class:`PartitionOutcome`, so the benchmark harness can print the
 paper's Var/Const/RunTime/Feasible columns directly.
+
+Graceful degradation
+--------------------
+An irrecoverable exact solve — LP backend chain exhausted, the
+solver's failure budget tripped, a decode/verify inconsistency, or a
+search limit expiring truly empty-handed — never raises out of
+:meth:`TemporalPartitioner.partition_spec`.  Instead the flow falls
+back to the heuristic baselines (:func:`~repro.baselines.level_partition`
+then :func:`~repro.baselines.greedy_partition` + list scheduler),
+verifies the fallback design with the same independent
+:func:`~repro.core.verify.verify_design`, and returns a
+:class:`PartitionOutcome` explicitly marked ``degraded=True`` with the
+cause and the fallback name in telemetry — a usable answer with honest
+provenance, exactly the production posture the ROADMAP asks for.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Union
 
-from repro.errors import ReproError
+from repro.baselines import greedy_partition, level_partition
+from repro.errors import (
+    DecodeError,
+    ReproError,
+    SolverError,
+    VerificationError,
+)
 from repro.graph.taskgraph import TaskGraph
 from repro.ilp.analysis.diagnostics import InfeasibilityCertificate
 from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig
 from repro.ilp.branching import BranchingRule, make_rule
 from repro.ilp.milp_backend import solve_milp_scipy
-from repro.ilp.solution import SolveStats, SolveStatus
+from repro.ilp.resilience import (
+    FaultInjectingBackend,
+    FaultPlan,
+    ResilientLPBackend,
+    default_backend_chain,
+)
+from repro.ilp.scipy_backend import solve_lp_scipy
+from repro.ilp.solution import SolveStats, SolveStatus, relative_gap
 from repro.library.catalogs import default_library, mix_from_string
 from repro.library.components import Allocation, ComponentLibrary
 from repro.schedule.estimator import estimate_num_segments
@@ -50,6 +78,13 @@ class PartitionOutcome:
     search limit expired but an incumbent was in hand — ``gap`` then
     says how far from proven-optimal it might be); it has always passed
     :func:`~repro.core.verify.verify_design`.
+
+    ``degraded`` marks outcomes where the exact solve irrecoverably
+    failed: when a heuristic baseline rescued the run, ``fallback``
+    names it (``"level"`` or ``"greedy"``) and ``design`` is its
+    verified output; when even the baselines gave up, ``design`` is
+    ``None`` but the run still returns (never raises).
+    ``degradation_cause`` says why the exact path was abandoned.
     """
 
     status: SolveStatus
@@ -62,6 +97,9 @@ class PartitionOutcome:
     bound: "Optional[float]" = None
     gap: "Optional[float]" = None
     certificate: "Optional[InfeasibilityCertificate]" = None
+    degraded: bool = False
+    fallback: "Optional[str]" = None
+    degradation_cause: "Optional[str]" = None
 
     @property
     def feasible(self) -> bool:
@@ -75,10 +113,12 @@ class PartitionOutcome:
         True for FEASIBLE (incumbent in hand) as well as bare
         TIMEOUT/NODE_LIMIT outcomes — the paper's ">7200" notion.
         Certificate rejections (precheck or presolve) are proofs, not
-        limits.
+        limits, and an ``lp_failure_limit`` abort is a fault, not a
+        limit (it shows up in ``degraded`` instead).
         """
         return self.solve_stats.stop_reason not in (
-            "exhausted", "precheck_infeasible", "presolve_infeasible"
+            "exhausted", "precheck_infeasible", "presolve_infeasible",
+            "lp_failure_limit",
         )
 
     def summary_row(self) -> "Dict[str, object]":
@@ -96,12 +136,14 @@ class PartitionOutcome:
             "feasible": self.feasible,
             "objective": self.objective,
             "gap": self.gap,
+            "degraded": self.degraded,
+            "fallback": self.fallback,
         }
 
     def telemetry(self) -> "Dict[str, object]":
         """Per-run solve-telemetry record (see DESIGN.md for the schema)."""
         return {
-            "schema": "repro.solve_telemetry/v2",
+            "schema": "repro.solve_telemetry/v3",
             "graph": self.spec.graph.name,
             "n_partitions": self.spec.n_partitions,
             "relaxation": self.spec.relaxation,
@@ -113,6 +155,9 @@ class PartitionOutcome:
             "bound": self.bound,
             "gap": self.gap,
             "wall_time_s": self.wall_time_s,
+            "degraded": self.degraded,
+            "fallback": self.fallback,
+            "degradation_cause": self.degradation_cause,
             "model": dict(self.model_stats),
             "solve": self.solve_stats.as_dict(),
             "certificate": (
@@ -165,6 +210,31 @@ class TemporalPartitioner:
         Ignored by the ``"milp"`` backend.
     callback_every:
         Node-callback decimation factor (1 = every node).
+    resilient:
+        When True (default), the ``"bnb"`` backend solves its LP
+        relaxations through the validating retry/fallback chain
+        (:class:`~repro.ilp.resilience.ResilientLPBackend`, SciPy
+        HiGHS then the in-repo simplex) instead of a bare backend.
+        Fault-free runs are result-identical (asserted by property
+        test); faulty runs recover or degrade instead of crashing.
+        ``plain_search`` disables it (the 1998 flow had no armor).
+    chaos:
+        Optional :class:`~repro.ilp.resilience.FaultPlan`: wrap the
+        LP backend(s) in seeded fault injection — the CLI's
+        ``--chaos-*`` surface.  Implies infeasible double-checking on
+        the resilient chain.  Only meaningful with ``backend="bnb"``.
+    lp_backend_chain:
+        Override the resilient chain's ``(name, callable)`` backends
+        (tests use this to simulate wholly dead solver stacks).
+    checkpoint_path / checkpoint_every:
+        Forwarded to the branch and bound: periodic atomic
+        serialization of the search state, and — when the file already
+        exists and matches the model — automatic resume from it.
+    degrade:
+        When True (default), irrecoverable exact solves fall back to
+        the heuristic baselines instead of raising/returning empty
+        (see module docstring).  When False, solver faults raise as
+        before (the cross-check suites want the crash).
     """
 
     def __init__(
@@ -182,6 +252,12 @@ class TemporalPartitioner:
         on_node=None,
         on_incumbent=None,
         callback_every: int = 1,
+        resilient: bool = True,
+        chaos: "Optional[FaultPlan]" = None,
+        lp_backend_chain=None,
+        checkpoint_path: "Optional[str]" = None,
+        checkpoint_every: int = 256,
+        degrade: bool = True,
     ) -> None:
         if backend not in ("bnb", "milp"):
             raise ReproError(f"unknown backend {backend!r}; use 'bnb' or 'milp'")
@@ -200,6 +276,12 @@ class TemporalPartitioner:
         self.on_node = on_node
         self.on_incumbent = on_incumbent
         self.callback_every = callback_every
+        self.resilient = resilient
+        self.chaos = chaos
+        self.lp_backend_chain = lp_backend_chain
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        self.degrade = degrade
 
     # ------------------------------------------------------------------
 
@@ -263,30 +345,158 @@ class TemporalPartitioner:
                     certificate=certificates[0],
                 )
         model, space = build_model(spec, self.options)
-        result, certificate = self._solve(model, spec, space)
-        wall = time.monotonic() - start
+        model_stats = model_size_report(model, space)
+        allow_degrade = self.degrade and not self.plain_search
+
+        try:
+            result, certificate = self._solve(model, spec, space)
+        except SolverError as exc:
+            if not allow_degrade:
+                raise
+            return self._degraded_outcome(
+                spec, model_stats, start,
+                cause="solver_error", detail=str(exc),
+                solve_stats=SolveStats(stop_reason="solver_error"),
+            )
 
         design: "Optional[PartitionedDesign]" = None
         objective: "Optional[float]" = None
         if result.has_solution:
-            design = decode_solution(spec, space, result)
-            objective = design.communication_cost()
-            verify_design(design, expected_objective=result.objective)
+            try:
+                design = decode_solution(spec, space, result)
+                objective = design.communication_cost()
+                verify_design(design, expected_objective=result.objective)
+            except (DecodeError, VerificationError) as exc:
+                # The solver's answer failed the independent audit —
+                # never ship it; fall back instead of propagating.
+                if not allow_degrade:
+                    raise
+                cause = (
+                    "decode_error" if isinstance(exc, DecodeError)
+                    else "verification_error"
+                )
+                return self._degraded_outcome(
+                    spec, model_stats, start, cause=cause, detail=str(exc),
+                    solve_stats=result.stats, bound=result.bound,
+                )
+
+        if allow_degrade and design is None and result.status in (
+            SolveStatus.ERROR, SolveStatus.TIMEOUT, SolveStatus.NODE_LIMIT
+        ):
+            cause = (
+                "lp_failure_limit"
+                if result.stats.stop_reason == "lp_failure_limit"
+                else "search_empty_handed"
+            )
+            return self._degraded_outcome(
+                spec, model_stats, start, cause=cause,
+                solve_stats=result.stats, status=result.status,
+                bound=result.bound,
+            )
 
         return PartitionOutcome(
             status=result.status,
             spec=spec,
             design=design,
             objective=objective,
-            model_stats=model_size_report(model, space),
+            model_stats=model_stats,
             solve_stats=result.stats,
-            wall_time_s=wall,
+            wall_time_s=time.monotonic() - start,
             bound=result.bound,
             gap=result.gap,
             certificate=certificate,
         )
 
+    def _degraded_outcome(
+        self,
+        spec: ProblemSpec,
+        model_stats: "Dict[str, object]",
+        start: float,
+        cause: str,
+        solve_stats: SolveStats,
+        detail: "Optional[str]" = None,
+        status: SolveStatus = SolveStatus.ERROR,
+        bound: "Optional[float]" = None,
+    ) -> PartitionOutcome:
+        """Heuristic-baseline rescue: the never-raise last line of defense.
+
+        Tries :func:`~repro.baselines.level_partition` then
+        :func:`~repro.baselines.greedy_partition`, verifies whichever
+        succeeds with the same independent audit as the exact path, and
+        returns it as a FEASIBLE-but-``degraded`` outcome.  When even
+        the baselines come up empty the outcome keeps the exact path's
+        failure status with ``design=None`` — still a return, never a
+        raise.  A proven ``bound`` inherited from the aborted exact
+        search still yields an honest ``gap`` for the fallback design.
+        """
+        design: "Optional[PartitionedDesign]" = None
+        fallback: "Optional[str]" = None
+        for name, baseline in (("level", level_partition),
+                               ("greedy", greedy_partition)):
+            try:
+                candidate = baseline(spec)
+                if candidate is None:
+                    continue
+                verify_design(candidate)
+            except ReproError:
+                continue
+            design, fallback = candidate, name
+            break
+        objective = design.communication_cost() if design is not None else None
+        gap = (
+            relative_gap(objective, bound)
+            if objective is not None and bound is not None
+            else None
+        )
+        degradation_cause = cause if not detail else f"{cause}: {detail[:200]}"
+        return PartitionOutcome(
+            status=SolveStatus.FEASIBLE if design is not None else status,
+            spec=spec,
+            design=design,
+            objective=objective,
+            model_stats=model_stats,
+            solve_stats=solve_stats,
+            wall_time_s=time.monotonic() - start,
+            bound=bound,
+            gap=gap,
+            degraded=True,
+            fallback=fallback,
+            degradation_cause=degradation_cause,
+        )
+
     # ------------------------------------------------------------------
+
+    def _make_lp_backend(self):
+        """LP backend for the bnb path: bare, chaos-wrapped, or armored.
+
+        ``plain_search`` keeps the historical bare SciPy backend (the
+        raw 1998 flow).  Otherwise a :class:`ResilientLPBackend` wraps
+        the chain; a :class:`FaultPlan` additionally wraps the primary
+        backend (or, with ``targets="all"``, every backend) in seeded
+        fault injection and turns on infeasible double-checking so the
+        armor can catch spurious INFEASIBLE verdicts.
+        """
+        chain = self.lp_backend_chain
+        use_resilient = self.resilient and not self.plain_search
+        if not use_resilient and self.chaos is None and chain is None:
+            return solve_lp_scipy
+        if chain is None:
+            chain = default_backend_chain()
+        chain = list(chain)
+        if self.chaos is not None:
+            wrap_all = self.chaos.targets == "all"
+            chain = [
+                (name, FaultInjectingBackend(fn, self.chaos,
+                                             name=f"chaos[{name}]"))
+                if (wrap_all or i == 0) else (name, fn)
+                for i, (name, fn) in enumerate(chain)
+            ]
+        if not use_resilient:
+            return chain[0][1]
+        return ResilientLPBackend(
+            backends=chain,
+            double_check_infeasible=self.chaos is not None,
+        )
 
     def _solve(self, model, spec, space):
         """Solve the model; returns (MilpResult, presolve certificate)."""
@@ -312,6 +522,16 @@ class TemporalPartitioner:
             on_incumbent=self.on_incumbent,
             callback_every=self.callback_every,
             presolve=self.presolve and not self.plain_search,
+            lp_backend=self._make_lp_backend(),
+            checkpoint_path=self.checkpoint_path,
+            checkpoint_every=self.checkpoint_every,
         )
         solver = BranchAndBound(model, rule=self.branching, config=config)
+        if self.checkpoint_path is not None and os.path.exists(self.checkpoint_path):
+            try:
+                return solver.resume(self.checkpoint_path), solver.presolve_certificate
+            except SolverError:
+                # Unreadable or foreign (fingerprint-mismatched)
+                # checkpoint: solve fresh; periodic saves overwrite it.
+                solver = BranchAndBound(model, rule=self.branching, config=config)
         return solver.solve(), solver.presolve_certificate

@@ -51,6 +51,41 @@ class SolverError(ReproError):
     """
 
 
+class TransientSolverError(SolverError):
+    """A solver fault that is plausibly recoverable by retrying.
+
+    Raised for iteration-limit expiry (HiGHS ``linprog`` status 1),
+    numerical trouble (status 4), ``scipy.milp`` status 4, and injected
+    chaos faults.  Carries the backend name and the backend's raw
+    status code so retry policies and fault logs can classify it.  The
+    resilience layer (:mod:`repro.ilp.resilience`) retries these with
+    backoff before falling through the backend chain; anything else
+    derived from :class:`SolverError` is treated as non-transient and
+    skips straight to the next backend.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        backend: str = "unknown",
+        raw_status: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.backend = backend
+        self.raw_status = raw_status
+
+
+class BackendChainExhausted(SolverError):
+    """Every LP backend in the resilience chain failed on one call.
+
+    Raised by :class:`repro.ilp.resilience.ResilientLPBackend` after
+    retries, validation, and fallbacks are all spent.  The branch and
+    bound treats it as an unresolvable node (branch without pruning /
+    count toward the failure budget); the partitioner treats a solve
+    that dies of it as a degradation cause.
+    """
+
+
 class DecodeError(ReproError):
     """A solver solution could not be decoded into a partitioned design.
 

@@ -21,7 +21,10 @@ plays that role here, fully in-repo:
   ``scipy.optimize.milp`` path used as the "leave variable selection to
   the solver" baseline and as a correctness cross-check;
 * :mod:`~repro.ilp.lp_io` — CPLEX-LP-format export for debugging and
-  for feeding external solvers.
+  for feeding external solvers;
+* :mod:`~repro.ilp.resilience` — fault injection, the validating
+  retry/fallback LP backend chain, and checkpoint/resume of the
+  branch-and-bound search state.
 """
 
 from repro.ilp.expr import LinExpr, Var
@@ -48,6 +51,11 @@ from repro.ilp.branching import (
 from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig
 from repro.ilp.milp_backend import solve_milp_scipy
 from repro.ilp.lp_io import write_lp_format
+from repro.ilp.resilience import (
+    FaultInjectingBackend,
+    FaultPlan,
+    ResilientLPBackend,
+)
 
 __all__ = [
     "Var",
@@ -75,4 +83,7 @@ __all__ = [
     "BranchAndBoundConfig",
     "solve_milp_scipy",
     "write_lp_format",
+    "FaultPlan",
+    "FaultInjectingBackend",
+    "ResilientLPBackend",
 ]

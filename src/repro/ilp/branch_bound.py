@@ -55,11 +55,33 @@ fires before any incumbent exists, a bounded **rescue dive**
 solution is in hand, so even a ``time_limit_s=0`` run on a feasible
 model yields a usable answer.  Only a rescue that also exhausts its
 node budget empty-handed returns a bare TIMEOUT.
+
+Resilience
+----------
+LP backend faults are survivable outcomes too (see
+:mod:`repro.ilp.resilience`).  A backend call that raises
+:class:`~repro.errors.SolverError` does not kill the search: the node
+is **blind-branched** — split on an unfixed integer variable without a
+bound, inheriting the parent's proven bound — so no subtree is lost
+and no wrong bound ever prunes.  A fully-fixed node whose LP fails is
+decided by the exact leaf sub-solve; only if that also fails is the
+node *dropped*, which forfeits the optimality proof (the final status
+honestly downgrades from OPTIMAL to FEASIBLE, or to ERROR when no
+incumbent exists).  ``lp_failure_limit`` bounds how much failure the
+search tolerates before aborting with stop reason ``lp_failure_limit``
+— the partitioner's cue to degrade to a heuristic baseline.
+
+Checkpoint/resume: with ``checkpoint_path`` set, the open-node
+frontier, incumbent, and counters are serialized atomically every
+``checkpoint_every`` nodes (and on every limit stop); :meth:`resume`
+restores that state and continues the identical search — the paper's
+">7200 s" runs restart where they died instead of from scratch.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set
@@ -157,6 +179,18 @@ class BranchAndBoundConfig:
     presolve_options:
         Override the :class:`~repro.ilp.analysis.PresolveOptions`;
         must keep ``eliminate=False`` (enforced).
+    lp_failure_limit:
+        Total LP backend failures (calls raising
+        :class:`~repro.errors.SolverError`) tolerated before the
+        search aborts with stop reason ``lp_failure_limit`` — the
+        graceful-degradation cue.  Failures below the limit are
+        survived by blind branching (see module docstring).
+    checkpoint_path:
+        When set, the search state is serialized (atomically) to this
+        path every ``checkpoint_every`` explored nodes and on every
+        limit stop, so a killed process can :meth:`~BranchAndBound.resume`.
+    checkpoint_every:
+        Node interval between periodic checkpoint saves.
     """
 
     time_limit_s: Optional[float] = None
@@ -176,6 +210,9 @@ class BranchAndBoundConfig:
     rescue_node_budget: int = 64
     presolve: bool = False
     presolve_options: "Optional[object]" = None
+    lp_failure_limit: int = 64
+    checkpoint_path: "Optional[str]" = None
+    checkpoint_every: int = 256
 
 
 @dataclass
@@ -240,6 +277,13 @@ class BranchAndBound:
         self._stack: "List[_Node]" = []
         self._incumbent_values: "Optional[Dict[int, float]]" = None
         self._incumbent_obj = math.inf
+        # Resilience state.
+        self._exactness_lost = False
+        self._lp_failure_abort = False
+        self._checkpoint_saves = 0
+        self._resumed = False
+        self._resume_payload: "Optional[Dict[str, object]]" = None
+        self._elapsed_base = 0.0
 
     # ------------------------------------------------------------------
 
@@ -290,6 +334,10 @@ class BranchAndBound:
         self._stats.presolve = self._presolve_stats
         self._incumbent_values = None
         self._incumbent_obj = math.inf
+        self._exactness_lost = False
+        self._lp_failure_abort = False
+        self._checkpoint_saves = 0
+        self._elapsed_base = 0.0
         if self._presolve_certificate is not None:
             # Presolve proved infeasibility; no LP is ever solved.
             self._stats.stop_reason = "presolve_infeasible"
@@ -298,9 +346,15 @@ class BranchAndBound:
         self._stack = [
             _Node(self.form.lb.copy(), self.form.ub.copy(), depth=0)
         ]
+        if self._resume_payload is not None:
+            self._restore_from_checkpoint(self._resume_payload)
+            self._resume_payload = None
 
         limit_status: "Optional[SolveStatus]" = None
         while self._stack:
+            if self._lp_failure_abort:
+                limit_status = SolveStatus.ERROR
+                break
             if self._out_of_time():
                 limit_status = SolveStatus.TIMEOUT
                 break
@@ -311,6 +365,7 @@ class BranchAndBound:
                 limit_status = SolveStatus.NODE_LIMIT
                 break
             self._process_node(self._stack.pop())
+            self._maybe_checkpoint()
 
         if (
             limit_status is SolveStatus.TIMEOUT
@@ -322,6 +377,18 @@ class BranchAndBound:
                 # The rescue finished the whole tree: the deadline is
                 # moot and the normal exhaustion semantics apply.
                 limit_status = None
+
+        if limit_status is not None and self.config.checkpoint_path:
+            # The stop a checkpoint exists for: persist the final
+            # frontier so a restart continues instead of redoing.
+            self.save_checkpoint(self.config.checkpoint_path)
+        elif self.config.checkpoint_path:
+            # Search ran to completion: a leftover periodic checkpoint
+            # would only make the next run resume a finished search.
+            try:
+                os.remove(self.config.checkpoint_path)
+            except OSError:
+                pass
 
         return self._finish(limit_status)
 
@@ -345,7 +412,13 @@ class BranchAndBound:
                 return
 
             lp_start = time.monotonic()
-            lp = self.config.lp_backend(self.form, node.lb, node.ub)
+            try:
+                lp = self.config.lp_backend(self.form, node.lb, node.ub)
+            except SolverError as exc:
+                stats.lp_solves += 1
+                stats.lp_time_s += time.monotonic() - lp_start
+                self._lp_failed(node, exc)
+                return
             stats.lp_solves += 1
             stats.lp_time_s += time.monotonic() - lp_start
 
@@ -406,8 +479,175 @@ class BranchAndBound:
             self._stack
             and self._incumbent_values is None
             and self._stats.rescue_nodes < budget
+            and not self._lp_failure_abort
         ):
             self._process_node(self._stack.pop(), rescue=True)
+
+    # ------------------------------------------------------------------
+    # resilience: LP failure survival
+
+    def _lp_failed(self, node: _Node, exc: SolverError) -> None:
+        """Survive an LP backend failure on one node.
+
+        The node's LP bound is unknowable, but its *subtree* is not
+        lost: blind-branch it (split an unfixed integer variable with
+        no pruning, children inherit the parent's proven bound).  A
+        fully-fixed node is decided by the exact leaf sub-solve; if
+        that fails too the node is dropped and the optimality proof is
+        forfeited.  Past ``lp_failure_limit`` total failures the search
+        aborts — at that point the backend chain is evidently dead and
+        further blind branching only multiplies unresolvable nodes.
+        """
+        stats = self._stats
+        stats.lp_failures += 1
+        if stats.lp_failures >= self.config.lp_failure_limit:
+            self._lp_failure_abort = True
+            self._exactness_lost = True
+            stats.nodes_dropped += 1
+            return
+        self._branch_blind(node)
+
+    def _branch_blind(self, node: _Node) -> None:
+        """Branch a node whose LP failed, without a bound.
+
+        Domain-splits the first unfixed integer variable (in branching
+        priority order); both children stay in the tree with the
+        parent's inherited bound, so exactness is preserved — only
+        pruning power is lost on this node.
+        """
+        stats = self._stats
+        unfixed = [
+            int(idx) for idx in self._int_indices
+            if node.lb[int(idx)] < node.ub[int(idx)]
+        ]
+        if not unfixed:
+            try:
+                kind, payload = self._leaf_subsolve(node)
+            except SolverError:
+                kind, payload = "failed", None
+            if kind == "optimal":
+                stats.nodes_leaf_solved += 1
+                sub_obj, sub_values = payload
+                if sub_obj < self._prune_threshold(self._incumbent_obj):
+                    self._new_incumbent(sub_obj, sub_values)
+                return
+            if kind == "infeasible":
+                stats.nodes_leaf_solved += 1
+                return
+            # Exact decision unavailable: drop the node, forfeiting
+            # the optimality proof (never a wrong answer, an honest
+            # downgrade from OPTIMAL to FEASIBLE/ERROR).
+            stats.nodes_dropped += 1
+            self._exactness_lost = True
+            return
+        pick = min(
+            unfixed,
+            key=lambda idx: (self.model.variables[idx].branch_key, idx),
+        )
+        mid = math.floor((node.lb[pick] + node.ub[pick]) / 2.0)
+        down = _Node(node.lb.copy(), node.ub.copy(), node.depth + 1,
+                     bound=node.bound)
+        up = _Node(node.lb.copy(), node.ub.copy(), node.depth + 1,
+                   bound=node.bound)
+        down.ub[pick] = mid
+        up.lb[pick] = mid + 1
+        stats.nodes_branched += 1
+        stats.blind_branches += 1
+        self._stack.append(down)
+        self._stack.append(up)
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+
+    def checkpoint(self) -> "Dict[str, object]":
+        """Snapshot the resumable search state as a JSON-safe dict."""
+        from repro.ilp.resilience.checkpoint import (
+            CHECKPOINT_SCHEMA,
+            form_fingerprint,
+            frontier_to_json,
+            values_to_json,
+        )
+
+        incumbent = None
+        if self._incumbent_values is not None:
+            incumbent = {
+                "objective": self._incumbent_obj,
+                "values": values_to_json(self._incumbent_values),
+            }
+        return {
+            "schema": CHECKPOINT_SCHEMA,
+            "fingerprint": form_fingerprint(self.form),
+            "elapsed_s": self._elapsed_base + (time.monotonic() - self._start),
+            "incumbent": incumbent,
+            "frontier": frontier_to_json(self._stack, self.form.lb, self.form.ub),
+            "stats": self._stats.as_dict(),
+            "exactness_lost": self._exactness_lost,
+        }
+
+    def save_checkpoint(self, path: "str") -> None:
+        """Atomically write the current search state to ``path``."""
+        from repro.ilp.resilience.checkpoint import write_checkpoint_atomic
+
+        write_checkpoint_atomic(path, self.checkpoint())
+        self._checkpoint_saves += 1
+
+    def resume(self, checkpoint: "Dict[str, object] | str") -> MilpResult:
+        """Continue a search from a checkpoint (dict or file path).
+
+        The checkpoint's model fingerprint must match this solver's
+        compiled form (same model, same presolve setting), else a
+        :class:`~repro.errors.SolverError` is raised.  The time budget
+        (``time_limit_s``) applies to *this* process run; the
+        checkpoint's elapsed time accumulates only into the reported
+        ``wall_time_s`` telemetry.
+        """
+        from repro.ilp.resilience.checkpoint import read_checkpoint
+
+        if isinstance(checkpoint, (str, bytes)) or hasattr(checkpoint, "__fspath__"):
+            checkpoint = read_checkpoint(checkpoint)
+        self._resume_payload = checkpoint
+        return self.solve()
+
+    def _restore_from_checkpoint(self, payload: "Dict[str, object]") -> None:
+        """Replace the fresh-root state inside :meth:`solve` with the saved one."""
+        from repro.ilp.resilience.checkpoint import (
+            decode_node,
+            form_fingerprint,
+            values_from_json,
+        )
+
+        saved = payload.get("fingerprint")
+        actual = form_fingerprint(self.form)
+        if saved != actual:
+            raise SolverError(
+                f"checkpoint fingerprint {str(saved)[:12]}... does not match "
+                f"this model ({actual[:12]}...); refusing to resume"
+            )
+        self._stack = []
+        for entry in payload.get("frontier", []):
+            lb, ub, depth, bound = decode_node(entry, self.form.lb, self.form.ub)
+            self._stack.append(_Node(lb, ub, depth, bound=bound))
+        incumbent = payload.get("incumbent")
+        if incumbent is not None:
+            self._incumbent_obj = float(incumbent["objective"])
+            self._incumbent_values = values_from_json(incumbent["values"])
+        stats = SolveStats.from_dict(payload.get("stats", {}))
+        stats.presolve = self._stats.presolve
+        stats.stop_reason = "exhausted"
+        stats.best_bound = None
+        stats.gap = None
+        self._stats = stats
+        self._exactness_lost = bool(payload.get("exactness_lost", False))
+        self._elapsed_base = float(payload.get("elapsed_s", 0.0))
+        self._resumed = True
+
+    def _maybe_checkpoint(self) -> None:
+        path = self.config.checkpoint_path
+        if not path:
+            return
+        every = max(1, self.config.checkpoint_every)
+        if self._stats.nodes_explored % every == 0:
+            self.save_checkpoint(path)
 
     # ------------------------------------------------------------------
     # incumbent / bound / event bookkeeping
@@ -466,11 +706,26 @@ class BranchAndBound:
     def _finish(self, limit_status: "Optional[SolveStatus]") -> MilpResult:
         """Assemble the result and final telemetry for any stop cause."""
         stats = self._stats
-        stats.wall_time_s = time.monotonic() - self._start
+        stats.wall_time_s = self._elapsed_base + (time.monotonic() - self._start)
+        stats.resilience = self._resilience_block()
         has_incumbent = self._incumbent_values is not None
 
         if limit_status is None:
             stats.stop_reason = "exhausted"
+            if self._exactness_lost:
+                # Some node was dropped unresolved: the tree is done
+                # but the proof is not.  An incumbent is still a
+                # genuine feasible solution — just not provably
+                # optimal, and the "infeasible" conclusion would be
+                # unsound.
+                if not has_incumbent:
+                    return MilpResult(status=SolveStatus.ERROR, stats=stats)
+                return MilpResult(
+                    status=SolveStatus.FEASIBLE,
+                    objective=self._incumbent_obj,
+                    values=self._incumbent_values,
+                    stats=stats,
+                )
             if not has_incumbent:
                 return MilpResult(status=SolveStatus.INFEASIBLE, stats=stats)
             stats.best_bound = self._incumbent_obj
@@ -484,9 +739,12 @@ class BranchAndBound:
                 gap=0.0,
             )
 
-        stats.stop_reason = (
-            "time_limit" if limit_status is SolveStatus.TIMEOUT else "node_limit"
-        )
+        if limit_status is SolveStatus.ERROR:
+            stats.stop_reason = "lp_failure_limit"
+        elif limit_status is SolveStatus.TIMEOUT:
+            stats.stop_reason = "time_limit"
+        else:
+            stats.stop_reason = "node_limit"
         bound = self._open_bound()
         stats.best_bound = bound
         if not has_incumbent:
@@ -501,6 +759,37 @@ class BranchAndBound:
             bound=bound,
             gap=gap,
         )
+
+    def _resilience_block(self) -> "Optional[Dict[str, object]]":
+        """The ``solve.resilience`` telemetry block, or None when inert.
+
+        Present whenever any resilience machinery was engaged: a
+        resilience-aware backend (anything exposing
+        ``resilience_telemetry()``), an LP failure, a dropped node,
+        a checkpoint event, or a resume.
+        """
+        backend = None
+        telemetry_fn = getattr(self.config.lp_backend, "resilience_telemetry", None)
+        if callable(telemetry_fn):
+            backend = telemetry_fn()
+        stats = self._stats
+        if (
+            backend is None
+            and not stats.lp_failures
+            and not stats.nodes_dropped
+            and not self._checkpoint_saves
+            and not self._resumed
+        ):
+            return None
+        return {
+            "lp_failures": stats.lp_failures,
+            "blind_branches": stats.blind_branches,
+            "nodes_dropped": stats.nodes_dropped,
+            "exactness_lost": self._exactness_lost,
+            "checkpoints_saved": self._checkpoint_saves,
+            "resumed": self._resumed,
+            "backend": backend,
+        }
 
     # ------------------------------------------------------------------
     # branching machinery

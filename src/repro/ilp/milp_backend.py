@@ -18,7 +18,7 @@ from typing import Optional
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
-from repro.errors import SolverError
+from repro.errors import TransientSolverError
 from repro.ilp.model import Model
 from repro.ilp.solution import MilpResult, SolveStats, SolveStatus
 from repro.ilp.standard_form import StandardForm, compile_standard_form
@@ -105,4 +105,11 @@ def solve_milp_scipy(
         return MilpResult(status=SolveStatus.INFEASIBLE, stats=stats)
     if result.status == 3:
         return MilpResult(status=SolveStatus.UNBOUNDED, stats=stats)
-    raise SolverError(f"scipy.milp failed: status {result.status}: {result.message}")
+    # Status 4 ("other", typically numerical trouble) is the transient
+    # class: retry-eligible for the resilience layer, a degradation
+    # cause (never a crash) for the partitioner.
+    raise TransientSolverError(
+        f"scipy.milp failed: status {result.status}: {result.message}",
+        backend="scipy-milp",
+        raw_status=int(result.status),
+    )

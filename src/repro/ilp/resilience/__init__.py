@@ -1,0 +1,49 @@
+"""Solver resilience: fault injection, retry/fallback chains, checkpoints.
+
+The paper's whole argument rests on long branch-and-bound runs
+surviving to completion, and the ROADMAP's production north star means
+solver faults, numerical breakdown, and process death must be
+survivable outcomes, not crashes.  This package supplies the three
+mechanical pieces (the fourth — graceful degradation to heuristic
+baselines — lives in :mod:`repro.core.partitioner`, which owns the
+baselines):
+
+* :mod:`~repro.ilp.resilience.faults` — deterministic, seeded fault
+  injection (:class:`FaultInjectingBackend`) so every recovery path is
+  exercisable from tests and the ``--chaos-*`` CLI flags;
+* :mod:`~repro.ilp.resilience.resilient` — the validating, retrying,
+  falling-through LP backend chain (:class:`ResilientLPBackend`);
+* :mod:`~repro.ilp.resilience.checkpoint` — versioned, atomic
+  serialization of the search frontier for
+  :meth:`~repro.ilp.branch_bound.BranchAndBound.resume`.
+"""
+
+from repro.ilp.resilience.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    form_fingerprint,
+    read_checkpoint,
+    write_checkpoint_atomic,
+)
+from repro.ilp.resilience.faults import (
+    FAULT_KINDS,
+    FaultInjectingBackend,
+    FaultPlan,
+)
+from repro.ilp.resilience.resilient import (
+    ResilientLPBackend,
+    default_backend_chain,
+    validate_lp_result,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultInjectingBackend",
+    "ResilientLPBackend",
+    "default_backend_chain",
+    "validate_lp_result",
+    "CHECKPOINT_SCHEMA",
+    "form_fingerprint",
+    "read_checkpoint",
+    "write_checkpoint_atomic",
+]

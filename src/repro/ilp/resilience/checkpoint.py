@@ -1,0 +1,179 @@
+"""Checkpoint/resume for branch-and-bound search state.
+
+A killed process should restart where it died, not from scratch: the
+paper's ">7200 s" rows are precisely runs whose work evaporated.  This
+module serializes the whole resumable state of a
+:class:`~repro.ilp.branch_bound.BranchAndBound` run to a versioned JSON
+artifact:
+
+* the **open-node frontier**, each node as *bound-override deltas*
+  against the root bounds (the search only ever tightens per-variable
+  bounds, so a node is fully determined by the handful of indices it
+  changed — the artifact stays small even with thousands of open
+  nodes);
+* the **incumbent** (objective + value vector), if any;
+* the :class:`~repro.ilp.solution.SolveStats` counters and elapsed
+  wall time, so telemetry accumulates across restarts;
+* a **model fingerprint** (SHA-256 over every matrix of the compiled
+  :class:`~repro.ilp.standard_form.StandardForm`), so resuming against
+  a different model is rejected instead of silently corrupting the
+  search.
+
+The search is RNG-free by construction (every branching rule is a
+deterministic function of the model and the LP values), so frontier +
+incumbent + counters *is* the whole state: a resumed run explores
+exactly the tree the killed run would have.
+
+Writes are atomic — serialize to ``<path>.tmp`` in the same directory,
+then :func:`os.replace` — so a crash mid-write leaves the previous
+checkpoint intact, never a truncated JSON.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.ilp.standard_form import StandardForm
+
+#: Artifact schema identifier; bump on any incompatible layout change.
+CHECKPOINT_SCHEMA = "repro.bnb_checkpoint/v1"
+
+
+def form_fingerprint(form: StandardForm) -> str:
+    """SHA-256 fingerprint of a compiled standard form.
+
+    Covers the objective, both constraint systems (structure and
+    coefficients), bounds, and integrality — everything that defines
+    the search space.
+    """
+    digest = hashlib.sha256()
+    for arr in (
+        form.c, form.b_ub, form.b_eq, form.lb, form.ub, form.integrality,
+    ):
+        digest.update(np.ascontiguousarray(arr, dtype=float).tobytes())
+    for matrix in (form.a_ub, form.a_eq):
+        digest.update(np.ascontiguousarray(matrix.data, dtype=float).tobytes())
+        digest.update(np.ascontiguousarray(matrix.indices).tobytes())
+        digest.update(np.ascontiguousarray(matrix.indptr).tobytes())
+    return digest.hexdigest()
+
+
+def _finite_or_none(value: float) -> "Optional[float]":
+    """JSON has no infinities; the root bound starts at -inf."""
+    return float(value) if math.isfinite(value) else None
+
+
+def encode_node(
+    lb: "np.ndarray",
+    ub: "np.ndarray",
+    depth: int,
+    bound: float,
+    base_lb: "np.ndarray",
+    base_ub: "np.ndarray",
+) -> "Dict[str, object]":
+    """One frontier node as deltas against the root bounds."""
+    lb_delta = {
+        str(int(i)): float(lb[i]) for i in np.flatnonzero(lb != base_lb)
+    }
+    ub_delta = {
+        str(int(i)): float(ub[i]) for i in np.flatnonzero(ub != base_ub)
+    }
+    return {
+        "depth": int(depth),
+        "bound": _finite_or_none(bound),
+        "lb": lb_delta,
+        "ub": ub_delta,
+    }
+
+
+def decode_node(
+    entry: "Dict[str, object]",
+    base_lb: "np.ndarray",
+    base_ub: "np.ndarray",
+):
+    """Invert :func:`encode_node`; returns ``(lb, ub, depth, bound)``."""
+    lb = base_lb.copy()
+    ub = base_ub.copy()
+    for key, value in entry.get("lb", {}).items():
+        lb[int(key)] = float(value)
+    for key, value in entry.get("ub", {}).items():
+        ub[int(key)] = float(value)
+    bound = entry.get("bound")
+    return (
+        lb,
+        ub,
+        int(entry.get("depth", 0)),
+        -math.inf if bound is None else float(bound),
+    )
+
+
+def write_checkpoint_atomic(path: "str | Path", payload: "Dict[str, object]") -> None:
+    """Write ``payload`` as JSON via write-temp-then-rename.
+
+    ``os.replace`` is atomic on POSIX and Windows when source and
+    target share a directory, which the ``<path>.tmp`` convention
+    guarantees.
+    """
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=1))
+    os.replace(tmp, target)
+
+
+def read_checkpoint(path: "str | Path") -> "Dict[str, object]":
+    """Load and schema-check a checkpoint artifact.
+
+    Raises :class:`~repro.errors.SolverError` on a missing file,
+    malformed JSON, or a foreign/old schema — resuming from garbage
+    must be loud.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise SolverError(f"cannot read checkpoint {path!s}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SolverError(f"checkpoint {path!s} is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise SolverError(f"checkpoint {path!s}: expected a JSON object")
+    schema = payload.get("schema")
+    if schema != CHECKPOINT_SCHEMA:
+        raise SolverError(
+            f"checkpoint {path!s} has schema {schema!r}, "
+            f"expected {CHECKPOINT_SCHEMA!r}"
+        )
+    return payload
+
+
+def values_to_json(values: "Optional[Dict[int, float]]") -> "Optional[Dict[str, float]]":
+    """Variable-index-keyed dict -> JSON-safe string keys."""
+    if values is None:
+        return None
+    return {str(int(k)): float(v) for k, v in values.items()}
+
+
+def values_from_json(values: "Optional[Dict[str, float]]") -> "Optional[Dict[int, float]]":
+    """Inverse of :func:`values_to_json`."""
+    if values is None:
+        return None
+    return {int(k): float(v) for k, v in values.items()}
+
+
+def frontier_to_json(nodes, base_lb, base_ub) -> "List[Dict[str, object]]":
+    """Serialize the open-node stack, preserving LIFO order.
+
+    ``nodes`` is the solver's stack bottom-to-top; decoding in the same
+    order reconstructs an identical stack, so the resumed search pops
+    the exact node the killed search would have popped next.
+    """
+    return [
+        encode_node(n.lb, n.ub, n.depth, n.bound, base_lb, base_ub)
+        for n in nodes
+    ]

@@ -1,0 +1,227 @@
+"""Deterministic fault injection for LP backends.
+
+Every recovery path in the resilience layer is only as trustworthy as
+the faults it has actually survived, so this module makes solver
+failure *reproducible*: :class:`FaultInjectingBackend` wraps any LP
+backend callable and, driven by a seeded RNG, injects one of six fault
+classes on a configurable fraction of calls:
+
+``raise``
+    a :class:`~repro.errors.TransientSolverError` (retry-eligible, the
+    shape of HiGHS iteration-limit / numerical-trouble statuses);
+``fatal``
+    a plain :class:`~repro.errors.SolverError` (non-transient — the
+    resilient backend skips retries and falls through the chain);
+``slow``
+    an artificial delay before the real solve (deadline pressure);
+``nan``
+    the real solution with NaN poured into the value vector and
+    objective (numerical breakdown that *returns* instead of raising);
+``infeasible``
+    a spurious INFEASIBLE verdict on a node that may be perfectly
+    feasible (the nastiest class: undetectable from residuals, only a
+    second opinion catches it);
+``perturb``
+    the real solution with the reported objective shifted down — a
+    validated-but-wrong bound that would silently prune the optimum if
+    trusted.
+
+The same ``(seed, rate, kinds)`` triple always produces the same fault
+sequence across runs, which is what lets the chaos tests assert exact
+objective equality with the fault-free solve.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SolverError, TransientSolverError
+from repro.ilp.solution import LPResult, SolveStatus
+
+#: Every fault class the injector knows, in documentation order.
+FAULT_KINDS: "Tuple[str, ...]" = (
+    "raise", "fatal", "slow", "nan", "infeasible", "perturb",
+)
+
+#: Fault-log entries kept per injector (bounded so week-long chaos
+#: soaks cannot eat memory).
+_LOG_CAP = 1000
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to inject, how often, and where.
+
+    Parameters
+    ----------
+    kinds:
+        Fault classes to draw from (uniformly) on each injected call.
+    rate:
+        Probability in ``[0, 1]`` that any given call is faulted.
+    seed:
+        RNG seed; the full fault sequence is a pure function of it.
+    slow_s:
+        Delay injected by the ``slow`` class.
+    perturb:
+        How far the ``perturb`` class shifts the reported objective
+        *down* (making the bound look better than it is — the
+        dangerous direction for a minimization prune test).
+    limit:
+        Maximum number of injections (``None`` = unlimited); lets a
+        test fault exactly the first k calls.
+    targets:
+        ``"primary"`` faults only the first backend of the resilience
+        chain (recovery via fallback must succeed); ``"all"`` faults
+        every backend (recovery may be impossible — the graceful-
+        degradation path's territory).
+    """
+
+    kinds: "Tuple[str, ...]" = ("raise",)
+    rate: float = 0.25
+    seed: int = 0
+    slow_s: float = 0.02
+    perturb: float = 1.0
+    limit: "Optional[int]" = None
+    targets: str = "primary"
+
+    def __post_init__(self) -> None:
+        unknown = [k for k in self.kinds if k not in FAULT_KINDS]
+        if unknown:
+            raise ValueError(
+                f"unknown fault kind(s) {unknown}; choose from {FAULT_KINDS}"
+            )
+        if not self.kinds:
+            raise ValueError("FaultPlan.kinds must name at least one class")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"FaultPlan.rate must be in [0, 1], got {self.rate}")
+        if self.targets not in ("primary", "all"):
+            raise ValueError(
+                f"FaultPlan.targets must be 'primary' or 'all', got {self.targets!r}"
+            )
+
+    @classmethod
+    def from_cli(
+        cls,
+        kinds: str,
+        rate: float,
+        seed: int,
+        targets: str = "primary",
+    ) -> "FaultPlan":
+        """Parse the CLI's comma-separated ``--chaos-faults`` notation."""
+        names = tuple(k.strip() for k in kinds.split(",") if k.strip())
+        return cls(kinds=names, rate=rate, seed=seed, targets=targets)
+
+
+@dataclass
+class FaultRecord:
+    """One injected fault, for the structured fault log."""
+
+    call: int
+    kind: str
+
+    def as_dict(self) -> "Dict[str, object]":
+        return {"call": self.call, "kind": self.kind}
+
+
+class FaultInjectingBackend:
+    """Wrap an LP backend callable with seeded fault injection.
+
+    Drop-in compatible with the ``(form, lb_override, ub_override) ->
+    LPResult`` backend contract.  Whether a call is faulted, and with
+    which class, is decided by the plan's RNG *before* the inner solve,
+    so the decision sequence is identical no matter how long each
+    underlying solve takes.
+    """
+
+    def __init__(self, inner, plan: "Optional[FaultPlan]" = None,
+                 name: str = "chaos") -> None:
+        self.inner = inner
+        self.plan = plan if plan is not None else FaultPlan()
+        self.name = name
+        self.calls = 0
+        self.injected = 0
+        self.log: "List[FaultRecord]" = []
+        self._rng = random.Random(self.plan.seed)
+        self._sleep = time.sleep
+
+    # ------------------------------------------------------------------
+
+    def _draw(self) -> "Optional[str]":
+        """Decide this call's fault class (or None), advancing the RNG.
+
+        Both RNG draws happen unconditionally so the decision sequence
+        depends only on the seed and call count, not on earlier
+        outcomes like the injection limit.
+        """
+        roll = self._rng.random()
+        kind = self._rng.choice(self.plan.kinds)
+        if self.plan.limit is not None and self.injected >= self.plan.limit:
+            return None
+        return kind if roll < self.plan.rate else None
+
+    def _record(self, kind: str) -> None:
+        self.injected += 1
+        if len(self.log) < _LOG_CAP:
+            self.log.append(FaultRecord(call=self.calls, kind=kind))
+
+    def __call__(self, form, lb_override=None, ub_override=None) -> LPResult:
+        self.calls += 1
+        kind = self._draw()
+        if kind is None:
+            return self.inner(form, lb_override, ub_override)
+        self._record(kind)
+        if kind == "raise":
+            raise TransientSolverError(
+                f"injected transient fault (call {self.calls})",
+                backend=self.name,
+                raw_status=-1,
+            )
+        if kind == "fatal":
+            raise SolverError(f"injected fatal fault (call {self.calls})")
+        if kind == "slow":
+            self._sleep(self.plan.slow_s)
+            return self.inner(form, lb_override, ub_override)
+        if kind == "infeasible":
+            return LPResult(status=SolveStatus.INFEASIBLE)
+        result = self.inner(form, lb_override, ub_override)
+        if result.status is not SolveStatus.OPTIMAL:
+            return result  # nothing to corrupt
+        assert result.values is not None and result.objective is not None
+        if kind == "nan":
+            poisoned = dict(result.values)
+            victim = self._rng.choice(sorted(poisoned))
+            poisoned[victim] = float("nan")
+            return LPResult(
+                status=SolveStatus.OPTIMAL,
+                objective=float("nan"),
+                values=poisoned,
+            )
+        # kind == "perturb": intact values, objective shifted down — a
+        # plausible-looking bound that must not survive validation.
+        return LPResult(
+            status=SolveStatus.OPTIMAL,
+            objective=result.objective - self.plan.perturb,
+            values=dict(result.values),
+        )
+
+    # ------------------------------------------------------------------
+
+    def telemetry(self) -> "Dict[str, object]":
+        """Injection counters for the ``solve.resilience`` block."""
+        by_kind: "Dict[str, int]" = {}
+        for record in self.log:
+            by_kind[record.kind] = by_kind.get(record.kind, 0) + 1
+        return {
+            "calls": self.calls,
+            "injected": self.injected,
+            "by_kind": by_kind,
+            "plan": {
+                "kinds": list(self.plan.kinds),
+                "rate": self.plan.rate,
+                "seed": self.plan.seed,
+                "targets": self.plan.targets,
+            },
+        }

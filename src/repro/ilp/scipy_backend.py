@@ -13,7 +13,7 @@ from typing import Optional
 import numpy as np
 from scipy.optimize import linprog
 
-from repro.errors import SolverError
+from repro.errors import SolverError, TransientSolverError
 from repro.ilp.solution import LPResult, SolveStatus
 from repro.ilp.standard_form import StandardForm
 
@@ -59,6 +59,16 @@ def solve_lp_scipy(
         return LPResult(status=SolveStatus.INFEASIBLE)
     if result.status == 3:
         return LPResult(status=SolveStatus.UNBOUNDED)
+    if result.status in (1, 4):
+        # Iteration-limit expiry and numerical trouble are transient
+        # fault classes: a retry (possibly after a fallback) can
+        # legitimately succeed, so the resilience layer must be able to
+        # tell them apart from structural misuse.
+        raise TransientSolverError(
+            f"linprog failed with status {result.status}: {result.message}",
+            backend="scipy-highs",
+            raw_status=int(result.status),
+        )
     raise SolverError(
         f"linprog failed with status {result.status}: {result.message}"
     )

@@ -136,11 +136,21 @@ class SolveStats:
 
         nodes_explored == nodes_branched + nodes_pruned_bound
                         + nodes_pruned_infeasible + nodes_integral
-                        + nodes_leaf_solved
+                        + nodes_leaf_solved + nodes_dropped
 
     holds at all times (the telemetry tests assert it).  ``lp_solves``
     counts LP *relaxation* calls only; exact leaf sub-solves are
     tracked separately in ``leaf_subsolve_calls``.
+
+    Resilience accounting: ``lp_failures`` counts LP backend calls
+    that ended in a :class:`~repro.errors.SolverError` instead of a
+    result; such nodes are *blind-branched* (split without a bound,
+    ``blind_branches``) to stay exact, or — when fully fixed and the
+    exact leaf decision also fails — dropped (``nodes_dropped``),
+    which forfeits the optimality proof.  ``resilience`` carries the
+    structured ``solve.resilience`` telemetry block (fault log,
+    retry/fallback/quarantine counters, checkpoint events) when any
+    resilience machinery was active, else ``None``.
     """
 
     nodes_explored: int = 0
@@ -149,7 +159,10 @@ class SolveStats:
     nodes_pruned_infeasible: int = 0
     nodes_integral: int = 0
     nodes_leaf_solved: int = 0
+    nodes_dropped: int = 0
     lp_solves: int = 0
+    lp_failures: int = 0
+    blind_branches: int = 0
     lp_time_s: float = 0.0
     incumbent_updates: int = 0
     prober_hits: int = 0
@@ -163,6 +176,7 @@ class SolveStats:
     gap: Optional[float] = None
     incumbent_events: "List[IncumbentEvent]" = field(default_factory=list)
     presolve: "Optional[Dict[str, object]]" = None
+    resilience: "Optional[Dict[str, object]]" = None
 
     @property
     def lp_calls(self) -> int:
@@ -177,6 +191,7 @@ class SolveStats:
             + self.nodes_pruned_infeasible
             + self.nodes_integral
             + self.nodes_leaf_solved
+            + self.nodes_dropped
         )
 
     def as_dict(self) -> "Dict[str, object]":
@@ -188,7 +203,10 @@ class SolveStats:
             "nodes_pruned_infeasible": self.nodes_pruned_infeasible,
             "nodes_integral": self.nodes_integral,
             "nodes_leaf_solved": self.nodes_leaf_solved,
+            "nodes_dropped": self.nodes_dropped,
             "lp_calls": self.lp_solves,
+            "lp_failures": self.lp_failures,
+            "blind_branches": self.blind_branches,
             "lp_time_s": self.lp_time_s,
             "incumbent_updates": self.incumbent_updates,
             "prober_hits": self.prober_hits,
@@ -202,7 +220,48 @@ class SolveStats:
             "gap": self.gap,
             "incumbent_events": [e.as_dict() for e in self.incumbent_events],
             "presolve": self.presolve,
+            "resilience": self.resilience,
         }
+
+    @classmethod
+    def from_dict(cls, data: "Dict[str, object]") -> "SolveStats":
+        """Rebuild stats from :meth:`as_dict` output (checkpoint resume).
+
+        Unknown keys are ignored and missing keys keep their defaults,
+        so artifacts written by older minor revisions still load.
+        """
+        stats = cls()
+        for name in (
+            "nodes_explored", "nodes_branched", "nodes_pruned_bound",
+            "nodes_pruned_infeasible", "nodes_integral", "nodes_leaf_solved",
+            "nodes_dropped", "lp_failures", "blind_branches",
+            "incumbent_updates", "prober_hits", "sos1_propagations",
+            "leaf_subsolve_calls", "rescue_nodes", "max_depth",
+        ):
+            if name in data:
+                setattr(stats, name, int(data[name]))
+        if "lp_calls" in data:
+            stats.lp_solves = int(data["lp_calls"])
+        for name in ("lp_time_s", "wall_time_s"):
+            if name in data:
+                setattr(stats, name, float(data[name]))
+        if "stop_reason" in data:
+            stats.stop_reason = str(data["stop_reason"])
+        for name in ("best_bound", "gap"):
+            value = data.get(name)
+            if value is not None:
+                setattr(stats, name, float(value))
+        stats.incumbent_events = [
+            IncumbentEvent(
+                wall_time_s=float(e["wall_time_s"]),
+                objective=float(e["objective"]),
+                bound=None if e.get("bound") is None else float(e["bound"]),
+            )
+            for e in data.get("incumbent_events", [])
+        ]
+        presolve = data.get("presolve")
+        stats.presolve = dict(presolve) if isinstance(presolve, dict) else None
+        return stats
 
 
 @dataclass(frozen=True)

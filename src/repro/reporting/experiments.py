@@ -118,6 +118,8 @@ def run_row(
     plain_search: bool = False,
     aggregated_dependencies: bool = False,
     presolve: bool = True,
+    resilient: bool = True,
+    chaos=None,
 ) -> "Dict[str, object]":
     """Execute one experiment row and return a measured-result dict.
 
@@ -126,6 +128,10 @@ def run_row(
     formulation-quality benchmarks (Tables 1-2) measure.
     ``presolve=False`` skips the structural prechecks and the static
     presolve pass (the presolve ablation benchmark compares both).
+    ``resilient=False`` solves through the bare LP backend instead of
+    the validating retry/fallback chain, and ``chaos`` (a
+    :class:`~repro.ilp.resilience.FaultPlan`) turns on seeded fault
+    injection — the resilience-overhead benchmark measures both.
     The returned dict carries both the measurement and the paper's
     reported values, ready for
     :func:`repro.reporting.tables.render_rows`.
@@ -145,6 +151,8 @@ def run_row(
         time_limit_s=time_limit_s,
         plain_search=plain_search,
         presolve=presolve,
+        resilient=resilient,
+        chaos=chaos,
     )
     start = time.monotonic()
     outcome = partitioner.partition(
@@ -170,6 +178,8 @@ def run_row(
         "hit_limit": outcome.hit_limit,
         "objective": outcome.objective,
         "gap": outcome.gap,
+        "degraded": outcome.degraded,
+        "fallback": outcome.fallback,
         "partitions_used": (
             outcome.design.num_partitions_used if outcome.design else None
         ),

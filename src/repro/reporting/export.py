@@ -7,7 +7,7 @@ per-partition local schedules, cut traffic) for consumption by other
 tools — e.g. a downstream bitstream-scheduling flow.
 
 It also persists the per-run **solve telemetry artifact**
-(``repro.solve_telemetry/v2``): the structured record of one solve —
+(``repro.solve_telemetry/v3``): the structured record of one solve —
 status, objective, proven bound and gap, the node/LP counter set, the
 incumbent improvement event log, the presolve reduction summary, and
 the infeasibility certificate when a precheck or the presolve proved
@@ -105,18 +105,22 @@ def save_design(design: PartitionedDesign, path: "str | Path") -> None:
 
 
 def telemetry_to_dict(outcome: PartitionOutcome) -> "Dict[str, object]":
-    """The ``repro.solve_telemetry/v2`` record for one run.
+    """The ``repro.solve_telemetry/v3`` record for one run.
 
     Top-level keys: ``schema``, instance identity (``graph``,
     ``n_partitions``, ``relaxation``, ``device``), the outcome
     (``status``, ``feasible``, ``hit_limit``, ``objective``, ``bound``,
-    ``gap``, ``wall_time_s``), the ``model`` size report (now with
+    ``gap``, ``wall_time_s``), the degradation provenance
+    (``degraded``, ``fallback``, ``degradation_cause`` — v3), the
+    ``model`` size report (with
     ``nonzeros``/``density``/``integer_vars_by_family``), ``solve`` —
     the full :meth:`~repro.ilp.solution.SolveStats.as_dict` counter
-    set including ``incumbent_events`` and the ``presolve`` reduction
-    summary (null when presolve was off) — and ``certificate``, the
-    infeasibility proof attached when a structural precheck or the
-    presolve rejected the instance (null otherwise).
+    set including ``incumbent_events``, the ``presolve`` reduction
+    summary (null when presolve was off), and the ``resilience``
+    fault/recovery block (null when no resilience machinery fired —
+    v3) — and ``certificate``, the infeasibility proof attached when a
+    structural precheck or the presolve rejected the instance (null
+    otherwise).
     """
     return outcome.telemetry()
 

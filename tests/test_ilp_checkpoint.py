@@ -1,0 +1,173 @@
+"""Tests for branch-and-bound checkpoint/resume.
+
+The contract: a checkpoint written mid-search, loaded into a *fresh*
+solver over the same model, continues to the same proven optimum the
+uninterrupted run finds — and a checkpoint from a different model is
+refused outright (fingerprint mismatch) rather than silently resumed.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import SolverError
+from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig
+from repro.ilp.expr import lin_sum
+from repro.ilp.model import Model
+from repro.ilp.resilience import (
+    CHECKPOINT_SCHEMA,
+    form_fingerprint,
+    read_checkpoint,
+    write_checkpoint_atomic,
+)
+from repro.ilp.solution import SolveStatus
+from repro.ilp.standard_form import compile_standard_form
+
+
+def bigger_model():
+    """A knapsack the solver needs a real tree for (~23 nodes, opt -56)."""
+    model = Model("bigger")
+    weights = [3, 5, 7, 11, 13, 17, 19, 23]
+    values = [5, 8, 11, 15, 17, 20, 24, 29]
+    xs = [model.add_binary(f"x{i}") for i in range(8)]
+    model.add(lin_sum(w * x for w, x in zip(weights, xs)) <= 40)
+    model.set_objective(lin_sum(-v * x for v, x in zip(values, xs)))
+    return model
+
+
+def knapsack_model():
+    model = Model("knap")
+    a = model.add_binary("a")
+    b = model.add_binary("b")
+    c = model.add_binary("c")
+    model.add(2 * a + 3 * b + c <= 3)
+    model.set_objective(-5 * a - 4 * b - 3 * c)
+    return model
+
+
+class TestFingerprint:
+    def test_stable_across_recompiles(self):
+        a = form_fingerprint(compile_standard_form(bigger_model()))
+        b = form_fingerprint(compile_standard_form(bigger_model()))
+        assert a == b
+
+    def test_differs_across_models(self):
+        a = form_fingerprint(compile_standard_form(bigger_model()))
+        b = form_fingerprint(compile_standard_form(knapsack_model()))
+        assert a != b
+
+
+class TestCheckpointFile:
+    def test_atomic_write_leaves_no_temp(self, tmp_path):
+        path = tmp_path / "ck.json"
+        write_checkpoint_atomic(str(path), {"schema": CHECKPOINT_SCHEMA})
+        assert path.exists()
+        assert not (tmp_path / "ck.json.tmp").exists()
+        assert read_checkpoint(str(path))["schema"] == CHECKPOINT_SCHEMA
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SolverError):
+            read_checkpoint(str(tmp_path / "nope.json"))
+
+    def test_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{ not json")
+        with pytest.raises(SolverError):
+            read_checkpoint(str(path))
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text(json.dumps({"schema": "something/else"}))
+        with pytest.raises(SolverError):
+            read_checkpoint(str(path))
+
+
+class TestCheckpointResume:
+    def test_snapshot_has_expected_shape(self):
+        solver = BranchAndBound(
+            bigger_model(), config=BranchAndBoundConfig(node_limit=3)
+        )
+        solver.solve()
+        payload = solver.checkpoint()
+        assert payload["schema"] == CHECKPOINT_SCHEMA
+        assert payload["fingerprint"] == form_fingerprint(solver.form)
+        assert isinstance(payload["frontier"], list)
+        assert "stats" in payload and "elapsed_s" in payload
+
+    def test_resume_reaches_uninterrupted_optimum(self, tmp_path):
+        baseline = BranchAndBound(bigger_model()).solve()
+        assert baseline.status is SolveStatus.OPTIMAL
+
+        path = str(tmp_path / "ck.json")
+        interrupted = BranchAndBound(
+            bigger_model(),
+            config=BranchAndBoundConfig(
+                node_limit=2, checkpoint_path=path, checkpoint_every=1
+            ),
+        ).solve()
+        assert interrupted.status is not SolveStatus.OPTIMAL
+        assert os.path.exists(path)
+
+        fresh = BranchAndBound(bigger_model())
+        resumed = fresh.resume(path)
+        assert resumed.status is SolveStatus.OPTIMAL
+        assert resumed.objective == pytest.approx(baseline.objective)
+        assert resumed.stats.resilience["resumed"] is True
+        # Elapsed time and node counts accumulate across the restart.
+        assert resumed.stats.nodes_explored > 2
+
+    def test_resume_from_dict(self):
+        solver = BranchAndBound(
+            bigger_model(), config=BranchAndBoundConfig(node_limit=2)
+        )
+        solver.solve()
+        payload = solver.checkpoint()
+        resumed = BranchAndBound(bigger_model()).resume(payload)
+        baseline = BranchAndBound(bigger_model()).solve()
+        assert resumed.status is SolveStatus.OPTIMAL
+        assert resumed.objective == pytest.approx(baseline.objective)
+
+    def test_foreign_model_fingerprint_refused(self, tmp_path):
+        solver = BranchAndBound(
+            bigger_model(), config=BranchAndBoundConfig(node_limit=2)
+        )
+        solver.solve()
+        path = str(tmp_path / "ck.json")
+        solver.save_checkpoint(path)
+        with pytest.raises(SolverError, match="fingerprint"):
+            BranchAndBound(knapsack_model()).resume(path)
+
+    def test_completed_run_removes_checkpoint(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        # Interrupted run leaves a checkpoint behind...
+        BranchAndBound(
+            bigger_model(),
+            config=BranchAndBoundConfig(
+                node_limit=2, checkpoint_path=path, checkpoint_every=1
+            ),
+        ).solve()
+        assert os.path.exists(path)
+        # ...and the run that finishes the search cleans it up.
+        fresh = BranchAndBound(
+            bigger_model(),
+            config=BranchAndBoundConfig(checkpoint_path=path),
+        )
+        result = fresh.resume(path)
+        assert result.status is SolveStatus.OPTIMAL
+        assert not os.path.exists(path)
+
+    def test_incumbent_survives_the_restart(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        interrupted = BranchAndBound(
+            bigger_model(),
+            config=BranchAndBoundConfig(
+                node_limit=6, checkpoint_path=path, checkpoint_every=1
+            ),
+        ).solve()
+        payload = read_checkpoint(path)
+        if interrupted.has_solution:
+            assert payload["incumbent"] is not None
+            assert payload["incumbent"]["objective"] == pytest.approx(
+                interrupted.objective
+            )
