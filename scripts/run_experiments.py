@@ -19,9 +19,11 @@ from typing import Dict, List
 
 from repro.graph.generators import PAPER_GRAPH_SPECS
 from repro.reporting.experiments import (
+    journal_to_rows,
     reference_device,
     reference_memory,
     run_row,
+    table_manifest,
     table_rows,
 )
 
@@ -30,12 +32,59 @@ def fmt_paper_time(value) -> str:
     return ">limit" if value is None else f"{value}"
 
 
+#: Populated from --runner/--runner-dir/--jobs in main(); None means
+#: solve in-process (the historical behavior).
+RUNNER: "Dict" = {}
+
+
 def measure_table(table: str, time_limit: float, **kwargs) -> "List[Dict]":
+    if RUNNER:
+        return measure_table_isolated(table, time_limit, **kwargs)
     rows = []
     for row in table_rows(table):
         print(f"  running {row.key} ...", flush=True)
         rows.append(run_row(row, time_limit_s=time_limit, **kwargs))
     return rows
+
+
+def measure_table_isolated(table: str, time_limit: float, **kwargs) -> "List[Dict]":
+    """Run one table through the process-isolated batch runner.
+
+    Each row solves in its own resource-limited worker subprocess, so a
+    pathological row costs one TIMEOUT/OOM entry instead of the sweep;
+    the journal under --runner-dir is resumable after a kill
+    (``repro batch --resume`` semantics apply on rerun).
+    """
+    from repro.runner import BatchConfig, BatchRunner, load_manifest
+
+    # run_row kwargs the manifest path does not model (in-process-only
+    # ablation knobs) are rejected loudly rather than silently ignored.
+    supported = {"tighten", "branching", "plain_search", "linearization"}
+    unsupported = set(kwargs) - supported
+    if unsupported:
+        raise SystemExit(
+            f"--runner does not support measure kwargs {sorted(unsupported)}"
+        )
+    jobs = load_manifest(table_manifest(
+        table,
+        time_limit_s=time_limit,
+        memory_limit_mb=RUNNER.get("memory_limit_mb"),
+        # Watchdog slack over the solver's own limit: the worker also
+        # spends time importing and writing artifacts.
+        wall_limit_s=time_limit * 2 + 30.0,
+        **kwargs,
+    ))
+    journal = Path(RUNNER["dir"]) / f"{table}.jsonl"
+    runner = BatchRunner(
+        jobs,
+        journal_path=journal,
+        config=BatchConfig(concurrency=RUNNER.get("jobs", 1)),
+        on_event=lambda kind, payload: print(
+            f"  [{table}] {kind}: {payload.get('job_id', '')}", flush=True
+        ),
+    )
+    results = runner.run(resume=journal.exists())
+    return journal_to_rows(results, table)
 
 
 def md_table(rows: "List[Dict]", columns: "List[str]") -> str:
@@ -69,8 +118,34 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--time-limit", type=float, default=60.0)
     parser.add_argument("--out", default="EXPERIMENTS.md")
+    parser.add_argument(
+        "--runner", action="store_true",
+        help="solve each table row in a process-isolated worker via "
+        "repro.runner (resource limits, watchdog, resumable journal) "
+        "instead of in-process",
+    )
+    parser.add_argument(
+        "--runner-dir", default="runner_journals",
+        help="directory for per-table batch journals (with --runner); "
+        "rerunning resumes completed rows from the journals",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="concurrent workers per table (with --runner)",
+    )
+    parser.add_argument(
+        "--memory-limit-mb", type=int, default=None,
+        help="per-worker RLIMIT_AS cap in MB (with --runner)",
+    )
     args = parser.parse_args()
     tl = args.time_limit
+    if args.runner:
+        Path(args.runner_dir).mkdir(parents=True, exist_ok=True)
+        RUNNER.update({
+            "dir": args.runner_dir,
+            "jobs": args.jobs,
+            "memory_limit_mb": args.memory_limit_mb,
+        })
 
     sections: "List[str]" = []
     sections.append("# EXPERIMENTS — paper vs measured\n")
@@ -116,6 +191,24 @@ def main() -> None:
         "output.  Rows that hit the time limit are counted by the "
         "`hit_limit` flag, not by status string.\n"
     )
+    if RUNNER:
+        sections.append(
+            "Execution: this run used `--runner` — every row solved in "
+            "its own process-isolated worker (`repro.runner`, DESIGN.md "
+            "§10) with a wall-clock watchdog at twice the solve "
+            "limit"
+            + (
+                f" and a {RUNNER['memory_limit_mb']} MB RLIMIT_AS cap"
+                if RUNNER.get("memory_limit_mb") else ""
+            )
+            + f", {RUNNER.get('jobs', 1)} worker(s) per table.  "
+            "Per-table journals under "
+            f"`{RUNNER['dir']}/` make an interrupted sweep resumable "
+            "(finished rows replay from the journal, never re-solve); "
+            "a row that dies at a limit lands as `TIMEOUT`/`OOM`/"
+            "`CRASH` in its `outcome` column instead of aborting the "
+            "sweep.\n"
+        )
 
     print("Table 1 (base formulation, raw B&B, unguided)...")
     t1 = measure_table(

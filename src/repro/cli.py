@@ -376,10 +376,246 @@ def lint_main(argv: "Optional[list]" = None) -> int:
     return code
 
 
+def build_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tps batch",
+        description="Batch solve runner with per-job process isolation: "
+        "each solve runs in a worker subprocess under hard OS resource "
+        "limits and a wall-clock watchdog; every outcome is classified "
+        "(OK/DEGRADED/TIMEOUT/OOM/CRASH/INVALID_SPEC/SKIPPED) and "
+        "recorded in a crash-only append-only journal.  Kill this "
+        "process at any time and rerun with --resume: completed jobs "
+        "are taken from the journal, never re-solved.  Exit status: 0 "
+        "when every job ended OK or DEGRADED, 1 otherwise.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--manifest", metavar="FILE",
+        help="batch manifest JSON (schema repro.batch_manifest/v1): "
+        "{defaults: {...}, jobs: [{graph|paper_graph|random|drill, "
+        "mix, n_partitions, relaxation, ...}]}",
+    )
+    source.add_argument(
+        "--specs", nargs="+", metavar="SPEC.json",
+        help="shorthand manifest: one job per task-graph JSON file, "
+        "sharing the --mix/--device/... defaults below",
+    )
+    source.add_argument(
+        "--drill", action="store_true",
+        help="run the built-in isolation fire drill (one job per "
+        "failure mode: OOM, hung worker, segfault, plus OK sentinels) "
+        "to verify containment on this machine",
+    )
+    parser.add_argument(
+        "--journal", default="batch_journal.jsonl", metavar="FILE",
+        help="append-only JSONL job journal (default batch_journal.jsonl)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay the journal: skip completed jobs, re-queue "
+        "in-flight ones",
+    )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="restart from scratch, discarding an existing journal",
+    )
+    parser.add_argument(
+        "--scratch", metavar="DIR",
+        help="per-job scratch directory (job files, checkpoints, "
+        "telemetry; default <journal>.scratch/)",
+    )
+    parser.add_argument(
+        "--summary", metavar="FILE",
+        help="write the deterministic repro.batch_summary/v1 JSON here",
+    )
+    parser.add_argument(
+        "--compact", action="store_true",
+        help="compact the journal after the run (header + one final "
+        "record per job, atomic replace)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="concurrent worker subprocesses (default 1)",
+    )
+    limits = parser.add_argument_group(
+        "per-job resource limits (manifest values win over these)"
+    )
+    limits.add_argument(
+        "--memory-limit-mb", type=int, default=None, metavar="MB",
+        help="hard RLIMIT_AS address-space cap per worker",
+    )
+    limits.add_argument(
+        "--cpu-limit", type=float, default=None, metavar="S",
+        help="hard RLIMIT_CPU seconds per worker (kernel-enforced)",
+    )
+    limits.add_argument(
+        "--wall-limit", type=float, default=None, metavar="S",
+        help="wall-clock deadline per worker; past it the watchdog "
+        "SIGKILLs the worker and the job classifies TIMEOUT",
+    )
+    robust = parser.add_argument_group("retry and circuit breaker")
+    robust.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry CRASH/TIMEOUT jobs up to N times with backoff and "
+        "a shrunken budget (default 0 = off); retried solves resume "
+        "the killed attempt's B&B checkpoint",
+    )
+    robust.add_argument(
+        "--retry-backoff", type=float, default=0.5, metavar="S",
+        help="initial retry backoff, doubling per attempt (default 0.5)",
+    )
+    robust.add_argument(
+        "--retry-shrink", type=float, default=0.5, metavar="F",
+        help="time/node budget multiplier per retry (default 0.5)",
+    )
+    robust.add_argument(
+        "--breaker", type=int, default=None, metavar="N",
+        help="open a per-spec-class circuit breaker after N "
+        "consecutive failures; later jobs of that class are SKIPPED "
+        "(default: off)",
+    )
+    defaults = parser.add_argument_group(
+        "solve defaults (for --specs jobs and manifest entries that "
+        "omit them)"
+    )
+    defaults.add_argument("--mix", default="2A+2M+1S")
+    defaults.add_argument("-N", "--partitions", type=int, default=None)
+    defaults.add_argument("-L", "--relaxation", type=int, default=0)
+    defaults.add_argument("--device", default="xc4010")
+    defaults.add_argument("--memory", type=int, default=None)
+    defaults.add_argument("--time-limit", type=float, default=60.0)
+    parser.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="summary output format on stdout (default text)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-job progress lines on stderr",
+    )
+    return parser
+
+
+def batch_main(argv: "Optional[list]" = None) -> int:
+    from repro.reporting.tables import format_table
+    from repro.runner import (
+        BatchConfig,
+        BatchRunner,
+        JobOutcome,
+        RetryPolicy,
+        batch_summary,
+        compact,
+        drill_manifest,
+        load_manifest,
+    )
+    from repro.runner.jobs import MANIFEST_SCHEMA
+
+    args = build_batch_parser().parse_args(argv)
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+
+    try:
+        if args.drill:
+            jobs = drill_manifest()
+        else:
+            cli_defaults = {
+                "mix": args.mix,
+                "n_partitions": args.partitions,
+                "relaxation": args.relaxation,
+                "device": args.device,
+                "memory": args.memory,
+                "time_limit_s": args.time_limit,
+                "memory_limit_mb": args.memory_limit_mb,
+                "cpu_limit_s": args.cpu_limit,
+                "wall_limit_s": args.wall_limit,
+            }
+            cli_defaults = {k: v for k, v in cli_defaults.items() if v is not None}
+            if args.specs:
+                manifest = {
+                    "schema": MANIFEST_SCHEMA,
+                    "defaults": cli_defaults,
+                    "jobs": [{"graph": path} for path in args.specs],
+                }
+                jobs = load_manifest(manifest)
+            else:
+                import json as _json
+                from pathlib import Path as _Path
+
+                try:
+                    data = _json.loads(_Path(args.manifest).read_text())
+                except OSError as exc:
+                    raise SystemExit(f"cannot read manifest {args.manifest}: {exc}")
+                except _json.JSONDecodeError as exc:
+                    raise SystemExit(
+                        f"manifest {args.manifest} is not valid JSON: {exc}"
+                    )
+                if isinstance(data, dict):
+                    merged = dict(cli_defaults)
+                    merged.update(data.get("defaults", {}) or {})
+                    data["defaults"] = merged
+                jobs = load_manifest(data)
+        retry = RetryPolicy(
+            max_retries=args.retries,
+            backoff_s=args.retry_backoff,
+            budget_shrink=args.retry_shrink,
+        )
+        on_event = None
+        if not args.quiet:
+            def on_event(kind, payload):  # noqa: ANN001 - tiny adapter
+                print(f"[batch] {kind}: " + " ".join(
+                    f"{k}={v}" for k, v in payload.items()
+                ), file=sys.stderr)
+        runner = BatchRunner(
+            jobs,
+            journal_path=args.journal,
+            scratch_dir=args.scratch,
+            config=BatchConfig(
+                concurrency=args.jobs,
+                retry=retry,
+                breaker_threshold=args.breaker,
+            ),
+            on_event=on_event,
+        )
+        results = runner.run(resume=args.resume, overwrite=args.force)
+        if args.compact:
+            compact(args.journal)
+    except ReproError as exc:
+        raise SystemExit(f"batch failed: {exc}")
+
+    summary = batch_summary(results)
+    if args.summary:
+        try:
+            from pathlib import Path as _Path
+
+            _Path(args.summary).write_text(
+                json.dumps(summary, indent=2, sort_keys=True) + "\n"
+            )
+        except OSError as exc:
+            raise SystemExit(f"cannot write summary {args.summary!r}: {exc}")
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        columns = [
+            "job", "job_id", "outcome", "attempts", "status",
+            "objective", "gap", "fallback", "error",
+        ]
+        rows = [
+            [row.get(c) for c in columns] for row in summary["rows"]
+        ]
+        print(format_table([c.upper() for c in columns], rows))
+        counts = summary["outcomes"]
+        print("outcomes: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(counts.items())
+        ))
+    healthy = (JobOutcome.OK.value, JobOutcome.DEGRADED.value)
+    return 0 if all(r.outcome.value in healthy for r in results) else 1
+
+
 def main(argv: "Optional[list]" = None) -> int:
     arguments = list(argv) if argv is not None else sys.argv[1:]
     if arguments and arguments[0] == "lint":
         return lint_main(arguments[1:])
+    if arguments and arguments[0] == "batch":
+        return batch_main(arguments[1:])
     args = build_parser().parse_args(arguments)
 
     if args.paper_graph is not None:

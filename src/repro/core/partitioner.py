@@ -34,11 +34,13 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional, Union
 
 from repro.baselines import greedy_partition, level_partition
 from repro.errors import (
+    CheckpointError,
     DecodeError,
     ReproError,
     SolverError,
@@ -138,6 +140,7 @@ class PartitionOutcome:
             "gap": self.gap,
             "degraded": self.degraded,
             "fallback": self.fallback,
+            "degradation_cause": self.degradation_cause,
         }
 
     def telemetry(self) -> "Dict[str, object]":
@@ -530,8 +533,18 @@ class TemporalPartitioner:
         if self.checkpoint_path is not None and os.path.exists(self.checkpoint_path):
             try:
                 return solver.resume(self.checkpoint_path), solver.presolve_certificate
-            except SolverError:
-                # Unreadable or foreign (fingerprint-mismatched)
-                # checkpoint: solve fresh; periodic saves overwrite it.
+            except CheckpointError as exc:
+                # Truncated, corrupt, foreign-schema, or
+                # fingerprint-mismatched checkpoint: a fresh solve is
+                # always safe (periodic saves overwrite the bad file),
+                # but silent fallback would hide that hours of saved
+                # search state were just discarded — say so.
+                warnings.warn(
+                    f"ignoring unusable checkpoint "
+                    f"{self.checkpoint_path} ({exc.cause}): {exc}; "
+                    f"solving from scratch",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
                 solver = BranchAndBound(model, rule=self.branching, config=config)
         return solver.solve(), solver.presolve_certificate

@@ -75,6 +75,26 @@ class TransientSolverError(SolverError):
         self.raw_status = raw_status
 
 
+class CheckpointError(SolverError):
+    """A branch-and-bound checkpoint artifact is unusable.
+
+    Raised when a ``--checkpoint`` file is missing, truncated, not
+    JSON, empty, carries a foreign schema, fails the model
+    fingerprint check, or decodes into an impossible search state.
+    Carries the offending ``path`` and a short machine-readable
+    ``cause`` (``"unreadable"``, ``"not-json"``, ``"bad-schema"``,
+    ``"bad-fingerprint"``, ``"malformed"``) so callers can decide
+    between refusing loudly (explicit :meth:`resume`) and falling
+    back to a fresh solve with a warning (the partitioner's
+    auto-resume).
+    """
+
+    def __init__(self, message: str, path: str = "", cause: str = "malformed") -> None:
+        super().__init__(message)
+        self.path = path
+        self.cause = cause
+
+
 class BackendChainExhausted(SolverError):
     """Every LP backend in the resilience chain failed on one call.
 
@@ -102,6 +122,22 @@ class VerificationError(ReproError):
     breaks uniqueness, precedence, memory, capacity, or exclusivity
     rules.  The message names the first violated rule.
     """
+
+
+class RunnerError(ReproError):
+    """The batch runner (:mod:`repro.runner`) was misused or broke down.
+
+    Raised for malformed job descriptions, a journal that does not
+    belong to the manifest being resumed, or worker-protocol
+    violations the orchestrator cannot classify.  Job *outcomes*
+    (OOM, TIMEOUT, CRASH, ...) are never exceptions — one job's death
+    must not take the batch down — so this class covers only
+    orchestrator-level faults.
+    """
+
+
+class ManifestError(RunnerError):
+    """A batch manifest is malformed (schema, job entries, defaults)."""
 
 
 class InfeasibleSpecError(ReproError):

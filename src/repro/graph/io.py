@@ -58,10 +58,65 @@ def task_graph_to_dict(graph: TaskGraph) -> "Dict[str, Any]":
     }
 
 
+def _require_list(value: "Any", where: str) -> list:
+    """Schema lists must be real JSON arrays; a string would otherwise
+    iterate character by character and fail somewhere far away."""
+    if value is None:
+        return []
+    if not isinstance(value, list):
+        raise SpecificationError(
+            f"{where} must be a list, got {type(value).__name__}"
+        )
+    return value
+
+
+def _require_object(value: "Any", where: str) -> "Dict[str, Any]":
+    if not isinstance(value, dict):
+        raise SpecificationError(
+            f"{where} must be an object, got {type(value).__name__}"
+        )
+    return value
+
+
+def _require_str(record: "Dict[str, Any]", key: str, where: str) -> str:
+    if key not in record:
+        raise SpecificationError(f"{where} is missing required key {key!r}")
+    value = record[key]
+    if not isinstance(value, str):
+        raise SpecificationError(
+            f"{where}: {key!r} must be a string, got {type(value).__name__}"
+        )
+    return value
+
+
+def _require_width(record: "Dict[str, Any]", default: int, where: str) -> int:
+    """Widths must be actual positive integers — no coercion.
+
+    ``int("16")`` or ``int(3.7)`` would silently accept (and in the
+    float case *change*) malformed data; downstream bandwidth sums
+    would then be wrong with no error anywhere.
+    """
+    value = record.get("width", default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SpecificationError(
+            f"{where}: width must be an integer, got {value!r}"
+        )
+    if value <= 0:
+        raise SpecificationError(
+            f"{where}: width must be positive, got {value}"
+        )
+    return value
+
+
 def task_graph_from_dict(data: "Dict[str, Any]", validate: bool = True) -> TaskGraph:
     """Deserialize a task graph from the dictionary schema.
 
-    Raises :class:`SpecificationError` on any schema violation; the
+    Raises :class:`SpecificationError` on **any** schema violation —
+    unknown version, wrong container types, missing or mistyped keys,
+    duplicate task/operation names, dangling edge endpoints, non-int or
+    non-positive widths.  No other exception type escapes for malformed
+    input (the loader is fed untrusted files by the batch runner, whose
+    INVALID_SPEC classification depends on this contract).  The
     resulting graph is validated before being returned unless
     ``validate=False`` (the lint flow loads leniently so structural
     defects like precedence cycles surface as certificates rather
@@ -70,30 +125,68 @@ def task_graph_from_dict(data: "Dict[str, Any]", validate: bool = True) -> TaskG
     if not isinstance(data, dict):
         raise SpecificationError("task graph data must be a dict")
     version = data.get("version")
-    if version != SCHEMA_VERSION:
+    # Exact int match: 1.0 and True compare equal to 1 but are not
+    # valid version markers in a schema-checked file.
+    if not isinstance(version, int) or isinstance(version, bool) \
+            or version != SCHEMA_VERSION:
         raise SpecificationError(
             f"unsupported task graph schema version: {version!r} "
             f"(expected {SCHEMA_VERSION})"
         )
-    graph = TaskGraph(data.get("name", "spec"))
-    for task_data in data.get("tasks", []):
-        task = Task(task_data["name"])
-        for op_data in task_data.get("operations", []):
+    name = data.get("name", "spec")
+    if not isinstance(name, str):
+        raise SpecificationError(
+            f"task graph name must be a string, got {type(name).__name__}"
+        )
+    graph = TaskGraph(name)
+    for index, task_data in enumerate(_require_list(data.get("tasks"), "tasks")):
+        task_data = _require_object(task_data, f"tasks[{index}]")
+        task_name = _require_str(task_data, "name", f"tasks[{index}]")
+        task = Task(task_name)
+        where = f"task {task_name!r}"
+        operations = _require_list(
+            task_data.get("operations"), f"{where} operations"
+        )
+        for op_index, op_data in enumerate(operations):
+            op_data = _require_object(
+                op_data, f"{where} operations[{op_index}]"
+            )
+            op_where = f"{where} operations[{op_index}]"
             task.add_operation(
                 Operation(
-                    name=op_data["name"],
-                    optype=OpType.from_string(op_data["optype"]),
-                    width=int(op_data.get("width", 16)),
+                    name=_require_str(op_data, "name", op_where),
+                    optype=OpType.from_string(
+                        _require_str(op_data, "optype", op_where)
+                    ),
+                    width=_require_width(op_data, 16, op_where),
                 )
             )
-        for src, dst in task_data.get("edges", []):
+        for edge_index, edge in enumerate(
+            _require_list(task_data.get("edges"), f"{where} edges")
+        ):
+            if not isinstance(edge, (list, tuple)) or len(edge) != 2:
+                raise SpecificationError(
+                    f"{where} edges[{edge_index}] must be a [src, dst] "
+                    f"pair, got {edge!r}"
+                )
+            src, dst = edge
+            if not isinstance(src, str) or not isinstance(dst, str):
+                raise SpecificationError(
+                    f"{where} edges[{edge_index}] endpoints must be "
+                    f"operation names, got {edge!r}"
+                )
             task.add_edge(src, dst)
         graph.add_task(task)
-    for edge_data in data.get("data_edges", []):
-        src_task, src_op = parse_qualified(edge_data["src"])
-        dst_task, dst_op = parse_qualified(edge_data["dst"])
+    for index, edge_data in enumerate(
+        _require_list(data.get("data_edges"), "data_edges")
+    ):
+        edge_data = _require_object(edge_data, f"data_edges[{index}]")
+        where = f"data_edges[{index}]"
+        src_task, src_op = parse_qualified(_require_str(edge_data, "src", where))
+        dst_task, dst_op = parse_qualified(_require_str(edge_data, "dst", where))
         graph.add_data_edge(
-            src_task, src_op, dst_task, dst_op, int(edge_data.get("width", 1))
+            src_task, src_op, dst_task, dst_op,
+            _require_width(edge_data, 1, where),
         )
     if validate:
         graph.validate()

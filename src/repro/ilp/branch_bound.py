@@ -616,22 +616,41 @@ class BranchAndBound:
             values_from_json,
         )
 
+        from repro.errors import CheckpointError
+
         saved = payload.get("fingerprint")
         actual = form_fingerprint(self.form)
         if saved != actual:
-            raise SolverError(
+            raise CheckpointError(
                 f"checkpoint fingerprint {str(saved)[:12]}... does not match "
-                f"this model ({actual[:12]}...); refusing to resume"
+                f"this model ({actual[:12]}...); refusing to resume",
+                cause="bad-fingerprint",
             )
-        self._stack = []
-        for entry in payload.get("frontier", []):
-            lb, ub, depth, bound = decode_node(entry, self.form.lb, self.form.ub)
-            self._stack.append(_Node(lb, ub, depth, bound=bound))
-        incumbent = payload.get("incumbent")
+        try:
+            stack = []
+            for entry in payload.get("frontier", []):
+                lb, ub, depth, bound = decode_node(
+                    entry, self.form.lb, self.form.ub
+                )
+                stack.append(_Node(lb, ub, depth, bound=bound))
+            incumbent = payload.get("incumbent")
+            incumbent_obj = incumbent_values = None
+            if incumbent is not None:
+                incumbent_obj = float(incumbent["objective"])
+                incumbent_values = values_from_json(incumbent["values"])
+            stats = SolveStats.from_dict(payload.get("stats", {}))
+        except (KeyError, TypeError, ValueError, AttributeError, IndexError) as exc:
+            # A schema-valid header over a mangled body (hand-edited,
+            # bit-rotted, wrong-version writer): typed, not a KeyError.
+            raise CheckpointError(
+                f"checkpoint body is malformed "
+                f"({type(exc).__name__}: {exc}); refusing to resume",
+                cause="malformed",
+            ) from exc
+        self._stack = stack
         if incumbent is not None:
-            self._incumbent_obj = float(incumbent["objective"])
-            self._incumbent_values = values_from_json(incumbent["values"])
-        stats = SolveStats.from_dict(payload.get("stats", {}))
+            self._incumbent_obj = incumbent_obj
+            self._incumbent_values = incumbent_values
         stats.presolve = self._stats.presolve
         stats.stop_reason = "exhausted"
         stats.best_bound = None

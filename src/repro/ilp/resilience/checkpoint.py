@@ -40,7 +40,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.errors import SolverError
+from repro.errors import CheckpointError
 from repro.ilp.standard_form import StandardForm
 
 #: Artifact schema identifier; bump on any incompatible layout change.
@@ -131,23 +131,39 @@ def write_checkpoint_atomic(path: "str | Path", payload: "Dict[str, object]") ->
 def read_checkpoint(path: "str | Path") -> "Dict[str, object]":
     """Load and schema-check a checkpoint artifact.
 
-    Raises :class:`~repro.errors.SolverError` on a missing file,
-    malformed JSON, or a foreign/old schema — resuming from garbage
-    must be loud.
+    Raises :class:`~repro.errors.CheckpointError` (a
+    :class:`~repro.errors.SolverError`) carrying the offending path and
+    a machine-readable ``cause`` on a missing/unreadable file
+    (``"unreadable"``), malformed or truncated JSON (``"not-json"`` —
+    an empty file is this case too), or a foreign/old schema
+    (``"bad-schema"``) — resuming from garbage must be loud and typed,
+    never an unhandled ``json.JSONDecodeError``.
     """
     try:
         payload = json.loads(Path(path).read_text())
     except OSError as exc:
-        raise SolverError(f"cannot read checkpoint {path!s}: {exc}")
+        raise CheckpointError(
+            f"cannot read checkpoint {path!s}: {exc}",
+            path=str(path), cause="unreadable",
+        ) from exc
     except json.JSONDecodeError as exc:
-        raise SolverError(f"checkpoint {path!s} is not valid JSON: {exc}")
+        raise CheckpointError(
+            f"checkpoint {path!s} is not valid JSON "
+            f"(truncated or corrupt): {exc}",
+            path=str(path), cause="not-json",
+        ) from exc
     if not isinstance(payload, dict):
-        raise SolverError(f"checkpoint {path!s}: expected a JSON object")
+        raise CheckpointError(
+            f"checkpoint {path!s}: expected a JSON object, "
+            f"got {type(payload).__name__}",
+            path=str(path), cause="not-json",
+        )
     schema = payload.get("schema")
     if schema != CHECKPOINT_SCHEMA:
-        raise SolverError(
+        raise CheckpointError(
             f"checkpoint {path!s} has schema {schema!r}, "
-            f"expected {CHECKPOINT_SCHEMA!r}"
+            f"expected {CHECKPOINT_SCHEMA!r}",
+            path=str(path), cause="bad-schema",
         )
     return payload
 

@@ -180,6 +180,7 @@ def run_row(
         "gap": outcome.gap,
         "degraded": outcome.degraded,
         "fallback": outcome.fallback,
+        "degradation_cause": outcome.degradation_cause,
         "partitions_used": (
             outcome.design.num_partitions_used if outcome.design else None
         ),
@@ -191,3 +192,138 @@ def run_row(
         "paper_feasible": row.paper_feasible,
         "telemetry": outcome.telemetry(),
     }
+
+
+# ----------------------------------------------------------------------
+# batch-runner integration: run the tables through process isolation
+#
+# ``run_row`` executes in-process — fine interactively, but one
+# pathological row (a runaway solve, an OOM) kills the whole sweep.
+# These helpers express the same table rows as a
+# ``repro.batch_manifest/v1`` batch so ``repro.runner`` executes each
+# row in its own resource-limited worker, and convert the resulting
+# journal back into ``run_row``-shaped dicts for the report generators.
+
+
+def row_to_job_entry(
+    row: ExperimentRow,
+    time_limit_s: "Optional[float]" = 60.0,
+    tighten: bool = True,
+    branching: str = "paper",
+    linearization: str = "glover",
+    plain_search: bool = False,
+) -> "Dict[str, object]":
+    """One :class:`ExperimentRow` as a batch-manifest job entry.
+
+    ``spec_class`` is the row key, so journal results merge back onto
+    their table rows by identity rather than position, and the circuit
+    breaker groups per table row family.
+    """
+    entry: "Dict[str, object]" = {
+        "paper_graph": row.graph,
+        "mix": row.mix,
+        "n_partitions": row.n_partitions,
+        "relaxation": row.relaxation,
+        "spec_class": row.key,
+        "time_limit_s": time_limit_s,
+    }
+    if not tighten:
+        entry["base_model"] = True
+    if linearization == "fortet":
+        entry["fortet"] = True
+    if plain_search:
+        entry["plain_search"] = True
+    if branching != "paper":
+        entry["branching"] = branching
+    return entry
+
+
+def table_manifest(
+    table: str,
+    time_limit_s: "Optional[float]" = 60.0,
+    memory_limit_mb: "Optional[int]" = None,
+    wall_limit_s: "Optional[float]" = None,
+    **row_kwargs,
+) -> "Dict[str, object]":
+    """A ``repro.batch_manifest/v1`` document for one paper table.
+
+    The defaults pin the reference experiment platform (same device
+    capacity/alpha and scratch memory every in-process benchmark uses),
+    plus optional per-worker OS limits.  ``row_kwargs`` forward to
+    :func:`row_to_job_entry` (``tighten``, ``branching``,
+    ``plain_search``, ``linearization``).
+    """
+    device = reference_device()
+    defaults: "Dict[str, object]" = {
+        "device": f"{device.capacity}:{device.alpha}",
+        "memory": reference_memory().size,
+    }
+    if memory_limit_mb is not None:
+        defaults["memory_limit_mb"] = int(memory_limit_mb)
+    if wall_limit_s is not None:
+        defaults["wall_limit_s"] = float(wall_limit_s)
+    return {
+        "schema": "repro.batch_manifest/v1",
+        "defaults": defaults,
+        "jobs": [
+            row_to_job_entry(row, time_limit_s=time_limit_s, **row_kwargs)
+            for row in table_rows(table)
+        ],
+    }
+
+
+def journal_to_rows(results, table: str) -> "List[Dict[str, object]]":
+    """Merge batch-runner results back onto a table's paper columns.
+
+    ``results`` is an iterable of :class:`repro.runner.JobResult` (from
+    ``BatchRunner.run`` or ``repro.runner.replay``); rows come back in
+    table order, shaped like :func:`run_row` output.  A row whose job
+    never produced a solve (TIMEOUT/OOM/CRASH/SKIPPED) keeps its
+    ``outcome``/``error`` but has ``None`` measurements and counts as a
+    limit hit — exactly how the paper reports its ">7200 s" rows.
+    """
+    by_class: "Dict[str, object]" = {}
+    for result in results:
+        by_class[result.spec_class] = result
+    rows: "List[Dict[str, object]]" = []
+    for row in table_rows(table):
+        result = by_class.get(row.key)
+        solve = dict(getattr(result, "solve", None) or {})
+        timing = dict(getattr(result, "timing", None) or {})
+        status = solve.get("status")
+        merged: "Dict[str, object]" = {
+            "key": row.key,
+            "graph": row.graph,
+            "tasks": solve.get("tasks"),
+            "opers": solve.get("opers"),
+            "N": row.n_partitions,
+            "mix": row.mix,
+            "L": row.relaxation,
+            "vars": solve.get("vars"),
+            "consts": solve.get("consts"),
+            "runtime_s": timing.get("duration_s"),
+            "status": status,
+            "feasible": solve.get("feasible"),
+            "hit_limit": (
+                status in ("timeout", "node_limit")
+                or (result is not None
+                    and result.outcome.value in ("TIMEOUT", "OOM", "CRASH"))
+            ),
+            "objective": solve.get("objective"),
+            "gap": solve.get("gap"),
+            "degraded": solve.get("degraded"),
+            "fallback": solve.get("fallback"),
+            "degradation_cause": solve.get("degradation_cause"),
+            "partitions_used": None,
+            "nodes": solve.get("nodes"),
+            "lp_calls": solve.get("lp_calls"),
+            "outcome": None if result is None else result.outcome.value,
+            "attempts": None if result is None else result.attempts,
+            "error": None if result is None else result.error,
+            "paper_vars": row.paper_vars,
+            "paper_consts": row.paper_consts,
+            "paper_runtime_s": row.paper_runtime_s,
+            "paper_feasible": row.paper_feasible,
+        }
+        rows.append(merged)
+    return rows

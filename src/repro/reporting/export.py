@@ -128,3 +128,33 @@ def telemetry_to_dict(outcome: PartitionOutcome) -> "Dict[str, object]":
 def save_telemetry(outcome: PartitionOutcome, path: "str | Path") -> None:
     """Write one run's solve-telemetry artifact as JSON to ``path``."""
     Path(path).write_text(json.dumps(telemetry_to_dict(outcome), indent=2))
+
+
+def journal_summary_rows(path: "str | Path") -> "list":
+    """Summary rows from a batch-runner journal file.
+
+    Replays a ``repro.batch_journal/v1`` journal (see
+    :mod:`repro.runner.journal`) and returns one deterministic
+    summary-row dict per finished job, in job order — the same rows
+    ``repro batch`` prints, including the degradation provenance
+    (``degraded``/``fallback``/``degradation_cause``), ready for
+    :func:`rows_to_csv` / :func:`rows_to_json`.
+    """
+    from repro.runner.journal import replay
+
+    results = replay(path)
+    return [results[index].summary_row() for index in sorted(results)]
+
+
+def save_journal_summary(
+    journal_path: "str | Path", out_path: "str | Path"
+) -> None:
+    """Write a journal's deterministic batch summary as JSON."""
+    from repro.runner.journal import replay
+    from repro.runner.pool import batch_summary
+
+    results = replay(journal_path)
+    summary = batch_summary([results[index] for index in sorted(results)])
+    Path(out_path).write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )

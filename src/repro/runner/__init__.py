@@ -1,0 +1,76 @@
+"""Process-isolated batch solve runner (see DESIGN.md §10).
+
+Executes many :class:`~repro.core.spec.ProblemSpec`-shaped solves as
+**worker subprocesses** with hard OS resource limits and a wall-clock
+watchdog, classifies every outcome into a typed
+:class:`~repro.runner.jobs.JobResult`, and records everything in a
+crash-only append-only journal so a killed orchestrator resumes
+exactly where it died.  One pathological instance — OOM, wedge,
+segfault — costs exactly one job, never the batch.
+
+Public surface::
+
+    from repro.runner import (
+        BatchConfig, BatchRunner, CircuitBreaker, JobOutcome, JobResult,
+        JobSpec, ResourceLimits, RetryPolicy, batch_summary,
+        drill_manifest, load_manifest,
+    )
+
+The CLI front end is ``python -m repro.cli batch`` (see README).
+"""
+
+from repro.runner.jobs import (
+    DRILL_MODES,
+    MANIFEST_SCHEMA,
+    CircuitBreaker,
+    JobOutcome,
+    JobResult,
+    JobSpec,
+    RetryPolicy,
+    drill_manifest,
+    load_manifest,
+    manifest_digest,
+)
+from repro.runner.journal import (
+    JOURNAL_SCHEMA,
+    JournalWriter,
+    compact,
+    read_journal,
+    replay,
+)
+from repro.runner.limits import (
+    EXIT_CRASH,
+    EXIT_INVALID_SPEC,
+    EXIT_OOM,
+    ResourceLimits,
+    apply_limits,
+    classify_exit,
+)
+from repro.runner.pool import BatchConfig, BatchRunner, batch_summary
+
+__all__ = [
+    "BatchConfig",
+    "BatchRunner",
+    "CircuitBreaker",
+    "DRILL_MODES",
+    "EXIT_CRASH",
+    "EXIT_INVALID_SPEC",
+    "EXIT_OOM",
+    "JOURNAL_SCHEMA",
+    "JobOutcome",
+    "JobResult",
+    "JobSpec",
+    "JournalWriter",
+    "MANIFEST_SCHEMA",
+    "ResourceLimits",
+    "RetryPolicy",
+    "apply_limits",
+    "batch_summary",
+    "classify_exit",
+    "compact",
+    "drill_manifest",
+    "load_manifest",
+    "manifest_digest",
+    "read_journal",
+    "replay",
+]

@@ -1,0 +1,218 @@
+"""Crash-only batch journal: append-only JSONL, replayable, compactable.
+
+The journal is the batch's *only* durable state.  The orchestrator
+assumes it can be SIGKILLed at any instant — there is no shutdown
+handler, no "dirty" flag, no recovery protocol beyond **replay**:
+
+* every record is one JSON object on one line, appended and flushed
+  before the orchestrator acts on it;
+* a crash mid-append leaves at most one truncated final line, which
+  replay detects (it cannot parse) and discards — the journal is then
+  exactly the state as of the previous record;
+* ``--resume`` replays the journal, keeps every job with a ``finished``
+  record (its result is *taken from the journal*, never re-solved), and
+  re-queues the rest;
+* compaction rewrites header + latest ``finished`` record per job via
+  write-temp-then-``os.replace`` — atomic on POSIX and Windows — so a
+  crash mid-compaction leaves the old journal intact.
+
+Record order is **deterministic**: the pool finalizes results in job
+index order regardless of completion order, so the same batch run at
+any ``--jobs N`` produces byte-identical journals modulo the ``timing``
+field of each result and the header's ``runtime`` block (timestamps,
+concurrency, host) — the only two places wall-clock reality is allowed
+to leak in.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import RunnerError
+from repro.runner.jobs import JobResult
+
+#: Journal schema identifier; bump on any incompatible layout change.
+JOURNAL_SCHEMA = "repro.batch_journal/v1"
+
+
+def _json_line(record: "Dict[str, object]") -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+class JournalWriter:
+    """Append-only writer.  ``flush()`` after every record is the
+    durability contract: once :meth:`finished` returns, a SIGKILL of
+    the orchestrator cannot lose that job's result."""
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self._handle: "Optional[io.TextIOWrapper]" = None
+
+    def open(self) -> "JournalWriter":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        return self
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JournalWriter":
+        return self.open()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _append(self, record: "Dict[str, object]") -> None:
+        if self._handle is None:
+            raise RunnerError("journal writer is not open")
+        self._handle.write(_json_line(record))
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def header(
+        self,
+        n_jobs: int,
+        manifest_digest: str,
+        runtime: "Optional[Dict[str, object]]" = None,
+    ) -> None:
+        """The batch header — always the first record of a fresh journal.
+
+        Everything identity-bearing (schema, job count, manifest
+        digest) is deterministic; everything environmental (timestamp,
+        concurrency, pid) lives under ``runtime`` so determinism
+        comparisons can strip one well-known key.
+        """
+        self._append({
+            "event": "batch",
+            "schema": JOURNAL_SCHEMA,
+            "n_jobs": int(n_jobs),
+            "manifest_digest": manifest_digest,
+            "runtime": dict(runtime or {}),
+        })
+
+    def finished(self, result: JobResult) -> None:
+        """One job's final classified result (after all its attempts)."""
+        self._append({
+            "event": "finished",
+            "job": result.index,
+            "result": result.as_dict(),
+        })
+
+    def note(self, kind: str, payload: "Dict[str, object]") -> None:
+        """A non-result annotation (e.g. a breaker trip), deterministic."""
+        record: "Dict[str, object]" = {"event": "note", "kind": kind}
+        record.update(payload)
+        self._append(record)
+
+
+def read_journal(
+    path: "str | Path",
+) -> "Tuple[List[Dict[str, object]], bool]":
+    """Parse a journal into ``(records, truncated_tail)``.
+
+    A final line that does not parse is the signature of a crash
+    mid-append; it is dropped and reported via ``truncated_tail`` —
+    never an exception, because recovering from exactly this state is
+    the journal's whole job.  A malformed line *before* the final one
+    means real corruption and raises :class:`RunnerError`.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise RunnerError(f"cannot read journal {path}: {exc}") from exc
+    records: "List[Dict[str, object]]" = []
+    lines = text.splitlines()
+    truncated = False
+    for lineno, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if lineno == len(lines) - 1:
+                truncated = True
+                break
+            raise RunnerError(
+                f"journal {path} line {lineno + 1} is corrupt "
+                f"(not the final line, so not a crash artifact): {exc}"
+            ) from exc
+        if not isinstance(record, dict):
+            raise RunnerError(
+                f"journal {path} line {lineno + 1}: expected an object"
+            )
+        records.append(record)
+    return records, truncated
+
+
+def replay(
+    path: "str | Path",
+    expected_digest: "Optional[str]" = None,
+) -> "Dict[int, JobResult]":
+    """Replay a journal into ``{job_index: final JobResult}``.
+
+    Validates the header (schema and, when given, the manifest digest
+    — resuming the wrong batch's journal must be refused, not merged).
+    The *last* ``finished`` record per job wins, so a journal that was
+    resumed before replays to the same state.
+    """
+    records, _ = read_journal(path)
+    if not records:
+        return {}
+    header = records[0]
+    if header.get("event") != "batch" or header.get("schema") != JOURNAL_SCHEMA:
+        raise RunnerError(
+            f"journal {path} does not start with a "
+            f"{JOURNAL_SCHEMA!r} batch header"
+        )
+    if expected_digest is not None:
+        digest = header.get("manifest_digest")
+        if digest != expected_digest:
+            raise RunnerError(
+                f"journal {path} belongs to a different batch "
+                f"(manifest digest {str(digest)[:12]}..., expected "
+                f"{expected_digest[:12]}...); refusing to resume"
+            )
+    results: "Dict[int, JobResult]" = {}
+    for record in records[1:]:
+        if record.get("event") != "finished":
+            continue
+        try:
+            result = JobResult.from_dict(record["result"])  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RunnerError(
+                f"journal {path}: unreadable finished record for "
+                f"job {record.get('job')}: {exc}"
+            ) from exc
+        results[result.index] = result
+    return results
+
+
+def compact(path: "str | Path") -> int:
+    """Rewrite the journal as header + one ``finished`` record per job.
+
+    Returns the number of records dropped.  Atomic: serialize to
+    ``<path>.tmp`` in the same directory, then ``os.replace``.
+    """
+    records, truncated = read_journal(path)
+    if not records:
+        return 0
+    header, rest = records[0], records[1:]
+    latest: "Dict[object, Dict[str, object]]" = {}
+    for record in rest:
+        if record.get("event") == "finished":
+            latest[record.get("job")] = record
+    kept = [header] + [
+        latest[key] for key in sorted(latest, key=lambda k: int(k))  # type: ignore[arg-type]
+    ]
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text("".join(_json_line(r) for r in kept), encoding="utf-8")
+    os.replace(tmp, target)
+    dropped = len(rest) - (len(kept) - 1)
+    return dropped + (1 if truncated else 0)

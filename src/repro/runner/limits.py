@@ -1,0 +1,172 @@
+"""Hard OS resource limits for solve workers, and exit classification.
+
+A worker subprocess is the unit of blast containment: whatever a
+pathological instance does — allocate without bound, wedge in a
+degenerate simplex cycle, segfault inside a native routine — must be
+confined to its own process and turned into a *classified outcome*
+rather than an orchestrator crash.  This module owns the two halves of
+that contract:
+
+* :func:`apply_limits` runs **inside the worker**, before any heavy
+  import, and installs hard caps via ``setrlimit``:
+
+  - ``RLIMIT_AS`` (address-space cap) makes a runaway allocation fail
+    with ``MemoryError`` inside the worker — which the worker catches
+    and reports as ``OOM`` — instead of dragging the machine through
+    swap or waking the kernel OOM killer;
+  - ``RLIMIT_CPU`` caps *CPU* seconds; the kernel delivers ``SIGXCPU``
+    at the soft limit and ``SIGKILL`` at the hard limit, so even a
+    busy loop that never touches Python bytecode (stuck native code)
+    dies on its own.
+
+  Wall-clock deadlines cannot be expressed as an rlimit (a worker
+  blocked on I/O burns no CPU); those are enforced from the outside by
+  the pool's watchdog thread, which SIGKILLs over-deadline workers.
+
+* :func:`classify_exit` runs **in the orchestrator** and maps how a
+  worker died (exit code / signal, watchdog verdict, limits in force)
+  to a :class:`~repro.runner.jobs.JobOutcome` when the worker did not
+  live long enough to write its own result file.
+
+On platforms without the ``resource`` module (non-POSIX) the limits
+degrade to no-ops; :func:`apply_limits` returns human-readable notes
+about anything it could not enforce so the result record stays honest.
+"""
+
+from __future__ import annotations
+
+import math
+import signal
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+try:  # pragma: no cover - always available on the POSIX CI/dev hosts
+    import resource
+except ImportError:  # pragma: no cover - windows fallback
+    resource = None  # type: ignore[assignment]
+
+#: Worker exit codes that carry a classification even when the result
+#: file could not be written (e.g. the MemoryError handler itself ran
+#: out of memory).  Chosen outside the range shells use for signals.
+EXIT_OOM = 77
+EXIT_INVALID_SPEC = 78
+EXIT_CRASH = 79
+
+
+@dataclass(frozen=True)
+class ResourceLimits:
+    """Per-job hard limits, all optional.
+
+    ``memory_limit_mb`` caps the worker's address space;
+    ``cpu_limit_s`` its CPU seconds (kernel-enforced); ``wall_limit_s``
+    its wall-clock lifetime (watchdog-enforced, SIGKILL).  ``None``
+    means unlimited for that axis.
+    """
+
+    memory_limit_mb: "Optional[int]" = None
+    cpu_limit_s: "Optional[float]" = None
+    wall_limit_s: "Optional[float]" = None
+
+    def __post_init__(self) -> None:
+        if self.memory_limit_mb is not None and self.memory_limit_mb <= 0:
+            raise ValueError(
+                f"memory_limit_mb must be positive, got {self.memory_limit_mb}"
+            )
+        for name in ("cpu_limit_s", "wall_limit_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+
+    def as_dict(self) -> "Dict[str, object]":
+        return {
+            "memory_limit_mb": self.memory_limit_mb,
+            "cpu_limit_s": self.cpu_limit_s,
+            "wall_limit_s": self.wall_limit_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: "Dict[str, object]") -> "ResourceLimits":
+        return cls(
+            memory_limit_mb=(
+                None if data.get("memory_limit_mb") is None
+                else int(data["memory_limit_mb"])  # type: ignore[arg-type]
+            ),
+            cpu_limit_s=(
+                None if data.get("cpu_limit_s") is None
+                else float(data["cpu_limit_s"])  # type: ignore[arg-type]
+            ),
+            wall_limit_s=(
+                None if data.get("wall_limit_s") is None
+                else float(data["wall_limit_s"])  # type: ignore[arg-type]
+            ),
+        )
+
+
+def apply_limits(limits: ResourceLimits) -> "List[str]":
+    """Install ``limits`` on the *calling* process via ``setrlimit``.
+
+    Returns a list of notes for limits that could not be enforced
+    (missing ``resource`` module, platform without the rlimit, or a
+    kernel refusal) — the worker records them so a nominally-limited
+    job that in fact ran uncapped is visible in the journal.
+    """
+    notes: "List[str]" = []
+    if limits.memory_limit_mb is None and limits.cpu_limit_s is None:
+        return notes
+    if resource is None:  # pragma: no cover - non-POSIX
+        return ["resource module unavailable; no OS limits enforced"]
+    if limits.memory_limit_mb is not None:
+        cap = int(limits.memory_limit_mb) * 1024 * 1024
+        try:
+            resource.setrlimit(resource.RLIMIT_AS, (cap, cap))
+        except (AttributeError, ValueError, OSError) as exc:  # pragma: no cover
+            notes.append(f"RLIMIT_AS not enforced: {exc}")
+    if limits.cpu_limit_s is not None:
+        soft = max(1, math.ceil(limits.cpu_limit_s))
+        try:
+            # Soft limit raises SIGXCPU (default: kill); the +1 hard
+            # limit is the kernel's SIGKILL backstop should the worker
+            # somehow survive the first signal.
+            resource.setrlimit(resource.RLIMIT_CPU, (soft, soft + 1))
+        except (AttributeError, ValueError, OSError) as exc:  # pragma: no cover
+            notes.append(f"RLIMIT_CPU not enforced: {exc}")
+    return notes
+
+
+def classify_exit(
+    returncode: "Optional[int]",
+    watchdog_killed: bool,
+    limits: ResourceLimits,
+) -> "tuple[str, str]":
+    """Classify a worker that died without a readable result file.
+
+    Returns ``(outcome_name, detail)``.  Precedence: a watchdog kill is
+    always ``TIMEOUT`` (the deadline fired; whatever else was going on
+    no longer matters), then the reserved exit codes, then signal
+    analysis, then generic ``CRASH``.
+    """
+    if watchdog_killed:
+        return "TIMEOUT", "wall-clock deadline exceeded; worker SIGKILLed by watchdog"
+    if returncode == EXIT_OOM:
+        return "OOM", "worker exceeded the memory cap (exit-code channel)"
+    if returncode == EXIT_INVALID_SPEC:
+        return "INVALID_SPEC", "worker rejected the specification (exit-code channel)"
+    if returncode is not None and returncode < 0:
+        signum = -returncode
+        if signum in (signal.SIGXCPU, getattr(signal, "SIGPROF", -1)):
+            return "TIMEOUT", f"CPU rlimit exhausted (signal {signum})"
+        if signum == signal.SIGKILL and limits.memory_limit_mb is not None:
+            # RLIMIT_AS normally surfaces as MemoryError, but a native
+            # allocation that cannot unwind — or the kernel OOM killer
+            # — ends in an unhandled SIGKILL.  With a memory cap in
+            # force, that is the memory axis failing.
+            return "OOM", "worker killed by SIGKILL under a memory cap"
+        try:
+            name = signal.Signals(signum).name
+        except ValueError:
+            name = str(signum)
+        return "CRASH", f"worker died on signal {name}"
+    return "CRASH", (
+        "worker exited without writing a result "
+        f"(exit code {returncode})"
+    )

@@ -1,0 +1,194 @@
+"""Fuzz-style hardening tests for :func:`repro.graph.io.task_graph_from_dict`.
+
+The loader is fed untrusted files by the batch runner; its contract is
+that **only** :class:`SpecificationError` escapes for malformed input —
+never ``KeyError``, ``TypeError``, ``ValueError`` or anything else.
+Each case below is a mutation of a valid baseline spec dict; the suite
+asserts the contract over the whole corpus.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.graph.io import load_task_graph, task_graph_from_dict
+
+
+def baseline() -> dict:
+    """A small valid two-task spec; mutations start from a deep copy."""
+    return {
+        "version": 1,
+        "name": "fuzzbase",
+        "tasks": [
+            {
+                "name": "t1",
+                "operations": [
+                    {"name": "a", "optype": "add", "width": 16},
+                    {"name": "b", "optype": "mul", "width": 8},
+                ],
+                "edges": [["a", "b"]],
+            },
+            {
+                "name": "t2",
+                "operations": [
+                    {"name": "c", "optype": "sub", "width": 4},
+                ],
+                "edges": [],
+            },
+        ],
+        "data_edges": [
+            {"src": "t1.b", "dst": "t2.c", "width": 3},
+        ],
+    }
+
+
+def mutate(path, value, *, delete=False):
+    """Return a mutated deep copy of the baseline.
+
+    ``path`` addresses into the nested dict/list structure; ``value``
+    replaces the addressed slot (or the key is deleted).
+    """
+    data = copy.deepcopy(baseline())
+    node = data
+    for step in path[:-1]:
+        node = node[step]
+    if delete:
+        del node[path[-1]]
+    else:
+        node[path[-1]] = value
+    return data
+
+
+# Every entry: (label, mutated spec dict).  The corpus covers the
+# failure classes named in the loader's contract: version, container
+# types, missing/mistyped keys, duplicate names, dangling endpoints,
+# bad widths — plus assorted type confusion.
+CORPUS = [
+    # --- top-level shape -------------------------------------------------
+    ("not-a-dict-list", [1, 2, 3]),
+    ("not-a-dict-str", "graph"),
+    ("not-a-dict-none", None),
+    ("not-a-dict-int", 7),
+    # --- schema version --------------------------------------------------
+    ("version-missing", mutate(["version"], None, delete=True)),
+    ("version-unknown", mutate(["version"], 99)),
+    ("version-string", mutate(["version"], "1")),
+    ("version-none", mutate(["version"], None)),
+    ("version-float", mutate(["version"], 1.0)),
+    # --- graph name ------------------------------------------------------
+    ("name-int", mutate(["name"], 42)),
+    ("name-empty", mutate(["name"], "")),
+    ("name-list", mutate(["name"], ["g"])),
+    # --- tasks container -------------------------------------------------
+    ("tasks-dict", mutate(["tasks"], {"t1": {}})),
+    ("tasks-string", mutate(["tasks"], "t1")),
+    ("tasks-int", mutate(["tasks"], 3)),
+    ("task-entry-string", mutate(["tasks", 0], "t1")),
+    ("task-entry-list", mutate(["tasks", 0], ["t1"])),
+    ("task-entry-none", mutate(["tasks", 0], None)),
+    # --- task name -------------------------------------------------------
+    ("task-name-missing", mutate(["tasks", 0, "name"], None, delete=True)),
+    ("task-name-int", mutate(["tasks", 0, "name"], 1)),
+    ("task-name-empty", mutate(["tasks", 0, "name"], "")),
+    ("task-name-dotted", mutate(["tasks", 0, "name"], "t.1")),
+    ("task-name-duplicate", mutate(["tasks", 1, "name"], "t1")),
+    # --- operations container -------------------------------------------
+    ("ops-dict", mutate(["tasks", 0, "operations"], {"a": {}})),
+    ("ops-string", mutate(["tasks", 0, "operations"], "a")),
+    ("op-entry-string", mutate(["tasks", 0, "operations", 0], "a")),
+    ("op-entry-none", mutate(["tasks", 0, "operations", 0], None)),
+    # --- operation fields ------------------------------------------------
+    ("op-name-missing",
+     mutate(["tasks", 0, "operations", 0, "name"], None, delete=True)),
+    ("op-name-int", mutate(["tasks", 0, "operations", 0, "name"], 5)),
+    ("op-name-duplicate", mutate(["tasks", 0, "operations", 1, "name"], "a")),
+    ("op-optype-missing",
+     mutate(["tasks", 0, "operations", 0, "optype"], None, delete=True)),
+    ("op-optype-unknown", mutate(["tasks", 0, "operations", 0, "optype"], "frob")),
+    ("op-optype-int", mutate(["tasks", 0, "operations", 0, "optype"], 3)),
+    # --- operation widths ------------------------------------------------
+    ("op-width-negative", mutate(["tasks", 0, "operations", 0, "width"], -4)),
+    ("op-width-zero", mutate(["tasks", 0, "operations", 0, "width"], 0)),
+    ("op-width-float", mutate(["tasks", 0, "operations", 0, "width"], 3.5)),
+    ("op-width-string", mutate(["tasks", 0, "operations", 0, "width"], "16")),
+    ("op-width-bool", mutate(["tasks", 0, "operations", 0, "width"], True)),
+    ("op-width-none", mutate(["tasks", 0, "operations", 0, "width"], None)),
+    ("op-width-list", mutate(["tasks", 0, "operations", 0, "width"], [16])),
+    # --- intra-task edges ------------------------------------------------
+    ("edges-string", mutate(["tasks", 0, "edges"], "ab")),
+    ("edges-dict", mutate(["tasks", 0, "edges"], {"a": "b"})),
+    ("edge-not-pair", mutate(["tasks", 0, "edges", 0], ["a"])),
+    ("edge-triple", mutate(["tasks", 0, "edges", 0], ["a", "b", "c"])),
+    ("edge-ints", mutate(["tasks", 0, "edges", 0], [1, 2])),
+    ("edge-string-entry", mutate(["tasks", 0, "edges", 0], "ab")),
+    ("edge-dangling-src", mutate(["tasks", 0, "edges", 0], ["ghost", "b"])),
+    ("edge-dangling-dst", mutate(["tasks", 0, "edges", 0], ["a", "ghost"])),
+    ("edge-self-loop", mutate(["tasks", 0, "edges", 0], ["a", "a"])),
+    # --- data edges ------------------------------------------------------
+    ("data-edges-string", mutate(["data_edges"], "t1.b->t2.c")),
+    ("data-edges-dict", mutate(["data_edges"], {"src": "t1.b"})),
+    ("data-edge-entry-list", mutate(["data_edges", 0], ["t1.b", "t2.c"])),
+    ("data-edge-src-missing",
+     mutate(["data_edges", 0, "src"], None, delete=True)),
+    ("data-edge-dst-missing",
+     mutate(["data_edges", 0, "dst"], None, delete=True)),
+    ("data-edge-src-int", mutate(["data_edges", 0, "src"], 12)),
+    ("data-edge-src-unqualified", mutate(["data_edges", 0, "src"], "b")),
+    ("data-edge-src-overqualified", mutate(["data_edges", 0, "src"], "t1.b.x")),
+    ("data-edge-dangling-task", mutate(["data_edges", 0, "src"], "ghost.b")),
+    ("data-edge-dangling-op", mutate(["data_edges", 0, "src"], "t1.ghost")),
+    ("data-edge-same-task", mutate(["data_edges", 0, "dst"], "t1.a")),
+    ("data-edge-width-negative", mutate(["data_edges", 0, "width"], -1)),
+    ("data-edge-width-zero", mutate(["data_edges", 0, "width"], 0)),
+    ("data-edge-width-float", mutate(["data_edges", 0, "width"], 2.5)),
+    ("data-edge-width-string", mutate(["data_edges", 0, "width"], "3")),
+    ("data-edge-width-bool", mutate(["data_edges", 0, "width"], False)),
+]
+
+
+def test_baseline_is_valid():
+    graph = task_graph_from_dict(baseline())
+    assert graph.task_names == ("t1", "t2")
+    assert graph.num_operations == 3
+
+
+def test_corpus_is_large_enough():
+    assert len(CORPUS) >= 50
+
+
+@pytest.mark.parametrize("label,spec", CORPUS, ids=[c[0] for c in CORPUS])
+def test_only_specification_error_escapes(label, spec):
+    with pytest.raises(SpecificationError):
+        task_graph_from_dict(spec)
+
+
+@pytest.mark.parametrize("label,spec", CORPUS, ids=[c[0] for c in CORPUS])
+def test_lenient_mode_still_typed(label, spec):
+    """``validate=False`` relaxes *structural* checks (cycles, empty
+    graphs), never the schema contract: malformed input must still
+    raise SpecificationError, not leak a KeyError/TypeError."""
+    try:
+        task_graph_from_dict(spec, validate=False)
+    except SpecificationError:
+        pass  # the only acceptable exception type
+
+
+def test_width_is_not_coerced():
+    """A float or numeric-string width must be rejected, not silently
+    truncated/parsed — bandwidth sums would be wrong otherwise."""
+    for bad in (3.5, "16", True):
+        spec = mutate(["tasks", 0, "operations", 0, "width"], bad)
+        with pytest.raises(SpecificationError):
+            task_graph_from_dict(spec)
+
+
+def test_load_task_graph_round_trip(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(baseline()))
+    graph = load_task_graph(path)
+    assert graph.name == "fuzzbase"
+    assert graph.bandwidth("t1", "t2") == 3

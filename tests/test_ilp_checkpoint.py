@@ -11,7 +11,7 @@ import os
 
 import pytest
 
-from repro.errors import SolverError
+from repro.errors import CheckpointError, SolverError
 from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig
 from repro.ilp.expr import lin_sum
 from repro.ilp.model import Model
@@ -67,20 +67,63 @@ class TestCheckpointFile:
         assert read_checkpoint(str(path))["schema"] == CHECKPOINT_SCHEMA
 
     def test_missing_file_raises(self, tmp_path):
-        with pytest.raises(SolverError):
-            read_checkpoint(str(tmp_path / "nope.json"))
+        path = str(tmp_path / "nope.json")
+        with pytest.raises(CheckpointError) as excinfo:
+            read_checkpoint(path)
+        assert excinfo.value.cause == "unreadable"
+        assert excinfo.value.path == path
 
     def test_malformed_json_raises(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text("{ not json")
-        with pytest.raises(SolverError):
+        with pytest.raises(CheckpointError) as excinfo:
             read_checkpoint(str(path))
+        assert excinfo.value.cause == "not-json"
+
+    def test_empty_file_raises_typed(self, tmp_path):
+        """A zero-byte checkpoint (crash before first write completed,
+        or a touch(1) artifact) must classify not-json, never leak a
+        bare json.JSONDecodeError."""
+        path = tmp_path / "empty.json"
+        path.write_text("")
+        with pytest.raises(CheckpointError) as excinfo:
+            read_checkpoint(str(path))
+        assert excinfo.value.cause == "not-json"
+        assert str(path) in str(excinfo.value)
+
+    def test_truncated_file_raises_typed(self, tmp_path):
+        """A checkpoint cut off mid-write (e.g. disk full during a
+        non-atomic copy) must raise CheckpointError with the path."""
+        model = bigger_model()
+        solver = BranchAndBound(
+            model, config=BranchAndBoundConfig(node_limit=3)
+        )
+        solver.solve()
+        path = tmp_path / "trunc.json"
+        write_checkpoint_atomic(str(path), solver.checkpoint())
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])
+        with pytest.raises(CheckpointError) as excinfo:
+            read_checkpoint(str(path))
+        assert excinfo.value.cause == "not-json"
+
+    def test_non_object_payload_raises_typed(self, tmp_path):
+        path = tmp_path / "array.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(CheckpointError) as excinfo:
+            read_checkpoint(str(path))
+        assert excinfo.value.cause == "not-json"
 
     def test_wrong_schema_raises(self, tmp_path):
         path = tmp_path / "foreign.json"
         path.write_text(json.dumps({"schema": "something/else"}))
-        with pytest.raises(SolverError):
+        with pytest.raises(CheckpointError) as excinfo:
             read_checkpoint(str(path))
+        assert excinfo.value.cause == "bad-schema"
+
+    def test_checkpoint_error_is_solver_error(self):
+        # Existing except-SolverError sites keep working unchanged.
+        assert issubclass(CheckpointError, SolverError)
 
 
 class TestCheckpointResume:
@@ -135,8 +178,34 @@ class TestCheckpointResume:
         solver.solve()
         path = str(tmp_path / "ck.json")
         solver.save_checkpoint(path)
-        with pytest.raises(SolverError, match="fingerprint"):
+        with pytest.raises(CheckpointError, match="fingerprint") as excinfo:
             BranchAndBound(knapsack_model()).resume(path)
+        assert excinfo.value.cause == "bad-fingerprint"
+
+    def test_mangled_body_refused_typed(self, tmp_path):
+        """Schema and fingerprint valid but the frontier is garbage:
+        the decode failure must surface as CheckpointError, not a
+        KeyError/TypeError from deep inside node decoding."""
+        solver = BranchAndBound(
+            bigger_model(), config=BranchAndBoundConfig(node_limit=2)
+        )
+        solver.solve()
+        payload = solver.checkpoint()
+        payload["frontier"] = [{"lb": {"not-an-index": "nan?"}, "ub": 7}]
+        with pytest.raises(CheckpointError) as excinfo:
+            BranchAndBound(bigger_model()).resume(payload)
+        assert excinfo.value.cause == "malformed"
+
+    def test_mangled_incumbent_refused_typed(self):
+        solver = BranchAndBound(
+            bigger_model(), config=BranchAndBoundConfig(node_limit=2)
+        )
+        solver.solve()
+        payload = solver.checkpoint()
+        payload["incumbent"] = {"objective": "best-so-far"}  # no values
+        with pytest.raises(CheckpointError) as excinfo:
+            BranchAndBound(bigger_model()).resume(payload)
+        assert excinfo.value.cause == "malformed"
 
     def test_completed_run_removes_checkpoint(self, tmp_path):
         path = str(tmp_path / "ck.json")
@@ -157,6 +226,53 @@ class TestCheckpointResume:
         assert result.status is SolveStatus.OPTIMAL
         assert not os.path.exists(path)
 
+class TestPartitionerAutoResumeFallback:
+    def test_garbage_checkpoint_falls_back_with_warning(
+        self, tmp_path, forced_split_graph, tight_device
+    ):
+        """An unusable checkpoint must cost nothing but a warning: the
+        partitioner solves fresh and still reaches the optimum."""
+        from repro.core.partitioner import TemporalPartitioner
+        from repro.target.memory import ScratchMemory
+
+        path = tmp_path / "ck.json"
+        path.write_text("{ this is not a checkpoint")
+        tp = TemporalPartitioner(
+            device=tight_device,
+            memory=ScratchMemory(10),
+            time_limit_s=60,
+            checkpoint_path=str(path),
+        )
+        with pytest.warns(RuntimeWarning, match="not-json"):
+            outcome = tp.partition(
+                forced_split_graph, "1A+1M", n_partitions=3, relaxation=3
+            )
+        assert outcome.status is SolveStatus.OPTIMAL
+        assert outcome.objective == 7
+        assert not outcome.degraded
+
+    def test_empty_checkpoint_falls_back_with_warning(
+        self, tmp_path, forced_split_graph, tight_device
+    ):
+        from repro.core.partitioner import TemporalPartitioner
+        from repro.target.memory import ScratchMemory
+
+        path = tmp_path / "ck.json"
+        path.write_text("")
+        tp = TemporalPartitioner(
+            device=tight_device,
+            memory=ScratchMemory(10),
+            time_limit_s=60,
+            checkpoint_path=str(path),
+        )
+        with pytest.warns(RuntimeWarning, match="solving from scratch"):
+            outcome = tp.partition(
+                forced_split_graph, "1A+1M", n_partitions=3, relaxation=3
+            )
+        assert outcome.feasible
+
+
+class TestIncumbentPersistence:
     def test_incumbent_survives_the_restart(self, tmp_path):
         path = str(tmp_path / "ck.json")
         interrupted = BranchAndBound(

@@ -77,3 +77,105 @@ class TestDesignExport:
         path = tmp_path / "design.json"
         save_design(design, path)
         assert json.loads(path.read_text())["graph"] == "forced"
+
+
+class TestDegradedRoundTrip:
+    """Degradation provenance must survive every export surface.
+
+    A degraded run whose summary loses ``degraded``/``fallback``/
+    ``degradation_cause`` silently reports a heuristic answer as an
+    exact one — the one lie this repo's reporting must never tell.
+    """
+
+    DEGRADED_ROW = {
+        "graph": 1,
+        "N": 3,
+        "status": "error",
+        "feasible": True,
+        "objective": 4,
+        "degraded": True,
+        "fallback": "greedy",
+        "degradation_cause": "solver_error: LP backend chain exhausted",
+    }
+
+    def test_summary_row_carries_degradation_cause(self, forced_spec):
+        from repro.core.partitioner import PartitionOutcome
+        from repro.ilp.solution import SolveStats, SolveStatus
+
+        outcome = PartitionOutcome(
+            spec=forced_spec,
+            status=SolveStatus.ERROR,
+            design=None,
+            objective=None,
+            model_stats={"vars": 0, "constraints": 0},
+            solve_stats=SolveStats(stop_reason="solver_error"),
+            wall_time_s=0.1,
+            degraded=True,
+            fallback="greedy",
+            degradation_cause="solver_error: injected",
+        )
+        row = outcome.summary_row()
+        assert row["degraded"] is True
+        assert row["fallback"] == "greedy"
+        assert row["degradation_cause"] == "solver_error: injected"
+
+    def test_json_round_trip_preserves_degradation(self, tmp_path):
+        path = tmp_path / "rows.json"
+        rows_to_json([self.DEGRADED_ROW], path)
+        back = json.loads(path.read_text())[0]
+        assert back == self.DEGRADED_ROW
+
+    def test_csv_round_trip_preserves_degradation(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        rows_to_csv([self.DEGRADED_ROW], path)
+        with open(path) as handle:
+            back = list(csv.DictReader(handle))[0]
+        assert back["degraded"] == "True"
+        assert back["fallback"] == "greedy"
+        assert back["degradation_cause"] == (
+            "solver_error: LP backend chain exhausted"
+        )
+
+    def test_batch_journal_carries_degradation_to_summary(self, tmp_path):
+        """A DEGRADED job result written to a journal must surface the
+        full provenance in both the replayed summary rows and the
+        batch_summary document."""
+        from repro.reporting.export import (
+            journal_summary_rows,
+            save_journal_summary,
+        )
+        from repro.runner import JobOutcome, JobResult, JournalWriter
+
+        result = JobResult(
+            index=0,
+            job_id="j0000-graph1",
+            spec_class="graph1",
+            outcome=JobOutcome.DEGRADED,
+            solve={
+                "status": "error",
+                "feasible": True,
+                "objective": 4,
+                "gap": None,
+                "degraded": True,
+                "fallback": "greedy",
+                "degradation_cause": "solver_error: injected",
+            },
+            timing={"duration_s": 0.5, "pid": 1234},
+        )
+        journal = tmp_path / "j.jsonl"
+        with JournalWriter(journal) as writer:
+            writer.header(1, "digest", runtime={})
+            writer.finished(result)
+
+        rows = journal_summary_rows(journal)
+        assert rows[0]["outcome"] == "DEGRADED"
+        assert rows[0]["degraded"] is True
+        assert rows[0]["fallback"] == "greedy"
+        assert rows[0]["degradation_cause"] == "solver_error: injected"
+        assert "timing" not in rows[0]  # summary stays deterministic
+
+        out = tmp_path / "summary.json"
+        save_journal_summary(journal, out)
+        summary = json.loads(out.read_text())
+        assert summary["outcomes"] == {"DEGRADED": 1}
+        assert summary["rows"][0]["degradation_cause"] == "solver_error: injected"

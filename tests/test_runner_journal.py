@@ -1,0 +1,187 @@
+"""Crash-only journal tests: append/replay/compact and the recovery
+contract (truncated final line tolerated, earlier corruption fatal,
+foreign-batch journals refused)."""
+
+import json
+
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner import (
+    JobOutcome,
+    JobResult,
+    JournalWriter,
+    compact,
+    read_journal,
+    replay,
+)
+
+
+def _result(index, outcome=JobOutcome.OK, **extra):
+    return JobResult(
+        index=index, job_id=f"j{index:04d}-c", spec_class="c",
+        outcome=outcome, **extra,
+    )
+
+
+def _write(path, results, digest="d" * 64, n_jobs=None):
+    with JournalWriter(path) as writer:
+        writer.header(
+            n_jobs if n_jobs is not None else len(results),
+            digest,
+            runtime={"pid": 1},
+        )
+        for result in results:
+            writer.finished(result)
+
+
+class TestWriterAndReplay:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [_result(0), _result(1, JobOutcome.CRASH, error="boom")])
+        results = replay(path)
+        assert sorted(results) == [0, 1]
+        assert results[0].outcome is JobOutcome.OK
+        assert results[1].outcome is JobOutcome.CRASH
+        assert results[1].error == "boom"
+
+    def test_records_are_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [_result(0)])
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            assert isinstance(json.loads(line), dict)
+
+    def test_writer_must_be_open(self, tmp_path):
+        writer = JournalWriter(tmp_path / "j.jsonl")
+        with pytest.raises(RunnerError, match="not open"):
+            writer.finished(_result(0))
+
+    def test_notes_are_preserved_but_not_results(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JournalWriter(path) as writer:
+            writer.header(1, "d" * 64)
+            writer.note("breaker_open", {"spec_class": "c"})
+            writer.finished(_result(0))
+        records, truncated = read_journal(path)
+        assert not truncated
+        assert [r["event"] for r in records] == ["batch", "note", "finished"]
+        assert replay(path).keys() == {0}
+
+    def test_last_finished_record_wins(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [_result(0, JobOutcome.CRASH), _result(0, JobOutcome.OK)])
+        assert replay(path)[0].outcome is JobOutcome.OK
+
+
+class TestCrashRecovery:
+    def test_truncated_final_line_is_dropped_not_fatal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [_result(0), _result(1)])
+        whole = path.read_text()
+        # Simulate SIGKILL mid-append: chop the last record in half.
+        path.write_text(whole[: len(whole) - len(whole.splitlines()[-1]) // 2 - 1])
+        records, truncated = read_journal(path)
+        assert truncated
+        assert [r["event"] for r in records] == ["batch", "finished"]
+        results = replay(path)
+        assert sorted(results) == [0]
+
+    def test_corruption_before_final_line_is_fatal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [_result(0)])
+        lines = path.read_text().splitlines()
+        lines.insert(1, "{garbage")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(RunnerError, match="corrupt"):
+            read_journal(path)
+
+    def test_non_object_line_is_fatal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [_result(0)])
+        with open(path, "a") as handle:
+            handle.write("[1,2,3]\n{}\n")
+        with pytest.raises(RunnerError, match="expected an object"):
+            read_journal(path)
+
+    def test_missing_journal_raises(self, tmp_path):
+        with pytest.raises(RunnerError, match="cannot read journal"):
+            read_journal(tmp_path / "absent.jsonl")
+
+    def test_empty_journal_replays_empty(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("")
+        assert replay(path) == {}
+
+
+class TestReplayGuards:
+    def test_missing_header_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json.dumps({"event": "finished", "job": 0}) + "\n")
+        with pytest.raises(RunnerError, match="batch header"):
+            replay(path)
+
+    def test_foreign_digest_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [_result(0)], digest="a" * 64)
+        with pytest.raises(RunnerError, match="different batch"):
+            replay(path, expected_digest="b" * 64)
+
+    def test_matching_digest_accepted(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [_result(0)], digest="a" * 64)
+        assert replay(path, expected_digest="a" * 64).keys() == {0}
+
+    def test_unreadable_finished_record_is_fatal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [_result(0)])
+        with open(path, "a") as handle:
+            handle.write(json.dumps({"event": "finished", "job": 1,
+                                     "result": {"index": 1}}) + "\n")
+            handle.write("{}\n")  # keep the bad record off the final line
+        with pytest.raises(RunnerError, match="unreadable finished record"):
+            replay(path)
+
+
+class TestCompaction:
+    def test_keeps_latest_record_per_job_and_header(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(
+            path,
+            [_result(1, JobOutcome.CRASH), _result(0),
+             _result(1, JobOutcome.OK, attempts=2)],
+            n_jobs=2,
+        )
+        dropped = compact(path)
+        assert dropped == 1
+        records, truncated = read_journal(path)
+        assert not truncated
+        assert records[0]["event"] == "batch"
+        assert [r["job"] for r in records[1:]] == [0, 1]
+        assert replay(path)[1].attempts == 2
+
+    def test_compaction_drops_truncated_tail(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [_result(0)])
+        with open(path, "a") as handle:
+            handle.write('{"event": "fini')  # torn write
+        assert compact(path) == 1
+        records, truncated = read_journal(path)
+        assert not truncated
+        assert len(records) == 2
+
+    def test_replay_equivalent_after_compaction(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        results = [_result(0), _result(1, JobOutcome.TIMEOUT),
+                   _result(1, JobOutcome.OK, attempts=2)]
+        _write(path, results, n_jobs=2)
+        before = {k: v.as_dict() for k, v in replay(path).items()}
+        compact(path)
+        after = {k: v.as_dict() for k, v in replay(path).items()}
+        assert before == after
+
+    def test_empty_journal_is_noop(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("")
+        assert compact(path) == 0
