@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Solver performance benchmark: nodes/sec and LP-ms/node per table row.
+
+Runs the paper's Table 1-4 experiment rows through the branch and bound
+under each LP kernel (``incremental`` — the persistent warm-starting
+model — and the historical per-call ``scipy`` backend) and reports, per
+row and kernel:
+
+* deterministic solve signature — status, objective, nodes explored,
+  LP solves (must match the committed baseline exactly; any drift
+  means the search changed, not just the clock);
+* throughput — nodes/sec and LP milliseconds per node (compared
+  against the baseline within a tolerance, 30% by default: generous
+  enough for shared CI runners, tight enough to catch a real
+  regression like an accidental per-node model rebuild).
+
+Usage::
+
+    python scripts/bench_solver.py --quick            # t3 family, CI smoke
+    python scripts/bench_solver.py                    # all tables
+    python scripts/bench_solver.py --quick --update-baseline
+    python scripts/bench_solver.py --json out.json
+
+Exit status is non-zero when any deterministic field drifts or any
+row's nodes/sec regresses more than ``--tolerance`` below the
+committed ``BENCH_solver.json`` baseline.  Regenerate the baseline
+with ``--update-baseline`` after an intentional perf or search change
+(on the same class of machine the comparison will run on).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.reporting.experiments import run_row, table_rows  # noqa: E402
+
+BASELINE_SCHEMA = "repro.bench_solver/v1"
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_solver.json"
+KERNELS = ("incremental", "scipy")
+
+#: Fields that must match the baseline bit-for-bit: any drift means
+#: the *search* changed (different tree, different answer), which a
+#: perf PR must never silently do.
+DETERMINISTIC_FIELDS = ("status", "objective", "nodes_explored", "lp_solves")
+
+
+def bench_row(row, kernel: str, time_limit_s: float) -> dict:
+    """One row under one kernel -> measured record."""
+    start = time.perf_counter()
+    result = run_row(row, time_limit_s=time_limit_s, lp_kernel=kernel)
+    elapsed = time.perf_counter() - start
+    solve = (result.get("telemetry") or {}).get("solve") or {}
+    nodes = int(solve.get("nodes_explored") or 0)
+    lp_solves = int(solve.get("lp_calls") or 0)
+    lp_time_s = float(solve.get("lp_time_s") or 0.0)
+    wall = float(solve.get("wall_time_s") or elapsed) or elapsed
+    record = {
+        "status": result["status"],
+        "objective": result["objective"],
+        "nodes_explored": nodes,
+        "lp_solves": lp_solves,
+        "wall_time_s": round(wall, 4),
+        "nodes_per_s": round(nodes / wall, 2) if wall > 0 else None,
+        "lp_ms_per_node": (
+            round(1000.0 * lp_time_s / lp_solves, 4) if lp_solves else None
+        ),
+    }
+    kernel_block = solve.get("kernel")
+    if kernel_block:
+        record["kernel"] = {
+            "name": kernel_block.get("name"),
+            "cache_hit_rate": kernel_block.get("cache_hit_rate"),
+            "warm_start_hits": kernel_block.get("warm_start_hits"),
+        }
+    return record
+
+
+def run_bench(tables, time_limit_s: float) -> dict:
+    rows = {}
+    for table in tables:
+        for row in table_rows(table):
+            for kernel in KERNELS:
+                key = f"{row.key}:{kernel}"
+                print(f"  bench {key} ...", flush=True)
+                rows[key] = bench_row(row, kernel, time_limit_s)
+    return rows
+
+
+def compare(current: dict, baseline: dict, tolerance: float) -> list:
+    """Return a list of human-readable failure strings (empty = pass)."""
+    failures = []
+    base_rows = baseline.get("rows", {})
+    for key, record in current.items():
+        base = base_rows.get(key)
+        if base is None:
+            continue  # new row: nothing to regress against
+        for field in DETERMINISTIC_FIELDS:
+            if record.get(field) != base.get(field):
+                failures.append(
+                    f"{key}: {field} drifted "
+                    f"(baseline {base.get(field)!r}, now {record.get(field)!r})"
+                )
+        base_nps = base.get("nodes_per_s")
+        cur_nps = record.get("nodes_per_s")
+        if base_nps and cur_nps and cur_nps < base_nps * (1.0 - tolerance):
+            failures.append(
+                f"{key}: nodes/sec regressed >{tolerance:.0%} "
+                f"(baseline {base_nps}, now {cur_nps})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="bench only the t3 family (the CI smoke configuration)",
+    )
+    parser.add_argument(
+        "--tables", default=None,
+        help="comma-separated tables to bench (default: t1,t2,t3,t4)",
+    )
+    parser.add_argument(
+        "--time-limit", type=float, default=60.0,
+        help="per-row solve time limit in seconds",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="baseline JSON path (default: BENCH_solver.json at repo root)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional nodes/sec regression vs baseline",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the measured results as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None,
+        help="also write the measured results to this path",
+    )
+    args = parser.parse_args(argv)
+
+    if args.tables:
+        tables = [t.strip() for t in args.tables.split(",") if t.strip()]
+    elif args.quick:
+        tables = ["t3"]
+    else:
+        tables = ["t1", "t2", "t3", "t4"]
+
+    rows = run_bench(tables, args.time_limit)
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "tables": tables,
+        "time_limit_s": args.time_limit,
+        "tolerance": args.tolerance,
+        "rows": rows,
+    }
+
+    if args.json:
+        args.json.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {args.json}")
+
+    if args.update_baseline:
+        args.baseline.write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(
+            f"no baseline at {args.baseline}; run with --update-baseline "
+            f"to create one", file=sys.stderr,
+        )
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+    if baseline.get("schema") != BASELINE_SCHEMA:
+        print(f"baseline schema mismatch in {args.baseline}", file=sys.stderr)
+        return 2
+    failures = compare(rows, baseline, args.tolerance)
+
+    print()
+    width = max(len(k) for k in rows)
+    print(f"{'row':<{width}}  {'status':<10} {'nodes':>7} {'nodes/s':>10} "
+          f"{'lp ms/node':>11}")
+    for key, record in rows.items():
+        print(
+            f"{key:<{width}}  {record['status']:<10} "
+            f"{record['nodes_explored']:>7} "
+            f"{record['nodes_per_s'] if record['nodes_per_s'] is not None else '-':>10} "
+            f"{record['lp_ms_per_node'] if record['lp_ms_per_node'] is not None else '-':>11}"
+        )
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nOK: within {args.tolerance:.0%} of baseline "
+          f"({len(rows)} measurements)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -176,7 +176,7 @@ def main() -> None:
     )
     sections.append(
         "Telemetry: every row carries the solver's "
-        "`repro.solve_telemetry/v3` record (DESIGN.md \u00a77) \u2014 node "
+        "`repro.solve_telemetry/v4` record (DESIGN.md \u00a77) \u2014 node "
         "counters, LP call/time totals, bound, gap, the incumbent "
         "event log, the presolve reduction summary (`solve.presolve`), "
         "and the infeasibility `certificate` when a structural "
@@ -190,6 +190,17 @@ def main() -> None:
         "(`benchmarks/conftest.py`), so it lands in `--benchmark-json` "
         "output.  Rows that hit the time limit are counted by the "
         "`hit_limit` flag, not by status string.\n"
+    )
+    sections.append(
+        "Kernel: solves run through the incremental warm-start LP "
+        "kernel (`repro.ilp.incremental`, DESIGN.md §11); "
+        "`solve.kernel` in each row's telemetry records the engine "
+        "(`incremental-highs`/`incremental-linprog`), warm-start hits, "
+        "and the node-cache hit rate.  Perf regressions against these "
+        "rows are tracked separately by `scripts/bench_solver.py` vs "
+        "the committed `BENCH_solver.json` baseline: the deterministic "
+        "solve signature (status/objective/nodes/LP calls) must match "
+        "exactly, nodes/sec within 30%.\n"
     )
     if RUNNER:
         sections.append(

@@ -82,6 +82,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="solver backend (in-repo branch and bound, or SciPy HiGHS)",
     )
     parser.add_argument(
+        "--lp-kernel", default="incremental", choices=["incremental", "scipy"],
+        help="bnb LP relaxation kernel: persistent warm-starting model "
+             "(default) or the historical per-call scipy backend",
+    )
+    parser.add_argument(
         "--base-model", action="store_true",
         help="use the untightened Section-5 formulation",
     )
@@ -665,6 +670,7 @@ def main(argv: "Optional[list]" = None) -> int:
         chaos=chaos,
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
+        lp_kernel=args.lp_kernel,
     )
 
     if args.dump_lp:

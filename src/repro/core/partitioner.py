@@ -50,6 +50,7 @@ from repro.graph.taskgraph import TaskGraph
 from repro.ilp.analysis.diagnostics import InfeasibilityCertificate
 from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig
 from repro.ilp.branching import BranchingRule, make_rule
+from repro.ilp.incremental import IncrementalLPSolver
 from repro.ilp.milp_backend import solve_milp_scipy
 from repro.ilp.resilience import (
     FaultInjectingBackend,
@@ -146,7 +147,7 @@ class PartitionOutcome:
     def telemetry(self) -> "Dict[str, object]":
         """Per-run solve-telemetry record (see DESIGN.md for the schema)."""
         return {
-            "schema": "repro.solve_telemetry/v3",
+            "schema": "repro.solve_telemetry/v4",
             "graph": self.spec.graph.name,
             "n_partitions": self.spec.n_partitions,
             "relaxation": self.spec.relaxation,
@@ -238,6 +239,20 @@ class TemporalPartitioner:
         the heuristic baselines instead of raising/returning empty
         (see module docstring).  When False, solver faults raise as
         before (the cross-check suites want the crash).
+    lp_kernel:
+        ``"incremental"`` (default) puts the persistent-model
+        warm-starting LP kernel
+        (:class:`~repro.ilp.incremental.IncrementalLPSolver`) at the
+        head of the ``"bnb"`` backend's LP chain — HiGHS with
+        change-bounds + dual-simplex warm starts when ``highspy`` is
+        importable, an equivalent bounds-mutating ``linprog`` path
+        otherwise — with the stateless backends behind it as fallbacks.
+        ``"scipy"`` keeps the historical per-call
+        :func:`~repro.ilp.scipy_backend.solve_lp_scipy` chain.
+        ``plain_search`` and an explicit ``lp_backend_chain`` both
+        override this.  Fault-free results are identical either way
+        (property-tested); only speed and ``solve.kernel`` telemetry
+        differ.
     """
 
     def __init__(
@@ -261,9 +276,14 @@ class TemporalPartitioner:
         checkpoint_path: "Optional[str]" = None,
         checkpoint_every: int = 256,
         degrade: bool = True,
+        lp_kernel: str = "incremental",
     ) -> None:
         if backend not in ("bnb", "milp"):
             raise ReproError(f"unknown backend {backend!r}; use 'bnb' or 'milp'")
+        if lp_kernel not in ("incremental", "scipy"):
+            raise ReproError(
+                f"unknown lp_kernel {lp_kernel!r}; use 'incremental' or 'scipy'"
+            )
         self.library = library if library is not None else default_library()
         self.device = device if device is not None else device_catalog()["xc4010"]
         self.memory = memory
@@ -285,6 +305,7 @@ class TemporalPartitioner:
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
         self.degrade = degrade
+        self.lp_kernel = lp_kernel
 
     # ------------------------------------------------------------------
 
@@ -473,18 +494,26 @@ class TemporalPartitioner:
         """LP backend for the bnb path: bare, chaos-wrapped, or armored.
 
         ``plain_search`` keeps the historical bare SciPy backend (the
-        raw 1998 flow).  Otherwise a :class:`ResilientLPBackend` wraps
-        the chain; a :class:`FaultPlan` additionally wraps the primary
-        backend (or, with ``targets="all"``, every backend) in seeded
-        fault injection and turns on infeasible double-checking so the
-        armor can catch spurious INFEASIBLE verdicts.
+        raw 1998 flow).  Otherwise the incremental warm-starting kernel
+        (``lp_kernel="incremental"``, the default) heads the chain with
+        the stateless backends behind it, and a
+        :class:`ResilientLPBackend` wraps the whole chain; a
+        :class:`FaultPlan` additionally wraps the primary backend (or,
+        with ``targets="all"``, every backend) in seeded fault
+        injection and turns on infeasible double-checking so the armor
+        can catch spurious INFEASIBLE verdicts.
         """
         chain = self.lp_backend_chain
         use_resilient = self.resilient and not self.plain_search
+        use_kernel = self.lp_kernel == "incremental" and not self.plain_search
         if not use_resilient and self.chaos is None and chain is None:
+            if use_kernel:
+                return IncrementalLPSolver()
             return solve_lp_scipy
         if chain is None:
             chain = default_backend_chain()
+            if use_kernel:
+                chain = [("incremental", IncrementalLPSolver())] + chain
         chain = list(chain)
         if self.chaos is not None:
             wrap_all = self.chaos.targets == "all"
@@ -528,6 +557,7 @@ class TemporalPartitioner:
             lp_backend=self._make_lp_backend(),
             checkpoint_path=self.checkpoint_path,
             checkpoint_every=self.checkpoint_every,
+            reduced_cost_fixing=not self.plain_search,
         )
         solver = BranchAndBound(model, rule=self.branching, config=config)
         if self.checkpoint_path is not None and os.path.exists(self.checkpoint_path):

@@ -13,6 +13,10 @@ plays that role here, fully in-repo:
   scipy in the test suite);
 * :mod:`~repro.ilp.scipy_backend` — fast LP relaxations via
   ``scipy.optimize.linprog`` (HiGHS);
+* :mod:`~repro.ilp.incremental` — the persistent-model LP kernel for
+  the branch-and-bound hot loop: compile once, mutate bounds per node,
+  warm-start HiGHS via ``highspy`` when importable, LRU-cache repeated
+  node solves;
 * :mod:`~repro.ilp.branch_bound` — a branch-and-bound engine with
   pluggable :mod:`~repro.ilp.branching` rules, including the paper's
   heuristic (branch on ``y`` in topological priority order, 1-branch
@@ -36,10 +40,13 @@ from repro.ilp.solution import (
     NodeEvent,
     SolveStats,
     SolveStatus,
+    ValueVector,
+    plain_values,
 )
 from repro.ilp.standard_form import StandardForm, compile_standard_form
 from repro.ilp.scipy_backend import solve_lp_scipy
 from repro.ilp.simplex import solve_lp_simplex
+from repro.ilp.incremental import IncrementalLPSolver
 from repro.ilp.branching import (
     BranchDecision,
     BranchingRule,
@@ -69,10 +76,13 @@ __all__ = [
     "NodeEvent",
     "LPResult",
     "MilpResult",
+    "ValueVector",
+    "plain_values",
     "StandardForm",
     "compile_standard_form",
     "solve_lp_scipy",
     "solve_lp_simplex",
+    "IncrementalLPSolver",
     "BranchDecision",
     "BranchingRule",
     "PaperBranching",

@@ -99,6 +99,7 @@ from repro.ilp.solution import (
     NodeEvent,
     SolveStats,
     SolveStatus,
+    plain_values,
     relative_gap,
 )
 from repro.ilp.standard_form import StandardForm, compile_standard_form
@@ -191,6 +192,17 @@ class BranchAndBoundConfig:
         limit stop, so a killed process can :meth:`~BranchAndBound.resume`.
     checkpoint_every:
         Node interval between periodic checkpoint saves.
+    reduced_cost_fixing:
+        Permanently tighten integer-variable bounds from the *root* LP's
+        reduced costs each time the incumbent improves: a variable
+        nonbasic at a root bound whose reduced cost proves any deviation
+        cannot beat the incumbent is fixed at that bound, and every
+        node explored afterwards is clipped to the tightened box.  This
+        never cuts off the optimal *objective* (only provably-not-better
+        or tied alternates), so OPTIMAL statuses and objectives are
+        unchanged.  Requires the LP backend to attach
+        ``LPResult.reduced_costs``; silently inert otherwise.  Fixings
+        are counted in ``SolveStats.vars_fixed_reduced_cost``.
     """
 
     time_limit_s: Optional[float] = None
@@ -213,6 +225,7 @@ class BranchAndBoundConfig:
     lp_failure_limit: int = 64
     checkpoint_path: "Optional[str]" = None
     checkpoint_every: int = 256
+    reduced_cost_fixing: bool = False
 
 
 @dataclass
@@ -284,6 +297,11 @@ class BranchAndBound:
         self._resumed = False
         self._resume_payload: "Optional[Dict[str, object]]" = None
         self._elapsed_base = 0.0
+        # Reduced-cost fixing state: root LP snapshot + the globally
+        # tightened bound box applied to every later node.
+        self._root_lp: "Optional[tuple]" = None
+        self._rc_lb: "Optional[np.ndarray]" = None
+        self._rc_ub: "Optional[np.ndarray]" = None
 
     # ------------------------------------------------------------------
 
@@ -338,6 +356,9 @@ class BranchAndBound:
         self._lp_failure_abort = False
         self._checkpoint_saves = 0
         self._elapsed_base = 0.0
+        self._root_lp = None
+        self._rc_lb = None
+        self._rc_ub = None
         if self._presolve_certificate is not None:
             # Presolve proved infeasibility; no LP is ever solved.
             self._stats.stop_reason = "presolve_infeasible"
@@ -404,6 +425,17 @@ class BranchAndBound:
         stats.max_depth = max(stats.max_depth, node.depth)
 
         try:
+            if self._rc_lb is not None:
+                # Clip into the reduced-cost-tightened box.  Bounds only
+                # move inward, so checkpointed bound-deltas stay valid;
+                # an emptied box means the subtree provably holds
+                # nothing better than the incumbent.
+                np.maximum(node.lb, self._rc_lb, out=node.lb)
+                np.minimum(node.ub, self._rc_ub, out=node.ub)
+                if np.any(node.lb > node.ub):
+                    stats.nodes_pruned_bound += 1
+                    return
+
             if self.config.node_prober is not None and self.config.node_prober(
                 node.lb, node.ub
             ):
@@ -430,6 +462,28 @@ class BranchAndBound:
                     "LP relaxation unbounded; 0-1 models must be box-bounded"
                 )
             assert lp.values is not None and lp.objective is not None
+
+            if (
+                self.config.reduced_cost_fixing
+                and self._root_lp is None
+                and node.depth == 0
+                and lp.reduced_costs is not None
+            ):
+                values_arr = getattr(lp.values, "array", None)
+                if values_arr is None:
+                    values_arr = np.array(
+                        [lp.values[i] for i in range(self.form.num_vars)]
+                    )
+                self._root_lp = (
+                    float(lp.objective),
+                    np.asarray(lp.reduced_costs, dtype=float),
+                    node.lb.copy(),
+                    node.ub.copy(),
+                    np.asarray(values_arr, dtype=float),
+                )
+                # Fires only when an incumbent already exists (resume);
+                # a fresh root has no cutoff yet.
+                self._apply_reduced_cost_fixing()
 
             if lp.objective >= self._prune_threshold(self._incumbent_obj):
                 stats.nodes_pruned_bound += 1
@@ -675,6 +729,7 @@ class BranchAndBound:
         self._incumbent_obj = objective
         self._incumbent_values = values
         self._stats.incumbent_updates += 1
+        self._apply_reduced_cost_fixing()
         event = IncumbentEvent(
             wall_time_s=time.monotonic() - self._start,
             objective=objective,
@@ -683,6 +738,54 @@ class BranchAndBound:
         self._stats.incumbent_events.append(event)
         if self.config.on_incumbent is not None:
             self.config.on_incumbent(event)
+
+    def _apply_reduced_cost_fixing(self) -> None:
+        """Tighten the global bound box from root reduced costs.
+
+        Soundness: let ``z_r`` be the root LP objective and ``d_j`` the
+        reduced cost of an integer variable nonbasic at a root bound.
+        Every feasible solution moving ``x_j`` one unit off that bound
+        costs at least ``z_r + |d_j|``; when that already reaches the
+        incumbent's prune threshold, no *improving* solution moves
+        ``x_j`` at all, so pinning it at the root bound preserves the
+        optimal objective (tied alternate optima may be cut — fine).
+        A 1e-6 safety margin guards the comparison; fixing only ever
+        fires once an incumbent exists (the threshold is +inf before),
+        so an INFEASIBLE conclusion can never be caused by it.
+        """
+        if not self.config.reduced_cost_fixing or self._root_lp is None:
+            return
+        root_obj, reduced, root_lb, root_ub, root_x = self._root_lp
+        threshold = self._prune_threshold(self._incumbent_obj)
+        if not math.isfinite(threshold):
+            return
+        if self._rc_lb is None:
+            self._rc_lb = self.form.lb.copy()
+            self._rc_ub = self.form.ub.copy()
+        margin = 1e-6
+        newly_fixed = 0
+        for raw_idx in self._int_indices:
+            j = int(raw_idx)
+            if self._rc_lb[j] >= self._rc_ub[j]:
+                continue  # already fixed (by us or the model)
+            d = float(reduced[j])
+            if (
+                d > margin
+                and abs(root_x[j] - root_lb[j]) <= 1e-7
+                and root_obj + d >= threshold + margin
+                and self._rc_ub[j] > root_lb[j]
+            ):
+                self._rc_ub[j] = root_lb[j]
+                newly_fixed += 1
+            elif (
+                d < -margin
+                and abs(root_x[j] - root_ub[j]) <= 1e-7
+                and root_obj - d >= threshold + margin
+                and self._rc_lb[j] < root_ub[j]
+            ):
+                self._rc_lb[j] = root_ub[j]
+                newly_fixed += 1
+        self._stats.vars_fixed_reduced_cost += newly_fixed
 
     def _open_bound(self) -> "Optional[float]":
         """Best proven global lower bound from the open-node set.
@@ -727,6 +830,9 @@ class BranchAndBound:
         stats = self._stats
         stats.wall_time_s = self._elapsed_base + (time.monotonic() - self._start)
         stats.resilience = self._resilience_block()
+        kernel_fn = getattr(self.config.lp_backend, "kernel_telemetry", None)
+        if callable(kernel_fn):
+            stats.kernel = kernel_fn()
         has_incumbent = self._incumbent_values is not None
 
         if limit_status is None:
@@ -921,7 +1027,7 @@ class BranchAndBound:
         )
         result = solve_milp_scipy(sub_form, time_limit_s=budget)
         if result.status is SolveStatus.OPTIMAL:
-            return "optimal", (result.objective, dict(result.values))
+            return "optimal", (result.objective, plain_values(result.values))
         if result.status is SolveStatus.INFEASIBLE:
             return "infeasible", None
         return "timeout", None
@@ -952,7 +1058,7 @@ class BranchAndBound:
         return result
 
     def _round_integers(self, values: "Dict[int, float]") -> "Dict[int, float]":
-        rounded = dict(values)
+        rounded = plain_values(values)
         for idx in self._int_indices:
             rounded[int(idx)] = float(round(values[int(idx)]))
         return rounded

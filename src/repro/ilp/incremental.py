@@ -1,0 +1,408 @@
+"""Warm-started incremental LP kernel for the branch-and-bound hot loop.
+
+Branch-and-bound nodes are thousands of *near-identical* LPs: the same
+matrices with only variable-bound changes.  The historical per-node
+path (:func:`~repro.ilp.scipy_backend.solve_lp_scipy`) paid full model
+construction on every call — Python bound-pair lists, fresh result
+dicts — so LP time dominated nodes/sec.  This module amortizes all of
+that:
+
+* **Persistent model** — :class:`IncrementalLPSolver` binds to one
+  compiled :class:`~repro.ilp.standard_form.StandardForm` and keeps
+  every derived buffer alive across calls.  With ``highspy``
+  importable, the HiGHS model is built *once* and each node mutates
+  column bounds only, so HiGHS's dual simplex warm-starts from the
+  parent basis (the classic B&B re-solve trick); without it, the
+  kernel falls back transparently to ``scipy.optimize.linprog`` fed a
+  preallocated ``(n, 2)`` bounds array — nothing new is required to
+  run.
+* **Node-solve LRU cache** — results are memoized by a fingerprint of
+  the effective bounds, so retries, rescue dives, chaos second-opinion
+  re-solves, and checkpoint-resume replays never pay for the same LP
+  twice.  Only terminal verdicts (OPTIMAL / INFEASIBLE / UNBOUNDED)
+  are cached; faults always re-execute.
+* **Array-backed results** — values come back as a
+  :class:`~repro.ilp.solution.ValueVector` over the solver's own
+  vector (no per-node ``{idx: float}`` allocation), and OPTIMAL
+  results carry the optimal basis' ``reduced_costs`` so branch and
+  bound can do reduced-cost variable fixing.
+
+The kernel is a drop-in LP backend (same
+``(form, lb_override, ub_override) -> LPResult`` contract), so it
+slots into :class:`~repro.ilp.resilience.ResilientLPBackend` chains
+unchanged.  :meth:`kernel_telemetry` reports the kernel name,
+warm-start hits, and cache hit rate for the
+``repro.solve_telemetry/v4`` artifact.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import SolverError, TransientSolverError
+from repro.ilp.solution import LPResult, SolveStatus, ValueVector
+from repro.ilp.standard_form import StandardForm
+
+#: Default node-solve cache capacity (entries, not bytes).  A cached
+#: entry costs roughly ``3 * 8 * num_vars`` bytes (two bound snapshots
+#: in the key plus the value vector), so the default stays in the
+#: tens of megabytes even on the Table-4 models.
+DEFAULT_CACHE_SIZE = 1024
+
+_highspy = None
+_highspy_checked = False
+
+
+def have_highspy() -> bool:
+    """Whether the optional ``highspy`` warm-start backend is importable."""
+    return _load_highspy() is not None
+
+
+def _load_highspy():
+    global _highspy, _highspy_checked
+    if not _highspy_checked:
+        _highspy_checked = True
+        try:  # pragma: no cover - exercised only where highspy exists
+            import highspy  # noqa: PLC0415
+
+            _highspy = highspy
+        except Exception:
+            _highspy = None
+    return _highspy
+
+
+class IncrementalLPSolver:
+    """Persistent-model, warm-started, caching LP relaxation solver.
+
+    Parameters
+    ----------
+    form:
+        Standard form to bind to immediately; when omitted, the kernel
+        binds lazily on the first call (and transparently re-binds if a
+        different form is ever passed — each bind resets the model,
+        buffers, and cache).
+    cache_size:
+        LRU node-solve cache capacity; 0 disables caching.
+    use_highs:
+        Force (True) or forbid (False) the ``highspy`` path; ``None``
+        (default) auto-detects and falls back to ``linprog`` when the
+        import or model build fails.
+    """
+
+    def __init__(
+        self,
+        form: "Optional[StandardForm]" = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        use_highs: "Optional[bool]" = None,
+    ) -> None:
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        if use_highs is True and _load_highspy() is None:
+            raise SolverError(
+                "use_highs=True but highspy is not importable; install it "
+                "or let use_highs=None auto-detect the linprog fallback"
+            )
+        self.cache_size = int(cache_size)
+        self._use_highs = use_highs
+        self._form: "Optional[StandardForm]" = None
+        self._bounds_buf: "Optional[np.ndarray]" = None
+        self._cache: "OrderedDict[Tuple[bytes, bytes], LPResult]" = OrderedDict()
+        self._highs = None
+        self._highs_cols: "Optional[np.ndarray]" = None
+        self._have_basis = False
+        self._demoted_reason: "Optional[str]" = None
+        # Telemetry counters.
+        self.calls = 0
+        self.lp_solves = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+        self.warm_start_hits = 0
+        self.rebinds = 0
+        if form is not None:
+            self._bind(form)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def kernel_name(self) -> str:
+        """Which engine actually solves: highs warm-start or linprog."""
+        if self._highs is not None:
+            return "incremental-highs"
+        return "incremental-linprog"
+
+    @property
+    def form(self) -> "Optional[StandardForm]":
+        return self._form
+
+    def _bind(self, form: StandardForm) -> None:
+        """(Re)compile per-form state; called once per model in practice."""
+        self._form = form
+        self._bounds_buf = np.empty((form.num_vars, 2), dtype=float)
+        self._cache.clear()
+        self._highs = None
+        self._have_basis = False
+        self.rebinds += 1
+        if self._use_highs is not False and _load_highspy() is not None:
+            try:  # pragma: no cover - needs highspy
+                self._build_highs_model(form)
+            except Exception as exc:  # pragma: no cover - needs highspy
+                self._highs = None
+                self._demoted_reason = f"highs model build failed: {exc}"
+        if self._use_highs is True and self._highs is None:
+            raise SolverError(
+                "use_highs=True but highspy is unavailable"
+                + (f" ({self._demoted_reason})" if self._demoted_reason else "")
+            )
+
+    def _build_highs_model(self, form: StandardForm) -> None:  # pragma: no cover
+        """Compile ``form`` into a persistent HiGHS model (once).
+
+        Inequalities get ``(-inf, b_ub]`` row bounds, equalities
+        ``[b_eq, b_eq]``; the simplex solver is pinned so every re-solve
+        after a bounds mutation warm-starts from the retained basis.
+        """
+        highspy = _load_highspy()
+        h = highspy.Highs()
+        h.setOptionValue("output_flag", False)
+        # Warm starting needs a basis; keep HiGHS on (dual) simplex.
+        h.setOptionValue("solver", "simplex")
+        n = form.num_vars
+        indptr, indices, data, row_lower, row_upper = _stack_rows(form)
+        lp = highspy.HighsLp()
+        lp.num_col_ = n
+        lp.num_row_ = int(row_lower.shape[0])
+        lp.col_cost_ = np.asarray(form.c, dtype=float)
+        lp.col_lower_ = np.asarray(form.lb, dtype=float)
+        lp.col_upper_ = np.asarray(form.ub, dtype=float)
+        lp.row_lower_ = row_lower
+        lp.row_upper_ = row_upper
+        lp.a_matrix_.format_ = highspy.MatrixFormat.kRowwise
+        lp.a_matrix_.start_ = indptr
+        lp.a_matrix_.index_ = indices
+        lp.a_matrix_.value_ = data
+        status = h.passModel(lp)
+        if status != highspy.HighsStatus.kOk:
+            raise SolverError(f"highspy passModel returned {status}")
+        self._highs = h
+        self._highs_cols = np.arange(n, dtype=np.int32)
+
+    # ------------------------------------------------------------------
+
+    def __call__(
+        self,
+        form: StandardForm,
+        lb_override: "Optional[np.ndarray]" = None,
+        ub_override: "Optional[np.ndarray]" = None,
+    ) -> LPResult:
+        """Solve the LP relaxation of ``form`` with bound overrides.
+
+        Same contract as
+        :func:`~repro.ilp.scipy_backend.solve_lp_scipy`: integrality is
+        ignored; the overrides carry the branching fixings.
+        """
+        if form is not self._form:
+            self._bind(form)
+        self.calls += 1
+        lb = form.lb if lb_override is None else lb_override
+        ub = form.ub if ub_override is None else ub_override
+        if np.any(lb > ub + 1e-12):
+            # Contradictory fixation: provably infeasible, no LP needed
+            # (and no cache entry — the check is cheaper than a lookup).
+            return LPResult(status=SolveStatus.INFEASIBLE)
+
+        key: "Optional[Tuple[bytes, bytes]]" = None
+        if self.cache_size:
+            key = (
+                np.ascontiguousarray(lb, dtype=float).tobytes(),
+                np.ascontiguousarray(ub, dtype=float).tobytes(),
+            )
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.cache_hits += 1
+                return cached
+            self.cache_misses += 1
+
+        result = self._solve(lb, ub)
+        if key is not None:
+            self._cache[key] = result
+            if len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+                self.cache_evictions += 1
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _solve(self, lb: "np.ndarray", ub: "np.ndarray") -> LPResult:
+        self.lp_solves += 1
+        if self._highs is not None:  # pragma: no cover - needs highspy
+            try:
+                return self._solve_highs(lb, ub)
+            except SolverError:
+                raise
+            except Exception as exc:
+                # Any binding-level surprise demotes the kernel for the
+                # rest of the run instead of killing the search.
+                self._highs = None
+                self._have_basis = False
+                self._demoted_reason = f"highs solve failed: {exc}"
+        return self._solve_linprog(lb, ub)
+
+    def _solve_linprog(self, lb: "np.ndarray", ub: "np.ndarray") -> LPResult:
+        """The dependency-free path: linprog on the persistent buffers."""
+        form = self._form
+        assert form is not None and self._bounds_buf is not None
+        self._bounds_buf[:, 0] = lb
+        self._bounds_buf[:, 1] = ub
+        result = linprog(
+            c=form.c,
+            A_ub=form.a_ub if form.a_ub.shape[0] else None,
+            b_ub=form.b_ub if form.a_ub.shape[0] else None,
+            A_eq=form.a_eq if form.a_eq.shape[0] else None,
+            b_eq=form.b_eq if form.a_eq.shape[0] else None,
+            bounds=self._bounds_buf,
+            method="highs",
+        )
+        if result.status == 0:
+            return LPResult(
+                status=SolveStatus.OPTIMAL,
+                objective=float(result.fun),
+                values=ValueVector(result.x),
+                reduced_costs=_linprog_reduced_costs(result),
+            )
+        if result.status == 2:
+            return LPResult(status=SolveStatus.INFEASIBLE)
+        if result.status == 3:
+            return LPResult(status=SolveStatus.UNBOUNDED)
+        if result.status in (1, 4):
+            raise TransientSolverError(
+                f"linprog failed with status {result.status}: {result.message}",
+                backend=self.kernel_name,
+                raw_status=int(result.status),
+            )
+        raise SolverError(
+            f"linprog failed with status {result.status}: {result.message}"
+        )
+
+    def _solve_highs(self, lb, ub) -> LPResult:  # pragma: no cover - needs highspy
+        """Mutate column bounds on the persistent model and re-run.
+
+        HiGHS retains the previous optimal basis on the model, so the
+        dual simplex re-solve after a bounds-only change warm-starts
+        from the parent node's basis.
+        """
+        highspy = _load_highspy()
+        h = self._highs
+        n = int(self._highs_cols.shape[0])
+        h.changeColsBounds(
+            n,
+            self._highs_cols,
+            np.asarray(lb, dtype=float),
+            np.asarray(ub, dtype=float),
+        )
+        if self._have_basis:
+            self.warm_start_hits += 1
+        run_status = h.run()
+        if run_status != highspy.HighsStatus.kOk:
+            self._have_basis = False
+            raise TransientSolverError(
+                f"highspy run returned {run_status}",
+                backend=self.kernel_name,
+                raw_status=-1,
+            )
+        model_status = h.getModelStatus()
+        if model_status == highspy.HighsModelStatus.kOptimal:
+            self._have_basis = True
+            solution = h.getSolution()
+            x = np.asarray(solution.col_value, dtype=float)
+            return LPResult(
+                status=SolveStatus.OPTIMAL,
+                objective=float(h.getInfo().objective_function_value),
+                values=ValueVector(x),
+                reduced_costs=np.asarray(solution.col_dual, dtype=float),
+            )
+        if model_status == highspy.HighsModelStatus.kInfeasible:
+            self._have_basis = True
+            return LPResult(status=SolveStatus.INFEASIBLE)
+        if model_status == highspy.HighsModelStatus.kUnbounded:
+            self._have_basis = True
+            return LPResult(status=SolveStatus.UNBOUNDED)
+        self._have_basis = False
+        raise TransientSolverError(
+            f"highspy model status {model_status}",
+            backend=self.kernel_name,
+            raw_status=-1,
+        )
+
+    # ------------------------------------------------------------------
+
+    def kernel_telemetry(self) -> "Dict[str, object]":
+        """Counters for the ``solve.kernel`` telemetry block (v4)."""
+        lookups = self.cache_hits + self.cache_misses
+        return {
+            "name": self.kernel_name,
+            "highs": self._highs is not None,
+            "calls": self.calls,
+            "lp_solves": self.lp_solves,
+            "cache_size": self.cache_size,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "cache_hit_rate": (self.cache_hits / lookups) if lookups else 0.0,
+            "warm_start_hits": self.warm_start_hits,
+            "rebinds": self.rebinds,
+            "demoted": self._demoted_reason,
+        }
+
+
+def _linprog_reduced_costs(result) -> "Optional[np.ndarray]":
+    """Reduced costs from a ``linprog(method='highs')`` result.
+
+    HiGHS reports the variable-bound duals split by side
+    (``lower.marginals`` >= 0 for at-lower variables,
+    ``upper.marginals`` <= 0 for at-upper); at most one side is nonzero
+    per variable, so their sum is the signed reduced cost.  Older scipy
+    builds without marginals just yield ``None`` (fixing is skipped).
+    """
+    try:
+        lower = result.lower.marginals
+        upper = result.upper.marginals
+    except AttributeError:
+        return None
+    if lower is None or upper is None:
+        return None
+    return np.asarray(lower, dtype=float) + np.asarray(upper, dtype=float)
+
+
+def _stack_rows(form: StandardForm):  # pragma: no cover - needs highspy
+    """Stack a_ub / a_eq into one rowwise CSR triple plus row bounds."""
+    from scipy import sparse
+
+    blocks = []
+    if form.a_ub.shape[0]:
+        blocks.append(form.a_ub)
+    if form.a_eq.shape[0]:
+        blocks.append(form.a_eq)
+    if blocks:
+        stacked = sparse.vstack(blocks, format="csr")
+        indptr = np.asarray(stacked.indptr, dtype=np.int32)
+        indices = np.asarray(stacked.indices, dtype=np.int32)
+        data = np.asarray(stacked.data, dtype=float)
+    else:
+        indptr = np.zeros(1, dtype=np.int32)
+        indices = np.zeros(0, dtype=np.int32)
+        data = np.zeros(0, dtype=float)
+    m_ub = form.a_ub.shape[0]
+    m_eq = form.a_eq.shape[0]
+    row_lower = np.concatenate(
+        [np.full(m_ub, -np.inf), np.asarray(form.b_eq, dtype=float)]
+    )
+    row_upper = np.concatenate(
+        [np.asarray(form.b_ub, dtype=float), np.asarray(form.b_eq, dtype=float)]
+    )
+    return indptr, indices, data, row_lower, row_upper

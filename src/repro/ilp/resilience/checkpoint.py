@@ -168,11 +168,21 @@ def read_checkpoint(path: "str | Path") -> "Dict[str, object]":
     return payload
 
 
-def values_to_json(values: "Optional[Dict[int, float]]") -> "Optional[Dict[str, float]]":
-    """Variable-index-keyed dict -> JSON-safe string keys."""
-    if values is None:
+def values_to_json(values) -> "Optional[Dict[str, float]]":
+    """Variable-index-keyed mapping -> JSON-safe string keys.
+
+    Accepts any values mapping an :class:`~repro.ilp.solution.LPResult`
+    may carry (plain dict or array-backed
+    :class:`~repro.ilp.solution.ValueVector`) by normalizing through
+    :func:`~repro.ilp.solution.plain_values`, keeping the serialized
+    layout exactly the ``repro.bnb_checkpoint/v1`` one.
+    """
+    from repro.ilp.solution import plain_values
+
+    plain = plain_values(values)
+    if plain is None:
         return None
-    return {str(int(k)): float(v) for k, v in values.items()}
+    return {str(k): v for k, v in plain.items()}
 
 
 def values_from_json(values: "Optional[Dict[str, float]]") -> "Optional[Dict[int, float]]":

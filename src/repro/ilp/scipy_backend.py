@@ -14,7 +14,7 @@ import numpy as np
 from scipy.optimize import linprog
 
 from repro.errors import SolverError, TransientSolverError
-from repro.ilp.solution import LPResult, SolveStatus
+from repro.ilp.solution import LPResult, SolveStatus, ValueVector
 from repro.ilp.standard_form import StandardForm
 
 
@@ -27,8 +27,14 @@ def solve_lp_scipy(
 
     Integrality is ignored (that is the point of a relaxation); the
     overrides carry the branch-and-bound fixings.  Returns an
-    :class:`~repro.ilp.solution.LPResult` whose values dict is keyed by
-    variable index.
+    :class:`~repro.ilp.solution.LPResult` whose values mapping is keyed
+    by variable index (an array-backed
+    :class:`~repro.ilp.solution.ValueVector` — no per-node dict build).
+    Bounds go to ``linprog`` as the form's preallocated ``(n, 2)``
+    array (:meth:`~repro.ilp.standard_form.StandardForm.bounds_pairs`),
+    reused across nodes instead of a fresh per-call list of pairs.
+    OPTIMAL results carry the basis' ``reduced_costs`` when scipy
+    reports bound marginals.
     """
     lb = form.lb if lb_override is None else lb_override
     ub = form.ub if ub_override is None else ub_override
@@ -43,17 +49,29 @@ def solve_lp_scipy(
         b_ub=form.b_ub if form.b_ub.shape[0] else None,
         A_eq=form.a_eq if form.a_eq.shape[0] else None,
         b_eq=form.b_eq if form.b_eq.shape[0] else None,
-        bounds=list(zip(lb.tolist(), ub.tolist())),
+        bounds=form.bounds_pairs(lb, ub),
         method="highs",
     )
     # HiGHS status codes: 0 optimal, 1 iteration limit, 2 infeasible,
     # 3 unbounded, 4 numerical trouble.
     if result.status == 0:
-        values = {idx: float(v) for idx, v in enumerate(result.x)}
+        reduced = None
+        lower = getattr(result, "lower", None)
+        upper = getattr(result, "upper", None)
+        if (
+            lower is not None
+            and upper is not None
+            and getattr(lower, "marginals", None) is not None
+            and getattr(upper, "marginals", None) is not None
+        ):
+            reduced = np.asarray(lower.marginals, dtype=float) + np.asarray(
+                upper.marginals, dtype=float
+            )
         return LPResult(
             status=SolveStatus.OPTIMAL,
             objective=float(result.fun),
-            values=values,
+            values=ValueVector(result.x),
+            reduced_costs=reduced,
         )
     if result.status == 2:
         return LPResult(status=SolveStatus.INFEASIBLE)

@@ -5,7 +5,7 @@ and dependency-free beyond numpy.  The production path uses SciPy's
 HiGHS (:mod:`repro.ilp.scipy_backend`); this solver exists so the whole
 pipeline can run without scipy's compiled solvers, and so the test
 suite can cross-check two independent LP implementations against each
-other (property-based tests in ``tests/ilp/test_simplex.py``).
+other (property-based tests in ``tests/test_ilp_solvers.py``).
 
 Method
 ------
@@ -18,8 +18,17 @@ is shifted to ``y = x - lb >= 0`` and finite upper bounds become extra
 equalities, rows are sign-normalized to non-negative right-hand sides,
 artificial variables complete an identity basis, and a standard
 two-phase full-tableau simplex with Bland's anti-cycling rule runs to
-optimality.  Dense tableau updates are O(rows x cols) per pivot — fine
-for the reference role; do not use it for the big Table-4 models.
+optimality.
+
+Both phases operate **in place on one preallocated tableau**: phase 2
+reuses the phase-1 array, restricting pivot-column search to the
+structural+slack prefix (artificial columns are simply never entered
+again) and compacting redundant rows by moving surviving rows up within
+the same buffer — no per-phase dense copies.  Dense updates are still
+O(rows x cols) per pivot — fine for the reference role; the
+:data:`MAX_TABLEAU_ELEMENTS` guard refuses models whose tableau would
+not fit that role (a typed :class:`~repro.errors.SolverError`, never a
+raw ``MemoryError`` from a doomed allocation).
 """
 
 from __future__ import annotations
@@ -29,11 +38,20 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import SolverError
-from repro.ilp.solution import LPResult, SolveStatus
+from repro.ilp.solution import LPResult, SolveStatus, ValueVector
 from repro.ilp.standard_form import StandardForm
 
 #: Tolerance for optimality / feasibility decisions in the tableau.
 _TOL = 1e-9
+
+#: Hard ceiling on the dense tableau size, in float64 elements
+#: (25e6 elements = 200 MB).  The guard is computed *before* any big
+#: allocation from the worst-case width (every row needing an
+#: artificial), so exceeding it raises a typed SolverError the
+#: resilience chain can treat as a terminal backend fault — not a
+#: process-threatening MemoryError mid-allocation.  The documented
+#: limit: (rows + 1) x (n + m_le + m + 1) must stay at or under this.
+MAX_TABLEAU_ELEMENTS = 25_000_000
 
 
 def solve_lp_simplex(
@@ -47,7 +65,8 @@ def solve_lp_simplex(
     Same contract as :func:`repro.ilp.scipy_backend.solve_lp_scipy`;
     integrality is ignored.  Unbounded below is reported as
     ``UNBOUNDED`` (cannot happen for the paper's models, whose variables
-    are all box-bounded).
+    are all box-bounded).  Raises :class:`~repro.errors.SolverError`
+    when the dense tableau would exceed :data:`MAX_TABLEAU_ELEMENTS`.
     """
     lb = np.asarray(form.lb if lb_override is None else lb_override, dtype=float)
     ub = np.asarray(form.ub if ub_override is None else ub_override, dtype=float)
@@ -57,8 +76,24 @@ def solve_lp_simplex(
         raise SolverError("simplex backend requires finite lower bounds")
 
     n = form.num_vars
-    a_ub = form.a_ub.toarray() if form.a_ub.shape[0] else np.zeros((0, n))
-    a_eq = form.a_eq.toarray() if form.a_eq.shape[0] else np.zeros((0, n))
+    m_ub = form.a_ub.shape[0]
+    m_eq = form.a_eq.shape[0]
+    n_bound_rows = int(np.count_nonzero(np.isfinite(ub)))
+    m_le = m_ub + n_bound_rows
+    m = m_le + m_eq
+    # Worst case every row needs an artificial; guard before any dense
+    # allocation so oversized models fail typed, not with MemoryError.
+    worst_elements = (m + 1) * (n + m_le + m + 1)
+    if worst_elements > MAX_TABLEAU_ELEMENTS:
+        raise SolverError(
+            f"simplex tableau would need up to {worst_elements} elements "
+            f"({m} rows x {n} structural vars), exceeding the documented "
+            f"MAX_TABLEAU_ELEMENTS={MAX_TABLEAU_ELEMENTS}; use the scipy "
+            f"backend for models of this size"
+        )
+
+    a_ub = form.a_ub.toarray() if m_ub else np.zeros((0, n))
+    a_eq = form.a_eq.toarray() if m_eq else np.zeros((0, n))
 
     # Shift: x = y + lb with y >= 0.
     shift = lb
@@ -79,33 +114,37 @@ def solve_lp_simplex(
     b_le = np.concatenate([b_ub, bound_rhs]) if b_ub.shape[0] else bound_rhs
 
     tableau, basis, n_struct, n_slack = _build_phase1(a_le, b_le, a_eq, b_eq, n)
-    n_art = tableau.shape[1] - 1 - n_struct - n_slack
+    n_real = n_struct + n_slack
+    n_art = tableau.shape[1] - 1 - n_real
 
     if n_art:
-        status = _run_simplex(tableau, basis, max_iter)
+        status = _run_simplex(tableau, basis, max_iter, col_limit=n_real + n_art)
         if status != SolveStatus.OPTIMAL:  # pragma: no cover - phase 1 is bounded
             raise SolverError("phase-1 simplex did not terminate optimally")
         if tableau[-1, -1] < -1e-7:
             return LPResult(status=SolveStatus.INFEASIBLE)
-        _drive_out_artificials(tableau, basis, n_struct + n_slack)
-        # Any artificial still basic sits in a redundant (all-zero) row at
-        # value 0; drop those rows entirely before stripping the columns.
-        keep = [row for row in range(len(basis)) if basis[row] < n_struct + n_slack]
+        _drive_out_artificials(tableau, basis, n_real)
+        # Any artificial still basic sits in a redundant (all-zero) row
+        # at value 0; compact the surviving rows upward *within the same
+        # tableau* (the stale rows past the new active count are never
+        # touched again) instead of rebuilding the array.
+        keep = [row for row in range(len(basis)) if basis[row] < n_real]
         if len(keep) != len(basis):
-            tableau = np.vstack([tableau[keep, :], tableau[-1:, :]])
+            for new_row, old_row in enumerate(keep):
+                if new_row != old_row:
+                    tableau[new_row, :] = tableau[old_row, :]
             basis = [basis[row] for row in keep]
 
-    # Phase 2: swap in the real objective (on shifted variables).
-    c_full = np.zeros(tableau.shape[1] - 1)
-    c_full[:n] = form.c
-    tableau = _strip_artificials(tableau, n_struct + n_slack)
-    _install_objective(tableau, basis, c_full[: n_struct + n_slack])
+    # Phase 2: swap the real objective into the same tableau's last row
+    # and restrict pivoting to the structural+slack columns; the
+    # artificial columns stay allocated but are never entered again.
+    _install_objective(tableau, basis, form.c, n_real)
 
-    status = _run_simplex(tableau, basis, max_iter)
+    status = _run_simplex(tableau, basis, max_iter, col_limit=n_real)
     if status is SolveStatus.UNBOUNDED:
         return LPResult(status=SolveStatus.UNBOUNDED)
 
-    y = np.zeros(n_struct + n_slack)
+    y = np.zeros(n_real)
     for row, var in enumerate(basis):
         if var < len(y):
             y[var] = tableau[row, -1]
@@ -114,15 +153,17 @@ def solve_lp_simplex(
     return LPResult(
         status=SolveStatus.OPTIMAL,
         objective=objective,
-        values={idx: float(v) for idx, v in enumerate(x)},
+        values=ValueVector(x),
     )
 
 
 def _build_phase1(a_le, b_le, a_eq, b_eq, n):
     """Assemble the phase-1 tableau with slacks and artificials.
 
-    Returns ``(tableau, basis, n_struct, n_slack)``.  The last tableau
-    row is the (phase-1) objective row; the last column is the rhs.
+    Returns ``(tableau, basis, n_struct, n_slack)``.  This is the one
+    dense allocation of the whole solve — both phases run in place on
+    it.  The last tableau row is the objective row; the last column is
+    the rhs.
     """
     m_le = a_le.shape[0]
     m_eq = a_eq.shape[0]
@@ -175,21 +216,19 @@ def _build_phase1(a_le, b_le, a_eq, b_eq, n):
     return tableau, basis, n, m_le
 
 
-def _install_objective(tableau, basis, c):
-    """Write a phase-2 objective row priced out against the basis."""
-    ncols = tableau.shape[1]
-    obj = np.zeros(ncols)
-    obj[: len(c)] = c
-    tableau[-1, :] = obj
+def _install_objective(tableau, basis, c, n_real):
+    """Write the phase-2 objective into the tableau's last row, in place.
+
+    Zeroes the whole row (including artificial columns, so stale
+    phase-1 coefficients cannot re-enter), installs ``c`` on the
+    structural prefix, and prices it out against the current basis.
+    """
+    tableau[-1, :] = 0.0
+    tableau[-1, : min(len(c), n_real)] = c[: min(len(c), n_real)]
     for row, var in enumerate(basis):
         coef = tableau[-1, var]
         if coef != 0.0:
             tableau[-1, :] -= coef * tableau[row, :]
-
-
-def _strip_artificials(tableau, n_real):
-    """Drop artificial columns, keeping structural+slack plus rhs."""
-    return np.hstack([tableau[:, :n_real], tableau[:, -1:]]).copy()
 
 
 def _drive_out_artificials(tableau, basis, n_real):
@@ -197,9 +236,8 @@ def _drive_out_artificials(tableau, basis, n_real):
 
     A basic artificial at value 0 whose row has some nonzero real
     coefficient is replaced by that real variable; a fully zero row is
-    redundant and harmlessly keeps its artificial at value 0 (the
-    column is then stripped — the row becomes an identity-free zero row,
-    which later pivots ignore).
+    redundant and harmlessly keeps its artificial at value 0 (the row is
+    then compacted away by the caller).
     """
     m = len(basis)
     for row in range(m):
@@ -209,13 +247,18 @@ def _drive_out_artificials(tableau, basis, n_real):
                 _pivot(tableau, basis, row, int(cols[0]))
 
 
-def _run_simplex(tableau, basis, max_iter) -> SolveStatus:
-    """Run primal simplex to optimality with Bland's rule."""
-    ncols = tableau.shape[1] - 1
+def _run_simplex(tableau, basis, max_iter, col_limit) -> SolveStatus:
+    """Run primal simplex to optimality with Bland's rule.
+
+    ``col_limit`` bounds the entering-column search (phase 2 passes the
+    structural+slack width so the still-allocated artificial columns
+    are never re-entered); only the ``len(basis)`` active rows plus the
+    objective row participate, so rows compacted away are inert.
+    """
     for _ in range(max_iter):
-        reduced = tableau[-1, :ncols]
+        reduced = tableau[-1, :col_limit]
         entering = -1
-        for col in range(ncols):
+        for col in range(col_limit):
             if reduced[col] < -_TOL:
                 entering = col
                 break  # Bland: smallest index
@@ -236,12 +279,14 @@ def _run_simplex(tableau, basis, max_iter) -> SolveStatus:
 
 
 def _pivot(tableau, basis, row, col) -> None:
-    """Gauss-Jordan pivot on (row, col)."""
+    """Gauss-Jordan pivot on (row, col), touching active rows only."""
     pivot_val = tableau[row, col]
     if abs(pivot_val) <= _TOL:  # pragma: no cover - guarded by callers
         raise SolverError("attempted pivot on a (near-)zero element")
     tableau[row, :] /= pivot_val
-    for other in range(tableau.shape[0]):
+    for other in range(len(basis)):
         if other != row and tableau[other, col] != 0.0:
             tableau[other, :] -= tableau[other, col] * tableau[row, :]
+    if tableau[-1, col] != 0.0:
+        tableau[-1, :] -= tableau[-1, col] * tableau[row, :]
     basis[row] = col

@@ -27,8 +27,11 @@ from __future__ import annotations
 
 import enum
 import math
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+import numpy as np
 
 
 class SolveStatus(enum.Enum):
@@ -170,6 +173,7 @@ class SolveStats:
     leaf_subsolve_calls: int = 0
     rescue_nodes: int = 0
     max_depth: int = 0
+    vars_fixed_reduced_cost: int = 0
     wall_time_s: float = 0.0
     stop_reason: str = "exhausted"
     best_bound: Optional[float] = None
@@ -177,6 +181,7 @@ class SolveStats:
     incumbent_events: "List[IncumbentEvent]" = field(default_factory=list)
     presolve: "Optional[Dict[str, object]]" = None
     resilience: "Optional[Dict[str, object]]" = None
+    kernel: "Optional[Dict[str, object]]" = None
 
     @property
     def lp_calls(self) -> int:
@@ -214,6 +219,7 @@ class SolveStats:
             "leaf_subsolve_calls": self.leaf_subsolve_calls,
             "rescue_nodes": self.rescue_nodes,
             "max_depth": self.max_depth,
+            "vars_fixed_reduced_cost": self.vars_fixed_reduced_cost,
             "wall_time_s": self.wall_time_s,
             "stop_reason": self.stop_reason,
             "best_bound": self.best_bound,
@@ -221,6 +227,7 @@ class SolveStats:
             "incumbent_events": [e.as_dict() for e in self.incumbent_events],
             "presolve": self.presolve,
             "resilience": self.resilience,
+            "kernel": self.kernel,
         }
 
     @classmethod
@@ -237,6 +244,7 @@ class SolveStats:
             "nodes_dropped", "lp_failures", "blind_branches",
             "incumbent_updates", "prober_hits", "sos1_propagations",
             "leaf_subsolve_calls", "rescue_nodes", "max_depth",
+            "vars_fixed_reduced_cost",
         ):
             if name in data:
                 setattr(stats, name, int(data[name]))
@@ -264,17 +272,107 @@ class SolveStats:
         return stats
 
 
+class ValueVector(Mapping):
+    """Array-backed variable-value vector with a lazy dict interface.
+
+    LP backends historically returned ``{idx: float}`` dicts, which
+    branch and bound allocated (and copied) once per node — a
+    measurable share of the per-node cost on the paper's models.  This
+    wrapper keeps the solver's numpy vector as-is and *presents* it as
+    a read-only mapping keyed by variable index, so every existing
+    consumer (``values[idx]``, ``values.items()``, ``dict(values)``)
+    keeps working without the per-node dict build.
+
+    Keys are exactly ``0..n-1``; negative indices are rejected (a dict
+    would raise ``KeyError`` there, and silent wrap-around would be a
+    correctness bug).  Equality compares against any mapping with the
+    same items, so tests may compare against plain dicts.
+    """
+
+    __slots__ = ("_array",)
+
+    def __init__(self, array: "np.ndarray") -> None:
+        self._array = np.asarray(array, dtype=float)
+
+    @property
+    def array(self) -> "np.ndarray":
+        """The underlying vector (shared, treat as read-only)."""
+        return self._array
+
+    def __getitem__(self, idx) -> float:
+        i = int(idx)
+        if i < 0 or i >= self._array.shape[0]:
+            raise KeyError(idx)
+        return float(self._array[i])
+
+    def __len__(self) -> int:
+        return int(self._array.shape[0])
+
+    def __iter__(self):
+        return iter(range(self._array.shape[0]))
+
+    def __contains__(self, idx) -> bool:
+        try:
+            i = int(idx)
+        except (TypeError, ValueError):
+            return False
+        return 0 <= i < self._array.shape[0]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ValueVector):
+            return bool(np.array_equal(self._array, other._array))
+        if isinstance(other, Mapping):
+            return len(self) == len(other) and all(
+                k in self and self[k] == v for k, v in other.items()
+            )
+        return NotImplemented
+
+    def __hash__(self):  # mappings are unhashable, match dict
+        raise TypeError("unhashable type: 'ValueVector'")
+
+    def __repr__(self) -> str:
+        return f"ValueVector(n={len(self)})"
+
+    def to_dict(self) -> "Dict[int, float]":
+        """Materialize as a plain ``{index: value}`` dict."""
+        return {idx: float(v) for idx, v in enumerate(self._array)}
+
+
+def plain_values(values: "Optional[Mapping]") -> "Optional[Dict[int, float]]":
+    """The one value-materialization accessor for LP/MILP solutions.
+
+    Every consumer that needs a *plain dict* of a solution (checkpoint
+    serialization, incumbent rounding, leaf sub-solve payloads) goes
+    through here, so the array-backed :class:`ValueVector`
+    representation can never silently break a round-trip: both
+    representations come out as the same ``{int: float}`` dict.
+    """
+    if values is None:
+        return None
+    if isinstance(values, ValueVector):
+        return values.to_dict()
+    return {int(k): float(v) for k, v in values.items()}
+
+
 @dataclass(frozen=True)
 class LPResult:
     """Result of one LP (relaxation) solve.
 
-    ``values`` maps variable index to value; present only when
-    ``status`` is OPTIMAL.
+    ``values`` maps variable index to value (a plain dict or an
+    array-backed :class:`ValueVector`); present only when ``status`` is
+    OPTIMAL.  ``reduced_costs``, when a backend provides it, is the
+    per-variable reduced-cost vector of the optimal basis — the input
+    to reduced-cost variable fixing in branch and bound.  It is
+    excluded from equality comparisons (an optimization hint, not part
+    of the answer).
     """
 
     status: SolveStatus
     objective: Optional[float] = None
-    values: "Optional[Dict[int, float]]" = None
+    values: "Optional[Mapping]" = None
+    reduced_costs: "Optional[np.ndarray]" = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.status is SolveStatus.OPTIMAL:

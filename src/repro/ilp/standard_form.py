@@ -47,11 +47,27 @@ class StandardForm:
         self,
         lb_override: "Optional[np.ndarray]" = None,
         ub_override: "Optional[np.ndarray]" = None,
-    ) -> "List[Tuple[float, float]]":
-        """Per-variable ``(lb, ub)`` pairs with optional overrides."""
+    ) -> "np.ndarray":
+        """Per-variable ``(lb, ub)`` pairs with optional overrides.
+
+        Returns a ``(n, 2)`` ndarray — ``linprog`` accepts it directly
+        as its ``bounds`` argument — backed by a buffer cached on the
+        form and *reused across calls*, so branch-and-bound nodes do
+        not rebuild a Python list of tuples per LP solve.  Callers must
+        treat the result as consumed-on-call (the next call overwrites
+        it); snapshot with ``.copy()`` if it must outlive that.
+        """
         lb = self.lb if lb_override is None else lb_override
         ub = self.ub if ub_override is None else ub_override
-        return list(zip(lb.tolist(), ub.tolist()))
+        buf = self.__dict__.get("_bounds_buf")
+        if buf is None or buf.shape[0] != self.num_vars:
+            buf = np.empty((self.num_vars, 2), dtype=float)
+            # Frozen dataclass: stash the cache without tripping the
+            # generated __setattr__ guard.
+            object.__setattr__(self, "_bounds_buf", buf)
+        buf[:, 0] = lb
+        buf[:, 1] = ub
+        return buf
 
 
 def compile_standard_form(model: Model) -> StandardForm:

@@ -120,6 +120,7 @@ def run_row(
     presolve: bool = True,
     resilient: bool = True,
     chaos=None,
+    lp_kernel: str = "incremental",
 ) -> "Dict[str, object]":
     """Execute one experiment row and return a measured-result dict.
 
@@ -153,6 +154,7 @@ def run_row(
         presolve=presolve,
         resilient=resilient,
         chaos=chaos,
+        lp_kernel=lp_kernel,
     )
     start = time.monotonic()
     outcome = partitioner.partition(

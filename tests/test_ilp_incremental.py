@@ -1,0 +1,350 @@
+"""Tests for the incremental warm-starting LP kernel and its plumbing.
+
+Covers the kernel itself (equivalence with the stateless scipy backend
+over random LPs and random branching-style bound overrides, node-solve
+cache correctness, rebind-on-new-form), the array-backed
+:class:`~repro.ilp.solution.ValueVector` result values, reduced-cost
+variable fixing in the branch and bound (same proven optima with the
+acceleration on and off), the simplex tableau size guard, and the
+``solve.kernel`` telemetry passthroughs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig
+from repro.ilp.expr import lin_sum
+from repro.ilp.incremental import (
+    DEFAULT_CACHE_SIZE,
+    IncrementalLPSolver,
+    have_highspy,
+)
+from repro.ilp.model import Model
+from repro.ilp.resilience import ResilientLPBackend
+from repro.ilp.scipy_backend import solve_lp_scipy
+from repro.ilp.simplex import solve_lp_simplex
+from repro.ilp.solution import (
+    LPResult,
+    SolveStatus,
+    ValueVector,
+    plain_values,
+)
+from repro.ilp.standard_form import compile_standard_form
+
+
+def build_lp_model(c, rows, rhs, senses, ubs, integer=False):
+    model = Model("prop")
+    xs = [
+        model.add_var(f"x{i}", 0, ubs[i], integer=integer)
+        for i in range(len(c))
+    ]
+    for row, b, sense in zip(rows, rhs, senses):
+        expr = lin_sum(coef * x for coef, x in zip(row, xs))
+        if sense == "<=":
+            model.add(expr <= b)
+        elif sense == ">=":
+            model.add(expr >= b)
+        else:
+            model.add(expr == b)
+    model.set_objective(lin_sum(coef * x for coef, x in zip(c, xs)))
+    return model
+
+
+@st.composite
+def random_lp_with_branchings(draw):
+    """A random bounded LP plus a few branching-style bound overrides."""
+    n = draw(st.integers(2, 5))
+    m = draw(st.integers(1, 5))
+    coef = st.integers(-4, 4)
+    c = [draw(coef) for _ in range(n)]
+    rows = [[draw(coef) for _ in range(n)] for _ in range(m)]
+    rhs = [draw(st.integers(-6, 10)) for _ in range(m)]
+    senses = [draw(st.sampled_from(["<=", ">=", "=="])) for _ in range(m)]
+    ubs = [draw(st.integers(1, 6)) for _ in range(n)]
+    # Branching-style overrides: tighten one variable's box per "node".
+    overrides = []
+    for _ in range(draw(st.integers(1, 4))):
+        var = draw(st.integers(0, n - 1))
+        fix_up = draw(st.booleans())
+        point = draw(st.integers(0, 6))
+        overrides.append((var, fix_up, point))
+    return c, rows, rhs, senses, ubs, overrides
+
+
+@given(random_lp_with_branchings())
+@settings(max_examples=100, deadline=None)
+def test_property_incremental_matches_scipy(problem):
+    """The kernel and the stateless backend agree on every node solve."""
+    c, rows, rhs, senses, ubs, overrides = problem
+    form = compile_standard_form(
+        build_lp_model(c, rows, rhs, senses, ubs)
+    )
+    kernel = IncrementalLPSolver(cache_size=0)  # no cache: every solve live
+
+    # Root solve plus each branching override, like B&B nodes would.
+    nodes = [(form.lb.copy(), form.ub.copy())]
+    for var, fix_up, point in overrides:
+        lb = form.lb.copy()
+        ub = form.ub.copy()
+        if fix_up:
+            lb[var] = min(point, ub[var])
+        else:
+            ub[var] = max(point, lb[var])
+        nodes.append((lb, ub))
+
+    for lb, ub in nodes:
+        ours = kernel(form, lb, ub)
+        ref = solve_lp_scipy(form, lb, ub)
+        assert ours.status == ref.status
+        if ours.status is SolveStatus.OPTIMAL:
+            assert ours.objective == pytest.approx(ref.objective, abs=1e-7)
+            # Integral-looking components decode identically.
+            for idx in range(form.num_vars):
+                if abs(ref.values[idx] - round(ref.values[idx])) < 1e-9:
+                    assert ours.values[idx] == pytest.approx(
+                        ref.values[idx], abs=1e-6
+                    )
+
+
+class TestIncrementalKernel:
+    def _form(self):
+        return compile_standard_form(
+            build_lp_model(
+                [-1, -1], [[1, 2], [3, 1]], [4, 6], ["<=", "<="], [10, 10]
+            )
+        )
+
+    def test_cache_hit_returns_identical_result(self):
+        form = self._form()
+        kernel = IncrementalLPSolver()
+        first = kernel(form, form.lb, form.ub)
+        second = kernel(form, form.lb.copy(), form.ub.copy())
+        assert second is first  # frozen LPResult: safe to share
+        assert kernel.lp_solves == 1
+        assert kernel.cache_hits == 1
+        assert kernel.cache_misses == 1
+
+    def test_eviction_re_solves(self):
+        form = self._form()
+        kernel = IncrementalLPSolver(cache_size=1)
+        base = kernel(form, form.lb, form.ub)
+        lb = form.lb.copy()
+        lb[0] = 1.0
+        kernel(form, lb, form.ub)  # evicts the base entry
+        assert kernel.cache_evictions == 1
+        again = kernel(form, form.lb, form.ub)  # must re-solve, not hit
+        assert kernel.lp_solves == 3
+        assert again is not base
+        assert again.objective == pytest.approx(base.objective, abs=1e-9)
+
+    def test_contradictory_bounds_short_circuit(self):
+        form = self._form()
+        kernel = IncrementalLPSolver()
+        lb = form.lb.copy()
+        ub = form.ub.copy()
+        lb[0], ub[0] = 2.0, 1.0
+        assert kernel(form, lb, ub).status is SolveStatus.INFEASIBLE
+        assert kernel.lp_solves == 0  # decided without any LP
+
+    def test_rebind_on_new_form(self):
+        kernel = IncrementalLPSolver()
+        form_a = self._form()
+        form_b = compile_standard_form(
+            build_lp_model([1, 1], [[1, 1]], [3], [">="], [5, 5])
+        )
+        a = kernel(form_a)
+        b = kernel(form_b)
+        assert kernel.rebinds == 2
+        assert a.objective != pytest.approx(b.objective)
+        # Returning to a previous form rebinds again (cache was reset).
+        kernel(form_a)
+        assert kernel.rebinds == 3
+
+    def test_use_highs_without_highspy_raises(self):
+        if have_highspy():  # pragma: no cover - container has no highspy
+            pytest.skip("highspy installed; forced-highs works")
+        with pytest.raises(SolverError, match="highspy"):
+            IncrementalLPSolver(use_highs=True)
+
+    def test_kernel_telemetry_block(self):
+        form = self._form()
+        kernel = IncrementalLPSolver()
+        kernel(form)
+        kernel(form)
+        telemetry = kernel.kernel_telemetry()
+        assert telemetry["name"] in ("incremental-highs", "incremental-linprog")
+        assert telemetry["calls"] == 2
+        assert telemetry["lp_solves"] == 1
+        assert telemetry["cache_hit_rate"] == pytest.approx(0.5)
+        assert telemetry["cache_size"] == DEFAULT_CACHE_SIZE
+
+    def test_optimal_results_carry_reduced_costs(self):
+        form = self._form()
+        result = IncrementalLPSolver()(form)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.reduced_costs is not None
+        assert result.reduced_costs.shape == (form.num_vars,)
+
+
+class TestValueVector:
+    def test_mapping_protocol(self):
+        vec = ValueVector(np.array([1.0, 0.0, 2.5]))
+        assert len(vec) == 3
+        assert vec[0] == 1.0
+        assert vec[2] == 2.5
+        assert list(vec) == [0, 1, 2]
+        assert dict(vec) == {0: 1.0, 1: 0.0, 2: 2.5}
+        assert sorted(vec.items()) == [(0, 1.0), (1, 0.0), (2, 2.5)]
+        assert 2 in vec and 3 not in vec
+
+    def test_out_of_range_and_negative_keys_raise(self):
+        vec = ValueVector(np.array([1.0]))
+        with pytest.raises(KeyError):
+            vec[1]
+        with pytest.raises(KeyError):
+            vec[-1]
+
+    def test_equality_with_dict_and_unhashable(self):
+        vec = ValueVector(np.array([1.0, 2.0]))
+        assert vec == {0: 1.0, 1: 2.0}
+        assert vec == ValueVector(np.array([1.0, 2.0]))
+        assert vec != ValueVector(np.array([1.0, 3.0]))
+        with pytest.raises(TypeError):
+            hash(vec)
+
+    def test_plain_values_round_trip(self):
+        vec = ValueVector(np.array([0.0, 1.0]))
+        plain = plain_values(vec)
+        assert plain == {0: 0.0, 1: 1.0}
+        assert isinstance(plain, dict)
+        assert plain_values(None) is None
+        assert plain_values({3: 1.5}) == {3: 1.5}
+
+    def test_lpresult_with_vector_values_compares(self):
+        a = LPResult(
+            status=SolveStatus.OPTIMAL, objective=1.0,
+            values=ValueVector(np.array([1.0])),
+        )
+        b = LPResult(
+            status=SolveStatus.OPTIMAL, objective=1.0,
+            values=ValueVector(np.array([1.0])),
+            reduced_costs=np.array([0.5]),  # excluded from equality
+        )
+        assert a == b
+
+
+@st.composite
+def random_binary_milp(draw):
+    n = draw(st.integers(2, 5))
+    m = draw(st.integers(1, 4))
+    coef = st.integers(-4, 4)
+    c = [draw(coef) for _ in range(n)]
+    rows = [[draw(coef) for _ in range(n)] for _ in range(m)]
+    rhs = [draw(st.integers(-3, 8)) for _ in range(m)]
+    senses = [draw(st.sampled_from(["<=", ">="])) for _ in range(m)]
+    return c, rows, rhs, senses
+
+
+@given(random_binary_milp())
+@settings(max_examples=60, deadline=None)
+def test_property_reduced_cost_fixing_preserves_optimum(problem):
+    """B&B proves the same optimum with reduced-cost fixing on and off."""
+    c, rows, rhs, senses = problem
+    ubs = [1] * len(c)
+
+    def solve(fixing: bool):
+        model = build_lp_model(c, rows, rhs, senses, ubs, integer=True)
+        config = BranchAndBoundConfig(
+            objective_is_integral=True,
+            reduced_cost_fixing=fixing,
+            lp_backend=IncrementalLPSolver() if fixing else solve_lp_scipy,
+        )
+        return BranchAndBound(model, config=config).solve()
+
+    plain = solve(False)
+    fixed = solve(True)
+    assert plain.status == fixed.status
+    if plain.status is SolveStatus.OPTIMAL:
+        assert fixed.objective == pytest.approx(plain.objective, abs=1e-6)
+    assert fixed.stats.vars_fixed_reduced_cost >= 0
+
+
+class TestKernelIntegration:
+    def _model(self):
+        # min -(x+y+z) over binaries with a knapsack row: two fit.
+        return build_lp_model(
+            [-1, -1, -1], [[2, 2, 3]], [5], ["<="], [1, 1, 1], integer=True
+        )
+
+    def test_bnb_surfaces_kernel_telemetry(self):
+        kernel = IncrementalLPSolver()
+        config = BranchAndBoundConfig(
+            objective_is_integral=True, lp_backend=kernel,
+        )
+        result = BranchAndBound(self._model(), config=config).solve()
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.stats.kernel is not None
+        assert result.stats.kernel["name"] == kernel.kernel_name
+        assert result.stats.kernel["lp_solves"] >= 1
+        assert "kernel" in result.stats.as_dict()
+
+    def test_resilient_chain_passes_kernel_telemetry_through(self):
+        backend = ResilientLPBackend(
+            backends=[
+                ("incremental", IncrementalLPSolver()),
+                ("scipy-highs", solve_lp_scipy),
+            ]
+        )
+        form = compile_standard_form(self._model())
+        backend(form)
+        telemetry = backend.kernel_telemetry()
+        assert telemetry is not None
+        assert telemetry["calls"] == 1
+
+    def test_resilient_chain_without_kernel_returns_none(self):
+        backend = ResilientLPBackend(
+            backends=[("scipy-highs", solve_lp_scipy)]
+        )
+        assert backend.kernel_telemetry() is None
+
+    def test_kernel_fault_falls_through_chain(self):
+        """A dead kernel demotes to the chain's stateless backends."""
+
+        def dead(form, lb=None, ub=None):
+            raise SolverError("kernel down")
+
+        backend = ResilientLPBackend(
+            backends=[("incremental", dead), ("scipy-highs", solve_lp_scipy)]
+        )
+        form = compile_standard_form(self._model())
+        result = backend(form)
+        assert result.status is SolveStatus.OPTIMAL
+        assert backend.fallbacks == 1
+
+
+class TestSimplexSizeGuard:
+    def test_oversized_model_raises_typed_error(self, monkeypatch):
+        import repro.ilp.simplex as simplex_mod
+
+        monkeypatch.setattr(simplex_mod, "MAX_TABLEAU_ELEMENTS", 10)
+        form = compile_standard_form(
+            build_lp_model(
+                [-1, -1], [[1, 2], [3, 1]], [4, 6], ["<=", "<="], [10, 10]
+            )
+        )
+        with pytest.raises(SolverError, match="MAX_TABLEAU_ELEMENTS"):
+            solve_lp_simplex(form)
+
+    def test_normal_model_still_solves(self):
+        form = compile_standard_form(
+            build_lp_model(
+                [-1, -1], [[1, 2], [3, 1]], [4, 6], ["<=", "<="], [10, 10]
+            )
+        )
+        result = solve_lp_simplex(form)
+        assert result.status is SolveStatus.OPTIMAL
+        assert isinstance(result.values, ValueVector)
+        assert result.objective == pytest.approx(-2.8, abs=1e-7)
