@@ -14,12 +14,24 @@ row and kernel:
   enough for shared CI runners, tight enough to catch a real
   regression like an accidental per-node model rebuild).
 
+A second mode benchmarks the parallel branch and bound: ``--workers N``
+runs each row sequentially and again with the frontier sharded across
+``N`` worker processes, asserts the parallel optima (status +
+objective) match the committed baseline exactly, and reports the
+aggregate nodes/sec scaling factor.  ``--min-scaling X`` turns the
+factor into a gate — but only on machines with at least ``N`` cores;
+with fewer (CI runners are often single-core) the factor is physically
+unreachable and the gate auto-downgrades to informational, while the
+optima check always remains hard.
+
 Usage::
 
     python scripts/bench_solver.py --quick            # t3 family, CI smoke
     python scripts/bench_solver.py                    # all tables
     python scripts/bench_solver.py --quick --update-baseline
     python scripts/bench_solver.py --json out.json
+    python scripts/bench_solver.py --quick --workers 2            # optima gate
+    python scripts/bench_solver.py --workers 4 --min-scaling 2.5  # >=4 cores
 
 Exit status is non-zero when any deterministic field drifts or any
 row's nodes/sec regresses more than ``--tolerance`` below the
@@ -32,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -51,10 +64,12 @@ KERNELS = ("incremental", "scipy")
 DETERMINISTIC_FIELDS = ("status", "objective", "nodes_explored", "lp_solves")
 
 
-def bench_row(row, kernel: str, time_limit_s: float) -> dict:
+def bench_row(row, kernel: str, time_limit_s: float, workers: int = 1) -> dict:
     """One row under one kernel -> measured record."""
     start = time.perf_counter()
-    result = run_row(row, time_limit_s=time_limit_s, lp_kernel=kernel)
+    result = run_row(
+        row, time_limit_s=time_limit_s, lp_kernel=kernel, workers=workers
+    )
     elapsed = time.perf_counter() - start
     solve = (result.get("telemetry") or {}).get("solve") or {}
     nodes = int(solve.get("nodes_explored") or 0)
@@ -79,6 +94,14 @@ def bench_row(row, kernel: str, time_limit_s: float) -> dict:
             "cache_hit_rate": kernel_block.get("cache_hit_rate"),
             "warm_start_hits": kernel_block.get("warm_start_hits"),
         }
+    parallel_block = solve.get("parallel")
+    if parallel_block:
+        record["parallel"] = {
+            "workers": parallel_block.get("workers"),
+            "chunks_dispatched": parallel_block.get("chunks_dispatched"),
+            "worker_crashes": parallel_block.get("worker_crashes"),
+            "incumbent_broadcasts": parallel_block.get("incumbent_broadcasts"),
+        }
     return record
 
 
@@ -91,6 +114,74 @@ def run_bench(tables, time_limit_s: float) -> dict:
                 print(f"  bench {key} ...", flush=True)
                 rows[key] = bench_row(row, kernel, time_limit_s)
     return rows
+
+
+def run_scaling_bench(
+    tables, time_limit_s: float, workers: int, baseline: dict,
+    min_scaling: float,
+) -> "tuple[dict, list, list]":
+    """Parallel scaling mode: (rows, hard failures, informational notes).
+
+    Every row runs twice — sequentially and with ``workers`` processes.
+    Parallel status/objective must match the committed incremental
+    baseline exactly (hard failure otherwise: sharding the frontier
+    must never change the *answer*).  The aggregate nodes/sec ratio is
+    gated against ``min_scaling`` only when the machine actually has
+    ``workers`` cores; on smaller machines spawned workers time-slice
+    one core and the ratio is reported informationally instead.
+    """
+    base_rows = baseline.get("rows", {})
+    rows, failures, notes = {}, [], []
+    seq_nodes = seq_time = par_nodes = par_time = 0.0
+    for table in tables:
+        for row in table_rows(table):
+            seq_key = f"{row.key}:w1"
+            par_key = f"{row.key}:w{workers}"
+            print(f"  bench {seq_key} ...", flush=True)
+            seq = bench_row(row, "incremental", time_limit_s)
+            print(f"  bench {par_key} ...", flush=True)
+            par = bench_row(row, "incremental", time_limit_s, workers=workers)
+            rows[seq_key], rows[par_key] = seq, par
+            seq_nodes += seq["nodes_explored"]
+            seq_time += seq["wall_time_s"]
+            par_nodes += par["nodes_explored"]
+            par_time += par["wall_time_s"]
+            # The answer gate: vs the committed baseline when it has
+            # this row, else vs the sequential run just measured.
+            reference = base_rows.get(f"{row.key}:incremental") or seq
+            for field in ("status", "objective"):
+                if par.get(field) != reference.get(field):
+                    failures.append(
+                        f"{par_key}: {field} diverged under parallel search "
+                        f"(expected {reference.get(field)!r}, "
+                        f"got {par.get(field)!r})"
+                    )
+    scaling = None
+    if seq_time > 0 and par_time > 0 and seq_nodes > 0:
+        scaling = round(
+            (par_nodes / par_time) / (seq_nodes / seq_time), 3
+        )
+    cores = os.cpu_count() or 1
+    summary = (
+        f"aggregate nodes/sec scaling @ {workers} workers: "
+        f"{scaling if scaling is not None else 'n/a'} "
+        f"(machine has {cores} cores)"
+    )
+    if scaling is not None and min_scaling > 0:
+        if cores < workers:
+            notes.append(
+                f"{summary} — fewer cores than workers, "
+                f"scaling gate ({min_scaling}x) downgraded to informational"
+            )
+        elif scaling < min_scaling:
+            failures.append(
+                f"{summary} — below required {min_scaling}x"
+            )
+        else:
+            notes.append(f"{summary} — meets required {min_scaling}x")
+    else:
+        notes.append(summary)
+    return rows, failures, notes
 
 
 def compare(current: dict, baseline: dict, tolerance: float) -> list:
@@ -115,6 +206,19 @@ def compare(current: dict, baseline: dict, tolerance: float) -> list:
                 f"(baseline {base_nps}, now {cur_nps})"
             )
     return failures
+
+
+def print_rows(rows: dict) -> None:
+    width = max(len(k) for k in rows)
+    print(f"{'row':<{width}}  {'status':<10} {'nodes':>7} {'nodes/s':>10} "
+          f"{'lp ms/node':>11}")
+    for key, record in rows.items():
+        print(
+            f"{key:<{width}}  {record['status']:<10} "
+            f"{record['nodes_explored']:>7} "
+            f"{record['nodes_per_s'] if record['nodes_per_s'] is not None else '-':>10} "
+            f"{record['lp_ms_per_node'] if record['lp_ms_per_node'] is not None else '-':>11}"
+        )
 
 
 def main(argv=None) -> int:
@@ -147,6 +251,16 @@ def main(argv=None) -> int:
         "--json", type=Path, default=None,
         help="also write the measured results to this path",
     )
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="parallel scaling mode: bench each row at 1 and N worker "
+             "processes, gate parallel optima against the baseline",
+    )
+    parser.add_argument(
+        "--min-scaling", type=float, default=0.0, metavar="X",
+        help="required aggregate nodes/sec scaling factor in --workers "
+             "mode (informational when the machine has fewer cores)",
+    )
     args = parser.parse_args(argv)
 
     if args.tables:
@@ -155,6 +269,42 @@ def main(argv=None) -> int:
         tables = ["t3"]
     else:
         tables = ["t1", "t2", "t3", "t4"]
+
+    if args.workers:
+        if args.workers < 2:
+            parser.error("--workers must be >= 2 (1 is the sequential run)")
+        baseline = {}
+        if args.baseline.exists():
+            baseline = json.loads(args.baseline.read_text())
+            if baseline.get("schema") != BASELINE_SCHEMA:
+                print(f"baseline schema mismatch in {args.baseline}",
+                      file=sys.stderr)
+                return 2
+        rows, failures, notes = run_scaling_bench(
+            tables, args.time_limit, args.workers, baseline,
+            args.min_scaling,
+        )
+        if args.json:
+            args.json.write_text(json.dumps({
+                "schema": BASELINE_SCHEMA,
+                "mode": "scaling",
+                "workers": args.workers,
+                "cpu_count": os.cpu_count(),
+                "tables": tables,
+                "rows": rows,
+            }, indent=1, sort_keys=True) + "\n")
+            print(f"wrote {args.json}")
+        print()
+        print_rows(rows)
+        for note in notes:
+            print(f"\nNOTE: {note}")
+        if failures:
+            print("\nFAIL:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"\nOK: parallel optima match ({len(rows)} measurements)")
+        return 0
 
     rows = run_bench(tables, args.time_limit)
     payload = {
@@ -189,16 +339,7 @@ def main(argv=None) -> int:
     failures = compare(rows, baseline, args.tolerance)
 
     print()
-    width = max(len(k) for k in rows)
-    print(f"{'row':<{width}}  {'status':<10} {'nodes':>7} {'nodes/s':>10} "
-          f"{'lp ms/node':>11}")
-    for key, record in rows.items():
-        print(
-            f"{key:<{width}}  {record['status']:<10} "
-            f"{record['nodes_explored']:>7} "
-            f"{record['nodes_per_s'] if record['nodes_per_s'] is not None else '-':>10} "
-            f"{record['lp_ms_per_node'] if record['lp_ms_per_node'] is not None else '-':>11}"
-        )
+    print_rows(rows)
     if failures:
         print("\nFAIL:", file=sys.stderr)
         for failure in failures:

@@ -87,6 +87,16 @@ def build_parser() -> argparse.ArgumentParser:
              "(default) or the historical per-call scipy backend",
     )
     parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="branch-and-bound worker processes (default 1 = in-process "
+             "search; N>1 shards the frontier across spawned workers)",
+    )
+    parser.add_argument(
+        "--parallel-replay", action="store_true",
+        help="deterministic-replay parallel mode: one in-flight chunk, "
+             "round-robin — reproduces the single-worker node sequence",
+    )
+    parser.add_argument(
         "--base-model", action="store_true",
         help="use the untightened Section-5 formulation",
     )
@@ -671,6 +681,8 @@ def main(argv: "Optional[list]" = None) -> int:
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         lp_kernel=args.lp_kernel,
+        workers=args.workers,
+        parallel_replay=args.parallel_replay,
     )
 
     if args.dump_lp:

@@ -1,0 +1,123 @@
+"""Worker-side rebuild of the temporal-partitioning solve context.
+
+The partitioner's branch-and-bound configuration is full of closures —
+the slot-counting node prober, the compact leaf solver, the resilient
+LP chain — none of which pickle.  When
+:class:`~repro.core.partitioner.TemporalPartitioner` runs with
+``workers > 1`` it therefore ships only the *ingredients*
+(:class:`~repro.core.spec.ProblemSpec`, formulation options, kernel
+and chaos settings: all plain data) and this module's
+:func:`build_worker_context` rebuilds the identical context inside
+each worker interpreter.  Determinism end to end — ``build_model``,
+presolve, and ``compile_standard_form`` are all deterministic functions
+of the spec — is what makes the coordinator's model-fingerprint check
+meaningful: if the rebuild diverged at all, the worker refuses to
+solve rather than explore a subtly different search space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ilp.incremental import IncrementalLPSolver
+from repro.ilp.resilience import (
+    FaultInjectingBackend,
+    FaultPlan,
+    ResilientLPBackend,
+    default_backend_chain,
+)
+from repro.ilp.scipy_backend import solve_lp_scipy
+
+
+def make_lp_backend(
+    lp_kernel: str = "incremental",
+    resilient: bool = True,
+    chaos: "Optional[FaultPlan]" = None,
+    plain_search: bool = False,
+    chain: "Optional[List]" = None,
+):
+    """LP backend for a bnb solve: bare, chaos-wrapped, or armored.
+
+    Shared by :meth:`TemporalPartitioner._make_lp_backend` and the
+    parallel worker rebuild, so both sides of a ``workers > 1`` run
+    assemble the *same* stack: ``plain_search`` keeps the historical
+    bare SciPy backend; otherwise the warm-starting incremental kernel
+    heads the chain with the stateless backends behind it, a
+    :class:`~repro.ilp.resilience.ResilientLPBackend` wraps the chain,
+    and a :class:`~repro.ilp.resilience.FaultPlan` additionally wraps
+    the primary (or, with ``targets="all"``, every) backend in seeded
+    fault injection with infeasible double-checking.
+    """
+    use_resilient = resilient and not plain_search
+    use_kernel = lp_kernel == "incremental" and not plain_search
+    if not use_resilient and chaos is None and chain is None:
+        if use_kernel:
+            return IncrementalLPSolver()
+        return solve_lp_scipy
+    if chain is None:
+        chain = default_backend_chain()
+        if use_kernel:
+            chain = [("incremental", IncrementalLPSolver())] + chain
+    chain = list(chain)
+    if chaos is not None:
+        wrap_all = chaos.targets == "all"
+        chain = [
+            (name, FaultInjectingBackend(fn, chaos, name=f"chaos[{name}]"))
+            if (wrap_all or i == 0) else (name, fn)
+            for i, (name, fn) in enumerate(chain)
+        ]
+    if not use_resilient:
+        return chain[0][1]
+    return ResilientLPBackend(
+        backends=chain,
+        double_check_infeasible=chaos is not None,
+    )
+
+
+def build_worker_context(args: "Dict[str, object]") -> "Dict[str, object]":
+    """Rebuild the partitioner solve context inside a worker.
+
+    ``args`` (all picklable): ``spec`` (ProblemSpec), ``options``
+    (FormulationOptions), ``rule`` (branching-rule instance),
+    ``plain_search``, ``presolve``, ``resilient``, ``lp_kernel``,
+    ``chaos`` — the exact knobs
+    :meth:`TemporalPartitioner._solve` used on the coordinator side.
+    """
+    from repro.core.formulation import build_model
+
+    spec = args["spec"]
+    options = args["options"]
+    model, space = build_model(spec, options)
+    plain_search = bool(args.get("plain_search", False))
+    if args.get("presolve", False) and not plain_search:
+        # The coordinator's BranchAndBound presolved its model before
+        # fingerprinting; replay the same (deterministic) pass here so
+        # the compiled forms match.  A certificate cannot appear — the
+        # coordinator would have short-circuited before spawning
+        # workers — but guard anyway.
+        from repro.ilp.analysis.presolve import PresolveOptions, presolve
+
+        reduced = presolve(model, PresolveOptions(eliminate=False))
+        if reduced.certificate is None and reduced.model is not None:
+            model = reduced.model
+
+    node_prober = leaf_solver = None
+    if not plain_search:
+        from repro.core.leafsolve import make_leaf_solver
+        from repro.core.probe import make_slot_prober
+
+        node_prober = make_slot_prober(spec, space)
+        leaf_solver = make_leaf_solver(spec, space)
+
+    return {
+        "model": model,
+        "rule": args.get("rule"),
+        "lp_backend": make_lp_backend(
+            lp_kernel=args.get("lp_kernel", "incremental"),
+            resilient=bool(args.get("resilient", True)),
+            chaos=args.get("chaos"),
+            plain_search=plain_search,
+        ),
+        "node_prober": node_prober,
+        "leaf_solver": leaf_solver,
+    }

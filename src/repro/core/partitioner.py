@@ -50,15 +50,8 @@ from repro.graph.taskgraph import TaskGraph
 from repro.ilp.analysis.diagnostics import InfeasibilityCertificate
 from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig
 from repro.ilp.branching import BranchingRule, make_rule
-from repro.ilp.incremental import IncrementalLPSolver
 from repro.ilp.milp_backend import solve_milp_scipy
-from repro.ilp.resilience import (
-    FaultInjectingBackend,
-    FaultPlan,
-    ResilientLPBackend,
-    default_backend_chain,
-)
-from repro.ilp.scipy_backend import solve_lp_scipy
+from repro.ilp.resilience import FaultPlan
 from repro.ilp.solution import SolveStats, SolveStatus, relative_gap
 from repro.library.catalogs import default_library, mix_from_string
 from repro.library.components import Allocation, ComponentLibrary
@@ -147,7 +140,7 @@ class PartitionOutcome:
     def telemetry(self) -> "Dict[str, object]":
         """Per-run solve-telemetry record (see DESIGN.md for the schema)."""
         return {
-            "schema": "repro.solve_telemetry/v4",
+            "schema": "repro.solve_telemetry/v5",
             "graph": self.spec.graph.name,
             "n_partitions": self.spec.n_partitions,
             "relaxation": self.spec.relaxation,
@@ -253,6 +246,24 @@ class TemporalPartitioner:
         override this.  Fault-free results are identical either way
         (property-tested); only speed and ``solve.kernel`` telemetry
         differ.
+    workers:
+        ``> 1`` shards the branch-and-bound frontier across that many
+        spawn-isolated worker processes
+        (:class:`~repro.ilp.parallel.ParallelBranchAndBound`): shared
+        incumbent, work stealing, crash recovery, identical optima.
+        Only the ``"bnb"`` backend parallelizes, and a custom
+        ``lp_backend_chain`` cannot be shipped to workers (chains are
+        closures) — both combinations raise.  The ``solve.parallel``
+        telemetry block records the fleet's behaviour.
+    parallel_replay:
+        Deterministic-replay mode for ``workers > 1``: one chunk in
+        flight at a time, round-robin — the solve signature
+        (status/objective/nodes) is then exactly the sequential one.
+        A testing mode; it forfeits the wall-clock speedup.
+    parallel:
+        Full :class:`~repro.ilp.parallel.ParallelConfig` override for
+        chunk budgets, timeouts, and chaos knobs; ``workers`` /
+        ``parallel_replay`` are ignored when this is given.
     """
 
     def __init__(
@@ -277,12 +288,30 @@ class TemporalPartitioner:
         checkpoint_every: int = 256,
         degrade: bool = True,
         lp_kernel: str = "incremental",
+        workers: int = 1,
+        parallel_replay: bool = False,
+        parallel: "Optional[object]" = None,
     ) -> None:
         if backend not in ("bnb", "milp"):
             raise ReproError(f"unknown backend {backend!r}; use 'bnb' or 'milp'")
         if lp_kernel not in ("incremental", "scipy"):
             raise ReproError(
                 f"unknown lp_kernel {lp_kernel!r}; use 'incremental' or 'scipy'"
+            )
+        if parallel is not None:
+            workers = parallel.workers
+        if workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        if workers > 1 and backend != "bnb":
+            raise ReproError(
+                "workers > 1 requires backend='bnb' "
+                "(the milp backend is a single HiGHS call)"
+            )
+        if workers > 1 and lp_backend_chain is not None:
+            raise ReproError(
+                "workers > 1 cannot ship a custom lp_backend_chain to "
+                "worker processes (backend chains are closures); use "
+                "lp_kernel/resilient/chaos, which workers rebuild locally"
             )
         self.library = library if library is not None else default_library()
         self.device = device if device is not None else device_catalog()["xc4010"]
@@ -306,6 +335,9 @@ class TemporalPartitioner:
         self.checkpoint_every = checkpoint_every
         self.degrade = degrade
         self.lp_kernel = lp_kernel
+        self.workers = workers
+        self.parallel_replay = parallel_replay
+        self.parallel = parallel
 
     # ------------------------------------------------------------------
 
@@ -493,41 +525,20 @@ class TemporalPartitioner:
     def _make_lp_backend(self):
         """LP backend for the bnb path: bare, chaos-wrapped, or armored.
 
-        ``plain_search`` keeps the historical bare SciPy backend (the
-        raw 1998 flow).  Otherwise the incremental warm-starting kernel
-        (``lp_kernel="incremental"``, the default) heads the chain with
-        the stateless backends behind it, and a
-        :class:`ResilientLPBackend` wraps the whole chain; a
-        :class:`FaultPlan` additionally wraps the primary backend (or,
-        with ``targets="all"``, every backend) in seeded fault
-        injection and turns on infeasible double-checking so the armor
-        can catch spurious INFEASIBLE verdicts.
+        Delegates to :func:`repro.core.parallel_support.make_lp_backend`
+        — the same assembly the parallel workers run, so a
+        ``workers > 1`` fleet solves through exactly the stack the
+        coordinator would have used alone (see that function for the
+        kernel/resilience/chaos layering).
         """
-        chain = self.lp_backend_chain
-        use_resilient = self.resilient and not self.plain_search
-        use_kernel = self.lp_kernel == "incremental" and not self.plain_search
-        if not use_resilient and self.chaos is None and chain is None:
-            if use_kernel:
-                return IncrementalLPSolver()
-            return solve_lp_scipy
-        if chain is None:
-            chain = default_backend_chain()
-            if use_kernel:
-                chain = [("incremental", IncrementalLPSolver())] + chain
-        chain = list(chain)
-        if self.chaos is not None:
-            wrap_all = self.chaos.targets == "all"
-            chain = [
-                (name, FaultInjectingBackend(fn, self.chaos,
-                                             name=f"chaos[{name}]"))
-                if (wrap_all or i == 0) else (name, fn)
-                for i, (name, fn) in enumerate(chain)
-            ]
-        if not use_resilient:
-            return chain[0][1]
-        return ResilientLPBackend(
-            backends=chain,
-            double_check_infeasible=self.chaos is not None,
+        from repro.core.parallel_support import make_lp_backend
+
+        return make_lp_backend(
+            lp_kernel=self.lp_kernel,
+            resilient=self.resilient,
+            chaos=self.chaos,
+            plain_search=self.plain_search,
+            chain=self.lp_backend_chain,
         )
 
     def _solve(self, model, spec, space):
@@ -559,7 +570,7 @@ class TemporalPartitioner:
             checkpoint_every=self.checkpoint_every,
             reduced_cost_fixing=not self.plain_search,
         )
-        solver = BranchAndBound(model, rule=self.branching, config=config)
+        solver = self._make_solver(model, spec, config)
         if self.checkpoint_path is not None and os.path.exists(self.checkpoint_path):
             try:
                 return solver.resume(self.checkpoint_path), solver.presolve_certificate
@@ -576,5 +587,42 @@ class TemporalPartitioner:
                     RuntimeWarning,
                     stacklevel=2,
                 )
-                solver = BranchAndBound(model, rule=self.branching, config=config)
+                solver = self._make_solver(model, spec, config)
         return solver.solve(), solver.presolve_certificate
+
+    def _make_solver(self, model, spec, config) -> BranchAndBound:
+        """Sequential solver, or the parallel coordinator for workers>1.
+
+        The coordinator ships only picklable ingredients (spec,
+        options, rule, kernel/chaos knobs); each worker rebuilds the
+        model, prober, leaf solver, and LP stack from them via
+        :func:`repro.core.parallel_support.build_worker_context`, and
+        the model fingerprint certifies the rebuild matched.
+        """
+        if self.workers <= 1:
+            return BranchAndBound(model, rule=self.branching, config=config)
+        from repro.core.parallel_support import build_worker_context
+        from repro.ilp.parallel import ParallelBranchAndBound, ParallelConfig
+
+        parallel = self.parallel
+        if parallel is None:
+            parallel = ParallelConfig(
+                workers=self.workers, replay=self.parallel_replay
+            )
+        return ParallelBranchAndBound(
+            model,
+            rule=self.branching,
+            config=config,
+            parallel=parallel,
+            context_builder=build_worker_context,
+            worker_args={
+                "spec": spec,
+                "options": self.options,
+                "rule": self.branching,
+                "plain_search": self.plain_search,
+                "presolve": self.presolve and not self.plain_search,
+                "resilient": self.resilient,
+                "lp_kernel": self.lp_kernel,
+                "chaos": self.chaos,
+            },
+        )

@@ -286,6 +286,7 @@ class BranchAndBound:
                 )
         # Per-run state, (re)initialized by solve().
         self._start = 0.0
+        self._started = False
         self._stats = SolveStats()
         self._stack: "List[_Node]" = []
         self._incumbent_values: "Optional[Dict[int, float]]" = None
@@ -347,29 +348,9 @@ class BranchAndBound:
         * TIMEOUT / NODE_LIMIT — the limit expired with no incumbent
           (for deadlines: even after the rescue dive, if enabled).
         """
-        self._start = time.monotonic()
-        self._stats = SolveStats()
-        self._stats.presolve = self._presolve_stats
-        self._incumbent_values = None
-        self._incumbent_obj = math.inf
-        self._exactness_lost = False
-        self._lp_failure_abort = False
-        self._checkpoint_saves = 0
-        self._elapsed_base = 0.0
-        self._root_lp = None
-        self._rc_lb = None
-        self._rc_ub = None
-        if self._presolve_certificate is not None:
-            # Presolve proved infeasibility; no LP is ever solved.
-            self._stats.stop_reason = "presolve_infeasible"
-            self._stats.wall_time_s = time.monotonic() - self._start
-            return MilpResult(status=SolveStatus.INFEASIBLE, stats=self._stats)
-        self._stack = [
-            _Node(self.form.lb.copy(), self.form.ub.copy(), depth=0)
-        ]
-        if self._resume_payload is not None:
-            self._restore_from_checkpoint(self._resume_payload)
-            self._resume_payload = None
+        short_circuit = self._prepare_run()
+        if short_circuit is not None:
+            return short_circuit
 
         limit_status: "Optional[SolveStatus]" = None
         while self._stack:
@@ -388,6 +369,14 @@ class BranchAndBound:
             self._process_node(self._stack.pop())
             self._maybe_checkpoint()
 
+        return self._finish_run(limit_status)
+
+    def _finish_run(
+        self, limit_status: "Optional[SolveStatus]"
+    ) -> MilpResult:
+        """Endgame shared by :meth:`solve` and the parallel coordinator:
+        the no-incumbent rescue dive, final-checkpoint persistence (or
+        stale-checkpoint removal), and result assembly."""
         if (
             limit_status is SolveStatus.TIMEOUT
             and self._incumbent_values is None
@@ -412,6 +401,42 @@ class BranchAndBound:
                 pass
 
         return self._finish(limit_status)
+
+    def _prepare_run(self) -> "Optional[MilpResult]":
+        """(Re)initialize per-run state for a fresh search.
+
+        Shared by :meth:`solve` and the parallel coordinator
+        (:mod:`repro.ilp.parallel`), so both have identical rampup
+        semantics: clock started, counters zeroed, the root node on the
+        stack, any pending resume payload consumed.  Returns a
+        short-circuit :class:`MilpResult` when presolve already proved
+        infeasibility (no LP is ever solved), else ``None``.
+        """
+        self._start = time.monotonic()
+        self._started = True
+        self._stats = SolveStats()
+        self._stats.presolve = self._presolve_stats
+        self._incumbent_values = None
+        self._incumbent_obj = math.inf
+        self._exactness_lost = False
+        self._lp_failure_abort = False
+        self._checkpoint_saves = 0
+        self._elapsed_base = 0.0
+        self._root_lp = None
+        self._rc_lb = None
+        self._rc_ub = None
+        if self._presolve_certificate is not None:
+            # Presolve proved infeasibility; no LP is ever solved.
+            self._stats.stop_reason = "presolve_infeasible"
+            self._stats.wall_time_s = time.monotonic() - self._start
+            return MilpResult(status=SolveStatus.INFEASIBLE, stats=self._stats)
+        self._stack = [
+            _Node(self.form.lb.copy(), self.form.ub.copy(), depth=0)
+        ]
+        if self._resume_payload is not None:
+            self._restore_from_checkpoint(self._resume_payload)
+            self._resume_payload = None
+        return None
 
     # ------------------------------------------------------------------
     # node processing
@@ -619,6 +644,8 @@ class BranchAndBound:
             CHECKPOINT_SCHEMA,
             form_fingerprint,
             frontier_to_json,
+            rc_box_to_json,
+            root_lp_to_json,
             values_to_json,
         )
 
@@ -628,14 +655,26 @@ class BranchAndBound:
                 "objective": self._incumbent_obj,
                 "values": values_to_json(self._incumbent_values),
             }
+        # Before solve() the clock has never been started; subtracting
+        # the 0.0 placeholder would record the host's monotonic epoch
+        # (hours or days) as elapsed search time.
+        elapsed = 0.0
+        if self._started:
+            elapsed = self._elapsed_base + (time.monotonic() - self._start)
         return {
             "schema": CHECKPOINT_SCHEMA,
             "fingerprint": form_fingerprint(self.form),
-            "elapsed_s": self._elapsed_base + (time.monotonic() - self._start),
+            "elapsed_s": elapsed,
             "incumbent": incumbent,
             "frontier": frontier_to_json(self._stack, self.form.lb, self.form.ub),
             "stats": self._stats.as_dict(),
             "exactness_lost": self._exactness_lost,
+            "root_lp": root_lp_to_json(
+                self._root_lp, self.form.lb, self.form.ub
+            ),
+            "rc_box": rc_box_to_json(
+                self._rc_lb, self._rc_ub, self.form.lb, self.form.ub
+            ),
         }
 
     def save_checkpoint(self, path: "str") -> None:
@@ -667,6 +706,8 @@ class BranchAndBound:
         from repro.ilp.resilience.checkpoint import (
             decode_node,
             form_fingerprint,
+            rc_box_from_json,
+            root_lp_from_json,
             values_from_json,
         )
 
@@ -693,6 +734,14 @@ class BranchAndBound:
                 incumbent_obj = float(incumbent["objective"])
                 incumbent_values = values_from_json(incumbent["values"])
             stats = SolveStats.from_dict(payload.get("stats", {}))
+            # v2 keys; absent in v1 artifacts, where fixing stays off
+            # for the resumed run exactly as it (buggily) always did.
+            root_lp = root_lp_from_json(
+                payload.get("root_lp"), self.form.lb, self.form.ub
+            )
+            rc_lb, rc_ub = rc_box_from_json(
+                payload.get("rc_box"), self.form.lb, self.form.ub
+            )
         except (KeyError, TypeError, ValueError, AttributeError, IndexError) as exc:
             # A schema-valid header over a mangled body (hand-edited,
             # bit-rotted, wrong-version writer): typed, not a KeyError.
@@ -705,6 +754,14 @@ class BranchAndBound:
         if incumbent is not None:
             self._incumbent_obj = incumbent_obj
             self._incumbent_values = incumbent_values
+        # Restore the reduced-cost fixing state: a resumed frontier
+        # never contains a depth-0 node, so without this the root-LP
+        # snapshot would never be recaptured and every kill+resume run
+        # silently lost the fixing optimization (and under-reported
+        # vars_fixed_reduced_cost) for its remaining lifetime.
+        self._root_lp = root_lp
+        self._rc_lb = rc_lb
+        self._rc_ub = rc_ub
         stats.presolve = self._stats.presolve
         stats.stop_reason = "exhausted"
         stats.best_bound = None

@@ -1,0 +1,573 @@
+"""The parallel branch-and-bound coordinator.
+
+:class:`ParallelBranchAndBound` subclasses the sequential solver and
+replaces only the middle of :meth:`solve`: after the shared
+``_prepare_run`` rampup it dispatches frontier chunks to a fleet of
+spawn-isolated workers, and on completion funnels into the shared
+``_finish_run`` — so status semantics, rescue dives, checkpoint
+persistence, and telemetry assembly are literally the sequential
+code paths, not reimplementations.
+
+Fleet mechanics (see the package docstring for the architecture):
+
+* one chunk = the current top frontier node plus a node budget; the
+  worker returns whatever frontier remains, which re-enters the shared
+  pool — that re-absorption is the work-stealing mechanism;
+* incumbent improvements are adopted through the sequential
+  ``_new_incumbent`` (so reduced-cost fixing and incumbent telemetry
+  fire exactly as always) and broadcast to every other live worker;
+* a worker that dies — crash, chaos ``os._exit``, or watchdog SIGKILL
+  past ``chunk_timeout_s`` — has its in-flight chunk re-queued; the
+  survivors absorb the work, and with no survivors the coordinator
+  finishes the frontier inline (``inline_fallback``);
+* in replay mode at most one chunk is in flight, assigned round-robin,
+  making the global node sequence identical to ``workers=1``.
+"""
+
+from __future__ import annotations
+
+import queue
+import subprocess
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import SolverError
+from repro.ilp.branch_bound import (
+    BranchAndBound,
+    BranchAndBoundConfig,
+    _Node,
+)
+from repro.ilp.branching import BranchingRule
+from repro.ilp.model import Model
+from repro.ilp.parallel.config import ParallelConfig
+from repro.ilp.parallel.context import builder_address, plain_context
+from repro.ilp.parallel.protocol import (
+    encode_init_payload,
+    merge_stats,
+    parse_message,
+    send_message,
+)
+from repro.ilp.resilience.checkpoint import (
+    encode_node,
+    form_fingerprint,
+    root_lp_to_json,
+    values_from_json,
+)
+from repro.ilp.solution import MilpResult, SolveStatus
+from repro.runner.substrate import Watchdog, spawn_worker, worker_env
+
+#: Config fields shipped verbatim to workers (everything else in the
+#: worker's config is either rebuilt by the context builder or owned
+#: by the coordinator — clock, checkpoints, rescue).
+_SHIPPED_CONFIG_FIELDS = (
+    "int_tol",
+    "objective_is_integral",
+    "propagate_sos1",
+    "leaf_subsolve",
+    "subsolve_time_limit_s",
+    "lp_failure_limit",
+    "reduced_cost_fixing",
+)
+
+#: How long to wait for a worker's ready handshake before declaring it
+#: stillborn (interpreter start + imports + model rebuild).
+_READY_TIMEOUT_S = 120.0
+
+
+class _WorkerHandle:
+    """Coordinator-side state of one worker process."""
+
+    def __init__(self, rank: int, proc: "subprocess.Popen", log_handle) -> None:
+        self.rank = rank
+        self.proc = proc
+        self.log_handle = log_handle
+        self.alive = True
+        self.ready = False
+        self.flags: "Dict[str, bool]" = {"watchdog_killed": False}
+        self.in_flight: "Optional[Dict[str, object]]" = None  # wire chunk
+        self.in_flight_nodes: "List[_Node]" = []
+        self.nodes_explored = 0
+        self.vars_fixed = 0
+        self.crashed = False
+
+    def send(self, message: "Dict[str, object]") -> bool:
+        try:
+            send_message(self.proc.stdin, message)
+            return True
+        except (BrokenPipeError, OSError, ValueError):
+            return False
+
+
+class ParallelBranchAndBound(BranchAndBound):
+    """Frontier-sharding multi-process solver; sequential drop-in.
+
+    ``worker_args`` parameterizes the context builder that each worker
+    calls to rebuild the problem (see
+    :mod:`repro.ilp.parallel.context`); by default the model and rule
+    are pickled through :func:`~repro.ilp.parallel.context.plain_context`.
+    The result contract is the sequential solver's, plus a
+    ``stats.parallel`` telemetry block.
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        rule: "Optional[BranchingRule]" = None,
+        config: "Optional[BranchAndBoundConfig]" = None,
+        parallel: "Optional[ParallelConfig]" = None,
+        context_builder=None,
+        worker_args: "Optional[Dict[str, object]]" = None,
+    ) -> None:
+        super().__init__(model, rule, config)
+        self.parallel = parallel if parallel is not None else ParallelConfig()
+        if self.parallel.workers < 1:
+            raise SolverError(
+                f"ParallelConfig.workers must be >= 1, "
+                f"got {self.parallel.workers}"
+            )
+        self._context_builder = (
+            context_builder if context_builder is not None else plain_context
+        )
+        self._worker_args = worker_args
+        self._fleet: "List[_WorkerHandle]" = []
+        self._events: "queue.Queue" = queue.Queue()
+        self._watchdog: "Optional[Watchdog]" = None
+        self._tmp_log_dir: "Optional[tempfile.TemporaryDirectory]" = None
+        self._ptelemetry: "Dict[str, object]" = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def solve(self) -> MilpResult:
+        short_circuit = self._prepare_run()
+        if short_circuit is not None:
+            return short_circuit
+
+        self._ptelemetry = {
+            "workers": self.parallel.workers,
+            "replay": self.parallel.replay,
+            "rampup_nodes": 0,
+            "chunks_dispatched": 0,
+            "chunks_requeued": 0,
+            "chunks_timed_out": 0,
+            "worker_crashes": 0,
+            "incumbent_broadcasts": 0,
+            "inline_fallback_nodes": 0,
+        }
+
+        limit_status = self._rampup()
+        if limit_status is None and self._stack:
+            try:
+                limit_status = self._parallel_phase()
+            finally:
+                self._shutdown_fleet()
+        self._ptelemetry["workers_detail"] = [
+            {
+                "rank": w.rank,
+                "nodes_explored": w.nodes_explored,
+                "vars_fixed_reduced_cost": w.vars_fixed,
+                "crashed": w.crashed,
+            }
+            for w in self._fleet
+        ]
+        self._stats.parallel = self._ptelemetry
+        return self._finish_run(limit_status)
+
+    def _rampup(self) -> "Optional[SolveStatus]":
+        """Widen the frontier inline before sharding.
+
+        Runs the sequential loop until the frontier holds at least two
+        nodes per worker (or the rampup node budget is spent, or the
+        tree is done).  This is also where the root LP is solved and
+        its reduced-cost snapshot captured for shipping to workers.
+        Returns a limit status if a limit fired during rampup.
+        """
+        target = 2 * self.parallel.workers
+        budget = max(self.parallel.rampup_nodes, 1)
+        while self._stack and len(self._stack) < target:
+            if self._lp_failure_abort:
+                return SolveStatus.ERROR
+            if self._out_of_time():
+                return SolveStatus.TIMEOUT
+            if (
+                self.config.node_limit is not None
+                and self._stats.nodes_explored >= self.config.node_limit
+            ):
+                return SolveStatus.NODE_LIMIT
+            if self._stats.nodes_explored >= budget:
+                break
+            self._process_node(self._stack.pop())
+            self._maybe_checkpoint()
+        self._ptelemetry["rampup_nodes"] = self._stats.nodes_explored
+        return None
+
+    # ------------------------------------------------------------------
+    # fleet management
+
+    def _spawn_fleet(self) -> None:
+        log_dir = self.parallel.worker_log_dir
+        if log_dir is None:
+            self._tmp_log_dir = tempfile.TemporaryDirectory(
+                prefix="repro-parallel-"
+            )
+            log_dir = self._tmp_log_dir.name
+        Path(log_dir).mkdir(parents=True, exist_ok=True)
+
+        init_base = {
+            "builder": builder_address(self._context_builder),
+            "fingerprint": form_fingerprint(self.form),
+            "config_spec": {
+                name: getattr(self.config, name)
+                for name in _SHIPPED_CONFIG_FIELDS
+            },
+            "root_lp": root_lp_to_json(
+                self._root_lp, self.form.lb, self.form.ub
+            ),
+        }
+        crash_plan = self.parallel.crash_after_nodes or {}
+        for rank in range(self.parallel.workers):
+            log_handle = open(Path(log_dir) / f"worker-{rank}.log", "w")
+            proc = spawn_worker(
+                ["-m", "repro.ilp.parallel.worker"],
+                stdout=subprocess.PIPE,
+                stderr=log_handle,
+                stdin=subprocess.PIPE,
+                env=worker_env(),
+                text=True,
+            )
+            handle = _WorkerHandle(rank, proc, log_handle)
+            self._fleet.append(handle)
+            payload = dict(
+                init_base,
+                args=self._build_worker_args(),
+                rank=rank,
+                crash_after_nodes=crash_plan.get(rank),
+            )
+            handle.send({
+                "cmd": "init",
+                "payload": encode_init_payload(payload),
+            })
+            threading.Thread(
+                target=self._read_worker, args=(handle,), daemon=True
+            ).start()
+        self._watchdog = Watchdog()
+        self._watchdog.start()
+
+    def _build_worker_args(self) -> "Dict[str, object]":
+        if self._worker_args is not None:
+            return self._worker_args
+        return {"model": self.model, "rule": self.rule}
+
+    def _read_worker(self, handle: _WorkerHandle) -> None:
+        for raw in handle.proc.stdout:
+            if isinstance(raw, bytes):
+                raw = raw.decode("utf-8", "replace")
+            message = parse_message(raw)
+            if message is not None:
+                self._events.put((handle.rank, message))
+        self._events.put((handle.rank, None))  # EOF
+
+    def _await_ready(self) -> None:
+        """Consume ready/error handshakes until the fleet is settled."""
+        deadline = time.monotonic() + _READY_TIMEOUT_S
+        while any(w.alive and not w.ready for w in self._fleet):
+            timeout = deadline - time.monotonic()
+            if timeout <= 0:
+                for w in self._fleet:
+                    if w.alive and not w.ready:
+                        self._mark_dead(w)
+                break
+            try:
+                rank, message = self._events.get(timeout=timeout)
+            except queue.Empty:
+                continue
+            handle = self._fleet[rank]
+            if message is None or message.get("event") == "error":
+                if message is not None:
+                    self._log_worker_error(handle, message)
+                self._mark_dead(handle)
+            elif message.get("event") == "ready":
+                handle.ready = True
+
+    def _mark_dead(self, handle: _WorkerHandle) -> None:
+        if not handle.alive:
+            return
+        handle.alive = False
+        handle.crashed = True
+        self._ptelemetry["worker_crashes"] += 1
+        if handle.flags.get("watchdog_killed"):
+            self._ptelemetry["chunks_timed_out"] += 1
+        if self._watchdog is not None:
+            self._watchdog.unwatch(handle.rank)
+        if handle.in_flight_nodes:
+            # At-least-once: the chunk goes back to the pool untouched.
+            self._stack.extend(handle.in_flight_nodes)
+            handle.in_flight = None
+            handle.in_flight_nodes = []
+            self._ptelemetry["chunks_requeued"] += 1
+        try:
+            handle.proc.kill()
+        except OSError:
+            pass
+
+    def _shutdown_fleet(self) -> None:
+        if self._watchdog is not None:
+            self._watchdog.stop()
+        for handle in self._fleet:
+            if handle.alive:
+                handle.send({"cmd": "stop"})
+        for handle in self._fleet:
+            try:
+                handle.proc.stdin.close()
+            except (OSError, ValueError, AttributeError):
+                pass
+            try:
+                handle.proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                handle.proc.kill()
+                handle.proc.wait(timeout=5)
+            try:
+                handle.proc.stdout.close()
+            except (OSError, ValueError, AttributeError):
+                pass
+            handle.log_handle.close()
+        if self._tmp_log_dir is not None:
+            self._tmp_log_dir.cleanup()
+            self._tmp_log_dir = None
+
+    def _log_worker_error(self, handle, message) -> None:
+        try:
+            handle.log_handle.write(
+                f"\n[coordinator] worker error event:\n"
+                f"{message.get('message')}\n"
+            )
+            handle.log_handle.flush()
+        except (OSError, ValueError):
+            pass
+
+    # ------------------------------------------------------------------
+    # the dispatch loop
+
+    def _parallel_phase(self) -> "Optional[SolveStatus]":
+        self._spawn_fleet()
+        self._await_ready()
+        chunk_seq = 0
+        replay_next_rank = 0
+        last_checkpoint_nodes = self._stats.nodes_explored
+
+        while True:
+            if self._lp_failure_abort:
+                self._requeue_all_in_flight()
+                return SolveStatus.ERROR
+            if self._out_of_time():
+                self._requeue_all_in_flight()
+                return SolveStatus.TIMEOUT
+            if (
+                self.config.node_limit is not None
+                and self._stats.nodes_explored >= self.config.node_limit
+            ):
+                self._requeue_all_in_flight()
+                return SolveStatus.NODE_LIMIT
+
+            alive = [w for w in self._fleet if w.alive and w.ready]
+            in_flight = [w for w in alive if w.in_flight is not None]
+            if not alive:
+                return self._inline_fallback()
+
+            # Dispatch to every idle worker (one, round-robin, in replay).
+            if self.parallel.replay:
+                if self._stack and not in_flight:
+                    handle = self._next_replay_worker(alive, replay_next_rank)
+                    replay_next_rank = handle.rank + 1
+                    chunk_seq = self._dispatch_chunk(handle, chunk_seq)
+            else:
+                for handle in alive:
+                    if not self._stack:
+                        break
+                    if handle.in_flight is None:
+                        chunk_seq = self._dispatch_chunk(handle, chunk_seq)
+
+            in_flight = [
+                w for w in self._fleet
+                if w.alive and w.in_flight is not None
+            ]
+            if not self._stack and not in_flight:
+                return None  # tree exhausted: the optimality path
+
+            # Wait for something to happen.
+            try:
+                rank, message = self._events.get(
+                    timeout=self.parallel.poll_interval_s
+                )
+            except queue.Empty:
+                continue
+            handle = self._fleet[rank]
+            if message is None or message.get("event") == "error":
+                if message is not None:
+                    self._log_worker_error(handle, message)
+                self._mark_dead(handle)
+                continue
+            if message.get("event") == "done":
+                self._absorb_done(handle, message)
+                every = max(1, self.config.checkpoint_every)
+                if (
+                    self.config.checkpoint_path
+                    and self._stats.nodes_explored - last_checkpoint_nodes
+                    >= every
+                ):
+                    self.save_checkpoint(self.config.checkpoint_path)
+                    last_checkpoint_nodes = self._stats.nodes_explored
+
+    def _next_replay_worker(self, alive, next_rank) -> _WorkerHandle:
+        """Round-robin over live ranks, deterministically."""
+        for handle in alive:
+            if handle.rank >= next_rank:
+                return handle
+        return alive[0]
+
+    def _dispatch_chunk(self, handle: _WorkerHandle, chunk_seq: int) -> int:
+        node = self._stack.pop()
+        chunk = {
+            "cmd": "chunk",
+            "chunk_id": chunk_seq,
+            "nodes": [
+                encode_node(
+                    node.lb, node.ub, node.depth, node.bound,
+                    self.form.lb, self.form.ub,
+                )
+            ],
+            "node_budget": max(1, self.parallel.chunk_node_budget),
+            "incumbent_obj": (
+                self._incumbent_obj
+                if self._incumbent_values is not None
+                else None
+            ),
+        }
+        if not handle.send(chunk):
+            self._stack.append(node)
+            self._mark_dead(handle)
+            return chunk_seq
+        handle.in_flight = chunk
+        handle.in_flight_nodes = [node]
+        self._ptelemetry["chunks_dispatched"] += 1
+        if self._watchdog is not None:
+            handle.flags["watchdog_killed"] = False
+            self._watchdog.watch(
+                handle.rank,
+                handle.proc,
+                time.monotonic() + self.parallel.chunk_timeout_s,
+                handle.flags,
+            )
+        return chunk_seq + 1
+
+    def _absorb_done(
+        self, handle: _WorkerHandle, message: "Dict[str, object]"
+    ) -> None:
+        if self._watchdog is not None:
+            self._watchdog.unwatch(handle.rank)
+        handle.in_flight = None
+        handle.in_flight_nodes = []
+
+        delta = message.get("stats", {})
+        merge_stats(self._stats, delta)
+        handle.nodes_explored += int(delta.get("nodes_explored", 0))
+        handle.vars_fixed += int(delta.get("vars_fixed_reduced_cost", 0))
+
+        if message.get("exactness_lost"):
+            self._exactness_lost = True
+        if message.get("abort"):
+            self._lp_failure_abort = True
+
+        incumbent = message.get("incumbent")
+        if incumbent is not None:
+            objective = float(incumbent["objective"])
+            if objective < self._incumbent_obj:
+                self._new_incumbent(
+                    objective, values_from_json(incumbent["values"])
+                )
+                for other in self._fleet:
+                    if other.alive and other.ready and other is not handle:
+                        if other.send({
+                            "cmd": "incumbent",
+                            "objective": objective,
+                        }):
+                            self._ptelemetry["incumbent_broadcasts"] += 1
+
+        # Returned frontier re-enters the shared pool (stack order is
+        # preserved end-to-end, so DFS discipline survives sharding).
+        from repro.ilp.resilience.checkpoint import decode_node
+
+        for entry in message.get("frontier", []):
+            lb, ub, depth, bound = decode_node(
+                entry, self.form.lb, self.form.ub
+            )
+            self._stack.append(_Node(lb, ub, depth, bound=bound))
+
+    def _requeue_all_in_flight(self) -> None:
+        """Pull every in-flight chunk back into the frontier.
+
+        Used at limit stops so the open-node set (and hence the proven
+        bound and any final checkpoint) accounts for work that was out
+        at sea when the whistle blew.
+        """
+        for handle in self._fleet:
+            if handle.in_flight_nodes:
+                self._stack.extend(handle.in_flight_nodes)
+                handle.in_flight = None
+                handle.in_flight_nodes = []
+                self._ptelemetry["chunks_requeued"] += 1
+
+    def _inline_fallback(self) -> "Optional[SolveStatus]":
+        """Every worker is dead: finish the frontier in-process.
+
+        The answer must never depend on fleet health; with
+        ``inline_fallback`` disabled the run honestly degrades to
+        FEASIBLE/ERROR via the exactness-lost path instead.
+        """
+        self._requeue_all_in_flight()
+        if not self.parallel.inline_fallback:
+            self._exactness_lost = True
+            self._stack.clear()
+            return None
+        start_nodes = self._stats.nodes_explored
+        while self._stack:
+            if self._lp_failure_abort:
+                return SolveStatus.ERROR
+            if self._out_of_time():
+                return SolveStatus.TIMEOUT
+            if (
+                self.config.node_limit is not None
+                and self._stats.nodes_explored >= self.config.node_limit
+            ):
+                return SolveStatus.NODE_LIMIT
+            self._process_node(self._stack.pop())
+            self._maybe_checkpoint()
+        self._ptelemetry["inline_fallback_nodes"] = (
+            self._stats.nodes_explored - start_nodes
+        )
+        return None
+
+    # ------------------------------------------------------------------
+    # checkpointing the sharded frontier
+
+    def checkpoint(self) -> "Dict[str, object]":
+        """Snapshot including in-flight chunks (at-least-once resume).
+
+        In-flight nodes are appended above the pool, so a resumed
+        search revisits them first — they may be explored twice across
+        a kill+resume, never zero times.
+        """
+        saved = self._stack
+        try:
+            in_flight = [
+                node
+                for handle in self._fleet
+                for node in handle.in_flight_nodes
+            ]
+            self._stack = saved + in_flight
+            return super().checkpoint()
+        finally:
+            self._stack = saved

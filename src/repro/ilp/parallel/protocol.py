@@ -1,0 +1,124 @@
+"""Coordinator <-> worker wire protocol.
+
+One JSON object per line, in both directions, over the worker's
+stdin/stdout pipes.  Commands (coordinator -> worker):
+
+* ``{"cmd": "init", "payload": <base64 pickle>}`` — problem context:
+  builder address, config spec, root-LP snapshot, rank, chaos knobs.
+  Sent once, first.
+* ``{"cmd": "chunk", "chunk_id": n, "nodes": [...], "node_budget": b,
+  "incumbent_obj": x | null}`` — explore a frontier slice.  Nodes use
+  the checkpoint frontier-delta encoding.
+* ``{"cmd": "incumbent", "objective": x}`` — broadcast of a better
+  incumbent found elsewhere; tightens pruning (and re-runs
+  reduced-cost fixing) mid-chunk.
+* ``{"cmd": "stop"}`` — exit cleanly.
+
+Events (worker -> coordinator):
+
+* ``{"event": "ready"}`` — init accepted, model fingerprint verified.
+* ``{"event": "done", "chunk_id": n, "frontier": [...], "incumbent":
+  {...} | null, "stats": {...}, "exactness_lost": b, "abort": b}`` —
+  chunk finished; ``frontier`` is the unexplored remainder
+  (stack order preserved), ``stats`` the per-chunk counter deltas.
+* ``{"event": "error", "message": m}`` — unrecoverable worker failure
+  (bad fingerprint, builder crash); the worker exits after sending.
+
+The init payload is pickled (then base64-armored into the JSON line)
+because it carries a :class:`~repro.ilp.model.Model`; everything after
+init is plain JSON, so a protocol trace is human-readable.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+from typing import Dict, IO, Optional
+
+from repro.ilp.solution import SolveStats
+
+#: Counters a chunk's stats delta adds into the coordinator aggregate.
+#: ``incumbent_updates`` and ``vars_fixed_reduced_cost`` are absent on
+#: purpose: the coordinator re-counts incumbents as it adopts them
+#: (one improvement can reach it through several workers), and
+#: reduced-cost fixing counts are per-process (each worker fixes the
+#: same variables independently) — summing them would double-count.
+#: They are surfaced per-worker in the ``solve.parallel`` block instead.
+MERGE_COUNTERS = (
+    "nodes_explored",
+    "nodes_branched",
+    "nodes_pruned_bound",
+    "nodes_pruned_infeasible",
+    "nodes_integral",
+    "nodes_leaf_solved",
+    "nodes_dropped",
+    "lp_solves",
+    "lp_failures",
+    "blind_branches",
+    "prober_hits",
+    "sos1_propagations",
+    "leaf_subsolve_calls",
+)
+
+
+def send_message(stream: "IO[str]", message: "Dict[str, object]") -> None:
+    """Write one protocol message; flush so the peer sees it now."""
+    stream.write(json.dumps(message, separators=(",", ":")) + "\n")
+    stream.flush()
+
+
+def parse_message(line: str) -> "Optional[Dict[str, object]]":
+    """Decode one protocol line; None for blank/undecodable lines.
+
+    Workers share stdout with anything the solver stack might print;
+    non-protocol lines are ignored rather than fatal.
+    """
+    line = line.strip()
+    if not line or not line.startswith("{"):
+        return None
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    return message if isinstance(message, dict) else None
+
+
+def encode_init_payload(payload: "Dict[str, object]") -> str:
+    """Pickle + base64 the init payload for its JSON envelope."""
+    return base64.b64encode(
+        pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_init_payload(encoded: str) -> "Dict[str, object]":
+    return pickle.loads(base64.b64decode(encoded.encode("ascii")))
+
+
+def stats_delta(after: SolveStats, before: "Dict[str, object]") -> "Dict[str, object]":
+    """Per-chunk counter deltas of ``after`` vs a prior as_dict snapshot."""
+    after_d = after.as_dict()
+    delta: "Dict[str, object]" = {}
+    for name in MERGE_COUNTERS:
+        key = "lp_calls" if name == "lp_solves" else name
+        delta[key] = int(after_d[key]) - int(before.get(key, 0))
+    delta["lp_time_s"] = float(after_d["lp_time_s"]) - float(
+        before.get("lp_time_s", 0.0)
+    )
+    delta["max_depth"] = int(after_d["max_depth"])
+    delta["incumbent_updates"] = int(after_d["incumbent_updates"]) - int(
+        before.get("incumbent_updates", 0)
+    )
+    delta["vars_fixed_reduced_cost"] = int(
+        after_d["vars_fixed_reduced_cost"]
+    ) - int(before.get("vars_fixed_reduced_cost", 0))
+    return delta
+
+
+def merge_stats(target: SolveStats, delta: "Dict[str, object]") -> None:
+    """Fold one chunk's counter deltas into the coordinator aggregate."""
+    for name in MERGE_COUNTERS:
+        key = "lp_calls" if name == "lp_solves" else name
+        setattr(target, name, getattr(target, name) + int(delta.get(key, 0)))
+    target.lp_time_s += float(delta.get("lp_time_s", 0.0))
+    target.max_depth = max(target.max_depth, int(delta.get("max_depth", 0)))

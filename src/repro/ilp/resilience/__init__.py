@@ -20,6 +20,7 @@ baselines):
 
 from repro.ilp.resilience.checkpoint import (
     CHECKPOINT_SCHEMA,
+    CHECKPOINT_SCHEMAS_READ,
     form_fingerprint,
     read_checkpoint,
     write_checkpoint_atomic,
@@ -43,6 +44,7 @@ __all__ = [
     "default_backend_chain",
     "validate_lp_result",
     "CHECKPOINT_SCHEMA",
+    "CHECKPOINT_SCHEMAS_READ",
     "form_fingerprint",
     "read_checkpoint",
     "write_checkpoint_atomic",

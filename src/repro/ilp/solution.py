@@ -182,6 +182,7 @@ class SolveStats:
     presolve: "Optional[Dict[str, object]]" = None
     resilience: "Optional[Dict[str, object]]" = None
     kernel: "Optional[Dict[str, object]]" = None
+    parallel: "Optional[Dict[str, object]]" = None
 
     @property
     def lp_calls(self) -> int:
@@ -228,6 +229,7 @@ class SolveStats:
             "presolve": self.presolve,
             "resilience": self.resilience,
             "kernel": self.kernel,
+            "parallel": self.parallel,
         }
 
     @classmethod

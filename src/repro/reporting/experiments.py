@@ -121,6 +121,8 @@ def run_row(
     resilient: bool = True,
     chaos=None,
     lp_kernel: str = "incremental",
+    workers: int = 1,
+    parallel_replay: bool = False,
 ) -> "Dict[str, object]":
     """Execute one experiment row and return a measured-result dict.
 
@@ -133,6 +135,10 @@ def run_row(
     the validating retry/fallback chain, and ``chaos`` (a
     :class:`~repro.ilp.resilience.FaultPlan`) turns on seeded fault
     injection — the resilience-overhead benchmark measures both.
+    ``workers>1`` shards the branch-and-bound frontier across spawned
+    worker processes (the ``--workers`` scaling benchmark), and
+    ``parallel_replay=True`` selects the deterministic-replay
+    dispatch mode.
     The returned dict carries both the measurement and the paper's
     reported values, ready for
     :func:`repro.reporting.tables.render_rows`.
@@ -155,6 +161,8 @@ def run_row(
         resilient=resilient,
         chaos=chaos,
         lp_kernel=lp_kernel,
+        workers=workers,
+        parallel_replay=parallel_replay,
     )
     start = time.monotonic()
     outcome = partitioner.partition(

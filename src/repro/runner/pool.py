@@ -21,7 +21,15 @@ invariants, in order of importance:
 4. **Hung workers die on a deadline.**  A dedicated watchdog thread —
    independent of the dispatch loop, so even an orchestrator-side
    stall cannot postpone it — SIGKILLs any worker past its wall-clock
-   deadline; the kill is classified ``TIMEOUT``.
+   deadline; the kill is classified ``TIMEOUT``.  A worker that exits
+   cleanly in the race window between the liveness check and the kill
+   keeps its own outcome (see
+   :class:`repro.runner.substrate.Watchdog`).
+
+The process-spawning and watchdog machinery itself lives in
+:mod:`repro.runner.substrate`, shared with the parallel
+branch-and-bound coordinator (:mod:`repro.ilp.parallel`); this module
+owns only batch semantics (journal, retry, breaker, classification).
 
 Retry (off by default) resubmits CRASH/TIMEOUT jobs with exponential
 backoff and a shrunken budget; a retried solve resumes the killed
@@ -36,8 +44,6 @@ from __future__ import annotations
 import json
 import os
 import subprocess
-import sys
-import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -60,6 +66,8 @@ from repro.runner.journal import (
     replay,
 )
 from repro.runner.limits import classify_exit
+from repro.runner.substrate import Watchdog as _Watchdog
+from repro.runner.substrate import spawn_worker, worker_env as _worker_env
 
 
 def _discard_torn_tail(path: Path) -> None:
@@ -102,53 +110,6 @@ class BatchConfig:
             )
 
 
-class _Watchdog(threading.Thread):
-    """SIGKILLs registered workers past their wall-clock deadline.
-
-    Runs independently of the dispatch loop on purpose: a stall in the
-    orchestrator (slow journal fsync, a debugger, a GC pause) must not
-    grant hung workers extra lifetime.  ``proc.kill()`` is SIGKILL on
-    POSIX — not a polite signal a wedged worker could ignore.
-    """
-
-    def __init__(self, interval_s: float = 0.05) -> None:
-        super().__init__(name="batch-watchdog", daemon=True)
-        self._interval_s = interval_s
-        self._lock = threading.Lock()
-        self._watched: "Dict[int, tuple[subprocess.Popen, float, dict]]" = {}
-        self._stop = threading.Event()
-
-    def watch(self, key: int, proc: "subprocess.Popen", deadline: float,
-              flags: dict) -> None:
-        with self._lock:
-            self._watched[key] = (proc, deadline, flags)
-
-    def unwatch(self, key: int) -> None:
-        with self._lock:
-            self._watched.pop(key, None)
-
-    def stop(self) -> None:
-        self._stop.set()
-
-    def run(self) -> None:  # pragma: no cover - timing-dependent thread body
-        while not self._stop.wait(self._interval_s):
-            now = time.monotonic()
-            with self._lock:
-                expired = [
-                    (key, proc, flags)
-                    for key, (proc, deadline, flags) in self._watched.items()
-                    if now > deadline
-                ]
-            for key, proc, flags in expired:
-                if proc.poll() is None:
-                    flags["watchdog_killed"] = True
-                    try:
-                        proc.kill()
-                    except OSError:
-                        pass
-                self.unwatch(key)
-
-
 @dataclass
 class _Pending:
     job: JobSpec
@@ -166,25 +127,6 @@ class _Active:
     log_handle: object
     started_at: float
     flags: dict
-
-
-def _worker_env() -> "Dict[str, str]":
-    """Child environment with the repro package import path guaranteed.
-
-    The orchestrator may have been launched with ``PYTHONPATH=src`` or
-    from an installed package; either way the worker must find the
-    *same* ``repro``.
-    """
-    import repro
-
-    env = dict(os.environ)
-    package_root = str(Path(repro.__file__).resolve().parent.parent)
-    existing = env.get("PYTHONPATH", "")
-    if package_root not in existing.split(os.pathsep):
-        env["PYTHONPATH"] = (
-            package_root + (os.pathsep + existing if existing else "")
-        )
-    return env
 
 
 class BatchRunner:
@@ -405,12 +347,10 @@ class BatchRunner:
 
         log_handle = open(stderr_file, "w", encoding="utf-8")
         flags: dict = {"watchdog_killed": False}
-        proc = subprocess.Popen(
-            [sys.executable, "-m", "repro.runner.worker",
-             str(job_file), str(result_file)],
+        proc = spawn_worker(
+            ["-m", "repro.runner.worker", str(job_file), str(result_file)],
             stdout=log_handle,
             stderr=log_handle,
-            stdin=subprocess.DEVNULL,
             env=_worker_env(),
         )
         started = time.monotonic()

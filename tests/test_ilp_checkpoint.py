@@ -287,3 +287,146 @@ class TestIncumbentPersistence:
             assert payload["incumbent"]["objective"] == pytest.approx(
                 interrupted.objective
             )
+
+
+class TestElapsedBeforeSolve:
+    def test_checkpoint_before_solve_reports_zero_elapsed(self):
+        """checkpoint() on a never-started solver must not record the
+        host's monotonic-clock epoch (hours/days) as elapsed time."""
+        solver = BranchAndBound(bigger_model())
+        payload = solver.checkpoint()
+        assert payload["elapsed_s"] == 0.0
+
+    def test_pre_solve_checkpoint_is_resumable(self, tmp_path):
+        """The pre-solve snapshot is a valid empty-progress checkpoint:
+        resuming it runs the full search with zero inherited elapsed."""
+        path = str(tmp_path / "pre.json")
+        solver = BranchAndBound(bigger_model())
+        write_checkpoint_atomic(path, solver.checkpoint())
+        resumed = BranchAndBound(bigger_model()).resume(path)
+        # Frontier is empty pre-solve (stack not yet initialized), so
+        # the resumed search exhausts immediately — but without the
+        # guard its wall_time_s telemetry would be astronomically wrong.
+        assert resumed.stats.wall_time_s < 60.0
+
+    def test_checkpoint_during_solve_reports_real_elapsed(self, tmp_path):
+        path = str(tmp_path / "mid.json")
+        BranchAndBound(
+            bigger_model(),
+            config=BranchAndBoundConfig(
+                node_limit=3, checkpoint_path=path, checkpoint_every=1
+            ),
+        ).solve()
+        elapsed = read_checkpoint(path)["elapsed_s"]
+        assert 0.0 <= elapsed < 3600.0
+
+
+class TestReducedCostFixingSurvivesResume:
+    """Regression: resume used to silently lose reduced-cost fixing.
+
+    The root-LP snapshot was captured only while processing a
+    ``depth == 0`` node, which a resumed frontier never contains, and
+    ``_restore_from_checkpoint`` restored neither the snapshot nor the
+    tightened bound box — so every kill+resume run under-reported
+    ``vars_fixed_reduced_cost`` and lost the pruning it funds.
+    """
+
+    def _config(self, **overrides):
+        return BranchAndBoundConfig(
+            objective_is_integral=True, reduced_cost_fixing=True, **overrides
+        )
+
+    def test_kill_resume_matches_uninterrupted_fixing(self, tmp_path):
+        baseline = BranchAndBound(
+            bigger_model(), config=self._config()
+        ).solve()
+        assert baseline.status is SolveStatus.OPTIMAL
+        assert baseline.stats.vars_fixed_reduced_cost > 0
+
+        path = str(tmp_path / "ck.json")
+        interrupted = BranchAndBound(
+            bigger_model(),
+            config=self._config(
+                node_limit=3, checkpoint_path=path, checkpoint_every=1
+            ),
+        ).solve()
+        assert interrupted.status is not SolveStatus.OPTIMAL
+
+        resumed = BranchAndBound(
+            bigger_model(), config=self._config()
+        ).resume(path)
+        assert resumed.status is SolveStatus.OPTIMAL
+        assert resumed.objective == pytest.approx(baseline.objective)
+        # The search is deterministic, so a faithful resume reproduces
+        # the uninterrupted run's totals exactly — both the node count
+        # and every reduced-cost fixing event.
+        assert resumed.stats.nodes_explored == baseline.stats.nodes_explored
+        assert (
+            resumed.stats.vars_fixed_reduced_cost
+            == baseline.stats.vars_fixed_reduced_cost
+        )
+
+    def test_checkpoint_serializes_root_lp_after_capture(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        BranchAndBound(
+            bigger_model(),
+            config=self._config(
+                node_limit=3, checkpoint_path=path, checkpoint_every=1
+            ),
+        ).solve()
+        payload = read_checkpoint(path)
+        assert payload["schema"] == CHECKPOINT_SCHEMA
+        root_lp = payload["root_lp"]
+        assert root_lp is not None
+        assert isinstance(root_lp["objective"], float)
+        assert len(root_lp["reduced_costs"]) == len(root_lp["x"])
+
+    def test_rc_box_round_trips(self, tmp_path):
+        """Fixings applied before the kill survive into the resumed box."""
+        path = str(tmp_path / "ck.json")
+        baseline = BranchAndBound(
+            bigger_model(), config=self._config()
+        ).solve()
+        # Interrupt late enough that an incumbent (and hence fixing)
+        # happened before the checkpoint.
+        interrupted = BranchAndBound(
+            bigger_model(),
+            config=self._config(
+                node_limit=baseline.stats.nodes_explored - 1,
+                checkpoint_path=path,
+                checkpoint_every=1,
+            ),
+        ).solve()
+        if interrupted.stats.vars_fixed_reduced_cost > 0:
+            assert read_checkpoint(path)["rc_box"] is not None
+        resumed = BranchAndBound(
+            bigger_model(), config=self._config()
+        ).resume(path)
+        assert resumed.status is SolveStatus.OPTIMAL
+        assert (
+            resumed.stats.vars_fixed_reduced_cost
+            == baseline.stats.vars_fixed_reduced_cost
+        )
+
+    def test_v1_checkpoint_still_resumes(self, tmp_path):
+        """Old artifacts (no root_lp/rc_box keys) load and finish."""
+        path = str(tmp_path / "ck.json")
+        BranchAndBound(
+            bigger_model(),
+            config=self._config(
+                node_limit=3, checkpoint_path=path, checkpoint_every=1
+            ),
+        ).solve()
+        payload = read_checkpoint(path)
+        payload["schema"] = "repro.bnb_checkpoint/v1"
+        del payload["root_lp"]
+        del payload["rc_box"]
+        write_checkpoint_atomic(path, payload)
+        resumed = BranchAndBound(
+            bigger_model(), config=self._config()
+        ).resume(path)
+        baseline = BranchAndBound(
+            bigger_model(), config=self._config()
+        ).solve()
+        assert resumed.status is SolveStatus.OPTIMAL
+        assert resumed.objective == pytest.approx(baseline.objective)

@@ -1,0 +1,200 @@
+"""Parallel branch-and-bound: replay determinism, crash recovery,
+incumbent propagation.
+
+The tier-1 classes exercise the coordinator/worker pool on a model
+small enough that spawning two interpreters dominates the runtime but
+the search still needs a real tree; the ``chaos``-marked classes kill
+workers mid-subtree (real ``os._exit``, not simulation) and inject LP
+faults inside the workers, asserting the pool's at-least-once requeue
+and the inline fallback preserve the exact optimum.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SolverError
+from repro.ilp.branch_bound import BranchAndBound, BranchAndBoundConfig
+from repro.ilp.expr import lin_sum
+from repro.ilp.model import Model
+from repro.ilp.parallel import ParallelBranchAndBound, ParallelConfig
+from repro.ilp.resilience import FaultPlan
+from repro.ilp.solution import SolveStatus
+
+
+def bigger_model():
+    """A knapsack the solver needs a real tree for (opt -56)."""
+    model = Model("bigger")
+    weights = [3, 5, 7, 11, 13, 17, 19, 23]
+    values = [5, 8, 11, 15, 17, 20, 24, 29]
+    xs = [model.add_binary(f"x{i}") for i in range(8)]
+    model.add(lin_sum(w * x for w, x in zip(weights, xs)) <= 40)
+    model.set_objective(lin_sum(-v * x for v, x in zip(values, xs)))
+    return model
+
+
+def infeasible_model():
+    model = Model("infeasible")
+    a = model.add_binary("a")
+    b = model.add_binary("b")
+    model.add(a + b >= 3)
+    model.set_objective(-a - b)
+    return model
+
+
+def _config(**overrides):
+    return BranchAndBoundConfig(
+        objective_is_integral=True, reduced_cost_fixing=True, **overrides
+    )
+
+
+def _signature(result):
+    return (
+        result.status,
+        result.objective,
+        result.stats.nodes_explored,
+        result.stats.lp_solves,
+    )
+
+
+def _solve_parallel(model, *, config=None, **parallel_kwargs):
+    solver = ParallelBranchAndBound(
+        model,
+        config=config if config is not None else _config(),
+        parallel=ParallelConfig(**parallel_kwargs),
+    )
+    return solver.solve()
+
+
+class TestConfigValidation:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(SolverError):
+            ParallelBranchAndBound(
+                bigger_model(), parallel=ParallelConfig(workers=0)
+            )
+
+
+class TestReplayDeterminism:
+    """Replay mode must reproduce the sequential solve signature exactly.
+
+    One chunk in flight at a time + stack-order-preserving frontier
+    returns mean the global node sequence is the sequential solver's,
+    whatever the chunk budget — so status, objective, *and* node/LP
+    counts all match, not just the optimum.
+    """
+
+    def test_matches_sequential_signature(self):
+        sequential = BranchAndBound(bigger_model(), config=_config()).solve()
+        assert sequential.status is SolveStatus.OPTIMAL
+
+        replayed = _solve_parallel(
+            bigger_model(), workers=2, replay=True, chunk_node_budget=3,
+            rampup_nodes=1,
+        )
+        assert _signature(replayed) == _signature(sequential)
+
+    def test_chunk_budget_invariant(self):
+        sequential = BranchAndBound(bigger_model(), config=_config()).solve()
+        for budget in (1, 64):
+            replayed = _solve_parallel(
+                bigger_model(), workers=2, replay=True,
+                chunk_node_budget=budget, rampup_nodes=1,
+            )
+            assert _signature(replayed) == _signature(sequential), (
+                f"replay diverged at chunk_node_budget={budget}"
+            )
+
+
+class TestAsyncParallel:
+    def test_optimum_matches_sequential(self):
+        sequential = BranchAndBound(bigger_model(), config=_config()).solve()
+        parallel = _solve_parallel(
+            bigger_model(), workers=2, chunk_node_budget=2, rampup_nodes=2,
+        )
+        assert parallel.status is SolveStatus.OPTIMAL
+        assert parallel.objective == sequential.objective
+        block = parallel.stats.parallel
+        assert block is not None
+        assert block["workers"] == 2
+        assert block["chunks_dispatched"] > 0
+        assert len(block["workers_detail"]) == 2
+
+    def test_node_accounting_is_exhaustive(self):
+        """Every explored node is attributed to rampup, a worker, or
+        the inline fallback — the merge must not lose or double-count."""
+        result = _solve_parallel(
+            bigger_model(), workers=2, chunk_node_budget=2, rampup_nodes=2,
+        )
+        block = result.stats.parallel
+        attributed = (
+            block["rampup_nodes"]
+            + sum(w["nodes_explored"] for w in block["workers_detail"])
+            + block["inline_fallback_nodes"]
+        )
+        assert result.stats.nodes_explored == attributed
+
+    def test_infeasible_model(self):
+        result = _solve_parallel(
+            infeasible_model(), workers=2, rampup_nodes=0,
+        )
+        assert result.status is SolveStatus.INFEASIBLE
+
+
+@pytest.mark.chaos
+class TestWorkerCrashRecovery:
+    def test_crash_mid_subtree_requeues_and_solves(self):
+        """A worker dying mid-chunk must not lose its subtree: the
+        in-flight nodes are re-queued (at-least-once) and the optimum
+        is unchanged."""
+        sequential = BranchAndBound(bigger_model(), config=_config()).solve()
+        result = _solve_parallel(
+            bigger_model(), workers=2, chunk_node_budget=2, rampup_nodes=2,
+            crash_after_nodes={0: 2},
+        )
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == sequential.objective
+        block = result.stats.parallel
+        assert block["worker_crashes"] >= 1
+        assert block["chunks_requeued"] >= 1
+        assert any(w["crashed"] for w in block["workers_detail"])
+
+    def test_all_workers_crash_inline_fallback(self):
+        """With the whole fleet dead the coordinator finishes the
+        frontier in-process rather than failing the solve."""
+        sequential = BranchAndBound(bigger_model(), config=_config()).solve()
+        result = _solve_parallel(
+            bigger_model(), workers=2, chunk_node_budget=2, rampup_nodes=2,
+            crash_after_nodes={0: 1, 1: 1},
+        )
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == sequential.objective
+        block = result.stats.parallel
+        assert block["worker_crashes"] == 2
+        assert block["inline_fallback_nodes"] > 0
+
+    def test_incumbent_propagates_under_lp_faults(self):
+        """Shared-incumbent broadcast keeps working while worker LP
+        backends are raising injected faults (blind branching covers
+        the failed relaxations, so the answer is still exact)."""
+        sequential = BranchAndBound(bigger_model(), config=_config()).solve()
+        solver = ParallelBranchAndBound(
+            bigger_model(),
+            config=_config(),
+            parallel=ParallelConfig(
+                workers=2, chunk_node_budget=1, rampup_nodes=0,
+            ),
+            worker_args={
+                "model": bigger_model(),
+                "fault_plan": FaultPlan(
+                    kinds=("raise",), rate=0.3, seed=11, slow_s=0.0
+                ),
+            },
+        )
+        result = solver.solve()
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == sequential.objective
+        block = result.stats.parallel
+        # Every incumbent is found inside a worker (rampup_nodes=0),
+        # so the first one must have been broadcast to the other
+        # still-live worker.
+        assert block["incumbent_broadcasts"] >= 1
