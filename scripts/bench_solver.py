@@ -32,6 +32,8 @@ Usage::
     python scripts/bench_solver.py --json out.json
     python scripts/bench_solver.py --quick --workers 2            # optima gate
     python scripts/bench_solver.py --workers 4 --min-scaling 2.5  # >=4 cores
+    python scripts/bench_solver.py --quick --audit                # certify rows
+    python scripts/bench_solver.py --quick --audit --audit-workers 4
 
 Exit status is non-zero when any deterministic field drifts or any
 row's nodes/sec regresses more than ``--tolerance`` below the
@@ -184,6 +186,85 @@ def run_scaling_bench(
     return rows, failures, notes
 
 
+def run_audit_bench(
+    tables, time_limit_s: float, baseline: dict, workers: int = 0,
+) -> "tuple[dict, list]":
+    """Certification mode: (rows, hard failures).
+
+    Re-runs each table row under each kernel with proof logging on and
+    verifies the log with the independent exact-arithmetic checker
+    (:func:`repro.ilp.certify.audit_proof`).  Any row that solves to
+    optimality must audit ``CERTIFIED`` — a weaker verdict means the
+    logged tree does not actually prove the claimed optimum.  With
+    ``workers`` each row additionally runs with the frontier sharded
+    across that many processes, and the parallel verdict must be
+    identical to the sequential one (sharding must never change what
+    the log can prove).
+    """
+    import tempfile
+
+    from repro.ilp.certify import audit_proof
+
+    base_rows = baseline.get("rows", {})
+    rows, failures = {}, []
+    worker_counts = [1] + ([workers] if workers else [])
+    with tempfile.TemporaryDirectory() as tmp:
+        for table in tables:
+            for row in table_rows(table):
+                for kernel in KERNELS:
+                    verdicts = {}
+                    for count in worker_counts:
+                        key = f"{row.key}:{kernel}:w{count}"
+                        proof = Path(tmp) / f"{key.replace(':', '-')}.jsonl"
+                        print(f"  audit {key} ...", flush=True)
+                        result = run_row(
+                            row,
+                            time_limit_s=time_limit_s,
+                            lp_kernel=kernel,
+                            workers=count,
+                            proof_path=str(proof),
+                        )
+                        report = audit_proof(str(proof))
+                        verdicts[count] = report.verdict
+                        rows[key] = {
+                            "status": result["status"],
+                            "objective": result["objective"],
+                            "verdict": report.verdict,
+                            "reason": report.reason,
+                        }
+                        if (
+                            result["status"] == "optimal"
+                            and report.verdict != "CERTIFIED"
+                        ):
+                            failures.append(
+                                f"{key}: optimal solve audited "
+                                f"{report.verdict} ({report.reason})"
+                            )
+                        base = base_rows.get(f"{row.key}:{kernel}")
+                        if base and result["status"] != base.get("status"):
+                            failures.append(
+                                f"{key}: status {result['status']!r} "
+                                f"diverged from baseline "
+                                f"{base.get('status')!r}"
+                            )
+                    if len(set(verdicts.values())) > 1:
+                        failures.append(
+                            f"{row.key}:{kernel}: verdict differs across "
+                            f"worker counts: {verdicts}"
+                        )
+    return rows, failures
+
+
+def print_audit_rows(rows: dict) -> None:
+    width = max(len(k) for k in rows)
+    print(f"{'row':<{width}}  {'status':<10} {'verdict':<28} reason")
+    for key, record in rows.items():
+        print(
+            f"{key:<{width}}  {record['status']:<10} "
+            f"{record['verdict']:<28} {record['reason'] or '-'}"
+        )
+
+
 def compare(current: dict, baseline: dict, tolerance: float) -> list:
     """Return a list of human-readable failure strings (empty = pass)."""
     failures = []
@@ -261,6 +342,18 @@ def main(argv=None) -> int:
         help="required aggregate nodes/sec scaling factor in --workers "
              "mode (informational when the machine has fewer cores)",
     )
+    parser.add_argument(
+        "--audit", action="store_true",
+        help="certification mode: re-run each row with proof logging "
+             "and verify the log with the independent exact checker; "
+             "optimal rows must audit CERTIFIED",
+    )
+    parser.add_argument(
+        "--audit-workers", type=int, default=0, metavar="N",
+        help="in --audit mode also run each row with N worker "
+             "processes and require the verdict to match the "
+             "sequential one",
+    )
     args = parser.parse_args(argv)
 
     if args.tables:
@@ -269,6 +362,38 @@ def main(argv=None) -> int:
         tables = ["t3"]
     else:
         tables = ["t1", "t2", "t3", "t4"]
+
+    if args.audit:
+        if args.audit_workers == 1 or args.audit_workers < 0:
+            parser.error("--audit-workers must be >= 2 (1 is the "
+                         "sequential run)")
+        baseline = {}
+        if args.baseline.exists():
+            baseline = json.loads(args.baseline.read_text())
+            if baseline.get("schema") != BASELINE_SCHEMA:
+                print(f"baseline schema mismatch in {args.baseline}",
+                      file=sys.stderr)
+                return 2
+        rows, failures = run_audit_bench(
+            tables, args.time_limit, baseline, workers=args.audit_workers,
+        )
+        if args.json:
+            args.json.write_text(json.dumps({
+                "schema": BASELINE_SCHEMA,
+                "mode": "audit",
+                "tables": tables,
+                "rows": rows,
+            }, indent=1, sort_keys=True) + "\n")
+            print(f"wrote {args.json}")
+        print()
+        print_audit_rows(rows)
+        if failures:
+            print("\nFAIL:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"\nOK: all proof logs verified ({len(rows)} audits)")
+        return 0
 
     if args.workers:
         if args.workers < 2:

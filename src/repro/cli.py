@@ -17,6 +17,13 @@ Usage examples::
     # 1 warnings, 2 errors or proven infeasible):
     python -m repro.cli lint --graph myspec.json --mix 1A+1M+1S \\
         --device xc4005 --format json
+
+    # certified solve: log a branch-and-bound proof, then verify it
+    # with the independent exact-arithmetic checker (exit 0 certified,
+    # 1 certified with forfeitures, 2 refuted):
+    python -m repro.cli --paper-graph 1 --mix 2A+2M+1S -N 3 -L 1 \\
+        --proof run.proof.jsonl
+    python -m repro.cli audit run.proof.jsonl
 """
 
 from __future__ import annotations
@@ -172,6 +179,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint-every", type=int, default=256, metavar="N",
         help="nodes between periodic checkpoint saves (default 256)",
     )
+    resilience.add_argument(
+        "--proof", metavar="FILE",
+        help="append a repro.bnb_proof/v1 certificate log of the "
+        "branch-and-bound tree to FILE; verify it afterwards with "
+        "'repro-tps audit FILE' (requires --backend bnb)",
+    )
     return parser
 
 
@@ -221,7 +234,7 @@ def resolve_device(text: str) -> FPGADevice:
         raise SystemExit(
             f"unknown device {text!r} (catalog: {sorted(catalog)}; or "
             f"CAPACITY[:ALPHA]): {exc}"
-        )
+        ) from exc
 
 
 def build_lint_parser() -> argparse.ArgumentParser:
@@ -335,7 +348,7 @@ def lint_main(argv: "Optional[list]" = None) -> int:
         try:
             graph.validate()
         except SpecificationError as exc:
-            raise SystemExit(f"malformed specification: {exc}")
+            raise SystemExit(f"malformed specification: {exc}") from exc
         library = default_library()
         try:
             allocation = mix_from_string(args.mix, library)
@@ -558,11 +571,11 @@ def batch_main(argv: "Optional[list]" = None) -> int:
                 try:
                     data = _json.loads(_Path(args.manifest).read_text())
                 except OSError as exc:
-                    raise SystemExit(f"cannot read manifest {args.manifest}: {exc}")
+                    raise SystemExit(f"cannot read manifest {args.manifest}: {exc}") from exc
                 except _json.JSONDecodeError as exc:
                     raise SystemExit(
                         f"manifest {args.manifest} is not valid JSON: {exc}"
-                    )
+                    ) from exc
                 if isinstance(data, dict):
                     merged = dict(cli_defaults)
                     merged.update(data.get("defaults", {}) or {})
@@ -594,7 +607,7 @@ def batch_main(argv: "Optional[list]" = None) -> int:
         if args.compact:
             compact(args.journal)
     except ReproError as exc:
-        raise SystemExit(f"batch failed: {exc}")
+        raise SystemExit(f"batch failed: {exc}") from exc
 
     summary = batch_summary(results)
     if args.summary:
@@ -605,7 +618,7 @@ def batch_main(argv: "Optional[list]" = None) -> int:
                 json.dumps(summary, indent=2, sort_keys=True) + "\n"
             )
         except OSError as exc:
-            raise SystemExit(f"cannot write summary {args.summary!r}: {exc}")
+            raise SystemExit(f"cannot write summary {args.summary!r}: {exc}") from exc
     if args.format == "json":
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
@@ -631,6 +644,10 @@ def main(argv: "Optional[list]" = None) -> int:
         return lint_main(arguments[1:])
     if arguments and arguments[0] == "batch":
         return batch_main(arguments[1:])
+    if arguments and arguments[0] == "audit":
+        from repro.ilp.certify.audit import audit_main
+
+        return audit_main(arguments[1:])
     args = build_parser().parse_args(arguments)
 
     if args.paper_graph is not None:
@@ -659,7 +676,7 @@ def main(argv: "Optional[list]" = None) -> int:
                 targets="all" if args.chaos_all_backends else "primary",
             )
         except ValueError as exc:
-            raise SystemExit(f"bad --chaos-* options: {exc}")
+            raise SystemExit(f"bad --chaos-* options: {exc}") from exc
     if args.checkpoint_every < 1:
         raise SystemExit(
             f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
@@ -680,6 +697,7 @@ def main(argv: "Optional[list]" = None) -> int:
         chaos=chaos,
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
+        proof_path=args.proof,
         lp_kernel=args.lp_kernel,
         workers=args.workers,
         parallel_replay=args.parallel_replay,
@@ -741,7 +759,7 @@ def main(argv: "Optional[list]" = None) -> int:
         except OSError as exc:
             raise SystemExit(
                 f"cannot write telemetry file {args.telemetry!r}: {exc}"
-            )
+            ) from exc
     return 0 if outcome.feasible or outcome.status.value == "infeasible" else 1
 
 

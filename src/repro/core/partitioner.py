@@ -140,7 +140,7 @@ class PartitionOutcome:
     def telemetry(self) -> "Dict[str, object]":
         """Per-run solve-telemetry record (see DESIGN.md for the schema)."""
         return {
-            "schema": "repro.solve_telemetry/v5",
+            "schema": "repro.solve_telemetry/v6",
             "graph": self.spec.graph.name,
             "n_partitions": self.spec.n_partitions,
             "relaxation": self.spec.relaxation,
@@ -223,6 +223,15 @@ class TemporalPartitioner:
     lp_backend_chain:
         Override the resilient chain's ``(name, callable)`` backends
         (tests use this to simulate wholly dead solver stacks).
+    proof_path:
+        When set (``bnb`` backend only), the branch and bound appends a
+        certificate for every tree event to this ``repro.bnb_proof/v1``
+        JSONL artifact, independently verifiable with ``repro audit``
+        (see :mod:`repro.ilp.certify` and DESIGN.md §12).  Proof mode
+        disables the node prober and exact leaf sub-solve (their
+        closures carry no dual evidence), so node counts differ from an
+        unlogged run; statuses and objectives do not.  The
+        ``solve.proof`` telemetry block summarizes the artifact.
     checkpoint_path / checkpoint_every:
         Forwarded to the branch and bound: periodic atomic
         serialization of the search state, and — when the file already
@@ -286,6 +295,7 @@ class TemporalPartitioner:
         lp_backend_chain=None,
         checkpoint_path: "Optional[str]" = None,
         checkpoint_every: int = 256,
+        proof_path: "Optional[str]" = None,
         degrade: bool = True,
         lp_kernel: str = "incremental",
         workers: int = 1,
@@ -302,6 +312,11 @@ class TemporalPartitioner:
             workers = parallel.workers
         if workers < 1:
             raise ReproError(f"workers must be >= 1, got {workers}")
+        if proof_path is not None and backend != "bnb":
+            raise ReproError(
+                "proof_path requires backend='bnb' (the milp backend is "
+                "a single HiGHS call with no tree to certify)"
+            )
         if workers > 1 and backend != "bnb":
             raise ReproError(
                 "workers > 1 requires backend='bnb' "
@@ -333,6 +348,7 @@ class TemporalPartitioner:
         self.lp_backend_chain = lp_backend_chain
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
+        self.proof_path = proof_path
         self.degrade = degrade
         self.lp_kernel = lp_kernel
         self.workers = workers
@@ -569,6 +585,7 @@ class TemporalPartitioner:
             checkpoint_path=self.checkpoint_path,
             checkpoint_every=self.checkpoint_every,
             reduced_cost_fixing=not self.plain_search,
+            proof_path=self.proof_path,
         )
         solver = self._make_solver(model, spec, config)
         if self.checkpoint_path is not None and os.path.exists(self.checkpoint_path):

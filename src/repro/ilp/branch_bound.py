@@ -203,6 +203,19 @@ class BranchAndBoundConfig:
         unchanged.  Requires the LP backend to attach
         ``LPResult.reduced_costs``; silently inert otherwise.  Fixings
         are counted in ``SolveStats.vars_fixed_reduced_cost``.
+    proof_path:
+        When set, every tree event is appended (with its certificate)
+        to this ``repro.bnb_proof/v1`` JSONL artifact, independently
+        re-verifiable with ``repro audit`` (see
+        :mod:`repro.ilp.certify`).  Proof mode disables the
+        non-certifiable accelerations on this solver (node prober,
+        leaf sub-solve) — their closures carry no LP dual evidence —
+        and only applies SOS1 propagations and reduced-cost fixes that
+        pre-validate in exact arithmetic.
+    proof_sink:
+        Pre-built :class:`~repro.ilp.certify.proof.ProofSink` to emit
+        into instead of opening ``proof_path`` (the parallel worker /
+        coordinator plumbing); mutually exclusive with ``proof_path``.
     """
 
     time_limit_s: Optional[float] = None
@@ -226,6 +239,8 @@ class BranchAndBoundConfig:
     checkpoint_path: "Optional[str]" = None
     checkpoint_every: int = 256
     reduced_cost_fixing: bool = False
+    proof_path: "Optional[str]" = None
+    proof_sink: "Optional[object]" = None
 
 
 @dataclass
@@ -241,6 +256,11 @@ class _Node:
     ub: "np.ndarray"
     depth: int
     bound: float = -math.inf
+    pid: "Optional[str]" = None  # proof-log node id (proof mode only)
+    #: An ancestor already ran the leaf MILP sub-solve as a primal
+    #: heuristic (proof mode): re-running it deeper in the same subtree
+    #: cannot improve the incumbent, so it is skipped.
+    subsolved: bool = False
 
 
 class BranchAndBound:
@@ -303,6 +323,11 @@ class BranchAndBound:
         self._root_lp: "Optional[tuple]" = None
         self._rc_lb: "Optional[np.ndarray]" = None
         self._rc_ub: "Optional[np.ndarray]" = None
+        # Proof logging state (see repro.ilp.certify).
+        self._proof: "Optional[object]" = None
+        self._owns_proof = False
+        self._pid_prefix = "m"
+        self._node_seq = 0
 
     # ------------------------------------------------------------------
 
@@ -400,7 +425,30 @@ class BranchAndBound:
             except OSError:
                 pass
 
-        return self._finish(limit_status)
+        result = self._finish(limit_status)
+        if self._proof is not None:
+            # Nodes still open at a limit stop are honestly forfeited
+            # (after the checkpoint snapshot above, so a resumed run's
+            # frontier re-covers them and the audit drops the forfeit).
+            for open_node in self._stack:
+                self._proof.emit_forfeit(
+                    self._node_pid(open_node), "open_at_stop",
+                    open_node.lb, open_node.ub,
+                )
+            self._proof.emit_result(
+                result.status.value,
+                result.objective,
+                result.bound,
+                self._exactness_lost,
+            )
+            self._stats.proof = {
+                "path": self.config.proof_path,
+                "fingerprint": getattr(self._proof, "fingerprint", None),
+                "records": dict(self._proof.counts),
+                "forfeits": int(self._proof.forfeit_count),
+            }
+            self._close_proof()
+        return result
 
     def _prepare_run(self) -> "Optional[MilpResult]":
         """(Re)initialize per-run state for a fresh search.
@@ -425,18 +473,116 @@ class BranchAndBound:
         self._root_lp = None
         self._rc_lb = None
         self._rc_ub = None
+        self._setup_proof()
         if self._presolve_certificate is not None:
             # Presolve proved infeasibility; no LP is ever solved.
             self._stats.stop_reason = "presolve_infeasible"
             self._stats.wall_time_s = time.monotonic() - self._start
+            if self._proof is not None:
+                # Presolve's reasoning is not replayed by the checker:
+                # the root is honestly forfeited, never claimed.
+                self._proof.emit_forfeit(
+                    "root", "presolve_infeasible", self.form.lb, self.form.ub
+                )
+                self._proof.emit_result("infeasible", None, None, False)
+                self._stats.proof = {
+                    "path": self.config.proof_path,
+                    "fingerprint": getattr(self._proof, "fingerprint", None),
+                    "records": dict(self._proof.counts),
+                    "forfeits": int(self._proof.forfeit_count),
+                }
+                self._close_proof()
             return MilpResult(status=SolveStatus.INFEASIBLE, stats=self._stats)
         self._stack = [
-            _Node(self.form.lb.copy(), self.form.ub.copy(), depth=0)
+            _Node(self.form.lb.copy(), self.form.ub.copy(), depth=0, pid="root")
         ]
         if self._resume_payload is not None:
             self._restore_from_checkpoint(self._resume_payload)
             self._resume_payload = None
         return None
+
+    # ------------------------------------------------------------------
+    # proof logging plumbing (see repro.ilp.certify)
+
+    def _setup_proof(self) -> None:
+        """Attach the proof sink for this run, if any."""
+        self._node_seq = 0
+        self._pid_prefix = "m"
+        sink = self.config.proof_sink
+        if sink is not None:
+            self._proof = sink
+            self._owns_proof = False
+            return
+        if not self.config.proof_path:
+            self._proof = None
+            self._owns_proof = False
+            return
+        from repro.ilp.certify.proof import ProofWriter
+
+        self._proof = ProofWriter(
+            self.config.proof_path,
+            self.form,
+            objective_is_integral=self.config.objective_is_integral,
+            int_tol=self.config.int_tol,
+            resume=self._resume_payload is not None,
+        )
+        self._owns_proof = True
+
+    def _close_proof(self) -> None:
+        if self._proof is not None and self._owns_proof:
+            self._proof.close()
+        self._proof = None
+
+    def _next_pid(self) -> str:
+        self._node_seq += 1
+        return f"{self._pid_prefix}{self._node_seq}"
+
+    def _node_pid(self, node: "_Node") -> str:
+        if node.pid is None:  # pragma: no cover - defensive
+            node.pid = self._next_pid()
+        return node.pid
+
+    def _values_array(self, values: "Dict[int, float]") -> "np.ndarray":
+        arr = np.zeros(self.form.num_vars)
+        for idx, val in values.items():
+            arr[int(idx)] = float(val)
+        return arr
+
+    def _capture_root_proof(self, lp: LPResult) -> bool:
+        """Gate root-LP capture (reduced-cost fixing) in proof mode.
+
+        Without a proof sink every capture is allowed.  With one, the
+        root's dual vector must exist and certify a finite exact dual
+        bound (the justification every later ``rc_fix`` record leans
+        on); otherwise fixing stays off for the whole run — sound,
+        merely less pruning.
+        """
+        if self._proof is None:
+            return True
+        if lp.dual_ub is None or lp.dual_eq is None:
+            return False
+        return bool(self._proof.emit_root(lp.dual_ub, lp.dual_eq))
+
+    def _emit_infeasible_proof(self, node: "_Node") -> None:
+        """Certify an LP-infeasible prune.
+
+        An exactly-empty box is self-evident; otherwise a Farkas
+        certificate is extracted with one phase-1 elastic LP (the
+        subtree is forfeited when none can be found).
+        """
+        pid = self._node_pid(node)
+        if bool(np.any(node.lb > node.ub)):
+            self._proof.emit_prune_infeasible(pid, node.lb, node.ub)
+            return
+        from repro.ilp.certify.certificates import extract_farkas
+
+        cert = extract_farkas(self.form, node.lb, node.ub)
+        if cert is None:
+            self._proof.emit_prune_infeasible(pid, node.lb, node.ub)
+            return
+        self._proof.emit_prune_infeasible(
+            pid, node.lb, node.ub, y_ub=cert[0], y_eq=cert[1]
+        )
 
     # ------------------------------------------------------------------
     # node processing
@@ -459,10 +605,19 @@ class BranchAndBound:
                 np.minimum(node.ub, self._rc_ub, out=node.ub)
                 if np.any(node.lb > node.ub):
                     stats.nodes_pruned_bound += 1
+                    if self._proof is not None:
+                        self._proof.emit_prune_infeasible(
+                            self._node_pid(node), node.lb, node.ub,
+                            reason="rcbox",
+                        )
                     return
 
-            if self.config.node_prober is not None and self.config.node_prober(
-                node.lb, node.ub
+            # The prober's closures carry no checkable certificate, so
+            # proof mode ignores it and lets the LP decide.
+            if (
+                self._proof is None
+                and self.config.node_prober is not None
+                and self.config.node_prober(node.lb, node.ub)
             ):
                 stats.prober_hits += 1
                 stats.nodes_pruned_infeasible += 1
@@ -481,6 +636,8 @@ class BranchAndBound:
 
             if lp.status is SolveStatus.INFEASIBLE:
                 stats.nodes_pruned_infeasible += 1
+                if self._proof is not None:
+                    self._emit_infeasible_proof(node)
                 return
             if lp.status is SolveStatus.UNBOUNDED:
                 raise SolverError(
@@ -493,6 +650,7 @@ class BranchAndBound:
                 and self._root_lp is None
                 and node.depth == 0
                 and lp.reduced_costs is not None
+                and self._capture_root_proof(lp)
             ):
                 values_arr = getattr(lp.values, "array", None)
                 if values_arr is None:
@@ -512,6 +670,11 @@ class BranchAndBound:
 
             if lp.objective >= self._prune_threshold(self._incumbent_obj):
                 stats.nodes_pruned_bound += 1
+                if self._proof is not None:
+                    self._proof.emit_prune_bound(
+                        self._node_pid(node), node.lb, node.ub,
+                        lp.dual_ub, lp.dual_eq, self._incumbent_obj,
+                    )
                 return
 
             fractional = self._fractional_indices(lp.values)
@@ -519,11 +682,65 @@ class BranchAndBound:
                 # Integer feasible: new incumbent (strictly better, else
                 # the bound test above would have pruned).
                 stats.nodes_integral += 1
-                self._new_incumbent(lp.objective, self._round_integers(lp.values))
+                rounded = self._round_integers(lp.values)
+                objective = lp.objective
+                if self._proof is not None:
+                    # The record's objective is the *exact* value of the
+                    # rounded point; adopting it as the incumbent keeps
+                    # the final claim bit-identical to the certificate.
+                    objective = self._proof.emit_integral(
+                        self._node_pid(node), node.lb, node.ub,
+                        self._values_array(rounded), lp.objective,
+                        lp.dual_ub, lp.dual_eq, self._incumbent_obj,
+                    )
+                self._new_incumbent(objective, rounded)
                 return
 
             decision = self._decide(node, lp.values, fractional)
-            if decision is None:
+            if decision is None and self._proof is not None:
+                # Proof mode: the MILP sub-solve yields no replayable
+                # subtree certificate, so it is demoted to a primal
+                # heuristic — run once per subtree, certify any
+                # improving point as a global incumbent record, and keep
+                # branching inside the logged tree (the new incumbent
+                # lets ordinary bound pruning close the subtree).
+                if not node.subsolved:
+                    node.subsolved = True
+                    kind, payload = self._leaf_subsolve(node)
+                    improving = False
+                    if kind == "optimal":
+                        sub_obj, sub_values = payload
+                        if sub_obj < self._prune_threshold(
+                            self._incumbent_obj
+                        ):
+                            improving = True
+                            sub_obj = self._proof.emit_incumbent(
+                                self._values_array(sub_values), sub_obj
+                            )
+                            self._new_incumbent(sub_obj, sub_values)
+                            if lp.objective >= self._prune_threshold(
+                                self._incumbent_obj
+                            ):
+                                # Its own LP bound now closes this node.
+                                stats.nodes_pruned_bound += 1
+                                self._proof.emit_prune_bound(
+                                    self._node_pid(node), node.lb, node.ub,
+                                    lp.dual_ub, lp.dual_eq,
+                                    self._incumbent_obj,
+                                )
+                                return
+                    if not improving and kind in ("optimal", "infeasible"):
+                        # The sub-solve proved this subtree worthless but
+                        # left no replayable certificate.  Defer it to
+                        # the bottom of the stack: by the time it comes
+                        # back the incumbent found elsewhere usually
+                        # bound-prunes it in one certified record,
+                        # instead of enumerating an LP-feasible but
+                        # integer-infeasible region node by node.
+                        self._stack.insert(0, node)
+                        return
+                decision = self.rule.select(self.model, lp.values, fractional)
+            elif decision is None:
                 # Leaf: every group-0 variable bound-fixed.
                 kind, payload = self._leaf_subsolve(node)
                 if kind == "optimal":
@@ -583,6 +800,10 @@ class BranchAndBound:
             self._lp_failure_abort = True
             self._exactness_lost = True
             stats.nodes_dropped += 1
+            if self._proof is not None:
+                self._proof.emit_forfeit(
+                    self._node_pid(node), "dropped", node.lb, node.ub
+                )
             return
         self._branch_blind(node)
 
@@ -608,16 +829,40 @@ class BranchAndBound:
                 stats.nodes_leaf_solved += 1
                 sub_obj, sub_values = payload
                 if sub_obj < self._prune_threshold(self._incumbent_obj):
+                    if self._proof is not None:
+                        # MILP sub-solve: the point is checkable, the
+                        # optimality of the subtree is not (no duals) —
+                        # recorded without a certificate, which the
+                        # audit counts as a forfeited subtree.
+                        sub_obj = self._proof.emit_integral(
+                            self._node_pid(node), node.lb, node.ub,
+                            self._values_array(sub_values), sub_obj,
+                            None, None, self._incumbent_obj,
+                        )
                     self._new_incumbent(sub_obj, sub_values)
+                elif self._proof is not None:
+                    self._proof.emit_forfeit(
+                        self._node_pid(node), "uncertified_leaf",
+                        node.lb, node.ub,
+                    )
                 return
             if kind == "infeasible":
                 stats.nodes_leaf_solved += 1
+                if self._proof is not None:
+                    self._proof.emit_forfeit(
+                        self._node_pid(node), "uncertified_leaf",
+                        node.lb, node.ub,
+                    )
                 return
             # Exact decision unavailable: drop the node, forfeiting
             # the optimality proof (never a wrong answer, an honest
             # downgrade from OPTIMAL to FEASIBLE/ERROR).
             stats.nodes_dropped += 1
             self._exactness_lost = True
+            if self._proof is not None:
+                self._proof.emit_forfeit(
+                    self._node_pid(node), "dropped", node.lb, node.ub
+                )
             return
         pick = min(
             unfixed,
@@ -625,13 +870,21 @@ class BranchAndBound:
         )
         mid = math.floor((node.lb[pick] + node.ub[pick]) / 2.0)
         down = _Node(node.lb.copy(), node.ub.copy(), node.depth + 1,
-                     bound=node.bound)
+                     bound=node.bound, subsolved=node.subsolved)
         up = _Node(node.lb.copy(), node.ub.copy(), node.depth + 1,
-                   bound=node.bound)
+                   bound=node.bound, subsolved=node.subsolved)
         down.ub[pick] = mid
         up.lb[pick] = mid + 1
         stats.nodes_branched += 1
         stats.blind_branches += 1
+        if self._proof is not None:
+            down.pid = self._next_pid()
+            up.pid = self._next_pid()
+            self._proof.emit_branch(
+                self._node_pid(node), node.lb, node.ub, pick,
+                [(down.pid, down.lb, down.ub), (up.pid, up.lb, up.ub)],
+                [],
+            )
         self._stack.append(down)
         self._stack.append(up)
 
@@ -770,6 +1023,28 @@ class BranchAndBound:
         self._exactness_lost = bool(payload.get("exactness_lost", False))
         self._elapsed_base = float(payload.get("elapsed_s", 0.0))
         self._resumed = True
+        if self._proof is not None:
+            if not getattr(self._proof, "continued", False):
+                # Fresh proof log over a resumed search: the rc_fix
+                # records that would justify clipping into the restored
+                # reduced-cost box live in the *previous* log, so the
+                # box (and the root snapshot that could extend it)
+                # must be dropped or every clip would audit as an
+                # unjustified tightening.
+                self._root_lp = None
+                self._rc_lb = None
+                self._rc_ub = None
+            epoch = int(getattr(self._proof, "resume_epoch", 0))
+            # Namespace this epoch's ids: frontier nodes get e{k}f{i},
+            # nodes branched after the resume get e{k}m{n} — disjoint
+            # from every earlier epoch's id space.
+            self._pid_prefix = f"e{epoch}m"
+            self._node_seq = 0
+            for i, restored in enumerate(self._stack):
+                restored.pid = f"e{epoch}f{i}"
+            self._proof.emit_resume(
+                [(n.pid, n.lb, n.ub) for n in self._stack]
+            )
 
     def _maybe_checkpoint(self) -> None:
         path = self.config.checkpoint_path
@@ -832,6 +1107,10 @@ class BranchAndBound:
                 and root_obj + d >= threshold + margin
                 and self._rc_ub[j] > root_lb[j]
             ):
+                if self._proof is not None and not self._proof.certify_rc_fix(
+                    j, "lb", self._incumbent_obj
+                ):
+                    continue
                 self._rc_ub[j] = root_lb[j]
                 newly_fixed += 1
             elif (
@@ -840,6 +1119,10 @@ class BranchAndBound:
                 and root_obj - d >= threshold + margin
                 and self._rc_lb[j] < root_ub[j]
             ):
+                if self._proof is not None and not self._proof.certify_rc_fix(
+                    j, "ub", self._incumbent_obj
+                ):
+                    continue
                 self._rc_lb[j] = root_ub[j]
                 newly_fixed += 1
         self._stats.vars_fixed_reduced_cost += newly_fixed
@@ -1027,8 +1310,14 @@ class BranchAndBound:
         value = values[idx]
         if node.lb[idx] == node.ub[idx]:  # pragma: no cover - defensive
             raise SolverError(f"branching on a fixed variable {idx}")
-        down = _Node(node.lb.copy(), node.ub.copy(), node.depth + 1, bound=lp_bound)
-        up = _Node(node.lb.copy(), node.ub.copy(), node.depth + 1, bound=lp_bound)
+        down = _Node(
+            node.lb.copy(), node.ub.copy(), node.depth + 1,
+            bound=lp_bound, subsolved=node.subsolved,
+        )
+        up = _Node(
+            node.lb.copy(), node.ub.copy(), node.depth + 1,
+            bound=lp_bound, subsolved=node.subsolved,
+        )
         if abs(value - round(value)) > self.config.int_tol:
             down.ub[idx] = math.floor(value)
             up.lb[idx] = math.ceil(value)
@@ -1040,11 +1329,32 @@ class BranchAndBound:
             else:
                 down.ub[idx] = 0
                 up.lb[idx] = 1
+        tightens: "List[tuple]" = []
         if up.lb[idx] >= 1.0 and self.config.propagate_sos1:
             for peer in self._sos1_of.get(idx, ()):
                 if up.ub[peer] > 0.0:
-                    up.ub[peer] = 0.0
+                    if self._proof is not None:
+                        # Only propagate what the checker can re-derive
+                        # from a recorded constraint row by exact
+                        # interval arithmetic over the current up-box.
+                        just = self._proof.justify_tighten(
+                            up.lb, up.ub, peer, 0.0
+                        )
+                        if just is None:
+                            continue
+                        up.ub[peer] = 0.0
+                        tightens.append((int(peer), 0.0, just[0], just[1]))
+                    else:
+                        up.ub[peer] = 0.0
                     self._stats.sos1_propagations += 1
+        if self._proof is not None:
+            down.pid = self._next_pid()
+            up.pid = self._next_pid()
+            self._proof.emit_branch(
+                self._node_pid(node), node.lb, node.ub, idx,
+                [(down.pid, down.lb, down.ub), (up.pid, up.lb, up.ub)],
+                tightens,
+            )
         # LIFO stack: push the non-preferred branch first so the
         # preferred one is explored first.
         if decision.up_first:

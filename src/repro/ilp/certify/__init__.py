@@ -1,0 +1,37 @@
+"""Certified branch-and-bound solves: proof logging + independent audit.
+
+The package splits along a strict dependency boundary:
+
+* :mod:`repro.ilp.certify.records` — the ``repro.bnb_proof/v1`` JSONL
+  schema and the crash-tolerant reader.  Stdlib only.
+* :mod:`repro.ilp.certify.checker` — the independent static checker:
+  replays a proof log with :class:`fractions.Fraction` exact rational
+  arithmetic and no LP solver (stdlib only, by design and by test).
+* :mod:`repro.ilp.certify.proof` — the logger side wired into
+  :class:`~repro.ilp.branch_bound.BranchAndBound` (numpy allowed; it
+  lives inside the solver process).
+* :mod:`repro.ilp.certify.certificates` — Farkas-certificate
+  extraction for infeasible nodes via a phase-1 elastic LP (scipy
+  allowed; logger side only).
+* :mod:`repro.ilp.certify.audit` — the ``repro audit`` CLI entry
+  point (imports records + checker only).
+
+Import the heavy pieces from their modules directly; this package
+``__init__`` re-exports only the solver-free surface so
+``import repro.ilp.certify`` never drags in an LP backend.
+"""
+
+from repro.ilp.certify.checker import AuditReport, audit_proof
+from repro.ilp.certify.records import (
+    PROOF_SCHEMA,
+    ProofReadResult,
+    read_proof_records,
+)
+
+__all__ = [
+    "PROOF_SCHEMA",
+    "ProofReadResult",
+    "AuditReport",
+    "audit_proof",
+    "read_proof_records",
+]

@@ -24,15 +24,19 @@ that:
 * **Array-backed results** — values come back as a
   :class:`~repro.ilp.solution.ValueVector` over the solver's own
   vector (no per-node ``{idx: float}`` allocation), and OPTIMAL
-  results carry the optimal basis' ``reduced_costs`` so branch and
-  bound can do reduced-cost variable fixing.
+  results carry the optimal basis' ``reduced_costs`` plus the row
+  duals (``dual_ub`` / ``dual_eq``) so branch and bound can do
+  reduced-cost variable fixing and emit proof-log certificates.  Both
+  engines return the same dual contract — including after a permanent
+  highs→linprog demotion, which re-solves the crashing node on the
+  fallback path rather than returning a dual-less result.
 
 The kernel is a drop-in LP backend (same
 ``(form, lb_override, ub_override) -> LPResult`` contract), so it
 slots into :class:`~repro.ilp.resilience.ResilientLPBackend` chains
 unchanged.  :meth:`kernel_telemetry` reports the kernel name,
 warm-start hits, and cache hit rate for the
-``repro.solve_telemetry/v5`` artifact.
+``repro.solve_telemetry/v6`` artifact.
 """
 
 from __future__ import annotations
@@ -44,6 +48,7 @@ import numpy as np
 from scipy.optimize import linprog
 
 from repro.errors import SolverError, TransientSolverError
+from repro.ilp.scipy_backend import _row_marginals
 from repro.ilp.solution import LPResult, SolveStatus, ValueVector
 from repro.ilp.standard_form import StandardForm
 
@@ -274,6 +279,8 @@ class IncrementalLPSolver:
                 objective=float(result.fun),
                 values=ValueVector(result.x),
                 reduced_costs=_linprog_reduced_costs(result),
+                dual_ub=_row_marginals(result, "ineqlin", form.b_ub.shape[0]),
+                dual_eq=_row_marginals(result, "eqlin", form.b_eq.shape[0]),
             )
         if result.status == 2:
             return LPResult(status=SolveStatus.INFEASIBLE)
@@ -320,11 +327,29 @@ class IncrementalLPSolver:
             self._have_basis = True
             solution = h.getSolution()
             x = np.asarray(solution.col_value, dtype=float)
+            # Row duals come back stacked in _stack_rows order
+            # (inequalities first, then equalities): split them so
+            # proof logging sees the same (dual_ub, dual_eq) contract
+            # as the linprog path.
+            dual_ub = dual_eq = None
+            row_dual = getattr(solution, "row_dual", None)
+            if row_dual is not None:
+                form = self._form
+                m_ub = int(form.b_ub.shape[0])
+                m_eq = int(form.b_eq.shape[0])
+                stacked = np.asarray(row_dual, dtype=float)
+                if stacked.shape[0] == m_ub + m_eq and np.all(
+                    np.isfinite(stacked)
+                ):
+                    dual_ub = stacked[:m_ub]
+                    dual_eq = stacked[m_ub:]
             return LPResult(
                 status=SolveStatus.OPTIMAL,
                 objective=float(h.getInfo().objective_function_value),
                 values=ValueVector(x),
                 reduced_costs=np.asarray(solution.col_dual, dtype=float),
+                dual_ub=dual_ub,
+                dual_eq=dual_eq,
             )
         if model_status == highspy.HighsModelStatus.kInfeasible:
             self._have_basis = True

@@ -227,9 +227,15 @@ class ParallelBranchAndBound(BranchAndBound):
                 self._root_lp, self.form.lb, self.form.ub
             ),
         }
+        if self._proof is not None:
+            # Workers build a ProofBuffer over their rebuilt form; the
+            # root duals let them pre-validate reduced-cost fixes with
+            # the same exact justification the coordinator recorded.
+            y_ub, y_eq = self._proof.root_duals_sparse()
+            init_base["proof"] = {"root_duals": [y_ub, y_eq]}
         crash_plan = self.parallel.crash_after_nodes or {}
         for rank in range(self.parallel.workers):
-            log_handle = open(Path(log_dir) / f"worker-{rank}.log", "w")
+            log_handle = open(Path(log_dir) / f"worker-{rank}.log", "w")  # noqa: SIM115 - worker-lifetime
             proc = spawn_worker(
                 ["-m", "repro.ilp.parallel.worker"],
                 stdout=subprocess.PIPE,
@@ -437,6 +443,7 @@ class ParallelBranchAndBound(BranchAndBound):
                 encode_node(
                     node.lb, node.ub, node.depth, node.bound,
                     self.form.lb, self.form.ub,
+                    pid=node.pid,
                 )
             ],
             "node_budget": max(1, self.parallel.chunk_node_budget),
@@ -446,6 +453,12 @@ class ParallelBranchAndBound(BranchAndBound):
                 else None
             ),
         }
+        if self._proof is not None:
+            # Worker-side node ids live under this chunk's namespace
+            # (epoch-qualified after a resume), disjoint from every
+            # other chunk's and from the coordinator's own ids.
+            epoch_ns = self._pid_prefix[:-1]  # "m" -> "", "e1m" -> "e1"
+            chunk["pid_prefix"] = f"{epoch_ns}c{chunk_seq}n"
         if not handle.send(chunk):
             self._stack.append(node)
             self._mark_dead(handle)
@@ -470,6 +483,13 @@ class ParallelBranchAndBound(BranchAndBound):
             self._watchdog.unwatch(handle.rank)
         handle.in_flight = None
         handle.in_flight_nodes = []
+
+        # Append the chunk's proof records before anything downstream
+        # can act on its results: a crashed chunk ships nothing, so the
+        # log never claims a subtree that was not actually closed.
+        proof_records = message.get("proof")
+        if self._proof is not None and proof_records:
+            self._proof.append_batch(proof_records)
 
         delta = message.get("stats", {})
         merge_stats(self._stats, delta)
@@ -504,7 +524,9 @@ class ParallelBranchAndBound(BranchAndBound):
             lb, ub, depth, bound = decode_node(
                 entry, self.form.lb, self.form.ub
             )
-            self._stack.append(_Node(lb, ub, depth, bound=bound))
+            self._stack.append(
+                _Node(lb, ub, depth, bound=bound, pid=entry.get("pid"))
+            )
 
     def _requeue_all_in_flight(self) -> None:
         """Pull every in-flight chunk back into the frontier.
@@ -530,6 +552,13 @@ class ParallelBranchAndBound(BranchAndBound):
         self._requeue_all_in_flight()
         if not self.parallel.inline_fallback:
             self._exactness_lost = True
+            if self._proof is not None:
+                # These subtrees will never be explored: forfeit them
+                # explicitly or the audit would see them vanish.
+                for node in self._stack:
+                    self._proof.emit_forfeit(
+                        self._node_pid(node), "dropped", node.lb, node.ub
+                    )
             self._stack.clear()
             return None
         start_nodes = self._stats.nodes_explored

@@ -127,6 +127,24 @@ class Worker:
         solver._root_lp = root_lp_from_json(
             payload.get("root_lp"), solver.form.lb, solver.form.ub
         )
+        proof_spec = payload.get("proof")
+        if proof_spec is not None:
+            # Proof mode: records accumulate in an in-memory buffer and
+            # ship to the coordinator with each done message (a crashed
+            # chunk's buffer is deliberately lost — its nodes get
+            # requeued, so the log never claims them closed).
+            from repro.ilp.certify.proof import ProofBuffer
+
+            buffer = ProofBuffer(
+                solver.form,
+                objective_is_integral=config.objective_is_integral,
+                int_tol=config.int_tol,
+            )
+            duals = proof_spec.get("root_duals")
+            if duals and (duals[0] or duals[1]):
+                buffer.set_root_duals(duals[0], duals[1])
+            solver._proof = buffer
+            solver._owns_proof = False
         self._solver = solver
         self._rank = int(payload.get("rank", 0))
         self._crash_after = payload.get("crash_after_nodes")
@@ -150,13 +168,21 @@ class Worker:
         """Explore one chunk; returns False when told to stop mid-chunk."""
         solver = self._solver
         form = solver.form
-        solver._stack = [
-            _Node(lb, ub, depth, bound=bound)
-            for lb, ub, depth, bound in (
-                decode_node(entry, form.lb, form.ub)
-                for entry in message["nodes"]
+        stack = []
+        for entry in message["nodes"]:
+            lb, ub, depth, bound = decode_node(entry, form.lb, form.ub)
+            stack.append(
+                _Node(lb, ub, depth, bound=bound, pid=entry.get("pid"))
             )
-        ]
+        solver._stack = stack
+        if solver._proof is not None:
+            # Fresh per-chunk id namespace from the coordinator; the
+            # buffer is NOT reset — rc_fix records emitted between
+            # chunks (incumbent broadcasts) ride along with this one.
+            solver._pid_prefix = message.get(
+                "pid_prefix", f"c{message['chunk_id']}n"
+            )
+            solver._node_seq = 0
         incumbent_obj = message.get("incumbent_obj")
         if incumbent_obj is not None:
             self._adopt_incumbent(float(incumbent_obj))
@@ -204,6 +230,11 @@ class Worker:
             "stats": stats_delta(solver._stats, before),
             "exactness_lost": solver._exactness_lost,
             "abort": solver._lp_failure_abort,
+            "proof": (
+                solver._proof.drain()
+                if solver._proof is not None
+                else None
+            ),
         })
         solver._stack = []
         return True

@@ -91,20 +91,32 @@ def encode_node(
     bound: float,
     base_lb: "np.ndarray",
     base_ub: "np.ndarray",
+    pid: "Optional[str]" = None,
 ) -> "Dict[str, object]":
-    """One frontier node as deltas against the root bounds."""
+    """One frontier node as deltas against the root bounds.
+
+    ``pid`` is the node's proof-log id (proof mode only): it must
+    survive the coordinator-worker round trip so the worker closes the
+    node under the id the log opened it with.  Readers use
+    ``entry.get("pid")`` — absent in artifacts written before proof
+    logging existed, and ignored on checkpoint resume (the resume
+    record re-ids the frontier).
+    """
     lb_delta = {
         str(int(i)): float(lb[i]) for i in np.flatnonzero(lb != base_lb)
     }
     ub_delta = {
         str(int(i)): float(ub[i]) for i in np.flatnonzero(ub != base_ub)
     }
-    return {
+    entry: "Dict[str, object]" = {
         "depth": int(depth),
         "bound": _finite_or_none(bound),
         "lb": lb_delta,
         "ub": ub_delta,
     }
+    if pid is not None:
+        entry["pid"] = pid
+    return entry
 
 
 def decode_node(
@@ -280,6 +292,9 @@ def frontier_to_json(nodes, base_lb, base_ub) -> "List[Dict[str, object]]":
     the exact node the killed search would have popped next.
     """
     return [
-        encode_node(n.lb, n.ub, n.depth, n.bound, base_lb, base_ub)
+        encode_node(
+            n.lb, n.ub, n.depth, n.bound, base_lb, base_ub,
+            pid=getattr(n, "pid", None),
+        )
         for n in nodes
     ]

@@ -18,6 +18,25 @@ from repro.ilp.solution import LPResult, SolveStatus, ValueVector
 from repro.ilp.standard_form import StandardForm
 
 
+def _row_marginals(result, block: str, m: int) -> "Optional[np.ndarray]":
+    """Row duals of one constraint block, zero-filled when it is empty.
+
+    ``linprog`` omits the block (or its marginals) when no rows were
+    passed; proof logging still wants a well-shaped vector so the
+    certificate side never has to special-case empty systems.
+    """
+    if m == 0:
+        return np.zeros(0)
+    entry = getattr(result, block, None)
+    marginals = getattr(entry, "marginals", None) if entry is not None else None
+    if marginals is None:
+        return None
+    vector = np.asarray(marginals, dtype=float)
+    if vector.shape[0] != m or not np.all(np.isfinite(vector)):
+        return None
+    return vector
+
+
 def solve_lp_scipy(
     form: StandardForm,
     lb_override: "Optional[np.ndarray]" = None,
@@ -67,11 +86,15 @@ def solve_lp_scipy(
             reduced = np.asarray(lower.marginals, dtype=float) + np.asarray(
                 upper.marginals, dtype=float
             )
+        dual_ub = _row_marginals(result, "ineqlin", form.b_ub.shape[0])
+        dual_eq = _row_marginals(result, "eqlin", form.b_eq.shape[0])
         return LPResult(
             status=SolveStatus.OPTIMAL,
             objective=float(result.fun),
             values=ValueVector(result.x),
             reduced_costs=reduced,
+            dual_ub=dual_ub,
+            dual_eq=dual_eq,
         )
     if result.status == 2:
         return LPResult(status=SolveStatus.INFEASIBLE)

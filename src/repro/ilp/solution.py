@@ -183,6 +183,7 @@ class SolveStats:
     resilience: "Optional[Dict[str, object]]" = None
     kernel: "Optional[Dict[str, object]]" = None
     parallel: "Optional[Dict[str, object]]" = None
+    proof: "Optional[Dict[str, object]]" = None
 
     @property
     def lp_calls(self) -> int:
@@ -230,6 +231,7 @@ class SolveStats:
             "resilience": self.resilience,
             "kernel": self.kernel,
             "parallel": self.parallel,
+            "proof": self.proof,
         }
 
     @classmethod
@@ -364,15 +366,24 @@ class LPResult:
     array-backed :class:`ValueVector`); present only when ``status`` is
     OPTIMAL.  ``reduced_costs``, when a backend provides it, is the
     per-variable reduced-cost vector of the optimal basis — the input
-    to reduced-cost variable fixing in branch and bound.  It is
-    excluded from equality comparisons (an optimization hint, not part
-    of the answer).
+    to reduced-cost variable fixing in branch and bound.  ``dual_ub``
+    / ``dual_eq`` are the row duals of the inequality and equality
+    systems (sign convention: ``dual_ub <= 0`` for a minimization),
+    the raw material of branch-and-bound proof certificates.  All
+    three are excluded from equality comparisons (optimization /
+    certification hints, not part of the answer).
     """
 
     status: SolveStatus
     objective: Optional[float] = None
     values: "Optional[Mapping]" = None
     reduced_costs: "Optional[np.ndarray]" = field(
+        default=None, compare=False, repr=False
+    )
+    dual_ub: "Optional[np.ndarray]" = field(
+        default=None, compare=False, repr=False
+    )
+    dual_eq: "Optional[np.ndarray]" = field(
         default=None, compare=False, repr=False
     )
 

@@ -123,6 +123,7 @@ def run_row(
     lp_kernel: str = "incremental",
     workers: int = 1,
     parallel_replay: bool = False,
+    proof_path: "Optional[str]" = None,
 ) -> "Dict[str, object]":
     """Execute one experiment row and return a measured-result dict.
 
@@ -138,7 +139,9 @@ def run_row(
     ``workers>1`` shards the branch-and-bound frontier across spawned
     worker processes (the ``--workers`` scaling benchmark), and
     ``parallel_replay=True`` selects the deterministic-replay
-    dispatch mode.
+    dispatch mode.  ``proof_path`` writes a ``repro.bnb_proof/v1``
+    certificate log of the branch-and-bound tree for independent
+    verification with ``repro audit`` (bnb backend only).
     The returned dict carries both the measurement and the paper's
     reported values, ready for
     :func:`repro.reporting.tables.render_rows`.
@@ -163,6 +166,7 @@ def run_row(
         lp_kernel=lp_kernel,
         workers=workers,
         parallel_replay=parallel_replay,
+        proof_path=proof_path,
     )
     start = time.monotonic()
     outcome = partitioner.partition(

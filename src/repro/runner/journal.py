@@ -54,7 +54,7 @@ class JournalWriter:
 
     def open(self) -> "JournalWriter":
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle = open(self.path, "a", encoding="utf-8")  # noqa: SIM115 - long-lived
         return self
 
     def close(self) -> None:

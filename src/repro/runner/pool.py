@@ -345,7 +345,7 @@ class BatchRunner:
         if result_file.exists():
             result_file.unlink()
 
-        log_handle = open(stderr_file, "w", encoding="utf-8")
+        log_handle = open(stderr_file, "w", encoding="utf-8")  # noqa: SIM115 - closed after wait
         flags: dict = {"watchdog_killed": False}
         proc = spawn_worker(
             ["-m", "repro.runner.worker", str(job_file), str(result_file)],

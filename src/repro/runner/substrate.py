@@ -36,7 +36,7 @@ import sys
 import threading
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 
 def worker_env(extra: "Optional[Dict[str, str]]" = None) -> "Dict[str, str]":
@@ -63,12 +63,12 @@ def worker_env(extra: "Optional[Dict[str, str]]" = None) -> "Dict[str, str]":
 def spawn_worker(
     args: "Sequence[str]",
     *,
-    stdout,
-    stderr,
-    stdin=subprocess.DEVNULL,
+    stdout: "Any",
+    stderr: "Any",
+    stdin: "Any" = subprocess.DEVNULL,
     env: "Optional[Dict[str, str]]" = None,
     text: bool = False,
-) -> "subprocess.Popen":
+) -> "subprocess.Popen[Any]":
     """Spawn one worker interpreter with the standard pool settings.
 
     ``args`` is the argv *after* the interpreter (typically
@@ -115,16 +115,16 @@ class Watchdog(threading.Thread):
         super().__init__(name="pool-watchdog", daemon=True)
         self._interval_s = interval_s
         self._lock = threading.Lock()
-        self._watched: "Dict[object, tuple]" = {}
+        self._watched: "Dict[object, Tuple[subprocess.Popen[Any], float, Dict[str, bool]]]" = {}
         self._stop = threading.Event()
 
-    def watch(self, key, proc: "subprocess.Popen", deadline: float,
-              flags: dict) -> None:
+    def watch(self, key: object, proc: "subprocess.Popen[Any]",
+              deadline: float, flags: "Dict[str, bool]") -> None:
         """Register ``proc`` to be killed once ``time.monotonic()`` > deadline."""
         with self._lock:
             self._watched[key] = (proc, deadline, flags)
 
-    def unwatch(self, key) -> None:
+    def unwatch(self, key: object) -> None:
         with self._lock:
             self._watched.pop(key, None)
 
@@ -151,7 +151,8 @@ class Watchdog(threading.Thread):
             self.unwatch(key)
         return [key for key, _, _ in expired]
 
-    def _kill_expired(self, proc: "subprocess.Popen", flags: dict) -> None:
+    def _kill_expired(self, proc: "subprocess.Popen[Any]",
+                      flags: "Dict[str, bool]") -> None:
         """Kill one expired worker, setting the flag only on a won race.
 
         The worker may exit cleanly between the ``poll()`` liveness
