@@ -648,6 +648,10 @@ def main(argv: "Optional[list]" = None) -> int:
         from repro.ilp.certify.audit import audit_main
 
         return audit_main(arguments[1:])
+    if arguments and arguments[0] == "serve":
+        from repro.service.server import serve_main
+
+        return serve_main(arguments[1:])
     args = build_parser().parse_args(arguments)
 
     if args.paper_graph is not None:

@@ -21,6 +21,18 @@ class SpecificationError(ReproError):
     """
 
 
+class SpecTooLargeError(SpecificationError):
+    """An untrusted specification exceeds the parser's hard size caps.
+
+    Raised by :func:`repro.graph.io.task_graph_from_dict` when a spec
+    breaks the :class:`~repro.graph.io.GraphLimits` counting guard
+    (tasks / operations / edges / name length).  A subclass of
+    :class:`SpecificationError` so every existing ``INVALID_SPEC``
+    classification still applies; the solve service maps it to HTTP
+    413 instead of 400.
+    """
+
+
 class LibraryError(ReproError):
     """A component-library lookup or definition failed.
 
@@ -138,6 +150,48 @@ class RunnerError(ReproError):
 
 class ManifestError(RunnerError):
     """A batch manifest is malformed (schema, job entries, defaults)."""
+
+
+class JournalWriteError(RunnerError):
+    """A durable-journal append could not be made durable.
+
+    Raised when the underlying ``write``/``flush``/``fsync`` fails
+    (``ENOSPC``, a yanked disk, a revoked file descriptor).  Carries
+    the journal ``path`` and the errno-ish ``cause`` string.  Consumers
+    — the batch orchestrator and the solve service — must treat this as
+    *the affected record's* failure, never as a process-fatal event:
+    the job in question loses durability (and is failed or flagged
+    accordingly) while the orchestrator/server stays alive.
+    """
+
+    def __init__(self, message: str, path: str = "", cause: str = "") -> None:
+        super().__init__(message)
+        self.path = path
+        self.cause = cause
+
+
+class ServiceError(ReproError):
+    """A solve-service request cannot be served, with an HTTP mapping.
+
+    ``status`` is the HTTP status code the server should answer with;
+    ``code`` is a stable machine-readable reason (``"shed-quota"``,
+    ``"shed-queue-full"``, ``"invalid-request"``, ``"spec-too-large"``,
+    ``"breaker-open"``, ``"draining"``, ``"journal-error"``, ...);
+    ``retry_after_s`` is set when the condition is temporary and the
+    client should back off (serialized as a ``Retry-After`` header).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 400,
+        code: str = "invalid-request",
+        retry_after_s: "float | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.retry_after_s = retry_after_s
 
 
 class InfeasibleSpecError(ReproError):

@@ -21,14 +21,56 @@ remain loadable across library versions::
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
-from repro.errors import SpecificationError
+from repro.errors import SpecificationError, SpecTooLargeError
 from repro.graph.operations import Operation, OpType, parse_qualified
 from repro.graph.taskgraph import Task, TaskGraph
 
 SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class GraphLimits:
+    """Hard size caps applied while *parsing* an untrusted spec.
+
+    The loader is the service's (and the batch runner's) untrusted
+    input boundary; a hostile spec must be rejected by *counting*,
+    before any proportional amount of memory is allocated — OS rlimits
+    only protect the worker, and admission happens in the orchestrator
+    or server process, which has none.  All caps are checked against
+    the raw JSON containers before objects are built.
+
+    The defaults are far above anything the solver could ever finish
+    on, yet small enough that even the rejected parse is cheap.
+    """
+
+    max_tasks: int = 2_000
+    max_operations: int = 20_000
+    max_edges: int = 100_000
+    max_name_length: int = 256
+
+    def __post_init__(self) -> None:
+        for name in (
+            "max_tasks", "max_operations", "max_edges", "max_name_length",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+
+
+#: The guard every loader applies by default.
+DEFAULT_GRAPH_LIMITS = GraphLimits()
+
+
+def _check_name(name: str, limits: GraphLimits, where: str) -> str:
+    if len(name) > limits.max_name_length:
+        raise SpecTooLargeError(
+            f"{where}: name of {len(name)} characters exceeds the "
+            f"{limits.max_name_length}-character limit"
+        )
+    return name
 
 
 def task_graph_to_dict(graph: TaskGraph) -> "Dict[str, Any]":
@@ -108,20 +150,31 @@ def _require_width(record: "Dict[str, Any]", default: int, where: str) -> int:
     return value
 
 
-def task_graph_from_dict(data: "Dict[str, Any]", validate: bool = True) -> TaskGraph:
+def task_graph_from_dict(
+    data: "Dict[str, Any]",
+    validate: bool = True,
+    limits: "Optional[GraphLimits]" = None,
+) -> TaskGraph:
     """Deserialize a task graph from the dictionary schema.
 
     Raises :class:`SpecificationError` on **any** schema violation —
     unknown version, wrong container types, missing or mistyped keys,
     duplicate task/operation names, dangling edge endpoints, non-int or
-    non-positive widths.  No other exception type escapes for malformed
-    input (the loader is fed untrusted files by the batch runner, whose
-    INVALID_SPEC classification depends on this contract).  The
-    resulting graph is validated before being returned unless
-    ``validate=False`` (the lint flow loads leniently so structural
-    defects like precedence cycles surface as certificates rather
-    than exceptions).
+    non-positive widths, or a spec that exceeds the size caps in
+    ``limits`` (default :data:`DEFAULT_GRAPH_LIMITS`; the solve
+    service passes stricter ones).  Size caps are enforced by counting
+    the raw containers *before* graph objects are allocated, so a
+    hostile multi-gigabyte spec is rejected at JSON-container cost, not
+    at object-graph cost.  No other exception type escapes for
+    malformed input (the loader is fed untrusted files by the batch
+    runner, whose INVALID_SPEC classification depends on this
+    contract).  The resulting graph is validated before being returned
+    unless ``validate=False`` (the lint flow loads leniently so
+    structural defects like precedence cycles surface as certificates
+    rather than exceptions).
     """
+    if limits is None:
+        limits = DEFAULT_GRAPH_LIMITS
     if not isinstance(data, dict):
         raise SpecificationError("task graph data must be a dict")
     version = data.get("version")
@@ -138,15 +191,46 @@ def task_graph_from_dict(data: "Dict[str, Any]", validate: bool = True) -> TaskG
         raise SpecificationError(
             f"task graph name must be a string, got {type(name).__name__}"
         )
+    _check_name(name, limits, "task graph")
+    tasks_data = _require_list(data.get("tasks"), "tasks")
+    if len(tasks_data) > limits.max_tasks:
+        raise SpecTooLargeError(
+            f"spec declares {len(tasks_data)} tasks, exceeding the "
+            f"{limits.max_tasks}-task limit"
+        )
+    data_edges_data = _require_list(data.get("data_edges"), "data_edges")
+    total_operations = 0
+    total_edges = len(data_edges_data)
+    if total_edges > limits.max_edges:
+        raise SpecTooLargeError(
+            f"spec declares {total_edges} data edges, exceeding the "
+            f"{limits.max_edges}-edge limit"
+        )
     graph = TaskGraph(name)
-    for index, task_data in enumerate(_require_list(data.get("tasks"), "tasks")):
+    for index, task_data in enumerate(tasks_data):
         task_data = _require_object(task_data, f"tasks[{index}]")
-        task_name = _require_str(task_data, "name", f"tasks[{index}]")
+        task_name = _check_name(
+            _require_str(task_data, "name", f"tasks[{index}]"),
+            limits, f"tasks[{index}]",
+        )
         task = Task(task_name)
         where = f"task {task_name!r}"
         operations = _require_list(
             task_data.get("operations"), f"{where} operations"
         )
+        total_operations += len(operations)
+        if total_operations > limits.max_operations:
+            raise SpecTooLargeError(
+                f"spec declares more than {limits.max_operations} "
+                f"operations in total; rejecting"
+            )
+        intra_edges = _require_list(task_data.get("edges"), f"{where} edges")
+        total_edges += len(intra_edges)
+        if total_edges > limits.max_edges:
+            raise SpecTooLargeError(
+                f"spec declares more than {limits.max_edges} edges "
+                f"in total; rejecting"
+            )
         for op_index, op_data in enumerate(operations):
             op_data = _require_object(
                 op_data, f"{where} operations[{op_index}]"
@@ -154,16 +238,17 @@ def task_graph_from_dict(data: "Dict[str, Any]", validate: bool = True) -> TaskG
             op_where = f"{where} operations[{op_index}]"
             task.add_operation(
                 Operation(
-                    name=_require_str(op_data, "name", op_where),
+                    name=_check_name(
+                        _require_str(op_data, "name", op_where),
+                        limits, op_where,
+                    ),
                     optype=OpType.from_string(
                         _require_str(op_data, "optype", op_where)
                     ),
                     width=_require_width(op_data, 16, op_where),
                 )
             )
-        for edge_index, edge in enumerate(
-            _require_list(task_data.get("edges"), f"{where} edges")
-        ):
+        for edge_index, edge in enumerate(intra_edges):
             if not isinstance(edge, (list, tuple)) or len(edge) != 2:
                 raise SpecificationError(
                     f"{where} edges[{edge_index}] must be a [src, dst] "
@@ -177,9 +262,7 @@ def task_graph_from_dict(data: "Dict[str, Any]", validate: bool = True) -> TaskG
                 )
             task.add_edge(src, dst)
         graph.add_task(task)
-    for index, edge_data in enumerate(
-        _require_list(data.get("data_edges"), "data_edges")
-    ):
+    for index, edge_data in enumerate(data_edges_data):
         edge_data = _require_object(edge_data, f"data_edges[{index}]")
         where = f"data_edges[{index}]"
         src_task, src_op = parse_qualified(_require_str(edge_data, "src", where))

@@ -87,9 +87,13 @@ class JobSpec:
     ``source`` declares where the task graph comes from::
 
         {"kind": "file",  "path": "specs/g1.json"}
+        {"kind": "inline", "data": {...task-graph dict...}}
         {"kind": "paper", "number": 3}
         {"kind": "random", "config": {"n_tasks": 4, "n_ops": 9, "seed": 7}}
         {"kind": "drill", "mode": "busy_loop", "seconds": 60}
+
+    ``inline`` carries the spec dict itself — the solve service accepts
+    specs over HTTP and has no file to point at.
 
     ``spec_class`` groups jobs for the circuit breaker (defaults to a
     name derived from the source).  ``options`` carries formulation
@@ -112,7 +116,7 @@ class JobSpec:
 
     def __post_init__(self) -> None:
         kind = self.source.get("kind")
-        if kind not in ("file", "paper", "random", "drill"):
+        if kind not in ("file", "inline", "paper", "random", "drill"):
             raise ManifestError(f"job {self.index}: unknown source kind {kind!r}")
         if kind == "drill" and self.source.get("mode") not in DRILL_MODES:
             raise ManifestError(
@@ -126,6 +130,12 @@ class JobSpec:
         kind = self.source["kind"]
         if kind == "file":
             return Path(str(self.source.get("path", "spec"))).stem
+        if kind == "inline":
+            data = self.source.get("data")
+            if isinstance(data, dict) and isinstance(data.get("name"), str) \
+                    and data["name"]:
+                return str(data["name"])
+            return "inline"
         if kind == "paper":
             return f"graph{self.source.get('number')}"
         if kind == "random":

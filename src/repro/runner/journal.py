@@ -32,7 +32,7 @@ import os
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import RunnerError
+from repro.errors import JournalWriteError, RunnerError
 from repro.runner.jobs import JobResult
 
 #: Journal schema identifier; bump on any incompatible layout change.
@@ -69,11 +69,27 @@ class JournalWriter:
         self.close()
 
     def _append(self, record: "Dict[str, object]") -> None:
+        """Append one record durably, or raise :class:`JournalWriteError`.
+
+        Any ``OSError`` out of write/flush/fsync — ``ENOSPC`` being the
+        classic — is converted to the typed error so callers can fail
+        *the affected record* (a job loses durability, a request is
+        refused) without the orchestrator or server dying on an
+        unhandled exception.  The handle is kept open: space freed
+        later lets subsequent appends succeed again.
+        """
         if self._handle is None:
             raise RunnerError("journal writer is not open")
-        self._handle.write(_json_line(record))
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        try:
+            self._handle.write(_json_line(record))
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError as exc:
+            raise JournalWriteError(
+                f"journal append to {self.path} failed: {exc}",
+                path=str(self.path),
+                cause=getattr(exc, "strerror", None) or str(exc),
+            ) from exc
 
     def header(
         self,
@@ -148,6 +164,27 @@ def read_journal(
             )
         records.append(record)
     return records, truncated
+
+
+def discard_torn_tail(path: "str | Path") -> None:
+    """Drop a crash-torn final journal line before appending to it.
+
+    :func:`read_journal` tolerates the torn line at *read* time, but a
+    resumed run reopens the journal in append mode — left in place, the
+    partial line would weld onto the next record and turn into
+    corruption in the *middle* of the file, which replay rightly
+    refuses.  A journal reduced to nothing but its torn line is removed
+    outright so the resumed run starts fresh (with a new header).
+    """
+    path = Path(path)
+    _, truncated = read_journal(path)
+    if not truncated:
+        return
+    lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    if len(lines) <= 1:
+        path.unlink()
+    else:
+        path.write_text("".join(lines[:-1]), encoding="utf-8")
 
 
 def replay(

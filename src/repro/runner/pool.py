@@ -46,11 +46,11 @@ import os
 import subprocess
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as _replace
 from pathlib import Path
 from typing import Callable, Deque, Dict, List, Optional
 
-from repro.errors import RunnerError
+from repro.errors import JournalWriteError, RunnerError
 from repro.runner.jobs import (
     CircuitBreaker,
     JobOutcome,
@@ -62,33 +62,94 @@ from repro.runner.jobs import (
 from repro.runner.journal import (
     JOURNAL_SCHEMA,
     JournalWriter,
-    read_journal,
+    discard_torn_tail as _discard_torn_tail,
     replay,
 )
-from repro.runner.limits import classify_exit
+from repro.runner.limits import classify_exit, ResourceLimits
 from repro.runner.substrate import Watchdog as _Watchdog
 from repro.runner.substrate import spawn_worker, worker_env as _worker_env
 
 
-def _discard_torn_tail(path: Path) -> None:
-    """Drop a crash-torn final journal line before appending to it.
+def classify_worker_result(
+    *,
+    index: int,
+    job_id: str,
+    spec_class: str,
+    limits: ResourceLimits,
+    attempt: int,
+    result_file: Path,
+    returncode: "Optional[int]",
+    watchdog_killed: bool,
+    duration_s: float,
+    pid: "Optional[int]" = None,
+    relativize: "Optional[Callable[[str], str]]" = None,
+) -> JobResult:
+    """Turn a dead worker process into a typed :class:`JobResult`.
 
-    :func:`~repro.runner.journal.read_journal` tolerates the torn line
-    at *read* time, but a resumed run reopens the journal in append
-    mode — left in place, the partial line would weld onto the next
-    record and turn into corruption in the *middle* of the file, which
-    replay rightly refuses.  A journal reduced to nothing but its torn
-    line is removed outright so the resumed run starts fresh (with a
-    new header).
+    Shared between the batch orchestrator and the solve service — both
+    run jobs through ``repro.runner.worker`` subprocesses and need the
+    identical classification contract: trust the result file when the
+    worker wrote one (and the watchdog did not fire), otherwise derive
+    the outcome from the exit status (:func:`classify_exit`).  Never
+    raises.
     """
-    _, truncated = read_journal(path)
-    if not truncated:
-        return
-    lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
-    if len(lines) <= 1:
-        path.unlink()
-    else:
-        path.write_text("".join(lines[:-1]), encoding="utf-8")
+    timing: "Dict[str, object]" = {
+        "duration_s": round(duration_s, 6),
+        "pid": pid,
+        "returncode": returncode,
+    }
+    payload: "Optional[Dict[str, object]]" = None
+    if result_file.exists() and not watchdog_killed:
+        try:
+            payload = json.loads(result_file.read_text(encoding="utf-8"))
+            if not isinstance(payload, dict):
+                payload = None
+        except (OSError, json.JSONDecodeError):
+            payload = None
+    if payload is not None and "outcome" in payload:
+        try:
+            outcome = JobOutcome(str(payload["outcome"]))
+        except ValueError:
+            outcome = JobOutcome.CRASH
+            payload["error"] = (
+                f"worker reported unknown outcome "
+                f"{payload.get('outcome')!r}"
+            )
+        worker_timing = payload.get("timing")
+        if isinstance(worker_timing, dict):
+            timing.update(worker_timing)
+        keep = relativize if relativize is not None else (lambda text: text)
+        return JobResult(
+            index=index,
+            job_id=job_id,
+            spec_class=spec_class,
+            outcome=outcome,
+            attempts=attempt,
+            solve=(
+                dict(payload["solve"])  # type: ignore[arg-type]
+                if isinstance(payload.get("solve"), dict) else None
+            ),
+            error=(
+                None if payload.get("error") is None
+                else str(payload["error"])
+            ),
+            limit_notes=[str(n) for n in payload.get("limit_notes", [])],  # type: ignore[union-attr]
+            artifacts={
+                str(k): keep(str(v))
+                for k, v in dict(payload.get("artifacts", {})).items()  # type: ignore[arg-type]
+            },
+            timing=timing,
+        )
+    outcome_name, detail = classify_exit(returncode, watchdog_killed, limits)
+    return JobResult(
+        index=index,
+        job_id=job_id,
+        spec_class=spec_class,
+        outcome=JobOutcome(outcome_name),
+        attempts=attempt,
+        error=detail,
+        timing=timing,
+    )
 
 
 @dataclass(frozen=True)
@@ -235,7 +296,25 @@ class BatchRunner:
                 while next_flush < len(self.jobs) and next_flush in finalized:
                     result, loaded = finalized[next_flush]
                     if not loaded:
-                        writer.finished(result)
+                        try:
+                            writer.finished(result)
+                        except JournalWriteError as exc:
+                            # A full or broken disk must fail *this
+                            # record's durability*, not the batch: the
+                            # in-memory result survives (annotated so
+                            # the loss is visible), later appends are
+                            # attempted normally, and a --resume will
+                            # honestly re-run the job the journal
+                            # never captured.
+                            result = _replace(result, limit_notes=[
+                                *result.limit_notes,
+                                f"journal write failed: {exc}",
+                            ])
+                            finalized[next_flush] = (result, loaded)
+                            self._emit(
+                                "journal_error", job=result.index,
+                                error=str(exc), path=exc.path,
+                            )
                     breaker.record(result)
                     next_flush += 1
                 return next_flush
@@ -413,63 +492,18 @@ class BatchRunner:
         """Turn a dead worker into a typed JobResult (never raises)."""
         item = info.pending
         job = item.job
-        timing: "Dict[str, object]" = {
-            "duration_s": round(duration, 6),
-            "pid": info.proc.pid,
-            "returncode": returncode,
-        }
-        payload: "Optional[Dict[str, object]]" = None
-        if info.result_file.exists() and not info.flags.get("watchdog_killed"):
-            try:
-                payload = json.loads(info.result_file.read_text(encoding="utf-8"))
-                if not isinstance(payload, dict):
-                    payload = None
-            except (OSError, json.JSONDecodeError):
-                payload = None
-        if payload is not None and "outcome" in payload:
-            try:
-                outcome = JobOutcome(str(payload["outcome"]))
-            except ValueError:
-                outcome = JobOutcome.CRASH
-                payload["error"] = (
-                    f"worker reported unknown outcome "
-                    f"{payload.get('outcome')!r}"
-                )
-            worker_timing = payload.get("timing")
-            if isinstance(worker_timing, dict):
-                timing.update(worker_timing)
-            return JobResult(
-                index=job.index,
-                job_id=job.job_id,
-                spec_class=job.spec_class,
-                outcome=outcome,
-                attempts=item.attempt,
-                solve=(
-                    dict(payload["solve"])  # type: ignore[arg-type]
-                    if isinstance(payload.get("solve"), dict) else None
-                ),
-                error=(
-                    None if payload.get("error") is None
-                    else str(payload["error"])
-                ),
-                limit_notes=[str(n) for n in payload.get("limit_notes", [])],  # type: ignore[union-attr]
-                artifacts={
-                    str(k): self._relativize(str(v))
-                    for k, v in dict(payload.get("artifacts", {})).items()  # type: ignore[arg-type]
-                },
-                timing=timing,
-            )
-        outcome_name, detail = classify_exit(
-            returncode, bool(info.flags.get("watchdog_killed")), job.limits
-        )
-        return JobResult(
+        return classify_worker_result(
             index=job.index,
             job_id=job.job_id,
             spec_class=job.spec_class,
-            outcome=JobOutcome(outcome_name),
-            attempts=item.attempt,
-            error=detail,
-            timing=timing,
+            limits=job.limits,
+            attempt=item.attempt,
+            result_file=info.result_file,
+            returncode=returncode,
+            watchdog_killed=bool(info.flags.get("watchdog_killed")),
+            duration_s=duration,
+            pid=info.proc.pid,
+            relativize=self._relativize,
         )
 
 

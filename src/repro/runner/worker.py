@@ -88,6 +88,19 @@ def _build_graph(source: "Dict[str, object]"):
             raise SpecificationError(f"cannot read spec file {path}: {exc}") from exc
         except ValueError as exc:  # json.JSONDecodeError subclasses ValueError
             raise SpecificationError(f"spec file {path} is not valid JSON: {exc}") from exc
+    if kind == "inline":
+        from repro.graph.io import task_graph_from_dict
+
+        data = source.get("data")
+        if not isinstance(data, dict):
+            raise SpecificationError(
+                f"inline source needs a spec dict under 'data', got "
+                f"{type(data).__name__}"
+            )
+        # Defense in depth: the service guards admission with (usually
+        # stricter) limits, but the worker re-applies the default caps
+        # so an inline job reaching it any other way is still bounded.
+        return task_graph_from_dict(data)
     if kind == "paper":
         from repro.graph.generators import paper_graph
 
@@ -215,7 +228,7 @@ def _run_solve(job: "Dict[str, object]") -> "Dict[str, object]":
                 str(job["checkpoint_path"])
                 if job.get("checkpoint_path") else None
             ),
-            checkpoint_every=64,
+            checkpoint_every=int(job.get("checkpoint_every", 64)),  # type: ignore[arg-type]
         )
         n_partitions = (
             None if job.get("n_partitions") is None

@@ -1,0 +1,70 @@
+"""Solve-as-a-service: an overload-safe async HTTP front end.
+
+This package turns the library into a long-running multi-tenant
+service (``repro serve``): an asyncio HTTP/JSON API that accepts
+task-graph specs and returns solve results, engineered for overload
+and crash survival rather than raw throughput.
+
+The layers, bottom up:
+
+* :mod:`repro.service.queue` — a bounded priority queue that *cannot*
+  grow an unbounded backlog: when full, either the newcomer or the
+  worst queued job is shed, explicitly.
+* :mod:`repro.service.admission` — per-tenant token-bucket quotas and
+  the admission decision (429 + ``Retry-After`` on shed, never a
+  silent queue).
+* :mod:`repro.service.cache` — the result cache keyed by the
+  formulation fingerprint, with single-flight deduplication so
+  identical concurrent specs share one solve.
+* :mod:`repro.service.jobs` — durable job records on the
+  ``repro.batch_journal/v1`` crash-only journal: accepted jobs are
+  journaled *before* acknowledgment, and a SIGKILLed server recovers
+  every acknowledged job on restart (served from the journal or
+  re-enqueued — never lost, never duplicated).
+* :mod:`repro.service.lifecycle` — ``/healthz``/``/readyz`` state and
+  the SIGTERM graceful drain (stop admitting, finish or checkpoint
+  in-flight solves, exit 0).
+* :mod:`repro.service.server` — the asyncio server tying it together;
+  solves run on the PR 4/6 worker substrate
+  (:mod:`repro.runner.substrate`) in spawn-isolated interpreters under
+  deadline-derived rlimits and a watchdog.
+
+Every request carries a wall-clock deadline budget that propagates
+into the solver's ``time_limit_s``, the worker's OS rlimits, and the
+watchdog — a slow solve degrades to a FEASIBLE-with-gap answer instead
+of a hung connection.
+"""
+
+from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.cache import ResultCache
+from repro.service.jobs import (
+    JobState,
+    ServiceJob,
+    ServiceJournal,
+    recover_journal,
+)
+from repro.service.lifecycle import Lifecycle, ServerState
+from repro.service.protocol import (
+    SolveRequest,
+    request_fingerprint,
+)
+from repro.service.queue import BoundedPriorityQueue
+from repro.service.server import ServiceConfig, SolveService, serve_main
+
+__all__ = [
+    "AdmissionController",
+    "BoundedPriorityQueue",
+    "JobState",
+    "Lifecycle",
+    "ResultCache",
+    "ServerState",
+    "ServiceConfig",
+    "ServiceJob",
+    "ServiceJournal",
+    "SolveRequest",
+    "SolveService",
+    "TokenBucket",
+    "recover_journal",
+    "request_fingerprint",
+    "serve_main",
+]

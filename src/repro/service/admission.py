@@ -1,0 +1,152 @@
+"""Admission control: per-tenant token buckets + explicit shedding.
+
+Admission is the only place load is refused, and it refuses *early*
+— before a request holds a worker, a journal record, or a queue slot
+— and *explicitly* — with a 429 and a computed ``Retry-After``, never
+by letting a backlog grow until timeouts do the shedding implicitly.
+
+Decision order for a new request:
+
+1. **drain** — a draining server admits nothing (503);
+2. **circuit breaker** — a spec class with too many consecutive
+   failures is refused (503) so one pathological spec family cannot
+   burn the fleet (reuses :class:`repro.runner.jobs.CircuitBreaker`);
+3. **tenant quota** — a token bucket per tenant (429 + Retry-After
+   when empty: the shed is the *tenant's*, not the service's);
+4. **queue bound** — the bounded priority queue admits, evicts a
+   lower-priority entry, or sheds the newcomer (429 + Retry-After).
+
+Cache hits and single-flight joins bypass admission entirely (they
+consume no solve capacity), which is what makes repeated traffic the
+cheap case the ROADMAP's "millions of users" lever needs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.runner.jobs import CircuitBreaker
+from repro.service.queue import BoundedPriorityQueue
+
+
+class TokenBucket:
+    """Per-tenant token buckets: ``rate`` tokens/s, ``burst`` capacity.
+
+    Buckets are created lazily and start full — a new tenant gets its
+    whole burst.  ``take`` returns ``None`` when a token was consumed,
+    or the seconds until one accrues (the Retry-After) when the bucket
+    is empty.  Time is injected by the caller so tests are exact.
+    """
+
+    def __init__(self, rate: float, burst: int) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._buckets: "Dict[str, Tuple[float, float]]" = {}
+
+    def take(self, tenant: str, now: float) -> "Optional[float]":
+        tokens, last = self._buckets.get(tenant, (float(self.burst), now))
+        tokens = min(float(self.burst), tokens + (now - last) * self.rate)
+        if tokens >= 1.0:
+            self._buckets[tenant] = (tokens - 1.0, now)
+            return None
+        self._buckets[tenant] = (tokens, now)
+        return (1.0 - tokens) / self.rate
+
+    def peek(self, tenant: str, now: float) -> float:
+        """Current token count (metrics only; does not consume)."""
+        tokens, last = self._buckets.get(tenant, (float(self.burst), now))
+        return min(float(self.burst), tokens + (now - last) * self.rate)
+
+
+class AdmissionController:
+    """The admission decision, with its counters.
+
+    Raises :class:`ServiceError` when the request is refused; on
+    success returns ``("queued", None)`` or ``("evicted", loser)``
+    where ``loser`` is the queue entry displaced by a higher-priority
+    newcomer (the caller must shed it: resolve its waiters with 429
+    and journal the shed).
+    """
+
+    def __init__(
+        self,
+        queue: BoundedPriorityQueue,
+        bucket: TokenBucket,
+        breaker: "Optional[CircuitBreaker]" = None,
+    ) -> None:
+        self.queue = queue
+        self.bucket = bucket
+        self.breaker = breaker
+        self.counters: "Dict[str, int]" = {
+            "admitted": 0,
+            "shed_quota": 0,
+            "shed_queue_full": 0,
+            "shed_evicted": 0,
+            "rejected_breaker": 0,
+        }
+
+    def admit(
+        self,
+        item: "Any",
+        *,
+        tenant: str,
+        priority: int,
+        spec_class: str,
+        now: float,
+        draining: bool = False,
+    ) -> "Tuple[str, Optional[Any]]":
+        if draining:
+            raise ServiceError(
+                "server is draining; not admitting new work",
+                status=503, code="draining", retry_after_s=5.0,
+            )
+        if self.breaker is not None and self.breaker.is_open(spec_class):
+            self.counters["rejected_breaker"] += 1
+            raise ServiceError(
+                f"circuit breaker open for spec class {spec_class!r} "
+                f"({self.breaker.threshold} consecutive failures)",
+                status=503, code="breaker-open", retry_after_s=30.0,
+            )
+        retry_after = self.bucket.take(tenant, now)
+        if retry_after is not None:
+            self.counters["shed_quota"] += 1
+            raise ServiceError(
+                f"tenant {tenant!r} is over its request quota",
+                status=429, code="shed-quota", retry_after_s=retry_after,
+            )
+        verdict, evicted = self.queue.push(item, priority)
+        if verdict == "full":
+            self.counters["shed_queue_full"] += 1
+            # The queue drains at roughly one job per slot per solve;
+            # a small constant is honest enough and keeps herds apart.
+            raise ServiceError(
+                f"queue full ({self.queue.capacity} jobs) with "
+                f"equal-or-higher priority work",
+                status=429, code="shed-queue-full", retry_after_s=2.0,
+            )
+        if verdict == "evicted":
+            self.counters["shed_evicted"] += 1
+        self.counters["admitted"] += 1
+        return verdict, evicted
+
+    def record_outcome(self, result: "Any") -> None:
+        """Feed a completed job's result to the circuit breaker."""
+        if self.breaker is not None:
+            self.breaker.record(result)
+
+    def snapshot(self) -> "Dict[str, object]":
+        """Deterministic metrics block for ``/metrics``."""
+        data: "Dict[str, object]" = dict(sorted(self.counters.items()))
+        data["queue_depth"] = self.queue.depth
+        data["queue_capacity"] = self.queue.capacity
+        if self.breaker is not None:
+            data["breaker"] = {
+                "threshold": self.breaker.threshold,
+                "consecutive_failures": self.breaker.state(),
+            }
+        return data

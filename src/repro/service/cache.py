@@ -1,0 +1,92 @@
+"""Result cache + single-flight, keyed by the formulation fingerprint.
+
+Real traffic is heavily repeated — the same spec arrives again and
+again — so the cache is the service's main capacity multiplier.  Two
+mechanisms, one key (:func:`repro.service.protocol.request_fingerprint`):
+
+* :class:`ResultCache` — a bounded LRU of *proven* results.  Only
+  undegraded OK outcomes whose solver status is exact (``optimal`` /
+  ``infeasible``) are stored: the search is deterministic, so such an
+  answer is THE answer for that fingerprint, byte-identical modulo
+  timing.  FEASIBLE-with-gap answers under a tight deadline are not
+  cached — a more patient client must be allowed to do better.
+
+* single-flight — concurrent identical specs share one solve.  The
+  server keeps an in-flight map ``fingerprint -> ServiceJob``;
+  followers attach to the leader's job instead of enqueuing a
+  duplicate.  The map lives in the server (it owns job lifetimes);
+  this module only defines the cacheability contract so the two
+  mechanisms can never disagree on what is shareable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.runner.jobs import JobOutcome, JobResult
+
+#: Solver statuses that prove their answer (deterministically
+#: reproducible, hence cacheable).
+_PROVEN_STATUSES = ("optimal", "infeasible")
+
+
+def is_cacheable(result: "JobResult") -> bool:
+    """Whether a job result may be served to future identical requests."""
+    if result.outcome is not JobOutcome.OK or result.solve is None:
+        return False
+    return str(result.solve.get("status")) in _PROVEN_STATUSES
+
+
+class ResultCache:
+    """Bounded LRU mapping fingerprint -> proven :class:`JobResult`."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, JobResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.stores = 0
+        self.rejected_unproven = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, fingerprint: str) -> "Optional[JobResult]":
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(fingerprint)
+        self.hits += 1
+        return entry
+
+    def put(self, fingerprint: str, result: "JobResult") -> bool:
+        """Store ``result`` if it is proven; returns whether it was."""
+        if not is_cacheable(result):
+            self.rejected_unproven += 1
+            return False
+        self._entries[fingerprint] = result
+        self._entries.move_to_end(fingerprint)
+        self.stores += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return True
+
+    def snapshot(self) -> "Dict[str, object]":
+        """Metrics block for ``/metrics``."""
+        lookups = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hits / lookups, 6) if lookups else 0.0,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "rejected_unproven": self.rejected_unproven,
+        }

@@ -1,0 +1,88 @@
+"""Server lifecycle: state machine, readiness, graceful drain.
+
+The lifecycle is deliberately tiny — four states and one transition a
+signal can trigger:
+
+* ``STARTING`` → ``READY`` once recovery has replayed the journal and
+  the listener is bound (``/readyz`` turns 200 only here — a load
+  balancer must not route to a server still re-enqueuing jobs);
+* ``READY`` → ``DRAINING`` on SIGTERM (or SIGINT, or ``begin_drain``):
+  admission refuses everything with 503, in-flight solves get
+  ``drain_grace_s`` to finish, then are SIGKILLed *without* a
+  ``finished`` journal record — deliberately, so the restarted server
+  re-enqueues them and resumes each from its B&B checkpoint;
+* ``DRAINING`` → ``STOPPED`` when the last worker is gone and the
+  journal is closed.  The process then exits 0: a drained shutdown is
+  a success, not an error.
+
+``/healthz`` answers 200 in every state — it is liveness ("the event
+loop turns"), not readiness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from enum import Enum
+from typing import Optional
+
+
+class ServerState(Enum):
+    STARTING = "starting"
+    READY = "ready"
+    DRAINING = "draining"
+    STOPPED = "stopped"
+
+
+class Lifecycle:
+    """The state holder the server and its handlers consult.
+
+    Event-loop-only, like every other piece of shared service state.
+    ``drain_requested`` is an :class:`asyncio.Event` so the dispatcher
+    can ``await`` it instead of polling.
+    """
+
+    def __init__(self) -> None:
+        self.state = ServerState.STARTING
+        self.drain_requested = asyncio.Event()
+        self.drain_signal: "Optional[int]" = None
+
+    @property
+    def ready(self) -> bool:
+        return self.state is ServerState.READY
+
+    @property
+    def draining(self) -> bool:
+        return self.state in (ServerState.DRAINING, ServerState.STOPPED)
+
+    def mark_ready(self) -> None:
+        if self.state is ServerState.STARTING:
+            self.state = ServerState.READY
+
+    def begin_drain(self, sig: "Optional[int]" = None) -> None:
+        """Idempotent: the first signal wins, repeats are no-ops."""
+        if self.draining:
+            return
+        self.state = ServerState.DRAINING
+        self.drain_signal = sig
+        self.drain_requested.set()
+
+    def mark_stopped(self) -> None:
+        self.state = ServerState.STOPPED
+
+    def install_signal_handlers(
+        self, loop: "asyncio.AbstractEventLoop"
+    ) -> None:
+        """SIGTERM/SIGINT start a drain (never an abrupt exit).
+
+        Registered on the loop so the handler runs in event-loop
+        context — ``begin_drain`` touches loop-only state.
+        """
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.begin_drain, sig)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                # Platforms without loop signal handlers (Windows
+                # Proactor); the server is then drained via the API or
+                # process group only.
+                pass

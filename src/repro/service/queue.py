@@ -1,0 +1,89 @@
+"""A bounded priority queue that sheds instead of growing.
+
+The service's backlog is the first thing overload attacks: an
+unbounded queue turns a 2x-capacity burst into minutes of latency for
+*everyone* and an eventual OOM.  This queue has a hard capacity and
+exactly three outcomes for a push:
+
+* ``"queued"`` — there was room;
+* ``"evicted"`` — the queue was full but the newcomer outranks the
+  worst queued item, which is returned to the caller to be shed
+  explicitly (its client gets a 429, its journal record a ``shed``
+  note);
+* ``"full"`` — the queue was full of equal-or-better work; the
+  newcomer itself is shed.
+
+Ordering is priority-descending with FIFO among equals (sequence
+numbers break ties), and eviction picks the *youngest of the
+lowest-priority* items — the entry that has waited least loses,
+which keeps the shed latency-fair.
+
+Single-threaded by design: the service touches it only from the
+event loop.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class _Entry:
+    # Sort key: higher priority first, then older (smaller seq) first.
+    # The list is kept ascending, so the *front* is the best entry.
+    sort_key: "Tuple[int, int]"
+    item: "Any" = field(compare=False)
+
+
+class BoundedPriorityQueue:
+    """See module docstring.  ``capacity`` must be >= 1."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "List[_Entry]" = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def depth(self) -> int:
+        return len(self._entries)
+
+    def push(self, item: "Any", priority: int) -> "Tuple[str, Optional[Any]]":
+        """Insert ``item``; returns ``(verdict, evicted_item_or_None)``."""
+        self._seq += 1
+        entry = _Entry(sort_key=(-priority, self._seq), item=item)
+        if len(self._entries) >= self.capacity:
+            worst = self._entries[-1]
+            if entry.sort_key >= worst.sort_key:
+                # Not strictly better than the worst queued item (a tie
+                # favors the incumbent, which has been waiting).
+                return "full", None
+            self._entries.pop()
+            insort(self._entries, entry)
+            return "evicted", worst.item
+        insort(self._entries, entry)
+        return "queued", None
+
+    def pop(self) -> "Optional[Any]":
+        """Best entry (highest priority, oldest among ties), or None."""
+        if not self._entries:
+            return None
+        return self._entries.pop(0).item
+
+    def remove(self, item: "Any") -> bool:
+        """Withdraw a specific queued item (identity comparison)."""
+        for position, entry in enumerate(self._entries):
+            if entry.item is item:
+                del self._entries[position]
+                return True
+        return False
+
+    def items(self) -> "List[Any]":
+        """Queued items, best first (for introspection/metrics)."""
+        return [entry.item for entry in self._entries]

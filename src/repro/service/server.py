@@ -1,0 +1,786 @@
+"""The solve service: an overload-safe asyncio HTTP server.
+
+One event loop owns every piece of shared mutable state (queue, cache,
+registry, journal); the only other threads are the watchdog and a
+small executor pool whose threads each babysit exactly one spawned
+worker process (``subprocess.wait`` is blocking).  Nothing solver-
+related ever runs in this process: solves happen in
+``repro.runner.worker`` subprocesses under per-process rlimits, so a
+pathological spec can kill *its* worker and nothing else — the same
+isolation contract as the batch runner, sharing its substrate
+(:mod:`repro.runner.substrate`) and its classification
+(:func:`repro.runner.pool.classify_worker_result`).
+
+Request path, in order::
+
+    parse (strict, incl. GraphLimits)  -> 400/413
+    result cache                       -> 200 (cached)
+    single-flight join                 -> share the in-flight solve
+    admission (drain/breaker/quota/queue) -> 503/429 + Retry-After
+    journal "accepted" + fsync         -> only now is the client
+    202 or await result                   acknowledged
+
+The journal append sits *between* admission and acknowledgment: a job
+the client was told about is durable, a job the journal could not
+capture is refused (503 ``journal-error``) — there is no state in
+which the server owes work it could forget.
+
+Crash story: SIGKILL at any instant loses nothing acknowledged.  On
+restart, recovery replays the journal (``accepted − finished − shed``),
+re-enqueues each owed job exactly once, and a job killed mid-solve
+resumes from its branch-and-bound checkpoint, whose path is a pure
+function of the job id.  SIGTERM is the polite version: admission
+closes, in-flight solves get a grace period, stragglers are killed
+*without* a ``finished`` record so the restart re-owns them, and the
+process exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace as _replace
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Set
+
+from repro.errors import JournalWriteError, ServiceError
+from repro.graph.io import DEFAULT_GRAPH_LIMITS, GraphLimits
+from repro.runner.jobs import CircuitBreaker, JobOutcome, JobResult
+from repro.runner.limits import ResourceLimits
+from repro.runner.pool import classify_worker_result
+from repro.runner.substrate import Watchdog, spawn_worker, worker_env
+from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.cache import ResultCache
+from repro.service.jobs import (
+    JobState,
+    RecoveredState,
+    ServiceJob,
+    ServiceJournal,
+    budget_limits,
+    recover_journal,
+)
+from repro.service.lifecycle import Lifecycle
+from repro.service.protocol import (
+    PROTOCOL_SCHEMA,
+    error_response,
+    format_response,
+    parse_request_head,
+    parse_solve_request,
+    request_fingerprint,
+)
+from repro.service.queue import BoundedPriorityQueue
+
+#: Metrics document schema.
+METRICS_SCHEMA = "repro.service_metrics/v1"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service knobs; every default is safe for a laptop-sized host."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral (the ready line reports the real one)
+    workers: int = 2
+    queue_capacity: int = 16
+    rate_per_s: float = 10.0
+    burst: int = 20
+    breaker_threshold: "Optional[int]" = 5
+    default_deadline_s: float = 60.0
+    max_deadline_s: float = 600.0
+    min_budget_s: float = 0.5
+    solver_fraction: float = 0.9
+    startup_grace_s: float = 5.0
+    memory_limit_mb: "Optional[int]" = None
+    cache_capacity: int = 256
+    graph_limits: GraphLimits = DEFAULT_GRAPH_LIMITS
+    max_body_bytes: int = 2_000_000
+    request_timeout_s: float = 10.0
+    drain_grace_s: float = 5.0
+    checkpoint_every: int = 16
+    poll_interval_s: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {self.workers}",
+                               status=500, code="bad-config")
+        if self.drain_grace_s < 0:
+            raise ServiceError(
+                f"drain_grace_s must be >= 0, got {self.drain_grace_s}",
+                status=500, code="bad-config",
+            )
+
+
+def _result_doc(result: JobResult, cached: bool) -> "Dict[str, object]":
+    return {
+        "schema": PROTOCOL_SCHEMA,
+        "job_id": result.job_id,
+        "state": JobState.DONE.value,
+        "cached": cached,
+        "outcome": result.outcome.value,
+        "attempts": result.attempts,
+        "solve": result.solve,
+        "error": result.error,
+        "limit_notes": list(result.limit_notes),
+        "timing": dict(result.timing),
+    }
+
+
+class SolveService:
+    """See module docstring.  ``start()`` then ``serve_until_drained()``."""
+
+    def __init__(self, config: ServiceConfig, state_dir: "str | Path") -> None:
+        self.config = config
+        self.state_dir = Path(state_dir)
+        self.journal_path = self.state_dir / "service.journal.jsonl"
+        self.scratch_dir = self.state_dir / "scratch"
+        self.lifecycle = Lifecycle()
+        self.cache = ResultCache(config.cache_capacity)
+        breaker = (
+            CircuitBreaker(config.breaker_threshold)
+            if config.breaker_threshold is not None else None
+        )
+        self.admission = AdmissionController(
+            queue=BoundedPriorityQueue(config.queue_capacity),
+            bucket=TokenBucket(config.rate_per_s, config.burst),
+            breaker=breaker,
+        )
+        self.journal: "Optional[ServiceJournal]" = None
+        self.registry: "Dict[str, ServiceJob]" = {}
+        self.inflight: "Dict[str, ServiceJob]" = {}
+        self.done_results: "Dict[str, JobResult]" = {}
+        self.recovered: "Deque[ServiceJob]" = deque()
+        self.running: "Set[ServiceJob]" = set()
+        self._next_index = 0
+        self._server: "Optional[asyncio.AbstractServer]" = None
+        self._dispatcher: "Optional[asyncio.Task]" = None
+        self._watchdog = Watchdog()
+        self._executor: "Optional[ThreadPoolExecutor]" = None
+        self._job_tasks: "Set[asyncio.Task]" = set()
+        self.port: "Optional[int]" = None
+        self._started_monotonic = 0.0
+        self.counters: "Dict[str, int]" = {
+            "requests": 0,
+            "singleflight_joins": 0,
+            "journal_errors": 0,
+            "recovered_jobs": 0,
+            "deadline_expired_in_queue": 0,
+            "internal_errors": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Recover, bind, dispatch, mark ready."""
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.scratch_dir.mkdir(parents=True, exist_ok=True)
+        recovered = recover_journal(self.journal_path)
+        self._absorb_recovery(recovered)
+        self.journal = ServiceJournal(self.journal_path).open(
+            fresh=recovered.fresh
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="service-worker",
+        )
+        self._watchdog.start()
+        self._started_monotonic = time.monotonic()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+        )
+        sockets = self._server.sockets or []
+        self.port = sockets[0].getsockname()[1] if sockets else self.config.port
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        self._dispatcher.add_done_callback(self._dispatcher_exited)
+        self.lifecycle.mark_ready()
+
+    def _dispatcher_exited(self, task: "asyncio.Task") -> None:
+        """A dead dispatcher must fail loudly, not hang every client.
+
+        The loop body is defensive, so this should be unreachable — but
+        if a bug does kill the task, the server drains (clients get
+        503s and the journal re-owns the queue on restart) instead of
+        accepting work it can never run.
+        """
+        if task.cancelled():
+            return
+        if task.exception() is not None:
+            self.counters["internal_errors"] += 1
+            print(json.dumps({
+                "event": "dispatcher_failed",
+                "error": repr(task.exception()),
+            }), file=sys.stderr, flush=True)
+            self.lifecycle.begin_drain()
+
+    def _absorb_recovery(self, recovered: RecoveredState) -> None:
+        self._next_index = recovered.next_index
+        for result in recovered.finished.values():
+            self.done_results[result.job_id] = result
+        now = time.monotonic()
+        for job in recovered.pending:
+            job.accepted_monotonic = now  # a fresh budget: the queue wait
+            # it already paid died with the old process
+            self.registry[job.job_id] = job
+            self.inflight.setdefault(job.fingerprint, job)
+            self.recovered.append(job)
+        self.counters["recovered_jobs"] = len(recovered.pending)
+
+    async def serve_until_drained(self) -> None:
+        """Block until a drain is requested, then drain and stop."""
+        await self.lifecycle.drain_requested.wait()
+        await self._drain()
+
+    async def _drain(self) -> None:
+        """SIGTERM semantics: finish what we can, checkpoint the rest.
+
+        In-flight workers get ``drain_grace_s``; any still running are
+        killed with the ``drain_killed`` flag set, which suppresses
+        their ``finished`` journal record — on restart they are
+        re-enqueued and resume from their checkpoints.  Queued jobs
+        simply stay ``accepted``-but-not-``finished``, which is the
+        same re-enqueue contract.
+        """
+        self.lifecycle.begin_drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        if self.running and self.config.drain_grace_s > 0:
+            waits = [job.done.wait() for job in list(self.running)]
+            try:
+                await asyncio.wait_for(
+                    asyncio.gather(*waits), timeout=self.config.drain_grace_s,
+                )
+            except asyncio.TimeoutError:
+                pass
+        for job in list(self.running):
+            job.flags["drain_killed"] = True
+            proc = job.proc
+            if proc is not None:
+                try:
+                    proc.kill()  # type: ignore[attr-defined]
+                except OSError:
+                    pass
+        if self._job_tasks:
+            await asyncio.gather(*list(self._job_tasks),
+                                 return_exceptions=True)
+        draining_error = ServiceError(
+            "server drained; the job is journaled and will resume on restart",
+            status=503, code="draining", retry_after_s=5.0,
+        )
+        for job in self.registry.values():
+            if not job.done.is_set():
+                job.error = draining_error
+                job.done.set()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        self._watchdog.stop()
+        if self.journal is not None:
+            self.journal.close()
+        self.lifecycle.mark_stopped()
+
+    # -- dispatch ------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        """Feed queued jobs to worker slots; recovered jobs go first."""
+        while True:
+            launched = False
+            while len(self.running) < self.config.workers:
+                job = self._next_job()
+                if job is None:
+                    break
+                self._start_job(job)
+                launched = True
+            if not launched:
+                await asyncio.sleep(self.config.poll_interval_s)
+
+    def _next_job(self) -> "Optional[ServiceJob]":
+        while self.recovered:
+            job = self.recovered.popleft()
+            if job.state is JobState.QUEUED:
+                return job
+        item = self.admission.queue.pop()
+        return item  # type: ignore[return-value]
+
+    def _start_job(self, job: ServiceJob) -> None:
+        now = time.monotonic()
+        remaining = job.remaining_budget(now)
+        if remaining < self.config.min_budget_s:
+            # The deadline died in the queue: fail fast without burning
+            # a worker.  Not fed to the breaker — the *queue* timed the
+            # job out, which says nothing about its spec class.
+            self.counters["deadline_expired_in_queue"] += 1
+            result = JobResult(
+                index=job.index,
+                job_id=job.job_id,
+                spec_class=job.spec_class,
+                outcome=JobOutcome.TIMEOUT,
+                error=(
+                    f"deadline exhausted while queued "
+                    f"({job.deadline_s:.1f}s budget, "
+                    f"{max(0.0, remaining):.1f}s left)"
+                ),
+            )
+            self._finalize(job, result, feed_breaker=False)
+            return
+        time_limit_s, limits = budget_limits(
+            remaining,
+            solver_fraction=self.config.solver_fraction,
+            startup_grace_s=self.config.startup_grace_s,
+            memory_limit_mb=self.config.memory_limit_mb,
+        )
+        job.state = JobState.RUNNING
+        self.running.add(job)
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(
+            self._executor, self._run_worker, job, time_limit_s, limits,
+        )
+        task = asyncio.create_task(self._await_job(job, future))
+        self._job_tasks.add(task)
+        task.add_done_callback(self._job_tasks.discard)
+
+    def _run_worker(
+        self,
+        job: ServiceJob,
+        time_limit_s: float,
+        limits: ResourceLimits,
+    ) -> JobResult:
+        """Executor thread: babysit exactly one worker process."""
+        job_dir = self.scratch_dir / job.job_id
+        job_dir.mkdir(parents=True, exist_ok=True)
+        spec = job.to_job_spec(time_limit_s=time_limit_s, limits=limits)
+        payload = spec.as_dict()
+        payload["attempt"] = 1
+        # The checkpoint path is a pure function of the job id so a
+        # restarted server resumes a killed solve with no bookkeeping.
+        payload["checkpoint_path"] = str(job_dir / "checkpoint.json")
+        payload["checkpoint_every"] = self.config.checkpoint_every
+        job_file = job_dir / "job.json"
+        result_file = job_dir / "result.json"
+        stderr_file = job_dir / "worker.log"
+        job_file.write_text(json.dumps(payload, sort_keys=True))
+        if result_file.exists():
+            result_file.unlink()  # a stale pre-crash result is not ours
+        flags: "Dict[str, bool]" = {"watchdog_killed": False}
+        job.flags = flags
+        started = time.monotonic()
+        with open(stderr_file, "w", encoding="utf-8") as log_handle:
+            proc = spawn_worker(
+                ["-m", "repro.runner.worker", str(job_file), str(result_file)],
+                stdout=log_handle,
+                stderr=log_handle,
+                env=worker_env(),
+            )
+            job.proc = proc
+            if limits.wall_limit_s is not None:
+                self._watchdog.watch(
+                    job.job_id, proc, started + limits.wall_limit_s, flags,
+                )
+            try:
+                returncode = proc.wait()
+            finally:
+                self._watchdog.unwatch(job.job_id)
+        return classify_worker_result(
+            index=job.index,
+            job_id=job.job_id,
+            spec_class=job.spec_class,
+            limits=limits,
+            attempt=1,
+            result_file=result_file,
+            returncode=returncode,
+            watchdog_killed=bool(flags.get("watchdog_killed")),
+            duration_s=time.monotonic() - started,
+            pid=proc.pid,
+        )
+
+    async def _await_job(self, job: ServiceJob, future: "asyncio.Future") -> None:
+        try:
+            result = await future
+        except Exception as exc:  # noqa: BLE001 - a worker-thread bug
+            # must classify, not kill the server
+            self.counters["internal_errors"] += 1
+            result = JobResult(
+                index=job.index,
+                job_id=job.job_id,
+                spec_class=job.spec_class,
+                outcome=JobOutcome.CRASH,
+                error=f"service-side worker management failed: {exc}",
+            )
+        self.running.discard(job)
+        if job.flags.get("drain_killed"):
+            # Deliberately un-finished: the restart re-owns this job
+            # and resumes it from its checkpoint.  The connected
+            # waiters (if any) are resolved by the drain path.
+            return
+        self._finalize(job, result, feed_breaker=True)
+
+    def _finalize(
+        self, job: ServiceJob, result: JobResult, *, feed_breaker: bool,
+    ) -> None:
+        if self.journal is not None:
+            try:
+                self.journal.finished(result)
+            except JournalWriteError as exc:
+                # Durability is lost for this record, nothing else: the
+                # client still gets the answer, annotated; a restart
+                # will honestly re-run the job.
+                self.counters["journal_errors"] += 1
+                result = _replace(result, limit_notes=[
+                    *result.limit_notes,
+                    f"journal write failed: {exc}",
+                ])
+        if feed_breaker:
+            self.admission.record_outcome(result)
+        self.cache.put(job.fingerprint, result)
+        job.result = result
+        job.state = JobState.DONE
+        self.done_results[job.job_id] = result
+        if self.inflight.get(job.fingerprint) is job:
+            del self.inflight[job.fingerprint]
+        job.done.set()
+
+    # -- HTTP ----------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: "asyncio.StreamReader", writer: "asyncio.StreamWriter",
+    ) -> None:
+        try:
+            response = await self._handle_request(reader)
+        except ServiceError as exc:
+            response = error_response(exc)
+        except Exception as exc:  # noqa: BLE001 - one bad connection
+            # must never take the server down
+            self.counters["internal_errors"] += 1
+            response = error_response(ServiceError(
+                f"internal error: {type(exc).__name__}",
+                status=500, code="internal",
+            ))
+        try:
+            writer.write(response)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request(self, reader: "asyncio.StreamReader") -> bytes:
+        self.counters["requests"] += 1
+        try:
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"),
+                timeout=self.config.request_timeout_s,
+            )
+        except asyncio.TimeoutError as exc:
+            raise ServiceError("request head not received in time",
+                               status=408, code="timeout") from exc
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError) as exc:
+            raise ServiceError(f"malformed request head: {exc}",
+                               status=400, code="invalid-request") from exc
+        method, path, headers = parse_request_head(head[:-4])
+        body = b""
+        length_header = headers.get("content-length", "0")
+        try:
+            length = int(length_header)
+        except ValueError as exc:
+            raise ServiceError(
+                f"bad Content-Length: {length_header!r}",
+                status=400, code="invalid-request",
+            ) from exc
+        if length > self.config.max_body_bytes:
+            raise ServiceError(
+                f"request body of {length} bytes exceeds the "
+                f"{self.config.max_body_bytes}-byte limit",
+                status=413, code="body-too-large",
+            )
+        if length:
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length),
+                    timeout=self.config.request_timeout_s,
+                )
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError) as exc:
+                raise ServiceError("request body not received in time",
+                                   status=408, code="timeout") from exc
+        return await self._route(method, path, body)
+
+    async def _route(self, method: str, path: str, body: bytes) -> bytes:
+        if path == "/healthz" and method == "GET":
+            return format_response(200, {
+                "ok": True, "state": self.lifecycle.state.value,
+            })
+        if path == "/readyz" and method == "GET":
+            if self.lifecycle.ready:
+                return format_response(200, {"ready": True})
+            return format_response(503, {
+                "ready": False, "state": self.lifecycle.state.value,
+            })
+        if path == "/metrics" and method == "GET":
+            return format_response(200, self.metrics())
+        if path == "/v1/solve":
+            if method != "POST":
+                raise ServiceError("use POST", status=405,
+                                   code="method-not-allowed")
+            return await self._handle_solve(body)
+        if path.startswith("/v1/jobs/") and method == "GET":
+            return self._handle_job_status(path[len("/v1/jobs/"):])
+        raise ServiceError(f"no such endpoint: {method} {path}",
+                           status=404, code="not-found")
+
+    async def _handle_solve(self, body: bytes) -> bytes:
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}",
+                               status=400, code="invalid-request") from exc
+        request = parse_solve_request(data, self.config.graph_limits)
+        deadline_s = min(
+            request.deadline_s if request.deadline_s is not None
+            else self.config.default_deadline_s,
+            self.config.max_deadline_s,
+        )
+        fingerprint = request_fingerprint(request)
+
+        cached = self.cache.get(fingerprint)
+        if cached is not None:
+            return format_response(200, _result_doc(cached, cached=True))
+
+        leader = self.inflight.get(fingerprint)
+        if leader is not None and leader.state is not JobState.SHED:
+            # Single-flight: attach to the identical in-flight solve.
+            self.counters["singleflight_joins"] += 1
+            leader.followers += 1
+            if not request.wait:
+                return format_response(202, self._job_doc(leader))
+            return await self._await_and_respond(leader, deadline_s)
+
+        job = ServiceJob(
+            index=self._next_index,
+            request=request,
+            fingerprint=fingerprint,
+            deadline_s=deadline_s,
+            accepted_monotonic=time.monotonic(),
+        )
+        verdict, evicted = self.admission.admit(
+            job,
+            tenant=request.tenant,
+            priority=request.priority,
+            spec_class=request.spec_class,
+            now=time.monotonic(),
+            draining=self.lifecycle.draining,
+        )
+        assert self.journal is not None
+        try:
+            self.journal.accepted(job)
+        except JournalWriteError as exc:
+            # Nothing was promised yet: withdraw and refuse loudly.
+            self.admission.queue.remove(job)
+            self.counters["journal_errors"] += 1
+            raise ServiceError(
+                f"cannot make the job durable: {exc}",
+                status=503, code="journal-error", retry_after_s=10.0,
+            ) from exc
+        self._next_index += 1
+        self.registry[job.job_id] = job
+        self.inflight[fingerprint] = job
+        if evicted is not None:
+            self._shed_evicted(evicted)
+        if not request.wait:
+            return format_response(202, self._job_doc(job))
+        return await self._await_and_respond(job, deadline_s)
+
+    def _shed_evicted(self, loser: ServiceJob) -> None:
+        """An accepted job lost its queue slot to a higher priority."""
+        loser.state = JobState.SHED
+        assert self.journal is not None
+        try:
+            self.journal.shed(loser.index, "evicted by higher priority")
+        except JournalWriteError:
+            # Worst case the restart re-enqueues a job we shed — a
+            # wasted solve, never a lost one.
+            self.counters["journal_errors"] += 1
+        if self.inflight.get(loser.fingerprint) is loser:
+            del self.inflight[loser.fingerprint]
+        loser.error = ServiceError(
+            "evicted from the queue by higher-priority work",
+            status=429, code="shed-evicted", retry_after_s=2.0,
+        )
+        loser.done.set()
+
+    async def _await_and_respond(
+        self, job: ServiceJob, deadline_s: float,
+    ) -> bytes:
+        # The job's own limits enforce the deadline; this wait is only
+        # a backstop so a connected client can never hang forever.
+        timeout = deadline_s + self.config.startup_grace_s + 10.0
+        try:
+            await asyncio.wait_for(job.done.wait(), timeout=timeout)
+        except asyncio.TimeoutError as exc:
+            raise ServiceError(
+                f"job {job.job_id} still running past its deadline; "
+                f"poll /v1/jobs/{job.job_id}",
+                status=504, code="deadline-exceeded",
+            ) from exc
+        if job.result is not None:
+            return format_response(200, _result_doc(job.result, cached=False))
+        if job.error is not None:
+            raise job.error
+        raise ServiceError("job finished without a result", status=500,
+                           code="internal")
+
+    def _job_doc(self, job: ServiceJob) -> "Dict[str, object]":
+        doc: "Dict[str, object]" = {
+            "schema": PROTOCOL_SCHEMA,
+            "job_id": job.job_id,
+            "state": job.state.value,
+            "spec_class": job.spec_class,
+            "deadline_s": job.deadline_s,
+            "recovered": job.recovered,
+        }
+        if job.result is not None:
+            doc.update(_result_doc(job.result, cached=False))
+        elif job.error is not None:
+            doc["error"] = {"code": job.error.code, "message": str(job.error)}
+        return doc
+
+    def _handle_job_status(self, job_id: str) -> bytes:
+        job = self.registry.get(job_id)
+        if job is not None:
+            return format_response(200, self._job_doc(job))
+        result = self.done_results.get(job_id)
+        if result is not None:
+            return format_response(200, _result_doc(result, cached=False))
+        raise ServiceError(f"unknown job {job_id!r}", status=404,
+                           code="not-found")
+
+    # -- metrics -------------------------------------------------------
+
+    def metrics(self) -> "Dict[str, object]":
+        return {
+            "schema": METRICS_SCHEMA,
+            "state": self.lifecycle.state.value,
+            "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
+            "admission": self.admission.snapshot(),
+            "cache": self.cache.snapshot(),
+            "jobs": {
+                "queued": self.admission.queue.depth + len(self.recovered),
+                "running": len(self.running),
+                "done": len(self.done_results),
+                "next_index": self._next_index,
+            },
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+
+# ----------------------------------------------------------------------
+# CLI
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tps serve",
+        description="Run the overload-safe solve service "
+        "(HTTP/JSON, admission control, durable job recovery).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default 0 = ephemeral; the ready line on "
+             "stdout reports the bound port)",
+    )
+    parser.add_argument(
+        "--state-dir", default="service_state", metavar="DIR",
+        help="journal + scratch directory (default ./service_state); "
+             "restarting against the same directory recovers all "
+             "acknowledged jobs",
+    )
+    parser.add_argument("--workers", type=int, default=2,
+                        help="concurrent solve workers (default 2)")
+    parser.add_argument("--queue-capacity", type=int, default=16,
+                        help="bounded queue size (default 16)")
+    parser.add_argument("--rate", type=float, default=10.0,
+                        help="per-tenant requests/second (default 10)")
+    parser.add_argument("--burst", type=int, default=20,
+                        help="per-tenant burst size (default 20)")
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=5, metavar="N",
+        help="open a spec class's circuit after N consecutive "
+             "failures (default 5; 0 disables)",
+    )
+    parser.add_argument("--default-deadline", type=float, default=60.0,
+                        metavar="S", help="deadline for requests that "
+                        "set none (default 60s)")
+    parser.add_argument("--max-deadline", type=float, default=600.0,
+                        metavar="S", help="cap on client deadlines "
+                        "(default 600s)")
+    parser.add_argument("--memory-limit-mb", type=int, default=None,
+                        metavar="MB", help="RLIMIT_AS per worker "
+                        "(default unlimited)")
+    parser.add_argument("--cache-capacity", type=int, default=256,
+                        help="result-cache entries (default 256)")
+    parser.add_argument("--drain-grace", type=float, default=5.0,
+                        metavar="S", help="SIGTERM grace before "
+                        "checkpoint-kill (default 5s)")
+    parser.add_argument("--checkpoint-every", type=int, default=16,
+                        metavar="NODES", help="B&B checkpoint cadence "
+                        "(default 16 nodes)")
+    return parser
+
+
+def serve_main(argv: "Optional[List[str]]" = None) -> int:
+    """``repro serve`` entry point; exits 0 on a graceful drain."""
+    args = build_serve_parser().parse_args(argv)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        rate_per_s=args.rate,
+        burst=args.burst,
+        breaker_threshold=(
+            None if args.breaker_threshold in (None, 0)
+            else args.breaker_threshold
+        ),
+        default_deadline_s=args.default_deadline,
+        max_deadline_s=args.max_deadline,
+        memory_limit_mb=args.memory_limit_mb,
+        cache_capacity=args.cache_capacity,
+        drain_grace_s=args.drain_grace,
+        checkpoint_every=args.checkpoint_every,
+    )
+
+    async def _amain() -> int:
+        service = SolveService(config, args.state_dir)
+        service.lifecycle.install_signal_handlers(asyncio.get_running_loop())
+        await service.start()
+        # The machine-readable ready line: harnesses (tests, the bench,
+        # CI) parse it for the bound port instead of racing a poll.
+        print(json.dumps({
+            "event": "ready",
+            "host": config.host,
+            "port": service.port,
+            "pid": os.getpid(),
+            "state_dir": str(service.state_dir),
+            "recovered_jobs": service.counters["recovered_jobs"],
+        }), flush=True)
+        await service.serve_until_drained()
+        return 0
+
+    return asyncio.run(_amain())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(serve_main())

@@ -4,10 +4,11 @@ import json
 
 import pytest
 
-from repro.errors import SpecificationError
+from repro.errors import SpecificationError, SpecTooLargeError
 from repro.graph.analysis import critical_path_length
 from repro.graph.generators import paper_graph
 from repro.graph.io import (
+    GraphLimits,
     load_task_graph,
     save_task_graph,
     task_graph_from_dict,
@@ -117,3 +118,73 @@ class TestIO:
     def test_non_dict_rejected(self):
         with pytest.raises(SpecificationError, match="must be a dict"):
             task_graph_from_dict([1, 2])  # type: ignore[arg-type]
+
+
+class TestGraphLimits:
+    """Counting guard at the untrusted-input boundary (satellite of
+    the solve service's admission control)."""
+
+    @staticmethod
+    def _doc(n_tasks=1, ops_per_task=1, intra_edges=0, data_edges=0,
+             name="g", task_name=None):
+        tasks = []
+        for t in range(n_tasks):
+            ops = [{"name": f"o{t}_{i}", "optype": "add", "width": 8}
+                   for i in range(ops_per_task)]
+            edges = [[f"o{t}_{i}", f"o{t}_{i + 1}"]
+                     for i in range(intra_edges)]
+            tasks.append({
+                "name": task_name if task_name is not None else f"t{t}",
+                "operations": ops,
+                "edges": edges,
+            })
+        return {"version": 1, "name": name, "tasks": tasks,
+                "data_edges": [["t0.o0_0", "t0.o0_0"]] * data_edges}
+
+    def test_too_many_tasks_rejected_by_counting(self):
+        limits = GraphLimits(max_tasks=2)
+        with pytest.raises(SpecTooLargeError, match="3 tasks"):
+            task_graph_from_dict(self._doc(n_tasks=3), limits=limits)
+
+    def test_too_many_operations_rejected(self):
+        limits = GraphLimits(max_operations=4)
+        with pytest.raises(SpecTooLargeError, match="operations"):
+            task_graph_from_dict(
+                self._doc(n_tasks=1, ops_per_task=5), limits=limits,
+            )
+
+    def test_edge_cap_counts_intra_and_data_edges_together(self):
+        limits = GraphLimits(max_edges=3)
+        with pytest.raises(SpecTooLargeError, match="edges"):
+            task_graph_from_dict(
+                self._doc(ops_per_task=5, intra_edges=2, data_edges=2),
+                limits=limits,
+            )
+
+    def test_oversized_name_rejected(self):
+        limits = GraphLimits(max_name_length=8)
+        with pytest.raises(SpecTooLargeError, match="characters"):
+            task_graph_from_dict(
+                self._doc(task_name="x" * 9), limits=limits,
+            )
+
+    def test_too_large_is_still_a_specification_error(self):
+        # Existing INVALID_SPEC classification must keep applying.
+        assert issubclass(SpecTooLargeError, SpecificationError)
+
+    def test_within_limits_parses_normally(self):
+        limits = GraphLimits(max_tasks=2, max_operations=4, max_edges=4)
+        graph = task_graph_from_dict(
+            self._doc(n_tasks=2, ops_per_task=2, intra_edges=1),
+            limits=limits,
+        )
+        assert graph.num_operations == 4
+
+    def test_default_limits_admit_every_paper_graph(self):
+        for number in range(1, 7):
+            doc = task_graph_to_dict(paper_graph(number))
+            task_graph_from_dict(doc)  # must not raise
+
+    def test_limit_values_validated(self):
+        with pytest.raises(ValueError, match="max_tasks"):
+            GraphLimits(max_tasks=0)

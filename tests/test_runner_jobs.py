@@ -68,6 +68,36 @@ class TestJobSpec:
         ).spec_class == "random-t4-o9"
         assert JobSpec(0, {"kind": "drill", "mode": "ok"}).spec_class == "drill-ok"
 
+    def test_inline_source_spec_class_comes_from_the_spec_name(self):
+        data = {"version": 1, "name": "hal", "tasks": [], "data_edges": []}
+        assert JobSpec(0, {"kind": "inline", "data": data}).spec_class == "hal"
+        anonymous = {"version": 1, "name": "", "tasks": [], "data_edges": []}
+        assert (
+            JobSpec(0, {"kind": "inline", "data": anonymous}).spec_class
+            == "inline"
+        )
+
+    def test_inline_source_round_trips(self):
+        data = {
+            "version": 1, "name": "tiny",
+            "tasks": [{"name": "t0", "operations": [
+                {"name": "o0", "optype": "add", "width": 8}], "edges": []}],
+            "data_edges": [],
+        }
+        job = JobSpec(0, {"kind": "inline", "data": data})
+        clone = JobSpec.from_dict(json.loads(json.dumps(job.as_dict())))
+        assert clone == job
+        from repro.runner.worker import _build_graph
+        graph = _build_graph(clone.source)
+        assert graph.name == "tiny"
+        assert graph.num_operations == 1
+
+    def test_inline_source_without_dict_data_is_invalid_spec(self):
+        from repro.errors import SpecificationError
+        from repro.runner.worker import _build_graph
+        with pytest.raises(SpecificationError, match="inline source"):
+            _build_graph({"kind": "inline", "data": "not-a-dict"})
+
     def test_job_id_is_stable(self):
         job = JobSpec(7, {"kind": "drill", "mode": "ok"}, spec_class="sentinel")
         assert job.job_id == "j0007-sentinel"

@@ -2,11 +2,13 @@
 contract (truncated final line tolerated, earlier corruption fatal,
 foreign-batch journals refused)."""
 
+import errno
 import json
+import os
 
 import pytest
 
-from repro.errors import RunnerError
+from repro.errors import JournalWriteError, RunnerError
 from repro.runner import (
     JobOutcome,
     JobResult,
@@ -33,6 +35,59 @@ def _write(path, results, digest="d" * 64, n_jobs=None):
         )
         for result in results:
             writer.finished(result)
+
+
+class TestDurabilityFailure:
+    """A full disk fails the *record*, never the writer or its owner."""
+
+    def test_fsync_failure_is_a_typed_error_with_context(
+        self, tmp_path, monkeypatch,
+    ):
+        path = tmp_path / "j.jsonl"
+        with JournalWriter(path) as writer:
+            writer.header(n_jobs=1, manifest_digest="a" * 64)
+
+            real_fsync = os.fsync
+
+            def no_space(fd):
+                raise OSError(errno.ENOSPC, "No space left on device")
+
+            monkeypatch.setattr("repro.runner.journal.os.fsync", no_space)
+            with pytest.raises(JournalWriteError) as info:
+                writer.finished(_result(0))
+            assert info.value.path == str(path)
+            assert "No space left" in info.value.cause
+
+            # The handle stays open: once space frees up, the *next*
+            # append must succeed without reopening anything.
+            monkeypatch.setattr("repro.runner.journal.os.fsync", real_fsync)
+            writer.finished(_result(0))
+        assert set(replay(path)) == {0}
+
+    @pytest.mark.parametrize("failing", ["write", "flush"])
+    def test_write_and_flush_failures_are_typed_too(
+        self, tmp_path, failing,
+    ):
+        class _FailingHandle:
+            """Forwards to the real handle except one failing method."""
+
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __getattr__(self, name):
+                if name == failing:
+                    def boom(*args, **kwargs):
+                        raise OSError(errno.EIO, "I/O error")
+                    return boom
+                return getattr(self._inner, name)
+
+        writer = JournalWriter(tmp_path / "j.jsonl").open()
+        try:
+            writer._handle = _FailingHandle(writer._handle)
+            with pytest.raises(JournalWriteError, match="I/O error"):
+                writer.header(n_jobs=0, manifest_digest="a" * 64)
+        finally:
+            writer.close()
 
 
 class TestWriterAndReplay:

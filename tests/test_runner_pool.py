@@ -357,3 +357,48 @@ class TestRealSolveThroughWorker:
         results = _run(tmp_path, manifest)
         assert results[0].outcome is JobOutcome.INVALID_SPEC
         assert results[1].outcome is JobOutcome.OK
+
+
+class TestJournalFailureContainment:
+    """Satellite of the durability story: a failing journal disk must
+    cost the affected record its durability, not the batch its life."""
+
+    def test_disk_failure_annotates_results_and_batch_survives(
+        self, tmp_path, monkeypatch,
+    ):
+        from repro.errors import JournalWriteError
+        from repro.runner.journal import JournalWriter
+
+        def refuse(self, result):
+            raise JournalWriteError(
+                f"journal append to {self.path} failed: ENOSPC",
+                path=str(self.path), cause="No space left on device",
+            )
+
+        monkeypatch.setattr(JournalWriter, "finished", refuse)
+        events = []
+        jobs = load_manifest([
+            {"drill": "ok", "spec_class": "sentinel"},
+            {"drill": "ok", "spec_class": "sentinel"},
+        ])
+        runner = BatchRunner(
+            jobs, journal_path=tmp_path / "batch.jsonl",
+            on_event=lambda kind, payload: events.append((kind, payload)),
+        )
+        results = runner.run()
+
+        # The batch completed; every result survives in memory, each
+        # honestly annotated with the durability it lost.
+        assert [r.outcome for r in results] == [JobOutcome.OK, JobOutcome.OK]
+        for result in results:
+            assert any(
+                "journal write failed" in note for note in result.limit_notes
+            )
+        errors = [payload for kind, payload in events
+                  if kind == "journal_error"]
+        assert [e["job"] for e in errors] == [0, 1]
+        assert errors[0]["path"] == str(tmp_path / "batch.jsonl")
+        # The journal holds only the header, so a --resume would
+        # honestly re-run both jobs instead of trusting lost records.
+        records, _ = read_journal(tmp_path / "batch.jsonl")
+        assert [r["event"] for r in records] == ["batch"]

@@ -1,0 +1,132 @@
+"""Admission control: token buckets, decision order, explicit shedding."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.runner.jobs import CircuitBreaker, JobOutcome, JobResult
+from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.queue import BoundedPriorityQueue
+
+
+class TestTokenBucket:
+    def test_fresh_tenant_gets_its_full_burst(self):
+        bucket = TokenBucket(rate=1.0, burst=3)
+        assert [bucket.take("t", now=0.0) for _ in range(3)] == [None] * 3
+        assert bucket.take("t", now=0.0) is not None
+
+    def test_retry_after_is_time_to_the_next_token(self):
+        bucket = TokenBucket(rate=2.0, burst=1)
+        assert bucket.take("t", now=0.0) is None
+        retry = bucket.take("t", now=0.0)
+        assert retry == pytest.approx(0.5)  # 1 token at 2/s
+
+    def test_tokens_refill_at_rate(self):
+        bucket = TokenBucket(rate=1.0, burst=2)
+        bucket.take("t", now=0.0)
+        bucket.take("t", now=0.0)
+        assert bucket.take("t", now=0.5) is not None  # only half a token
+        assert bucket.take("t", now=1.6) is None      # >1 token accrued
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2)
+        bucket.take("t", now=0.0)
+        assert bucket.peek("t", now=100.0) == pytest.approx(2.0)
+
+    def test_tenants_are_independent(self):
+        bucket = TokenBucket(rate=1.0, burst=1)
+        assert bucket.take("a", now=0.0) is None
+        assert bucket.take("b", now=0.0) is None
+        assert bucket.take("a", now=0.0) is not None
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+def _controller(capacity=2, rate=100.0, burst=100, threshold=None):
+    return AdmissionController(
+        queue=BoundedPriorityQueue(capacity),
+        bucket=TokenBucket(rate, burst),
+        breaker=CircuitBreaker(threshold) if threshold else None,
+    )
+
+
+def _failure(spec_class="g"):
+    return JobResult(index=0, job_id="j", spec_class=spec_class,
+                     outcome=JobOutcome.CRASH)
+
+
+class TestAdmissionDecision:
+    def test_admits_and_counts(self):
+        ctl = _controller()
+        verdict, evicted = ctl.admit(
+            "job", tenant="t", priority=0, spec_class="g", now=0.0,
+        )
+        assert (verdict, evicted) == ("queued", None)
+        assert ctl.counters["admitted"] == 1
+
+    def test_draining_refuses_everything_first(self):
+        ctl = _controller()
+        with pytest.raises(ServiceError) as info:
+            ctl.admit("job", tenant="t", priority=9, spec_class="g",
+                      now=0.0, draining=True)
+        assert info.value.status == 503
+        assert info.value.code == "draining"
+        # No counter moved and no token burned: drain precedes all.
+        assert ctl.counters["admitted"] == 0
+        assert ctl.bucket.peek("t", now=0.0) == 100.0
+
+    def test_open_breaker_refuses_the_class(self):
+        ctl = _controller(threshold=2)
+        for _ in range(2):
+            ctl.record_outcome(_failure("bad"))
+        with pytest.raises(ServiceError) as info:
+            ctl.admit("job", tenant="t", priority=0, spec_class="bad", now=0.0)
+        assert info.value.status == 503
+        assert info.value.code == "breaker-open"
+        assert ctl.counters["rejected_breaker"] == 1
+        # Other spec classes are unaffected.
+        ctl.admit("job", tenant="t", priority=0, spec_class="fine", now=0.0)
+
+    def test_quota_shed_is_429_with_retry_after(self):
+        ctl = _controller(rate=2.0, burst=1)
+        ctl.admit("a", tenant="t", priority=0, spec_class="g", now=0.0)
+        with pytest.raises(ServiceError) as info:
+            ctl.admit("b", tenant="t", priority=0, spec_class="g", now=0.0)
+        assert info.value.status == 429
+        assert info.value.code == "shed-quota"
+        assert info.value.retry_after_s == pytest.approx(0.5)
+        assert ctl.counters["shed_quota"] == 1
+
+    def test_queue_full_shed_is_429(self):
+        ctl = _controller(capacity=1)
+        ctl.admit("a", tenant="t", priority=0, spec_class="g", now=0.0)
+        with pytest.raises(ServiceError) as info:
+            ctl.admit("b", tenant="t", priority=0, spec_class="g", now=0.0)
+        assert info.value.status == 429
+        assert info.value.code == "shed-queue-full"
+        assert info.value.retry_after_s is not None
+        assert ctl.counters["shed_queue_full"] == 1
+
+    def test_priority_eviction_returns_the_loser(self):
+        ctl = _controller(capacity=1)
+        ctl.admit("victim", tenant="t", priority=0, spec_class="g", now=0.0)
+        verdict, evicted = ctl.admit(
+            "vip", tenant="t", priority=9, spec_class="g", now=0.0,
+        )
+        assert verdict == "evicted"
+        assert evicted == "victim"
+        assert ctl.counters["shed_evicted"] == 1
+        assert ctl.queue.items() == ["vip"]
+
+    def test_snapshot_is_json_shaped(self):
+        ctl = _controller(threshold=3)
+        snap = ctl.snapshot()
+        assert snap["queue_capacity"] == 2
+        assert snap["queue_depth"] == 0
+        assert snap["breaker"] == {
+            "threshold": 3, "consecutive_failures": {},
+        }
+        assert snap["admitted"] == 0

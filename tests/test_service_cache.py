@@ -1,0 +1,75 @@
+"""Result cache: only proven answers, bounded LRU, honest counters."""
+
+from repro.runner.jobs import JobOutcome, JobResult
+from repro.service.cache import ResultCache, is_cacheable
+
+import pytest
+
+
+def _result(outcome=JobOutcome.OK, status="optimal", **solve_extra):
+    solve = None
+    if status is not None:
+        solve = {"status": status, "objective": 2, **solve_extra}
+    return JobResult(index=0, job_id="s000000", spec_class="g",
+                     outcome=outcome, solve=solve)
+
+
+class TestCacheability:
+    def test_proven_optimal_is_cacheable(self):
+        assert is_cacheable(_result(JobOutcome.OK, "optimal"))
+
+    def test_proven_infeasible_is_cacheable(self):
+        assert is_cacheable(_result(JobOutcome.OK, "infeasible"))
+
+    @pytest.mark.parametrize("status", ["feasible", "no_solution", "unknown"])
+    def test_unproven_statuses_are_not(self, status):
+        # A FEASIBLE answer under a short deadline is not the answer a
+        # longer deadline would get; caching it would serve the wrong
+        # result to a more patient client.
+        assert not is_cacheable(_result(JobOutcome.OK, status))
+
+    @pytest.mark.parametrize("outcome", [
+        JobOutcome.DEGRADED, JobOutcome.TIMEOUT, JobOutcome.OOM,
+        JobOutcome.CRASH, JobOutcome.INVALID_SPEC, JobOutcome.SKIPPED,
+    ])
+    def test_non_ok_outcomes_are_not(self, outcome):
+        assert not is_cacheable(_result(outcome, "optimal"))
+
+    def test_missing_solve_payload_is_not(self):
+        assert not is_cacheable(_result(JobOutcome.OK, status=None))
+
+
+class TestLRU:
+    def test_get_put_roundtrip_and_counters(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("fp") is None
+        assert cache.put("fp", _result()) is True
+        assert cache.get("fp").solve["objective"] == 2
+        snap = cache.snapshot()
+        assert (snap["hits"], snap["misses"], snap["stores"]) == (1, 1, 1)
+        assert snap["hit_rate"] == 0.5
+
+    def test_unproven_put_is_rejected_and_counted(self):
+        cache = ResultCache(capacity=4)
+        assert cache.put("fp", _result(status="feasible")) is False
+        assert cache.get("fp") is None
+        assert cache.snapshot()["rejected_unproven"] == 1
+
+    def test_capacity_evicts_least_recently_used(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", _result())
+        cache.put("b", _result())
+        cache.get("a")            # refresh a; b is now the LRU entry
+        cache.put("c", _result())
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.snapshot()["evictions"] == 1
+
+    def test_len_and_capacity_floor(self):
+        cache = ResultCache(capacity=1)
+        cache.put("a", _result())
+        cache.put("b", _result())
+        assert len(cache) == 1
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)

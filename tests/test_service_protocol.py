@@ -1,0 +1,159 @@
+"""Wire protocol: strict request parsing, fingerprints, HTTP framing."""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.graph.io import GraphLimits
+from repro.service.protocol import (
+    error_response,
+    format_response,
+    parse_request_head,
+    parse_solve_request,
+    request_fingerprint,
+)
+
+
+def _spec(n_tasks=1, name="tiny"):
+    return {
+        "version": 1,
+        "name": name,
+        "tasks": [
+            {"name": f"t{i}",
+             "operations": [{"name": f"o{i}", "optype": "add", "width": 8}],
+             "edges": []}
+            for i in range(n_tasks)
+        ],
+        "data_edges": [],
+    }
+
+
+class TestParseSolveRequest:
+    def test_minimal_paper_graph_request(self):
+        req = parse_solve_request({"paper_graph": 1})
+        assert req.source == {"kind": "paper", "number": 1}
+        assert req.spec_class == "graph1"
+        assert req.tenant == "default"
+        assert req.wait is True
+
+    def test_minimal_inline_request(self):
+        req = parse_solve_request({"spec": _spec()})
+        assert req.source["kind"] == "inline"
+        assert req.spec_class == "tiny"
+
+    def test_rejects_non_object_body(self):
+        with pytest.raises(ServiceError) as info:
+            parse_solve_request([1, 2])
+        assert info.value.status == 400
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ServiceError, match="unknown request keys"):
+            parse_solve_request({"paper_graph": 1, "turbo": True})
+
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(ServiceError, match="exactly one"):
+            parse_solve_request({})
+        with pytest.raises(ServiceError, match="exactly one"):
+            parse_solve_request({"paper_graph": 1, "spec": _spec()})
+
+    def test_invalid_spec_maps_to_400(self):
+        with pytest.raises(ServiceError) as info:
+            parse_solve_request({"spec": {"version": 99}})
+        assert info.value.status == 400
+        assert info.value.code == "invalid-spec"
+
+    def test_oversized_spec_maps_to_413(self):
+        limits = GraphLimits(max_tasks=2)
+        with pytest.raises(ServiceError) as info:
+            parse_solve_request({"spec": _spec(n_tasks=3)}, limits)
+        assert info.value.status == 413
+        assert info.value.code == "spec-too-large"
+
+    def test_paper_graph_range(self):
+        with pytest.raises(ServiceError, match="1..6"):
+            parse_solve_request({"paper_graph": 7})
+
+    def test_priority_range(self):
+        with pytest.raises(ServiceError, match="priority"):
+            parse_solve_request({"paper_graph": 1, "priority": 10})
+
+    def test_deadline_must_be_positive(self):
+        with pytest.raises(ServiceError, match="deadline_s"):
+            parse_solve_request({"paper_graph": 1, "deadline_s": 0})
+
+    def test_tenant_length_capped(self):
+        with pytest.raises(ServiceError, match="tenant"):
+            parse_solve_request({"paper_graph": 1, "tenant": "x" * 65})
+
+    def test_unknown_options_rejected(self):
+        with pytest.raises(ServiceError, match="unknown options"):
+            parse_solve_request({"paper_graph": 1,
+                                 "options": {"overclock": True}})
+
+    def test_booleans_are_not_integers(self):
+        with pytest.raises(ServiceError):
+            parse_solve_request({"paper_graph": True})
+
+
+class TestFingerprint:
+    def test_identical_formulations_share_a_fingerprint(self):
+        a = parse_solve_request({"paper_graph": 2, "mix": "1A+1M"})
+        b = parse_solve_request({"paper_graph": 2, "mix": "1A+1M"})
+        assert request_fingerprint(a) == request_fingerprint(b)
+
+    def test_tenant_priority_deadline_do_not_fragment_the_cache(self):
+        base = parse_solve_request({"paper_graph": 2})
+        other = parse_solve_request({
+            "paper_graph": 2, "tenant": "alice", "priority": 9,
+            "deadline_s": 5.0, "wait": False,
+        })
+        assert request_fingerprint(base) == request_fingerprint(other)
+
+    @pytest.mark.parametrize("delta", [
+        {"mix": "1A+1M"},
+        {"n_partitions": 4},
+        {"relaxation": 2},
+        {"device": "xc4005"},
+        {"node_limit": 10},
+        {"options": {"fortet": True}},
+    ])
+    def test_formulation_knobs_do_change_it(self, delta):
+        base = parse_solve_request({"paper_graph": 2})
+        changed = parse_solve_request({"paper_graph": 2, **delta})
+        assert request_fingerprint(base) != request_fingerprint(changed)
+
+
+class TestHTTPFraming:
+    def test_parse_request_head(self):
+        head = (b"POST /v1/solve HTTP/1.1\r\n"
+                b"Content-Length: 12\r\nHost: x\r\n")
+        method, path, headers = parse_request_head(head)
+        assert (method, path) == ("POST", "/v1/solve")
+        assert headers["content-length"] == "12"
+        assert headers["host"] == "x"
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(ServiceError, match="request line"):
+            parse_request_head(b"GARBAGE\r\n")
+
+    def test_format_response_is_parseable(self):
+        raw = format_response(200, {"ok": True})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK")
+        assert b"Content-Type: application/json" in head
+        assert json.loads(body) == {"ok": True}
+        assert f"Content-Length: {len(body)}".encode() in head
+
+    def test_error_response_rounds_retry_after_up(self):
+        exc = ServiceError("shed", status=429, code="shed-quota",
+                           retry_after_s=0.2)
+        raw = error_response(exc)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"HTTP/1.1 429" in head
+        # Integer header, rounded *up* so an honoring client never
+        # returns still-too-early.
+        assert b"Retry-After: 1" in head
+        doc = json.loads(body)
+        assert doc["error"]["code"] == "shed-quota"
+        assert doc["error"]["retry_after_s"] == 0.2

@@ -1,0 +1,90 @@
+"""Bounded priority queue: ordering, eviction, and the shed contract."""
+
+import pytest
+
+from repro.service.queue import BoundedPriorityQueue
+
+
+class TestOrdering:
+    def test_fifo_among_equal_priorities(self):
+        q = BoundedPriorityQueue(4)
+        for name in "abc":
+            assert q.push(name, priority=0) == ("queued", None)
+        assert [q.pop(), q.pop(), q.pop()] == ["a", "b", "c"]
+
+    def test_higher_priority_pops_first(self):
+        q = BoundedPriorityQueue(4)
+        q.push("batch", priority=0)
+        q.push("interactive", priority=5)
+        q.push("critical", priority=9)
+        assert q.pop() == "critical"
+        assert q.pop() == "interactive"
+        assert q.pop() == "batch"
+
+    def test_pop_empty_returns_none(self):
+        assert BoundedPriorityQueue(1).pop() is None
+
+    def test_items_are_best_first(self):
+        q = BoundedPriorityQueue(4)
+        q.push("low", priority=1)
+        q.push("high", priority=8)
+        assert q.items() == ["high", "low"]
+        assert q.depth == 2
+
+
+class TestBoundAndEviction:
+    def test_full_of_equal_priority_sheds_the_newcomer(self):
+        q = BoundedPriorityQueue(2)
+        q.push("a", priority=3)
+        q.push("b", priority=3)
+        verdict, evicted = q.push("c", priority=3)
+        assert (verdict, evicted) == ("full", None)
+        assert q.items() == ["a", "b"]  # incumbents keep their slots
+
+    def test_higher_priority_newcomer_evicts_worst(self):
+        q = BoundedPriorityQueue(2)
+        q.push("old-low", priority=1)
+        q.push("high", priority=7)
+        verdict, evicted = q.push("newcomer", priority=5)
+        assert verdict == "evicted"
+        assert evicted == "old-low"
+        assert q.items() == ["high", "newcomer"]
+
+    def test_eviction_picks_youngest_of_the_lowest_priority(self):
+        q = BoundedPriorityQueue(3)
+        q.push("low-old", priority=1)
+        q.push("low-young", priority=1)
+        q.push("mid", priority=4)
+        verdict, evicted = q.push("high", priority=9)
+        assert verdict == "evicted"
+        # Among the priority-1 entries, the one that has waited least
+        # loses its slot.
+        assert evicted == "low-young"
+        assert q.items() == ["high", "mid", "low-old"]
+
+    def test_lower_priority_newcomer_never_evicts(self):
+        q = BoundedPriorityQueue(1)
+        q.push("incumbent", priority=5)
+        verdict, evicted = q.push("weak", priority=2)
+        assert (verdict, evicted) == ("full", None)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            BoundedPriorityQueue(0)
+
+
+class TestRemove:
+    def test_remove_withdraws_a_specific_item(self):
+        q = BoundedPriorityQueue(3)
+        target = object()
+        q.push("a", priority=0)
+        q.push(target, priority=0)
+        assert q.remove(target) is True
+        assert q.remove(target) is False  # already gone
+        assert q.items() == ["a"]
+
+    def test_remove_is_identity_not_equality(self):
+        q = BoundedPriorityQueue(3)
+        q.push([1], priority=0)
+        assert q.remove([1]) is False  # equal but not the same object
+        assert q.depth == 1

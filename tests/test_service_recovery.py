@@ -1,0 +1,239 @@
+"""Crash and drain recovery of the real server process.
+
+These tests run ``repro serve`` as an actual subprocess and do to it
+what production does: SIGTERM mid-solve (graceful drain — must
+checkpoint and exit 0) and SIGKILL mid-solve (crash — must lose
+nothing acknowledged).  In both cases a restarted server against the
+same state directory must finish every owed job exactly once, and a
+job killed mid-branch-and-bound must resume from its checkpoint and
+reach the same proven optimum an uninterrupted solve reaches.
+
+Paper graph 3 (~2s of solver time, ~21 nodes) is the vehicle: slow
+enough to be interrupted reliably, fast enough for CI.
+"""
+
+import json
+import os
+import select
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+import repro
+
+SLOW_SPEC = {"paper_graph": 3, "mix": "2A+2M+1S", "n_partitions": 3,
+             "relaxation": 1, "deadline_s": 120, "wait": False}
+FAST_SPEC = {"paper_graph": 1, "mix": "2A+2M+1S", "n_partitions": 3,
+             "relaxation": 1, "deadline_s": 120, "wait": False}
+
+
+def _env():
+    env = dict(os.environ)
+    package_root = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+def _read_line(proc, timeout_s=60.0):
+    """One stdout line, or fail loudly with whatever the server said."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"server exited rc={proc.returncode} before speaking: "
+                f"{proc.stderr.read()}"
+            )
+        ready, _, _ = select.select([proc.stdout], [], [], 0.2)
+        if ready:
+            return proc.stdout.readline()
+    raise AssertionError("server did not produce its ready line in time")
+
+
+def _start_server(state_dir, *extra_args):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--state-dir", str(state_dir), "--workers", "1", *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=_env(),
+    )
+    ready = json.loads(_read_line(proc))
+    assert ready["event"] == "ready"
+    return proc, ready
+
+
+def _stop(proc):
+    if proc.poll() is None:
+        proc.kill()
+        proc.wait(timeout=10)
+    proc.stdout.close()
+    proc.stderr.close()
+
+
+def _request(port, method, path, body=None, timeout=30):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", method=method,
+        data=None if body is None else json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _wait_for(predicate, timeout_s=60.0, interval_s=0.1):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval_s)
+    raise AssertionError("condition not reached in time")
+
+
+def _wait_done(port, job_id, timeout_s=90.0):
+    def poll():
+        status, doc = _request(port, "GET", f"/v1/jobs/{job_id}")
+        assert status == 200, doc
+        return doc if doc.get("state") == "done" else None
+    return _wait_for(poll, timeout_s)
+
+
+def _journal_events(state_dir):
+    path = Path(state_dir) / "service.journal.jsonl"
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+@pytest.fixture
+def baseline_optimum(tmp_path_factory):
+    """The uninterrupted answer for SLOW_SPEC, solved once per session."""
+    state_dir = tmp_path_factory.mktemp("baseline")
+    proc, ready = _start_server(state_dir)
+    try:
+        status, doc = _request(ready["port"], "POST", "/v1/solve", SLOW_SPEC)
+        assert status == 202
+        done = _wait_done(ready["port"], doc["job_id"])
+        assert done["outcome"] == "OK"
+        assert done["solve"]["status"] == "optimal"
+        return done["solve"]["objective"]
+    finally:
+        _stop(proc)
+
+
+class TestSigtermDrain:
+    def test_drain_mid_solve_checkpoints_exits_zero_and_resumes(
+        self, tmp_path, baseline_optimum,
+    ):
+        state_dir = tmp_path / "state"
+        proc, ready = _start_server(
+            state_dir, "--checkpoint-every", "1", "--drain-grace", "0",
+        )
+        try:
+            port = ready["port"]
+            status, doc = _request(port, "POST", "/v1/solve", SLOW_SPEC)
+            assert status == 202
+            job_id = doc["job_id"]
+            checkpoint = state_dir / "scratch" / job_id / "checkpoint.json"
+            # Wait until the solve is demonstrably mid-search: the
+            # worker has written at least one B&B checkpoint.
+            _wait_for(checkpoint.exists)
+
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0  # a drain is a success
+        finally:
+            _stop(proc)
+
+        events = _journal_events(state_dir)
+        assert any(r.get("kind") == "accepted" for r in events)
+        # The drain deliberately did NOT journal the interrupted job as
+        # finished: the restart owns it.
+        assert not any(r.get("event") == "finished" for r in events)
+        assert checkpoint.exists()
+
+        proc, ready = _start_server(state_dir)
+        try:
+            assert ready["recovered_jobs"] == 1
+            done = _wait_done(ready["port"], job_id)
+            assert done["outcome"] == "OK"
+            assert done["solve"]["status"] == "optimal"
+            # The resumed search proves the same optimum the
+            # uninterrupted solve proves.
+            assert done["solve"]["objective"] == baseline_optimum
+        finally:
+            _stop(proc)
+
+        # Normal completion cleans the checkpoint up.
+        assert not checkpoint.exists()
+        finished = [
+            r for r in _journal_events(state_dir)
+            if r.get("event") == "finished"
+        ]
+        assert len(finished) == 1
+
+
+class TestSigkillRecovery:
+    def test_kill9_mid_solve_serves_every_acknowledged_job_exactly_once(
+        self, tmp_path,
+    ):
+        state_dir = tmp_path / "state"
+        proc, ready = _start_server(state_dir, "--checkpoint-every", "1")
+        port = ready["port"]
+        try:
+            status, slow = _request(port, "POST", "/v1/solve", SLOW_SPEC)
+            assert status == 202
+            status, fast = _request(port, "POST", "/v1/solve", FAST_SPEC)
+            assert status == 202
+            acknowledged = [slow["job_id"], fast["job_id"]]
+            # Let the slow solve get demonstrably under way first.
+            checkpoint = (
+                state_dir / "scratch" / slow["job_id"] / "checkpoint.json"
+            )
+            _wait_for(checkpoint.exists)
+            proc.kill()  # SIGKILL: no handler, no flush, no goodbye
+            proc.wait(timeout=10)
+        finally:
+            _stop(proc)
+
+        proc, ready = _start_server(state_dir)
+        try:
+            assert ready["recovered_jobs"] == 2
+            for job_id in acknowledged:
+                done = _wait_done(ready["port"], job_id)
+                assert done["outcome"] == "OK", done
+                assert done["solve"]["status"] == "optimal"
+        finally:
+            _stop(proc)
+
+        events = _journal_events(state_dir)
+        accepted = [r["job"] for r in events if r.get("kind") == "accepted"]
+        finished = [r["job"] for r in events if r.get("event") == "finished"]
+        # Exactly once: every acknowledged job accepted once and
+        # finished once — nothing lost, nothing duplicated.
+        assert sorted(accepted) == [0, 1]
+        assert sorted(finished) == [0, 1]
+
+    def test_kill9_before_any_job_recovers_to_empty(self, tmp_path):
+        state_dir = tmp_path / "state"
+        proc, _ = _start_server(state_dir)
+        proc.kill()
+        proc.wait(timeout=10)
+        _stop(proc)
+
+        proc, ready = _start_server(state_dir)
+        try:
+            assert ready["recovered_jobs"] == 0
+            status, doc = _request(ready["port"], "GET", "/readyz")
+            assert (status, doc["ready"]) == (200, True)
+        finally:
+            _stop(proc)
