@@ -13,12 +13,16 @@ and records what the overload story actually delivers:
 * **Drain check** — the loaded server is stopped with SIGTERM and must
   exit 0 with a journal in which every accepted job was finished or
   shed (nothing silently dropped).
-* **Recovery drill** — a fresh server is SIGKILLed mid-branch-and-bound
-  (after the worker has written a checkpoint) and restarted against
-  the same state directory; the verdict is ``pass`` only if the ready
-  line reports the owed job, the job then completes with a proven
-  optimum, and the journal shows each acknowledged job accepted and
-  finished exactly once.
+* **Recovery drill** — a fresh server takes two jobs, is SIGKILLed
+  mid-branch-and-bound (after the worker has written a checkpoint),
+  and then — before restart — the drill flips one byte in the final
+  journal line (the second job's accepted record), simulating bit rot
+  landing together with the crash.  The restarted server must
+  quarantine exactly that record (``quarantined_records == 1`` on the
+  ready line and in ``/metrics``), still recover and finish the first
+  job with a proven optimum exactly once, and answer 404 for the job
+  whose acceptance rotted away.  Recovery latencies (restart-to-ready
+  and restart-to-done) are recorded in the report.
 
 Hard gates (non-zero exit): zero internal server errors, at least one
 cache hit, at least one shed with a ``Retry-After`` header, a clean
@@ -51,6 +55,8 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.artifacts import write_snapshot  # noqa: E402
 
 BENCH_SCHEMA = "repro.bench_service/v1"
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_service.json"
@@ -221,8 +227,21 @@ def run_load_phase(state_dir: Path, scale: int) -> dict:
     }
 
 
+def corrupt_final_journal_line(state_dir: Path) -> None:
+    """Flip one byte mid-way through the journal's last record —
+    bit rot arriving together with the crash."""
+    path = state_dir / "service.journal.jsonl"
+    lines = path.read_bytes().splitlines(keepends=True)
+    last = bytearray(lines[-1])
+    last[len(last) // 2] ^= 0x01
+    lines[-1] = bytes(last)
+    path.write_bytes(b"".join(lines))
+
+
 def run_recovery_drill(state_dir: Path) -> dict:
-    """SIGKILL mid-solve, restart, demand exactly-once completion."""
+    """SIGKILL mid-solve + bit rot in the journal, restart, demand
+    quarantine of the rotten record and exactly-once completion of
+    the survivor."""
     proc, port, _ = start_server(
         state_dir, "--workers", "1", "--checkpoint-every", "1",
     )
@@ -232,6 +251,14 @@ def run_recovery_drill(state_dir: Path) -> dict:
         if status != 202:
             return {"verdict": "fail", "reason": f"submit got {status}"}
         job_id = doc["job_id"]
+        # A second distinct job, queued behind the first; its accepted
+        # record is the journal's final line — the one we will rot.
+        status, doc, _ = request(
+            port, "POST", "/v1/solve",
+            {**SLOW_SPEC, "node_limit": 50, "wait": False})
+        if status != 202:
+            return {"verdict": "fail", "reason": f"second submit got {status}"}
+        doomed_id = doc["job_id"]
         checkpoint = state_dir / "scratch" / job_id / "checkpoint.json"
         deadline = time.monotonic() + 60
         while not checkpoint.exists():
@@ -247,9 +274,14 @@ def run_recovery_drill(state_dir: Path) -> dict:
         proc.stdout.close()
         proc.stderr.close()
 
+    corrupt_final_journal_line(state_dir)
+
+    restart_at = time.monotonic()
     proc, port, ready = start_server(state_dir, "--workers", "1")
+    ready_s = round(time.monotonic() - restart_at, 4)
     try:
         recovered = int(ready.get("recovered_jobs", 0))
+        quarantined = int(ready.get("quarantined_records", 0))
         deadline = time.monotonic() + 120
         final = None
         while time.monotonic() < deadline:
@@ -258,6 +290,9 @@ def run_recovery_drill(state_dir: Path) -> dict:
                 final = doc
                 break
             time.sleep(0.2)
+        done_s = round(time.monotonic() - restart_at, 4)
+        doomed_status, _, _ = request(port, "GET", f"/v1/jobs/{doomed_id}")
+        _, metrics, _ = request(port, "GET", "/metrics")
     finally:
         proc.send_signal(signal.SIGTERM)
         try:
@@ -270,6 +305,16 @@ def run_recovery_drill(state_dir: Path) -> dict:
 
     if recovered < 1:
         return {"verdict": "fail", "reason": "restart recovered no jobs"}
+    if quarantined != 1:
+        return {"verdict": "fail",
+                "reason": f"expected 1 quarantined record, got {quarantined}"}
+    if (metrics.get("counters") or {}).get("quarantined_records") != 1:
+        return {"verdict": "fail",
+                "reason": "/metrics does not report the quarantined record"}
+    if doomed_status != 404:
+        return {"verdict": "fail",
+                "reason": f"rotted job should be unknown (404), "
+                          f"got {doomed_status}"}
     if final is None:
         return {"verdict": "fail", "reason": "recovered job never finished"}
     if final.get("outcome") != "OK" or final["solve"]["status"] != "optimal":
@@ -281,9 +326,17 @@ def run_recovery_drill(state_dir: Path) -> dict:
             set(finished)) or set(accepted) != set(finished):
         return {"verdict": "fail",
                 "reason": f"journal not exactly-once: {accepted} vs {finished}"}
+    quarantine_index = (
+        state_dir / "service.journal.jsonl.quarantine" / "index.jsonl"
+    )
+    if not quarantine_index.exists():
+        return {"verdict": "fail", "reason": "no quarantine ledger written"}
     return {
         "verdict": "pass",
         "recovered_jobs": recovered,
+        "quarantined_records": quarantined,
+        "restart_ready_s": ready_s,
+        "restart_done_s": done_s,
         "objective": final["solve"]["objective"],
         "status": final["solve"]["status"],
     }
@@ -311,7 +364,8 @@ def main(argv=None) -> int:
         print(json.dumps(load, indent=2), flush=True)
         recovery = {"verdict": "skipped"}
         if not args.skip_recovery:
-            print("recovery drill (kill -9 mid-solve) ...", flush=True)
+            print("recovery drill (kill -9 mid-solve + journal bit rot) ...",
+                  flush=True)
             recovery = run_recovery_drill(root / "recovery")
             print(json.dumps(recovery, indent=2), flush=True)
 
@@ -321,7 +375,7 @@ def main(argv=None) -> int:
         "load": load,
         "recovery": recovery,
     }
-    args.json.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    write_snapshot(args.json, report, indent=2)
     print(f"wrote {args.json}")
 
     failures = []

@@ -54,10 +54,31 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.artifacts import read_snapshot, write_snapshot  # noqa: E402
+from repro.errors import ArtifactError  # noqa: E402
 from repro.reporting.experiments import run_row, table_rows  # noqa: E402
 
 BASELINE_SCHEMA = "repro.bench_solver/v1"
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_solver.json"
+
+
+def load_baseline(path: Path) -> "dict | None":
+    """Read a digest-verified baseline; None (with a message) on damage.
+
+    Goes through the durable-artifact layer so a bit-rotted or torn
+    baseline is reported as exactly that, instead of producing a
+    phantom perf regression.
+    """
+    try:
+        baseline = read_snapshot(path)
+    except ArtifactError as exc:
+        print(f"baseline {path} unreadable ({exc.cause}): {exc}",
+              file=sys.stderr)
+        return None
+    if baseline.get("schema") != BASELINE_SCHEMA:
+        print(f"baseline schema mismatch in {path}", file=sys.stderr)
+        return None
+    return baseline
 KERNELS = ("incremental", "scipy")
 
 #: Fields that must match the baseline bit-for-bit: any drift means
@@ -369,11 +390,10 @@ def main(argv=None) -> int:
                          "sequential run)")
         baseline = {}
         if args.baseline.exists():
-            baseline = json.loads(args.baseline.read_text())
-            if baseline.get("schema") != BASELINE_SCHEMA:
-                print(f"baseline schema mismatch in {args.baseline}",
-                      file=sys.stderr)
+            loaded = load_baseline(args.baseline)
+            if loaded is None:
                 return 2
+            baseline = loaded
         rows, failures = run_audit_bench(
             tables, args.time_limit, baseline, workers=args.audit_workers,
         )
@@ -400,11 +420,10 @@ def main(argv=None) -> int:
             parser.error("--workers must be >= 2 (1 is the sequential run)")
         baseline = {}
         if args.baseline.exists():
-            baseline = json.loads(args.baseline.read_text())
-            if baseline.get("schema") != BASELINE_SCHEMA:
-                print(f"baseline schema mismatch in {args.baseline}",
-                      file=sys.stderr)
+            loaded = load_baseline(args.baseline)
+            if loaded is None:
                 return 2
+            baseline = loaded
         rows, failures, notes = run_scaling_bench(
             tables, args.time_limit, args.workers, baseline,
             args.min_scaling,
@@ -445,9 +464,7 @@ def main(argv=None) -> int:
         print(f"wrote {args.json}")
 
     if args.update_baseline:
-        args.baseline.write_text(
-            json.dumps(payload, indent=1, sort_keys=True) + "\n"
-        )
+        write_snapshot(args.baseline, payload, indent=1)
         print(f"baseline updated: {args.baseline}")
         return 0
 
@@ -457,9 +474,8 @@ def main(argv=None) -> int:
             f"to create one", file=sys.stderr,
         )
         return 2
-    baseline = json.loads(args.baseline.read_text())
-    if baseline.get("schema") != BASELINE_SCHEMA:
-        print(f"baseline schema mismatch in {args.baseline}", file=sys.stderr)
+    baseline = load_baseline(args.baseline)
+    if baseline is None:
         return 2
     failures = compare(rows, baseline, args.tolerance)
 

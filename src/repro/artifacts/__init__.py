@@ -1,0 +1,98 @@
+"""``repro.artifacts``: the one durable-storage substrate.
+
+Every artifact family the system persists — batch/service journals
+(``repro.batch_journal/v1``), B&B checkpoints
+(``repro.bnb_checkpoint/v2``), proof logs (``repro.bnb_proof/v1``),
+solve-telemetry exports, and bench baselines — reads and writes
+through this package instead of hand-rolling ``open``/``fsync``/
+``os.replace``:
+
+* :mod:`~repro.artifacts.fsio` — the pluggable filesystem seam;
+* :mod:`~repro.artifacts.framing` — CRC-32 record seals and SHA-256
+  snapshot digests over canonical JSON;
+* :mod:`~repro.artifacts.log` — append-only JSONL
+  (:class:`DurableWriter` / :class:`DurableReader`, tolerant scans,
+  torn-tail truncation, quarantine-and-rewrite repair);
+* :mod:`~repro.artifacts.snapshot` — atomic whole-file JSON replace
+  with digest verification and stale-temp sweeping;
+* :mod:`~repro.artifacts.quarantine` — where corrupt content goes
+  instead of a crash;
+* :mod:`~repro.artifacts.chaos` — seeded, deterministic I/O fault
+  injection at the seam;
+* :mod:`~repro.artifacts.doctor` — the ``repro doctor`` offline
+  triage/repair CLI.
+
+All failures are typed :class:`~repro.errors.ArtifactError`; consumers
+convert to their domain errors or quarantine-and-degrade.
+"""
+
+from repro.artifacts.chaos import (
+    IO_FAULT_KINDS,
+    FaultyFS,
+    IOFaultPlan,
+    inject_io_faults,
+)
+from repro.artifacts.doctor import doctor_main, exit_code, scan_run_dir
+from repro.artifacts.framing import (
+    canonical_body,
+    payload_digest,
+    payload_digest_ok,
+    record_checksum_ok,
+    seal_payload,
+    seal_record,
+)
+from repro.artifacts.fsio import FileOps, current_ops, set_ops, swap_ops
+from repro.artifacts.log import (
+    DurableReader,
+    DurableWriter,
+    LogScan,
+    RepairReport,
+    repair_log,
+    scan_log,
+    truncate_torn_tail,
+)
+from repro.artifacts.quarantine import (
+    quarantine_dir_for,
+    quarantine_file,
+    quarantine_record,
+    read_quarantine_index,
+)
+from repro.artifacts.snapshot import (
+    read_snapshot,
+    sweep_stale_temps,
+    write_snapshot,
+)
+
+__all__ = [
+    "IO_FAULT_KINDS",
+    "DurableReader",
+    "DurableWriter",
+    "FaultyFS",
+    "FileOps",
+    "IOFaultPlan",
+    "LogScan",
+    "RepairReport",
+    "canonical_body",
+    "current_ops",
+    "doctor_main",
+    "exit_code",
+    "inject_io_faults",
+    "payload_digest",
+    "payload_digest_ok",
+    "quarantine_dir_for",
+    "quarantine_file",
+    "quarantine_record",
+    "read_quarantine_index",
+    "read_snapshot",
+    "record_checksum_ok",
+    "repair_log",
+    "scan_log",
+    "scan_run_dir",
+    "seal_payload",
+    "seal_record",
+    "set_ops",
+    "swap_ops",
+    "sweep_stale_temps",
+    "truncate_torn_tail",
+    "write_snapshot",
+]

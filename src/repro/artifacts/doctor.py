@@ -1,0 +1,280 @@
+"""``repro doctor``: offline artifact triage and repair for run dirs.
+
+Scans a directory tree, recognizes every durable artifact family by
+its envelope — batch/service journals and proof logs (JSONL), B&B
+checkpoints, telemetry exports, bench baselines and batch summaries
+(snapshot JSON), stale ``*.tmp`` debris — and classifies each one:
+
+* ``ok`` — strictly readable, checksums/digests verify;
+* ``repairable`` — a torn tail, corrupt JSONL records that can be
+  quarantined while the rest replays, or stale temp files;
+* ``corrupt`` — unrecoverable as-is (failed whole-file digest,
+  unparseable snapshot, JSONL with a destroyed header): repair means
+  quarantining the artifact so consumers honestly start fresh.
+
+With ``--repair`` it acts: truncates torn tails, quarantines bad
+records and rewrites the survivors atomically, sweeps stale temps,
+quarantines corrupt snapshots, and rebuilds a batch journal's sibling
+summary (``<name>.summary.json``) from the intact records.
+
+Exit-code contract (CI gates on it):
+
+* ``0`` — every artifact ok, nothing to do;
+* ``1`` — repairable findings (fixed when ``--repair`` was given;
+  re-running after a repair exits 0);
+* ``2`` — corrupt artifacts: data was (or would be) lost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.artifacts.log import repair_log, scan_log, truncate_torn_tail
+from repro.artifacts.quarantine import (
+    is_quarantine_path,
+    quarantine_file,
+    read_quarantine_index,
+)
+from repro.artifacts.snapshot import TMP_SUFFIX, read_snapshot
+from repro.errors import ArtifactError
+
+#: Snapshot schema prefixes the doctor recognizes as repro artifacts.
+_SNAPSHOT_SCHEMA_PREFIXES = (
+    "repro.bnb_checkpoint/",
+    "repro.solve_telemetry/",
+    "repro.bench_solver/",
+    "repro.bench_service/",
+    "repro.batch_summary/",
+    "repro.service_metrics/",
+)
+
+OK = "ok"
+REPAIRABLE = "repairable"
+CORRUPT = "corrupt"
+
+
+@dataclass
+class Finding:
+    """One artifact's diagnosis (and, with ``--repair``, treatment)."""
+
+    path: Path
+    family: str
+    status: str
+    causes: "List[str]" = field(default_factory=list)
+    quarantined_history: int = 0
+    repaired: bool = False
+    actions: "List[str]" = field(default_factory=list)
+
+    def as_dict(self) -> "Dict[str, object]":
+        return {
+            "path": str(self.path),
+            "family": self.family,
+            "status": self.status,
+            "causes": list(self.causes),
+            "quarantined_history": self.quarantined_history,
+            "repaired": self.repaired,
+            "actions": list(self.actions),
+        }
+
+
+def _sniff_jsonl_family(first_record: "Optional[Dict[str, object]]") -> str:
+    if first_record is None:
+        return "jsonl"
+    if first_record.get("schema") == "repro.batch_journal/v1":
+        return "journal"
+    if (
+        first_record.get("kind") == "header"
+        and str(first_record.get("schema", "")).startswith("repro.bnb_proof/")
+    ):
+        return "proof"
+    return "jsonl"
+
+
+def _diagnose_jsonl(path: Path) -> Finding:
+    try:
+        scan = scan_log(path)
+    except ArtifactError as exc:
+        return Finding(path, "jsonl", CORRUPT, causes=[exc.cause])
+    first = scan.records[0][1] if scan.records else None
+    family = _sniff_jsonl_family(first)
+    if family == "jsonl" and scan.clean:
+        # Not a repro artifact (or an empty file): nothing to judge.
+        return Finding(path, family, OK)
+    finding = Finding(path, family, OK)
+    # A JSONL whose very first line is bad has lost its header — the
+    # records after it cannot be bound to a schema or digest, so the
+    # whole file is corrupt, not repairable.
+    if scan.lines and scan.lines[0].cause is not None:
+        finding.status = CORRUPT
+        finding.causes = [scan.lines[0].cause or "bit-rot"]
+        return finding
+    if scan.bad:
+        finding.status = REPAIRABLE
+        finding.causes.extend(
+            sorted({line.cause or "bit-rot" for line in scan.bad})
+        )
+    if scan.torn_tail:
+        finding.status = REPAIRABLE if finding.status == OK else finding.status
+        finding.causes.append("torn")
+    return finding
+
+
+def _diagnose_snapshot(path: Path) -> "Optional[Finding]":
+    try:
+        payload = read_snapshot(path)
+    except ArtifactError as exc:
+        if exc.cause == "io":
+            return Finding(path, "snapshot", CORRUPT, causes=["io"])
+        # Unparseable or digest-failed JSON: only claim it as ours if
+        # the bytes plausibly were ours once — any .json we can't read
+        # in a run dir is suspect enough to report.
+        return Finding(path, "snapshot", CORRUPT, causes=[exc.cause])
+    schema = str(payload.get("schema", ""))
+    family = next(
+        (
+            prefix.rstrip("/").rsplit(".", 1)[-1]
+            for prefix in _SNAPSHOT_SCHEMA_PREFIXES
+            if schema.startswith(prefix)
+        ),
+        None,
+    )
+    if family is None and "digest" not in payload:
+        return None  # foreign JSON: not a repro artifact, stay silent
+    return Finding(path, family or "snapshot", OK)
+
+
+def _rebuild_summary(journal: Path, finding: Finding) -> None:
+    """Rebuild ``<name>.summary.json`` beside a repaired batch journal."""
+    sibling = journal.with_name(journal.name.rsplit(".", 1)[0] + ".summary.json")
+    if not sibling.exists():
+        return
+    from repro.reporting.export import save_journal_summary
+
+    try:
+        save_journal_summary(journal, sibling)
+        finding.actions.append(f"rebuilt summary {sibling.name}")
+    except Exception as exc:  # noqa: BLE001 - a summary must not block triage
+        finding.actions.append(f"summary rebuild failed: {exc}")
+
+
+def scan_run_dir(root: "str | Path", *, repair: bool = False) -> "List[Finding]":
+    """Diagnose (and optionally repair) every artifact under ``root``."""
+    root = Path(root)
+    findings: "List[Finding]" = []
+    for path in sorted(root.rglob("*")):
+        if not path.is_file() or is_quarantine_path(path):
+            continue
+        finding: "Optional[Finding]" = None
+        if path.name.endswith(TMP_SUFFIX):
+            finding = Finding(path, "stale-temp", REPAIRABLE, causes=["stale-temp"])
+            if repair:
+                # Debris belongs to the artifact it was a temp *for*.
+                owner = path.with_name(path.name[: -len(TMP_SUFFIX)])
+                quarantine_file(path, "stale-temp", owner=owner)
+                finding.repaired = True
+                finding.actions.append("quarantined stale temp")
+        elif path.suffix == ".jsonl":
+            finding = _diagnose_jsonl(path)
+            if repair and finding.status == REPAIRABLE:
+                if finding.causes == ["torn"]:
+                    truncate_torn_tail(path)
+                    finding.actions.append("truncated torn tail")
+                else:
+                    report = repair_log(path)
+                    finding.actions.append(
+                        f"quarantined {report.quarantined} record(s)"
+                        + (", dropped torn tail" if report.torn_dropped else "")
+                    )
+                finding.repaired = True
+                if finding.family == "journal" and path.exists():
+                    _rebuild_summary(path, finding)
+            elif repair and finding.status == CORRUPT:
+                quarantine_file(path, finding.causes[0] if finding.causes else "bit-rot")
+                finding.actions.append("quarantined whole file")
+        elif path.suffix == ".json":
+            finding = _diagnose_snapshot(path)
+            if finding is not None and repair and finding.status == CORRUPT:
+                quarantine_file(path, finding.causes[0] if finding.causes else "bit-rot")
+                finding.actions.append("quarantined whole file")
+        if finding is None:
+            continue
+        finding.quarantined_history = len(read_quarantine_index(path))
+        findings.append(finding)
+    return findings
+
+
+def exit_code(findings: "List[Finding]") -> int:
+    """The 0/1/2 CI contract over a set of findings."""
+    if any(f.status == CORRUPT for f in findings):
+        return 2
+    if any(f.status == REPAIRABLE for f in findings):
+        return 1
+    return 0
+
+
+def doctor_main(argv: "Optional[List[str]]" = None) -> int:
+    """CLI entry point for ``repro doctor``."""
+    parser = argparse.ArgumentParser(
+        prog="repro doctor",
+        description=(
+            "Scan a run directory for damaged durable artifacts "
+            "(journals, checkpoints, proof logs, telemetry, baselines), "
+            "classify each as ok/repairable/corrupt, and optionally "
+            "repair what can be repaired. Exits 0 (clean), 1 "
+            "(repairable findings), 2 (corrupt artifacts)."
+        ),
+    )
+    parser.add_argument(
+        "root", nargs="?", default=".",
+        help="run directory to scan (default: current directory)",
+    )
+    parser.add_argument(
+        "--repair", action="store_true",
+        help="act on the findings: truncate torn tails, quarantine "
+             "corrupt records/files, sweep stale temps, rebuild "
+             "journal summaries",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="machine-readable report on stdout instead of text",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root)
+    if not root.is_dir():
+        parser.error(f"{root} is not a directory")
+    findings = scan_run_dir(root, repair=args.repair)
+    code = exit_code(findings)
+    if args.json:
+        print(json.dumps(
+            {
+                "schema": "repro.doctor_report/v1",
+                "root": str(root),
+                "repair": bool(args.repair),
+                "exit_code": code,
+                "findings": [f.as_dict() for f in findings],
+            },
+            indent=2, sort_keys=True,
+        ))
+        return code
+    if not findings:
+        print(f"doctor: no artifacts found under {root}")
+        return code
+    for finding in findings:
+        line = f"[{finding.status:10s}] {finding.family:10s} {finding.path}"
+        if finding.causes:
+            line += f"  ({', '.join(finding.causes)})"
+        if finding.quarantined_history:
+            line += f"  [quarantine history: {finding.quarantined_history}]"
+        print(line)
+        for action in finding.actions:
+            print(f"             -> {action}")
+    counts: "Dict[str, int]" = {}
+    for finding in findings:
+        counts[finding.status] = counts.get(finding.status, 0) + 1
+    summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+    print(f"doctor: {summary}; exit {code}")
+    return code

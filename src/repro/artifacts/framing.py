@@ -1,0 +1,87 @@
+"""Record framing: canonical JSON, CRC-32 seals, whole-file digests.
+
+Two integrity granularities, matching the two artifact shapes:
+
+* **append-only JSONL** (journals, proof logs) — every record carries
+  a ``crc`` field, the CRC-32 of its canonical JSON body, so a single
+  flipped byte anywhere in a line is detectable even when the mutated
+  record would still parse;
+* **snapshot JSON** (checkpoints, telemetry, bench baselines) — the
+  payload carries a ``digest`` field, the SHA-256 of its canonical
+  body, because a snapshot is replaced whole and verified whole.
+
+The CRC scheme is byte-identical to the one the proof-log trust
+kernel uses (:mod:`repro.ilp.certify.records`): canonical body =
+``json.dumps(body, sort_keys=True, separators=(",", ":"))`` with the
+seal key removed, checksum rendered ``f"{crc:08x}"``.  The functions
+are *re-implemented* here rather than imported from certify — the
+audit trust kernel is import-gated to stdlib + its own package, and
+that gate must also hold in the other direction: nothing outside the
+kernel may become a load-bearing dependency of it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from typing import Any, Dict
+
+#: The self-checksum key on JSONL records.
+CRC_KEY = "crc"
+
+#: The whole-file digest key on snapshot payloads.
+DIGEST_KEY = "digest"
+
+
+def canonical_body(record: "Dict[str, Any]", *, drop: str = CRC_KEY) -> str:
+    """Canonical JSON of a record body with the seal key removed.
+
+    Sorted keys + tight separators make the serialization a pure
+    function of the content, so writer and verifier agree on the
+    bytes the checksum covers; floats round-trip exactly via ``repr``.
+    """
+    body = {key: value for key, value in record.items() if key != drop}
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def seal_record(record: "Dict[str, Any]") -> "Dict[str, Any]":
+    """Attach the CRC-32 self-checksum to a record body (in place)."""
+    record[CRC_KEY] = (
+        f"{zlib.crc32(canonical_body(record).encode('utf-8')):08x}"
+    )
+    return record
+
+
+def record_checksum_ok(record: "Dict[str, Any]") -> bool:
+    """Re-derive and compare a record's ``crc`` self-checksum."""
+    crc = record.get(CRC_KEY)
+    if not isinstance(crc, str):
+        return False
+    expected = f"{zlib.crc32(canonical_body(record).encode('utf-8')):08x}"
+    return crc == expected
+
+
+def payload_digest(payload: "Dict[str, Any]") -> str:
+    """SHA-256 over a snapshot payload's canonical body (no ``digest``)."""
+    body = canonical_body(payload, drop=DIGEST_KEY)
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def seal_payload(payload: "Dict[str, Any]") -> "Dict[str, Any]":
+    """Attach the whole-file digest to a snapshot payload (in place)."""
+    payload[DIGEST_KEY] = payload_digest(payload)
+    return payload
+
+
+def payload_digest_ok(payload: "Dict[str, Any]") -> bool:
+    """Verify a snapshot payload's embedded ``digest``; absent = True.
+
+    Absence is not an error: artifacts written before the durable
+    layer existed (or by hand, in tests) simply lack corruption
+    detection — refusing them would break every committed baseline.
+    """
+    digest = payload.get(DIGEST_KEY)
+    if digest is None:
+        return True
+    return isinstance(digest, str) and digest == payload_digest(payload)

@@ -1,0 +1,96 @@
+"""The pluggable filesystem seam every durable artifact goes through.
+
+All artifact I/O — journal appends, checkpoint snapshots, proof-log
+lines, telemetry exports, bench baselines — is funneled through one
+:class:`FileOps` instance instead of calling ``open``/``os.fsync``/
+``os.replace`` directly.  That single indirection is what makes the
+I/O chaos layer (:mod:`repro.artifacts.chaos`) possible: a fault plan
+swaps in a :class:`~repro.artifacts.chaos.FaultyFS` and every consumer
+is drilled against the same corpus of short writes, ENOSPC, bit rot,
+and rename failures with zero test-only hooks in production code.
+
+The seam deliberately raises plain :class:`OSError` — it *is* the
+operating system as far as callers are concerned.  The typed
+:class:`~repro.errors.ArtifactError` conversion happens one layer up
+(:mod:`repro.artifacts.log` / :mod:`repro.artifacts.snapshot`), so
+injected faults exercise exactly the error-handling paths a real disk
+would.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from pathlib import Path
+from typing import IO, Iterator
+
+
+class FileOps:
+    """Real filesystem operations; the chaos layer subclasses this.
+
+    Handles are binary: artifacts own their encoding (UTF-8 JSON) so
+    byte counts — the unit short writes and torn lines are measured
+    in — are exact.
+    """
+
+    def open_append(self, path: "str | Path") -> "IO[bytes]":
+        return open(path, "ab")  # noqa: SIM115 - caller owns lifetime
+
+    def open_write(self, path: "str | Path") -> "IO[bytes]":
+        return open(path, "wb")  # noqa: SIM115 - caller owns lifetime
+
+    def write(self, handle: "IO[bytes]", data: bytes) -> int:
+        return handle.write(data)
+
+    def flush(self, handle: "IO[bytes]") -> None:
+        handle.flush()
+
+    def fsync(self, handle: "IO[bytes]") -> None:
+        os.fsync(handle.fileno())
+
+    def read_bytes(self, path: "str | Path") -> bytes:
+        return Path(path).read_bytes()
+
+    def replace(self, src: "str | Path", dst: "str | Path") -> None:
+        os.replace(src, dst)
+
+    def fsync_dir(self, path: "str | Path") -> None:
+        """fsync a directory so a just-renamed entry survives power loss.
+
+        Best-effort on platforms whose directories cannot be opened
+        (Windows): the rename itself is still atomic there.
+        """
+        try:
+            fd = os.open(str(path), os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+_OPS = FileOps()
+
+
+def current_ops() -> FileOps:
+    """The process-wide seam instance artifact code must go through."""
+    return _OPS
+
+
+def set_ops(ops: FileOps) -> FileOps:
+    """Swap the seam; returns the previous instance (for restoring)."""
+    global _OPS
+    previous = _OPS
+    _OPS = ops
+    return previous
+
+
+@contextlib.contextmanager
+def swap_ops(ops: FileOps) -> "Iterator[FileOps]":
+    """Scoped :func:`set_ops`, restoring the previous seam on exit."""
+    previous = set_ops(ops)
+    try:
+        yield ops
+    finally:
+        set_ops(previous)

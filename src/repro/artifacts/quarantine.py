@@ -1,0 +1,137 @@
+"""Quarantine: where corrupt artifact content goes instead of a crash.
+
+The contract every consumer shares: a record or file that fails its
+integrity check is **moved aside, never silently dropped and never
+fatal**.  Quarantined content lands under ``<artifact>.quarantine/``
+next to the artifact it came from:
+
+* ``index.jsonl`` — one sealed record per quarantined item: the
+  artifact name, the typed cause (:class:`~repro.errors.ArtifactError`
+  vocabulary), the line number for record-level quarantines, and the
+  raw bytes (base64) so nothing is ever unrecoverable;
+* whole quarantined files keep their name inside the directory
+  (suffixed ``.N`` if quarantined repeatedly).
+
+The run then degrades honestly — fresh solve, replay minus the
+quarantined records, or an explicit forfeit — and the quarantine
+count surfaces in telemetry (batch summary, service ``/metrics``) and
+in ``repro doctor`` reports.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.artifacts import fsio
+
+#: Directory suffix; ``<artifact>.quarantine/`` sits beside the artifact.
+QUARANTINE_SUFFIX = ".quarantine"
+
+#: The quarantine ledger inside each quarantine directory.
+INDEX_NAME = "index.jsonl"
+
+
+def quarantine_dir_for(path: "str | Path") -> Path:
+    """The quarantine directory belonging to one artifact path."""
+    path = Path(path)
+    return path.with_name(path.name + QUARANTINE_SUFFIX)
+
+
+def is_quarantine_path(path: "str | Path") -> bool:
+    """True when ``path`` lives inside any quarantine directory."""
+    return any(
+        part.endswith(QUARANTINE_SUFFIX) for part in Path(path).parts
+    )
+
+
+def _append_index(qdir: Path, entry: "Dict[str, object]") -> None:
+    from repro.artifacts.framing import seal_record
+
+    ops = fsio.current_ops()
+    qdir.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(
+        seal_record(dict(entry)), sort_keys=True, separators=(",", ":")
+    )
+    handle = ops.open_append(qdir / INDEX_NAME)
+    try:
+        ops.write(handle, line.encode("utf-8") + b"\n")
+        ops.flush(handle)
+    finally:
+        handle.close()
+
+
+def quarantine_record(
+    path: "str | Path",
+    lineno: int,
+    raw: bytes,
+    cause: str,
+) -> Path:
+    """Quarantine one bad JSONL line; returns the quarantine directory.
+
+    The artifact file itself is *not* touched here — the caller owns
+    the rewrite (see :func:`repro.artifacts.log.repair_log`) so the
+    drop-bad-lines step stays atomic.
+    """
+    qdir = quarantine_dir_for(path)
+    _append_index(qdir, {
+        "kind": "record",
+        "artifact": Path(path).name,
+        "lineno": int(lineno),
+        "cause": cause,
+        "raw_b64": base64.b64encode(raw).decode("ascii"),
+    })
+    return qdir
+
+
+def quarantine_file(
+    path: "str | Path", cause: str, owner: "str | Path | None" = None,
+) -> Path:
+    """Move a whole corrupt/stale file into quarantine; returns its
+    new location.  The source path no longer exists afterwards.
+
+    ``owner`` names the artifact whose quarantine directory should
+    receive the file — a stranded ``checkpoint.json.tmp`` belongs in
+    ``checkpoint.json.quarantine/``, not a directory of its own.
+    Defaults to ``path`` itself.
+    """
+    path = Path(path)
+    qdir = quarantine_dir_for(owner if owner is not None else path)
+    qdir.mkdir(parents=True, exist_ok=True)
+    target = qdir / path.name
+    serial = 0
+    while target.exists():
+        serial += 1
+        target = qdir / f"{path.name}.{serial}"
+    fsio.current_ops().replace(path, target)
+    _append_index(qdir, {
+        "kind": "file",
+        "artifact": path.name,
+        "stored_as": target.name,
+        "cause": cause,
+    })
+    return target
+
+
+def read_quarantine_index(path: "str | Path") -> "List[Dict[str, object]]":
+    """The quarantine ledger for one artifact (empty when pristine).
+
+    Tolerant by construction — a torn final index line is dropped; the
+    quarantine must not itself need quarantining.
+    """
+    index = quarantine_dir_for(path) / INDEX_NAME
+    if not index.exists():
+        return []
+    entries: "List[Dict[str, object]]" = []
+    for line in index.read_bytes().split(b"\n"):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            continue
+        if isinstance(entry, dict):
+            entries.append(entry)
+    return entries

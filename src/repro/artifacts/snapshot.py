@@ -1,0 +1,146 @@
+"""Snapshot artifacts: whole-file JSON replaced atomically, verified whole.
+
+Checkpoints, telemetry exports, and bench baselines are *snapshots*:
+each write replaces the previous state entirely, so integrity is a
+whole-file property — an embedded SHA-256 ``digest`` over the
+canonical payload body — and durability is the full four-step dance:
+write ``<path>.tmp``, fsync it, ``os.replace``, fsync the directory.
+A crash at any instant leaves either the old intact snapshot or the
+new intact snapshot, plus at worst one stale ``.tmp`` that
+:func:`sweep_stale_temps` quarantines (and counts) on the next resume.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.artifacts import fsio
+from repro.artifacts.framing import payload_digest_ok, seal_payload
+from repro.artifacts.quarantine import quarantine_file
+from repro.errors import ArtifactError
+
+#: Suffix convention for in-flight snapshot temps (shared with the
+#: journal's compaction rewrite); everything the sweeper looks for.
+TMP_SUFFIX = ".tmp"
+
+
+def write_snapshot(
+    path: "str | Path",
+    payload: "Dict[str, object]",
+    *,
+    digest: bool = True,
+    indent: "Optional[int]" = 1,
+) -> None:
+    """Durably replace ``path`` with ``payload`` as JSON.
+
+    Raises :class:`~repro.errors.ArtifactError` (``cause`` ``enospc``
+    or ``io``) on any failure; the previous snapshot is untouched in
+    that case and the temp file is cleaned up best-effort.
+    """
+    target = Path(path)
+    body = dict(payload)
+    if digest:
+        seal_payload(body)
+    data = json.dumps(body, indent=indent, sort_keys=False).encode("utf-8")
+    ops = fsio.current_ops()
+    tmp = target.with_name(target.name + TMP_SUFFIX)
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        handle = ops.open_write(tmp)
+        try:
+            ops.write(handle, data)
+            ops.flush(handle)
+            ops.fsync(handle)
+        finally:
+            handle.close()
+        ops.replace(tmp, target)
+        ops.fsync_dir(target.parent)
+    except OSError as exc:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+        cause = "enospc" if exc.errno == errno.ENOSPC else "io"
+        raise ArtifactError(
+            f"cannot write snapshot {target}: {exc}",
+            path=str(target), cause=cause,
+            detail=getattr(exc, "strerror", None) or str(exc),
+        ) from exc
+
+
+def read_snapshot(
+    path: "str | Path",
+    *,
+    expect_schemas: "Optional[Sequence[str]]" = None,
+    verify_digest: bool = True,
+) -> "Dict[str, object]":
+    """Load a snapshot, verifying its envelope.
+
+    Typed failures: ``io`` (unreadable), ``torn`` (not valid JSON or
+    not an object — a truncated or interleaved write), ``bad-schema``
+    (``expect_schemas`` given and the ``schema`` key is foreign),
+    ``bad-digest`` (embedded digest does not match the body — bit rot
+    in place).  Snapshots without a ``digest`` key pass the digest
+    check: legacy artifacts stay readable.
+    """
+    path = Path(path)
+    try:
+        raw = fsio.current_ops().read_bytes(path)
+    except OSError as exc:
+        raise ArtifactError(
+            f"cannot read snapshot {path}: {exc}",
+            path=str(path), cause="io",
+            detail=getattr(exc, "strerror", None) or str(exc),
+        ) from exc
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ArtifactError(
+            f"snapshot {path} is not valid JSON (truncated or corrupt): {exc}",
+            path=str(path), cause="torn",
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ArtifactError(
+            f"snapshot {path}: expected a JSON object, "
+            f"got {type(payload).__name__}",
+            path=str(path), cause="torn",
+        )
+    if expect_schemas is not None:
+        schema = payload.get("schema")
+        if schema not in tuple(expect_schemas):
+            raise ArtifactError(
+                f"snapshot {path} has schema {schema!r}, expected one of "
+                f"{tuple(expect_schemas)!r}",
+                path=str(path), cause="bad-schema",
+            )
+    if verify_digest and not payload_digest_ok(payload):
+        raise ArtifactError(
+            f"snapshot {path} failed its SHA-256 digest check "
+            f"(bit rot or in-place tampering)",
+            path=str(path), cause="bad-digest",
+        )
+    return payload
+
+
+def sweep_stale_temps(path: "str | Path") -> "List[Path]":
+    """Quarantine leftover ``<name>*.tmp`` siblings of one artifact.
+
+    A crash between temp-write and rename strands a ``.tmp`` beside
+    the artifact; resuming consumers call this to move every such
+    leftover into ``<path>.quarantine/`` (cause ``stale-temp``) and
+    get the swept paths back for counting.  Missing parent directory
+    means nothing to sweep.
+    """
+    path = Path(path)
+    if not path.parent.is_dir():
+        return []
+    swept: "List[Path]" = []
+    for candidate in sorted(path.parent.glob(path.name + "*" + TMP_SUFFIX)):
+        if not candidate.is_file():
+            continue
+        quarantine_file(candidate, "stale-temp", owner=path)
+        swept.append(candidate)
+    return swept

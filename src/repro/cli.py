@@ -24,6 +24,11 @@ Usage examples::
     python -m repro.cli --paper-graph 1 --mix 2A+2M+1S -N 3 -L 1 \\
         --proof run.proof.jsonl
     python -m repro.cli audit run.proof.jsonl
+
+    # triage (and repair) damaged durable artifacts in a run dir —
+    # journals, checkpoints, proof logs, telemetry, baselines (exit 0
+    # clean, 1 repairable, 2 corrupt):
+    python -m repro.cli doctor runs/ --repair
 """
 
 from __future__ import annotations
@@ -502,6 +507,30 @@ def build_batch_parser() -> argparse.ArgumentParser:
         "consecutive failures; later jobs of that class are SKIPPED "
         "(default: off)",
     )
+    chaos = parser.add_argument_group(
+        "I/O fault injection (chaos testing the storage layer); "
+        "see DESIGN.md section 16"
+    )
+    chaos.add_argument(
+        "--chaos-io", metavar="KINDS",
+        help="inject orchestrator-side I/O faults at the artifact "
+        "seam: comma-separated subset of "
+        "{enospc,short-write,torn-line,fsync-raise,eio-read,"
+        "bit-flip,rename-fail,tmp-litter}",
+    )
+    chaos.add_argument(
+        "--chaos-io-rate", type=float, default=0.25, metavar="P",
+        help="per-operation fault probability (default 0.25)",
+    )
+    chaos.add_argument(
+        "--chaos-io-seed", type=int, default=0, metavar="SEED",
+        help="fault RNG seed; same seed => same fault sequence "
+        "(default 0)",
+    )
+    chaos.add_argument(
+        "--chaos-io-limit", type=int, default=None, metavar="N",
+        help="cap total injected I/O faults (default: unlimited)",
+    )
     defaults = parser.add_argument_group(
         "solve defaults (for --specs jobs and manifest entries that "
         "omit them)"
@@ -603,9 +632,36 @@ def batch_main(argv: "Optional[list]" = None) -> int:
             ),
             on_event=on_event,
         )
-        results = runner.run(resume=args.resume, overwrite=args.force)
-        if args.compact:
-            compact(args.journal)
+        io_plan = None
+        if args.chaos_io:
+            from repro.artifacts import IOFaultPlan
+
+            try:
+                io_plan = IOFaultPlan.from_cli(
+                    args.chaos_io,
+                    rate=args.chaos_io_rate,
+                    seed=args.chaos_io_seed,
+                    limit=args.chaos_io_limit,
+                )
+            except ValueError as exc:
+                raise SystemExit(f"bad --chaos-io-* options: {exc}") from exc
+        if io_plan is not None:
+            from repro.artifacts import inject_io_faults
+
+            with inject_io_faults(io_plan) as faulty:
+                results = runner.run(resume=args.resume, overwrite=args.force)
+                if args.compact:
+                    compact(args.journal)
+            if not args.quiet:
+                print(
+                    "[batch] chaos-io: "
+                    f"injected={faulty.injected} ops={faulty.ops}",
+                    file=sys.stderr,
+                )
+        else:
+            results = runner.run(resume=args.resume, overwrite=args.force)
+            if args.compact:
+                compact(args.journal)
     except ReproError as exc:
         raise SystemExit(f"batch failed: {exc}") from exc
 
@@ -648,6 +704,10 @@ def main(argv: "Optional[list]" = None) -> int:
         from repro.ilp.certify.audit import audit_main
 
         return audit_main(arguments[1:])
+    if arguments and arguments[0] == "doctor":
+        from repro.artifacts.doctor import doctor_main
+
+        return doctor_main(arguments[1:])
     if arguments and arguments[0] == "serve":
         from repro.service.server import serve_main
 

@@ -170,6 +170,65 @@ class JournalWriteError(RunnerError):
         self.cause = cause
 
 
+class ArtifactError(ReproError):
+    """A durable artifact could not be written or read back intact.
+
+    The one storage-layer error (:mod:`repro.artifacts`): every
+    artifact family — batch/service journals, B&B checkpoints, proof
+    logs, telemetry exports, bench baselines — surfaces disk trouble
+    through this type.  Carries the artifact ``path``, a typed
+    ``cause`` from the closed vocabulary
+
+    * ``"torn"`` — a partial line/file from an interrupted write that
+      is *not* the tolerated final-line case;
+    * ``"bit-rot"`` — content present but failing its CRC-32 record
+      checksum (or undecodable bytes mid-file);
+    * ``"bad-schema"`` — parseable but carrying a foreign/old schema
+      envelope;
+    * ``"bad-digest"`` — a snapshot whose whole-file SHA-256 does not
+      match its embedded digest;
+    * ``"stale-temp"`` — a leftover ``*.tmp`` from a crash between
+      temp-write and rename;
+    * ``"enospc"`` — the append/replace could not be made durable for
+      lack of space;
+    * ``"io"`` — any other OS-level read/write/rename/fsync failure;
+
+    and ``detail``, the underlying errno-ish string when an
+    :class:`OSError` was the trigger.  Consumers convert it to their
+    domain error (``JournalWriteError``, ``CheckpointError``,
+    ``ProofWriteError``) or quarantine-and-degrade; it must never
+    escape as an unhandled traceback.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: str = "",
+        cause: str = "io",
+        detail: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.cause = cause
+        self.detail = detail
+
+
+class ProofWriteError(SolverError):
+    """A proof-log append could not be made durable.
+
+    A :class:`SolverError` on purpose: the partitioner's degradation
+    path already rescues those, so a run whose proof log hits ENOSPC
+    degrades to an honest uncertified answer instead of dying on an
+    unhandled ``OSError`` (the half-written log still audits as far as
+    it goes — its tail is torn, which the reader tolerates).
+    """
+
+    def __init__(self, message: str, path: str = "", cause: str = "io") -> None:
+        super().__init__(message)
+        self.path = path
+        self.cause = cause
+
+
 class ServiceError(ReproError):
     """A solve-service request cannot be served, with an HTTP mapping.
 

@@ -83,6 +83,7 @@ from __future__ import annotations
 import math
 import os
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set
 
@@ -947,9 +948,20 @@ class BranchAndBound:
         checkpoint's elapsed time accumulates only into the reported
         ``wall_time_s`` telemetry.
         """
-        from repro.ilp.resilience.checkpoint import read_checkpoint
+        from repro.ilp.resilience.checkpoint import (
+            read_checkpoint,
+            sweep_checkpoint_temps,
+        )
 
         if isinstance(checkpoint, (str, bytes)) or hasattr(checkpoint, "__fspath__"):
+            swept = sweep_checkpoint_temps(checkpoint)
+            if swept:
+                warnings.warn(
+                    f"swept {swept} stale checkpoint temp file(s) left by a "
+                    f"crashed write into quarantine before resuming",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             checkpoint = read_checkpoint(checkpoint)
         self._resume_payload = checkpoint
         return self.solve()

@@ -27,14 +27,18 @@ CERTIFIED-WITH-FORFEITURES, never REFUTED.
 
 from __future__ import annotations
 
+import errno
 import json
 import math
-import os
 from fractions import Fraction
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import IO, Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.artifacts import fsio
+from repro.artifacts.log import truncate_torn_tail
+from repro.errors import ArtifactError, ProofWriteError
 
 from repro.ilp.certify.checker import (
     FEAS_TOL,
@@ -638,11 +642,21 @@ class ProofWriter(ProofSink):
         self.continued = (
             resume and self.path.exists() and self.path.stat().st_size > 0
         )
-        if self.continued:
-            self._validate_existing()
-            self._handle = open(self.path, "ab")  # noqa: SIM115 - long-lived
-        else:
-            self._handle = open(self.path, "wb")  # noqa: SIM115 - long-lived
+        ops = fsio.current_ops()
+        try:
+            if self.continued:
+                self._validate_existing()
+                self._handle: "IO[bytes]" = ops.open_append(self.path)
+            else:
+                self._handle = ops.open_write(self.path)
+        except OSError as exc:
+            raise self._disk_error(exc, "open") from exc
+        except ArtifactError as exc:
+            raise ProofWriteError(
+                f"cannot open proof log {self.path}: {exc}",
+                path=str(self.path), cause=exc.cause or "io",
+            ) from exc
+        if not self.continued:
             self._write(
                 {
                     "kind": KIND_HEADER,
@@ -654,6 +668,16 @@ class ProofWriter(ProofSink):
                     "mode": mode,
                 }
             )
+
+    def _disk_error(self, exc: OSError, verb: str) -> ProofWriteError:
+        """Disk trouble with the proof log, as a :class:`~repro.errors.
+        SolverError` subtype: the partitioner's degradation path rescues
+        it like any other solver failure (honest fallback, no crash)."""
+        cause = "enospc" if exc.errno == errno.ENOSPC else "io"
+        return ProofWriteError(
+            f"cannot {verb} proof log {self.path}: {exc}",
+            path=str(self.path), cause=cause,
+        )
 
     def _validate_existing(self) -> None:
         """Refuse a foreign log; truncate a torn tail before appending."""
@@ -676,15 +700,16 @@ class ProofWriter(ProofSink):
             1 for _, rec in read.records if rec.get("kind") == KIND_RESUME
         )
         if read.torn_tail:
-            raw = self.path.read_bytes()
-            complete, sep, _ = raw.rpartition(b"\n")
-            with open(self.path, "wb") as handle:
-                handle.write(complete + sep)
+            truncate_torn_tail(self.path)
 
     def _emit(self, record: Record) -> None:
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
-        self._handle.write(line.encode("utf-8") + b"\n")
-        self._handle.flush()
+        ops = fsio.current_ops()
+        try:
+            ops.write(self._handle, line.encode("utf-8") + b"\n")
+            ops.flush(self._handle)
+        except OSError as exc:
+            raise self._disk_error(exc, "append to") from exc
 
     def append_batch(self, records: Iterable[Record]) -> None:
         """Append pre-sealed records shipped from a worker buffer."""
@@ -697,9 +722,14 @@ class ProofWriter(ProofSink):
 
     def close(self) -> None:
         if not self._handle.closed:
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
-            self._handle.close()
+            ops = fsio.current_ops()
+            try:
+                ops.flush(self._handle)
+                ops.fsync(self._handle)
+            except OSError as exc:
+                raise self._disk_error(exc, "finalize") from exc
+            finally:
+                self._handle.close()
 
 
 class ProofBuffer(ProofSink):

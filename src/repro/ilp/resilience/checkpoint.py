@@ -28,17 +28,20 @@ deterministic function of the model and the LP values), so frontier +
 incumbent + counters *is* the whole state: a resumed run explores
 exactly the tree the killed run would have.
 
-Writes are atomic — serialize to ``<path>.tmp`` in the same directory,
-then :func:`os.replace` — so a crash mid-write leaves the previous
-checkpoint intact, never a truncated JSON.
+Writes go through the durable-artifact layer
+(:func:`repro.artifacts.write_snapshot`): serialize to ``<path>.tmp``,
+fsync, atomic rename, directory fsync, with a whole-file SHA-256
+``digest`` sealed into the payload — so a crash mid-write leaves the
+previous checkpoint intact and bit rot in a resting checkpoint is
+detected (``cause="bad-digest"``) instead of silently corrupting a
+resumed search.  Stale temps from crashed writes are swept (and
+counted) into quarantine by :func:`sweep_checkpoint_temps` on resume.
 """
 
 from __future__ import annotations
 
 import hashlib
-import json
 import math
-import os
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -141,16 +144,40 @@ def decode_node(
 
 
 def write_checkpoint_atomic(path: "str | Path", payload: "Dict[str, object]") -> None:
-    """Write ``payload`` as JSON via write-temp-then-rename.
+    """Write ``payload`` durably via :func:`repro.artifacts.write_snapshot`.
 
-    ``os.replace`` is atomic on POSIX and Windows when source and
-    target share a directory, which the ``<path>.tmp`` convention
-    guarantees.
+    Temp-write, fsync, atomic ``os.replace``, directory fsync — plus a
+    whole-file SHA-256 ``digest`` sealed into the payload so bit rot
+    is detectable at resume time, not just torn writes.  A failed
+    write raises :class:`~repro.errors.CheckpointError` (a
+    :class:`~repro.errors.SolverError`, so the partitioner's
+    degradation path rescues a solve whose checkpoint disk filled up
+    instead of dying on an unhandled ``OSError``).
     """
-    target = Path(path)
-    tmp = target.with_name(target.name + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=1))
-    os.replace(tmp, target)
+    from repro.artifacts import write_snapshot
+    from repro.errors import ArtifactError
+
+    try:
+        write_snapshot(Path(path), payload, digest=True, indent=1)
+    except ArtifactError as exc:
+        raise CheckpointError(
+            f"cannot write checkpoint {path!s}: {exc}",
+            path=str(path), cause=exc.cause,
+        ) from exc
+
+
+def sweep_checkpoint_temps(path: "str | Path") -> int:
+    """Quarantine stale ``<path>*.tmp`` leftovers; returns the count.
+
+    A crash between temp-write and rename strands a ``.tmp`` beside
+    the checkpoint forever (nothing else ever looks at it) — resume
+    sweeps them into ``<path>.quarantine/`` (cause ``stale-temp``,
+    counted in the quarantine index) so run directories cannot
+    accumulate unbounded debris.
+    """
+    from repro.artifacts import sweep_stale_temps
+
+    return len(sweep_stale_temps(Path(path)))
 
 
 def read_checkpoint(path: "str | Path") -> "Dict[str, object]":
@@ -160,29 +187,34 @@ def read_checkpoint(path: "str | Path") -> "Dict[str, object]":
     :class:`~repro.errors.SolverError`) carrying the offending path and
     a machine-readable ``cause`` on a missing/unreadable file
     (``"unreadable"``), malformed or truncated JSON (``"not-json"`` —
-    an empty file is this case too), or a foreign/old schema
-    (``"bad-schema"``) — resuming from garbage must be loud and typed,
-    never an unhandled ``json.JSONDecodeError``.
+    an empty file is this case too), a foreign/old schema
+    (``"bad-schema"``), or a failed whole-file digest
+    (``"bad-digest"`` — the JSON parses but its bytes rotted in place)
+    — resuming from garbage must be loud and typed, never an unhandled
+    ``json.JSONDecodeError``.
     """
+    from repro.artifacts import read_snapshot
+    from repro.errors import ArtifactError
+
     try:
-        payload = json.loads(Path(path).read_text())
-    except OSError as exc:
-        raise CheckpointError(
-            f"cannot read checkpoint {path!s}: {exc}",
-            path=str(path), cause="unreadable",
-        ) from exc
-    except json.JSONDecodeError as exc:
+        payload = read_snapshot(Path(path))
+    except ArtifactError as exc:
+        if exc.cause == "io":
+            raise CheckpointError(
+                f"cannot read checkpoint {path!s}: {exc.detail or exc}",
+                path=str(path), cause="unreadable",
+            ) from exc
+        if exc.cause == "bad-digest":
+            raise CheckpointError(
+                f"checkpoint {path!s} failed its SHA-256 digest check "
+                f"(bit rot or in-place tampering)",
+                path=str(path), cause="bad-digest",
+            ) from exc
         raise CheckpointError(
             f"checkpoint {path!s} is not valid JSON "
             f"(truncated or corrupt): {exc}",
             path=str(path), cause="not-json",
         ) from exc
-    if not isinstance(payload, dict):
-        raise CheckpointError(
-            f"checkpoint {path!s}: expected a JSON object, "
-            f"got {type(payload).__name__}",
-            path=str(path), cause="not-json",
-        )
     schema = payload.get("schema")
     if schema not in CHECKPOINT_SCHEMAS_READ:
         raise CheckpointError(

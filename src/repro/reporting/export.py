@@ -126,8 +126,17 @@ def telemetry_to_dict(outcome: PartitionOutcome) -> "Dict[str, object]":
 
 
 def save_telemetry(outcome: PartitionOutcome, path: "str | Path") -> None:
-    """Write one run's solve-telemetry artifact as JSON to ``path``."""
-    Path(path).write_text(json.dumps(telemetry_to_dict(outcome), indent=2))
+    """Write one run's solve-telemetry artifact as JSON to ``path``.
+
+    Goes through the durable-artifact snapshot dance (temp + fsync +
+    atomic rename + directory fsync, whole-file SHA-256 ``digest``
+    sealed into the payload) so a crash cannot leave a half-written
+    telemetry file and resting bit rot is detectable by ``repro
+    doctor``.
+    """
+    from repro.artifacts import write_snapshot
+
+    write_snapshot(Path(path), telemetry_to_dict(outcome), indent=2)
 
 
 def journal_summary_rows(path: "str | Path") -> "list":
@@ -149,12 +158,16 @@ def journal_summary_rows(path: "str | Path") -> "list":
 def save_journal_summary(
     journal_path: "str | Path", out_path: "str | Path"
 ) -> None:
-    """Write a journal's deterministic batch summary as JSON."""
+    """Write a journal's deterministic batch summary as JSON.
+
+    Written through the durable snapshot path with an embedded digest,
+    so ``repro doctor`` can both verify it and rebuild it from the
+    journal after a repair.
+    """
+    from repro.artifacts import write_snapshot
     from repro.runner.journal import replay
     from repro.runner.pool import batch_summary
 
     results = replay(journal_path)
     summary = batch_summary([results[index] for index in sorted(results)])
-    Path(out_path).write_text(
-        json.dumps(summary, indent=2, sort_keys=True) + "\n"
-    )
+    write_snapshot(Path(out_path), summary, indent=2)

@@ -12,30 +12,42 @@ handler, no "dirty" flag, no recovery protocol beyond **replay**:
 * ``--resume`` replays the journal, keeps every job with a ``finished``
   record (its result is *taken from the journal*, never re-solved), and
   re-queues the rest;
-* compaction rewrites header + latest ``finished`` record per job via
-  write-temp-then-``os.replace`` — atomic on POSIX and Windows — so a
-  crash mid-compaction leaves the old journal intact.
+* compaction rewrites header + latest ``finished`` record per job
+  through the durable snapshot dance (write temp, fsync it, rename,
+  fsync the directory), so a power cut mid-compaction cannot lose
+  acknowledged records.
+
+Storage mechanics live in :mod:`repro.artifacts`: the writer is an
+:class:`~repro.artifacts.log.DurableWriter` (every record carries a
+CRC-32 ``crc`` self-checksum, so bit rot is detectable — not only torn
+writes), reads go through the artifact seam (so the I/O chaos corpus
+drills this exact path), and corruption recovery is quarantine via
+:func:`repro.artifacts.log.repair_log` — replay minus the quarantined
+records, never a guess.
 
 Record order is **deterministic**: the pool finalizes results in job
 index order regardless of completion order, so the same batch run at
 any ``--jobs N`` produces byte-identical journals modulo the ``timing``
-field of each result and the header's ``runtime`` block (timestamps,
-concurrency, host) — the only two places wall-clock reality is allowed
-to leak in.
+field of each result, the header's ``runtime`` block (timestamps,
+concurrency, host) — and therefore those records' ``crc`` seals, which
+cover the varying fields.
 """
 
 from __future__ import annotations
 
-import io
 import json
-import os
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import JournalWriteError, RunnerError
+from repro.artifacts import fsio
+from repro.artifacts.framing import record_checksum_ok
+from repro.artifacts.log import DurableWriter, atomic_rewrite
+from repro.errors import ArtifactError, JournalWriteError, RunnerError
 from repro.runner.jobs import JobResult
 
 #: Journal schema identifier; bump on any incompatible layout change.
+#: (Record-level ``crc`` seals are an *optional* field, readable by and
+#: of v1 readers, so they are not a schema bump.)
 JOURNAL_SCHEMA = "repro.batch_journal/v1"
 
 
@@ -43,35 +55,33 @@ def _json_line(record: "Dict[str, object]") -> str:
     return json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
 
 
-class JournalWriter:
-    """Append-only writer.  ``flush()`` after every record is the
+class JournalWriter(DurableWriter):
+    """Append-only writer.  fsync after every record is the
     durability contract: once :meth:`finished` returns, a SIGKILL of
     the orchestrator cannot lose that job's result."""
 
     def __init__(self, path: "str | Path") -> None:
-        self.path = Path(path)
-        self._handle: "Optional[io.TextIOWrapper]" = None
+        super().__init__(path, fsync=True, seal=True)
 
-    def open(self) -> "JournalWriter":
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._handle = open(self.path, "a", encoding="utf-8")  # noqa: SIM115 - long-lived
+    def open(self) -> "JournalWriter":  # type: ignore[override]
+        super().open()
         return self
 
-    def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+    def close(self) -> None:  # type: ignore[override]
+        # Every append already fsynced; closing must not introduce a
+        # new failure path for callers that only tear down.
+        super().close(durable=False)
 
     def __enter__(self) -> "JournalWriter":
         return self.open()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def _append(self, record: "Dict[str, object]") -> None:
         """Append one record durably, or raise :class:`JournalWriteError`.
 
-        Any ``OSError`` out of write/flush/fsync — ``ENOSPC`` being the
+        Any failure out of write/flush/fsync — ``ENOSPC`` being the
         classic — is converted to the typed error so callers can fail
         *the affected record* (a job loses durability, a request is
         refused) without the orchestrator or server dying on an
@@ -81,14 +91,12 @@ class JournalWriter:
         if self._handle is None:
             raise RunnerError("journal writer is not open")
         try:
-            self._handle.write(_json_line(record))
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
-        except OSError as exc:
+            self.append(record)
+        except ArtifactError as exc:
             raise JournalWriteError(
                 f"journal append to {self.path} failed: {exc}",
                 path=str(self.path),
-                cause=getattr(exc, "strerror", None) or str(exc),
+                cause=exc.detail or str(exc),
             ) from exc
 
     def header(
@@ -136,12 +144,20 @@ def read_journal(
     mid-append; it is dropped and reported via ``truncated_tail`` —
     never an exception, because recovering from exactly this state is
     the journal's whole job.  A malformed line *before* the final one
-    means real corruption and raises :class:`RunnerError`.
+    — or any record whose CRC-32 seal no longer matches its body (bit
+    rot: the line parses, the content lies) — means real corruption
+    and raises :class:`RunnerError`.  Callers that should degrade
+    instead of refuse use :func:`repro.artifacts.log.repair_log` to
+    quarantine the bad records first.
     """
     try:
-        text = Path(path).read_text(encoding="utf-8")
+        raw = fsio.current_ops().read_bytes(Path(path))
     except OSError as exc:
         raise RunnerError(f"cannot read journal {path}: {exc}") from exc
+    # Bit rot can destroy UTF-8 validity; a replacement character then
+    # breaks that line's JSON parse, which is exactly the detection we
+    # want (instead of an unhandled UnicodeDecodeError).
+    text = raw.decode("utf-8", errors="replace")
     records: "List[Dict[str, object]]" = []
     lines = text.splitlines()
     truncated = False
@@ -162,6 +178,11 @@ def read_journal(
             raise RunnerError(
                 f"journal {path} line {lineno + 1}: expected an object"
             )
+        if "crc" in record and not record_checksum_ok(record):
+            raise RunnerError(
+                f"journal {path} line {lineno + 1} is corrupt "
+                f"(CRC-32 seal mismatch: bit rot, not a crash artifact)"
+            )
         records.append(record)
     return records, truncated
 
@@ -174,17 +195,26 @@ def discard_torn_tail(path: "str | Path") -> None:
     partial line would weld onto the next record and turn into
     corruption in the *middle* of the file, which replay rightly
     refuses.  A journal reduced to nothing but its torn line is removed
-    outright so the resumed run starts fresh (with a new header).
+    outright so the resumed run starts fresh (with a new header).  The
+    trim itself is atomic and fsynced (temp + rename), so a crash
+    mid-trim cannot make things worse.
     """
     path = Path(path)
     _, truncated = read_journal(path)
     if not truncated:
         return
-    lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    lines = path.read_text(
+        encoding="utf-8", errors="replace"
+    ).splitlines(keepends=True)
     if len(lines) <= 1:
         path.unlink()
-    else:
-        path.write_text("".join(lines[:-1]), encoding="utf-8")
+        return
+    try:
+        atomic_rewrite(path, "".join(lines[:-1]).encode("utf-8"))
+    except ArtifactError as exc:
+        raise RunnerError(
+            f"cannot trim torn tail of journal {path}: {exc}"
+        ) from exc
 
 
 def replay(
@@ -233,8 +263,12 @@ def replay(
 def compact(path: "str | Path") -> int:
     """Rewrite the journal as header + one ``finished`` record per job.
 
-    Returns the number of records dropped.  Atomic: serialize to
-    ``<path>.tmp`` in the same directory, then ``os.replace``.
+    Returns the number of records dropped.  Durable end to end: the
+    compacted content is written to ``<path>.tmp``, **fsynced**, then
+    ``os.replace``d over the journal, then the parent directory is
+    fsynced — a power cut at any instant leaves either the old journal
+    or the complete compacted one, never a short file that silently
+    dropped acknowledged records.
     """
     records, truncated = read_journal(path)
     if not records:
@@ -247,9 +281,13 @@ def compact(path: "str | Path") -> int:
     kept = [header] + [
         latest[key] for key in sorted(latest, key=lambda k: int(k))  # type: ignore[arg-type]
     ]
-    target = Path(path)
-    tmp = target.with_name(target.name + ".tmp")
-    tmp.write_text("".join(_json_line(r) for r in kept), encoding="utf-8")
-    os.replace(tmp, target)
+    data = "".join(_json_line(r) for r in kept).encode("utf-8")
+    try:
+        atomic_rewrite(Path(path), data)
+    except ArtifactError as exc:
+        raise JournalWriteError(
+            f"journal compaction of {path} failed: {exc}",
+            path=str(path), cause=exc.detail or str(exc),
+        ) from exc
     dropped = len(rest) - (len(kept) - 1)
     return dropped + (1 if truncated else 0)

@@ -59,6 +59,8 @@ from repro.runner.jobs import (
     RetryPolicy,
     manifest_digest,
 )
+from repro.artifacts.log import repair_log as _repair_log
+from repro.artifacts.log import scan_log as _scan_log
 from repro.runner.journal import (
     JOURNAL_SCHEMA,
     JournalWriter,
@@ -249,6 +251,24 @@ class BatchRunner:
         existing journal unless ``overwrite=True``.
         """
         from_journal: "Dict[int, JobResult]" = {}
+        quarantined = 0
+        if resume and self.journal_path.exists():
+            # Bit rot first: quarantine corrupt records so the rest of
+            # the journal replays (the affected jobs simply re-run),
+            # then trim the ordinary crash-torn tail.  A destroyed
+            # header is not repairable in place — without it the
+            # records cannot be bound to this batch's manifest.
+            scan = _scan_log(self.journal_path)
+            if scan.lines and scan.lines[0].cause is not None:
+                raise RunnerError(
+                    f"journal {self.journal_path} header is corrupt "
+                    f"({scan.lines[0].cause}); run 'repro doctor --repair' "
+                    f"on the run directory or restart with overwrite"
+                )
+            if scan.bad:
+                report = _repair_log(self.journal_path)
+                quarantined = report.quarantined
+                self._emit("journal_quarantined", records=quarantined)
         if resume and self.journal_path.exists():
             _discard_torn_tail(self.journal_path)
         if resume and self.journal_path.exists():
@@ -290,6 +310,10 @@ class BatchRunner:
                         "resumed": resume,
                     },
                 )
+            if quarantined:
+                # Durable trace that this resume lost records to bit
+                # rot (replay ignores notes; doctor and humans do not).
+                writer.note("quarantined", {"records": quarantined})
 
             def flush_in_order() -> int:
                 nonlocal next_flush

@@ -37,6 +37,8 @@ from enum import Enum
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro.artifacts.log import repair_log, scan_log
+from repro.artifacts.quarantine import quarantine_file
 from repro.errors import RunnerError, ServiceError
 from repro.runner.jobs import JobResult, JobSpec
 from repro.runner.journal import (
@@ -214,35 +216,69 @@ class ServiceJournal:
 
 @dataclass(frozen=True)
 class RecoveredState:
-    """What a journal replay yields at startup."""
+    """What a journal replay yields at startup.
+
+    ``quarantined`` counts the corrupt records (or, when the header
+    itself was destroyed, the whole journal) moved into
+    ``<journal>.quarantine/`` before replay — surfaced by the server as
+    the ``quarantined_records`` metric so silent bit rot is never
+    silently absorbed.
+    """
 
     finished: "Dict[int, JobResult]"
     pending: "List[ServiceJob]"
     next_index: int
     fresh: bool
+    quarantined: int = 0
 
 
 def recover_journal(path: "str | Path") -> RecoveredState:
     """Replay a service journal into the state a restarted server needs.
 
     Tolerates (and trims) a crash-torn final line, exactly like the
-    batch runner's resume path.  Every acknowledged job comes back
-    exactly once: either its ``finished`` result (served from memory /
-    cache, never re-solved) or a re-enqueued :class:`ServiceJob` (its
-    B&B checkpoint, if the killed worker wrote one, is picked up
+    batch runner's resume path.  Bit rot — a mid-file record whose
+    bytes no longer parse or whose CRC-32 seal fails — is quarantined
+    via :func:`repro.artifacts.log.repair_log` and *counted*: the rest
+    of the journal replays, the server comes up honestly degraded
+    instead of refusing or guessing.  A journal whose header line is
+    destroyed cannot be trusted at all and is quarantined whole (fresh
+    start).  Every surviving acknowledged job comes back exactly once:
+    either its ``finished`` result (served from memory / cache, never
+    re-solved) or a re-enqueued :class:`ServiceJob` (its B&B
+    checkpoint, if the killed worker wrote one, is picked up
     automatically because the checkpoint path is derived from the job
-    id).  Raises :class:`~repro.errors.RunnerError` on real corruption
-    — a server must not come up against a journal it cannot trust.
+    id).  Raises :class:`~repro.errors.RunnerError` on a record that is
+    intact (its seal verifies) but semantically unreadable — that is a
+    writer bug, not disk damage, and must not be papered over.
     """
     path = Path(path)
     if not path.exists():
         return RecoveredState(finished={}, pending=[], next_index=0, fresh=True)
-    discard_torn_tail(path)
+    scan = scan_log(path)
+    quarantined = 0
+    if scan.lines and scan.lines[0].cause is not None:
+        # The header is gone: no schema, no digest, no trust.  The
+        # whole file moves to quarantine and the server starts fresh.
+        quarantine_file(path, scan.lines[0].cause or "bit-rot")
+        return RecoveredState(
+            finished={}, pending=[], next_index=0, fresh=True, quarantined=1,
+        )
+    if scan.bad:
+        report = repair_log(path)
+        quarantined = report.quarantined
+    elif scan.torn_tail:
+        discard_torn_tail(path)
     if not path.exists():  # journal was nothing but its torn line
-        return RecoveredState(finished={}, pending=[], next_index=0, fresh=True)
+        return RecoveredState(
+            finished={}, pending=[], next_index=0, fresh=True,
+            quarantined=quarantined,
+        )
     records, _ = read_journal(path)
     if not records:
-        return RecoveredState(finished={}, pending=[], next_index=0, fresh=True)
+        return RecoveredState(
+            finished={}, pending=[], next_index=0, fresh=True,
+            quarantined=quarantined,
+        )
     header = records[0]
     if header.get("event") != "batch" or header.get("schema") != JOURNAL_SCHEMA:
         raise RunnerError(
@@ -307,4 +343,5 @@ def recover_journal(path: "str | Path") -> RecoveredState:
         pending=pending,
         next_index=next_index,
         fresh=False,
+        quarantined=quarantined,
     )

@@ -169,6 +169,7 @@ class SolveService:
             "singleflight_joins": 0,
             "journal_errors": 0,
             "recovered_jobs": 0,
+            "quarantined_records": 0,
             "deadline_expired_in_queue": 0,
             "internal_errors": 0,
         }
@@ -229,6 +230,7 @@ class SolveService:
             self.inflight.setdefault(job.fingerprint, job)
             self.recovered.append(job)
         self.counters["recovered_jobs"] = len(recovered.pending)
+        self.counters["quarantined_records"] = recovered.quarantined
 
     async def serve_until_drained(self) -> None:
         """Block until a drain is requested, then drain and stop."""
@@ -775,6 +777,7 @@ def serve_main(argv: "Optional[List[str]]" = None) -> int:
             "pid": os.getpid(),
             "state_dir": str(service.state_dir),
             "recovered_jobs": service.counters["recovered_jobs"],
+            "quarantined_records": service.counters["quarantined_records"],
         }), flush=True)
         await service.serve_until_drained()
         return 0

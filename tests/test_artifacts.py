@@ -1,0 +1,297 @@
+"""The durable-artifact substrate: framing, logs, snapshots, chaos.
+
+Two halves:
+
+* plain unit coverage of ``repro.artifacts`` — CRC seals, tolerant
+  scans, quarantine-and-rewrite repair, snapshot digests, stale-temp
+  sweeps;
+* the seeded I/O chaos corpus (marked ``chaos``): every fault kind the
+  injector knows, drilled through the *real* consumers (journal
+  writer, checkpoint snapshots, batch runner) and required to end in a
+  typed degraded outcome — never an unhandled traceback, never silent
+  corruption.
+"""
+
+import json
+
+import pytest
+
+from repro.artifacts import (
+    IO_FAULT_KINDS,
+    DurableReader,
+    DurableWriter,
+    FaultyFS,
+    IOFaultPlan,
+    inject_io_faults,
+    read_quarantine_index,
+    read_snapshot,
+    record_checksum_ok,
+    repair_log,
+    scan_log,
+    seal_record,
+    sweep_stale_temps,
+    truncate_torn_tail,
+    write_snapshot,
+)
+from repro.artifacts.chaos import _OP_FOR_KIND
+from repro.errors import ArtifactError
+
+
+def _write_log(path, records):
+    with DurableWriter(path) as writer:
+        for record in records:
+            writer.append(record)
+
+
+class TestFraming:
+    def test_seal_and_verify_round_trip(self):
+        record = seal_record({"event": "x", "n": 3})
+        assert record_checksum_ok(record)
+
+    def test_any_field_change_breaks_the_seal(self):
+        record = seal_record({"event": "x", "n": 3})
+        record["n"] = 4
+        assert not record_checksum_ok(record)
+
+    def test_unsealed_record_stays_readable_through_the_scan(self, tmp_path):
+        # record_checksum_ok is strict (no seal = not verified); the
+        # *scan* is the tolerant layer — pre-sealing artifacts read
+        # fine, they just lack bit-rot detection.
+        assert not record_checksum_ok({"event": "legacy"})
+        path = tmp_path / "legacy.jsonl"
+        path.write_text('{"event": "legacy"}\n')
+        scan = scan_log(path)
+        assert scan.clean
+        assert [r for _, r in scan.records] == [{"event": "legacy"}]
+
+
+class TestDurableLog:
+    def test_round_trip_strict(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        _write_log(path, [{"i": 0}, {"i": 1}])
+        records = DurableReader(path).records()
+        assert [r["i"] for r in records] == [0, 1]
+        assert all(record_checksum_ok(r) for r in records)
+
+    def test_torn_tail_is_normal_not_corrupt(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        _write_log(path, [{"i": 0}])
+        with open(path, "ab") as handle:
+            handle.write(b'{"i": 1')  # crash mid-append
+        scan = scan_log(path)
+        assert scan.torn_tail and not scan.bad
+        assert truncate_torn_tail(path)
+        assert scan_log(path).clean
+
+    def test_bit_rot_is_detected_by_the_seal(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        _write_log(path, [{"i": 0}, {"i": 1}, {"i": 2}])
+        raw = path.read_bytes().splitlines(keepends=True)
+        line = bytearray(raw[1])
+        line[len(line) // 2] ^= 0x01
+        path.write_bytes(b"".join([raw[0], bytes(line), raw[2]]))
+        scan = scan_log(path)
+        assert [bad.lineno for bad in scan.bad] == [2]
+        assert scan.bad[0].cause in ("bit-rot", "bad-schema")
+        with pytest.raises(ArtifactError) as info:
+            DurableReader(path).records()
+        assert info.value.path == str(path)
+
+    def test_repair_quarantines_and_replays_the_rest(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        _write_log(path, [{"i": 0}, {"i": 1}, {"i": 2}])
+        raw = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(raw[0] + b"garbage not json\n" + raw[2])
+        report = repair_log(path)
+        assert report.quarantined == 1 and not report.removed
+        assert [r["i"] for r in DurableReader(path).records()] == [0, 2]
+        entries = read_quarantine_index(path)
+        assert len(entries) == 1
+        assert entries[0]["cause"] == "bit-rot"
+        assert entries[0]["raw_b64"]  # nothing is ever unrecoverable
+
+    def test_repair_removes_a_log_with_no_good_lines(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        path.write_bytes(b"junk\nmore junk\n")
+        report = repair_log(path)
+        assert report.removed and report.quarantined == 2
+        assert not path.exists()
+
+    def test_append_failure_is_typed_and_survivable(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        plan = IOFaultPlan(kinds=("enospc",), rate=1.0, seed=7)
+        writer = DurableWriter(path).open()
+        try:
+            with inject_io_faults(plan):
+                with pytest.raises(ArtifactError) as info:
+                    writer.append({"i": 0})
+            assert info.value.cause == "enospc"
+            # Space freed: the same writer appends again, no reopen.
+            writer.append({"i": 1})
+        finally:
+            writer.close()
+        assert [r["i"] for r in DurableReader(path).records()] == [1]
+
+
+class TestSnapshot:
+    def test_round_trip_with_digest(self, tmp_path):
+        path = tmp_path / "s.json"
+        write_snapshot(path, {"schema": "x/v1", "value": 42})
+        payload = read_snapshot(path, expect_schemas=["x/v1"])
+        assert payload["value"] == 42 and payload["digest"]
+
+    def test_in_place_tampering_fails_the_digest(self, tmp_path):
+        path = tmp_path / "s.json"
+        write_snapshot(path, {"schema": "x/v1", "value": 42})
+        path.write_text(path.read_text().replace("42", "43"))
+        with pytest.raises(ArtifactError) as info:
+            read_snapshot(path)
+        assert info.value.cause == "bad-digest"
+
+    def test_legacy_snapshot_without_digest_reads(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps({"schema": "x/v1", "value": 1}))
+        assert read_snapshot(path)["value"] == 1
+
+    def test_truncated_snapshot_is_torn(self, tmp_path):
+        path = tmp_path / "s.json"
+        write_snapshot(path, {"schema": "x/v1", "value": 42})
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(ArtifactError) as info:
+            read_snapshot(path)
+        assert info.value.cause == "torn"
+
+    def test_stale_temp_sweep_counts_and_quarantines(self, tmp_path):
+        path = tmp_path / "s.json"
+        write_snapshot(path, {"schema": "x/v1"})
+        (tmp_path / "s.json.tmp").write_bytes(b'{"half":')
+        swept = sweep_stale_temps(path)
+        assert len(swept) == 1
+        assert not (tmp_path / "s.json.tmp").exists()
+        causes = [e["cause"] for e in read_quarantine_index(path)]
+        assert causes == ["stale-temp"]
+        assert sweep_stale_temps(path) == []  # idempotent
+
+
+class TestFaultPlanDeterminism:
+    def test_same_seed_same_sequence(self, tmp_path):
+        logs = []
+        for _ in range(2):
+            fs = FaultyFS(IOFaultPlan(kinds=IO_FAULT_KINDS, rate=0.5, seed=3))
+            decisions = [fs._draw("write") for _ in range(50)]
+            logs.append(decisions)
+        assert logs[0] == logs[1]
+
+    def test_unknown_kind_is_refused(self):
+        with pytest.raises(ValueError, match="unknown I/O fault kind"):
+            IOFaultPlan(kinds=("disk-gremlin",))
+
+    def test_limit_caps_injections(self, tmp_path):
+        plan = IOFaultPlan(kinds=("enospc",), rate=1.0, seed=0, limit=2)
+        path = tmp_path / "a.jsonl"
+        writer = DurableWriter(path).open()
+        try:
+            with inject_io_faults(plan) as faulty:
+                for i in range(5):
+                    try:
+                        writer.append({"i": i})
+                    except ArtifactError:
+                        pass
+                assert faulty.injected == 2
+        finally:
+            writer.close()
+
+
+@pytest.mark.chaos
+class TestIOChaosCorpus:
+    """Every fault kind, through the real writer/reader seam, ends in
+    a typed outcome — the drill the artifact layer exists for."""
+
+    @pytest.mark.parametrize("kind", IO_FAULT_KINDS)
+    def test_every_kind_yields_a_typed_outcome(self, tmp_path, kind):
+        path = tmp_path / "drill.jsonl"
+        snap = tmp_path / "drill.json"
+        plan = IOFaultPlan(kinds=(kind,), rate=1.0, seed=11)
+        with inject_io_faults(plan) as faulty:
+            # Writer-side ops: every failure must be ArtifactError.
+            writer = DurableWriter(path).open()
+            for i in range(4):
+                try:
+                    writer.append({"i": i})
+                except ArtifactError as exc:
+                    assert exc.cause in ("enospc", "io")
+            try:
+                writer.close()
+            except ArtifactError as exc:
+                assert exc.cause in ("enospc", "io")
+            try:
+                write_snapshot(snap, {"schema": "x/v1", "value": 1})
+            except ArtifactError as exc:
+                assert exc.cause in ("enospc", "io")
+            # Reader-side ops: every failure typed, lies detected.
+            if path.exists():
+                try:
+                    scan = scan_log(path)
+                    # torn-line / bit-flip damage must be *classified*,
+                    # never returned as a good record that lies.
+                    for _, record in scan.records:
+                        assert record_checksum_ok(record)
+                except ArtifactError as exc:
+                    assert exc.cause in ("enospc", "io")
+        assert faulty.injected > 0, "the drill must actually inject"
+        # After the chaos scope: whatever survived is repairable with
+        # the real tools, and the repaired artifact reads strictly.
+        if path.exists():
+            repair_log(path)
+        if path.exists():
+            DurableReader(path).records()
+
+    def test_checkpoint_family_under_rename_faults(self, tmp_path):
+        from repro.errors import CheckpointError
+        from repro.ilp.resilience.checkpoint import (
+            sweep_checkpoint_temps,
+            write_checkpoint_atomic,
+        )
+
+        path = tmp_path / "checkpoint.json"
+        payload = {
+            "schema": "repro.bnb_checkpoint/v2",
+            "fingerprint": "f" * 64,
+            "frontier": [],
+            "stats": {},
+        }
+        plan = IOFaultPlan(kinds=("rename-fail",), rate=1.0, seed=5)
+        with inject_io_faults(plan):
+            with pytest.raises(CheckpointError) as info:
+                write_checkpoint_atomic(path, payload)
+            assert info.value.cause == "io"
+        # The failed rename never left a half-written checkpoint, and
+        # any stranded temp is swept (and counted) on resume.
+        assert not path.exists()
+        assert sweep_checkpoint_temps(path) == 0  # writer cleaned up
+        write_checkpoint_atomic(path, payload)  # clean disk: succeeds
+
+    def test_batch_journal_under_enospc_keeps_typed_outcomes(self, tmp_path):
+        """The satellite drill in-process: a batch with a failing disk
+        must finish with a typed refusal or typed outcomes, never an
+        unhandled traceback."""
+        from repro.errors import JournalWriteError, ReproError
+        from repro.runner.journal import JournalWriter
+
+        path = tmp_path / "batch.jsonl"
+        plan = IOFaultPlan(kinds=("enospc",), rate=0.6, seed=2)
+        with inject_io_faults(plan) as faulty:
+            writer = JournalWriter(path).open()
+            outcomes = []
+            for i in range(8):
+                try:
+                    writer.note("probe", {"i": i})
+                    outcomes.append("ok")
+                except JournalWriteError as exc:
+                    assert exc.path == str(path)
+                    outcomes.append("refused")
+                except ReproError:
+                    outcomes.append("refused")
+            writer.close()
+        assert faulty.injected > 0
+        assert "refused" in outcomes and "ok" in outcomes

@@ -1,0 +1,202 @@
+"""``repro doctor``: triage classification, repair, the exit contract.
+
+The acceptance property drilled here: repairing a damaged batch
+journal changes its replay from "refused (corrupt)" to "exactly the
+records that verified" — diffing the pre-repair and post-repair
+replays shows precisely the quarantined loss, nothing more.
+"""
+
+import json
+
+from repro.artifacts import write_snapshot
+from repro.artifacts.doctor import (
+    CORRUPT,
+    OK,
+    REPAIRABLE,
+    doctor_main,
+    exit_code,
+    scan_run_dir,
+)
+from repro.runner.jobs import JobOutcome, JobResult
+from repro.runner.journal import JournalWriter, read_journal, replay
+
+
+def _result(index, outcome=JobOutcome.OK):
+    return JobResult(
+        index=index, job_id=f"job-{index:04d}", spec_class="g",
+        outcome=outcome, solve={"status": "optimal", "objective": index},
+    )
+
+
+def _make_journal(path, n=3):
+    with JournalWriter(path) as writer:
+        writer.header(n_jobs=n, manifest_digest="a" * 64)
+        for i in range(n):
+            writer.finished(_result(i))
+
+
+def _flip_line(path, lineno):
+    raw = path.read_bytes().splitlines(keepends=True)
+    line = bytearray(raw[lineno])
+    line[len(line) // 2] ^= 0x01
+    raw[lineno] = bytes(line)
+    path.write_bytes(b"".join(raw))
+
+
+class TestClassification:
+    def test_clean_run_dir_is_all_ok_exit_zero(self, tmp_path):
+        _make_journal(tmp_path / "batch.jsonl")
+        write_snapshot(
+            tmp_path / "telemetry.json",
+            {"schema": "repro.solve_telemetry/v6", "status": "optimal"},
+        )
+        findings = scan_run_dir(tmp_path)
+        assert findings and all(f.status == OK for f in findings)
+        assert exit_code(findings) == 0
+
+    def test_foreign_json_is_not_reported(self, tmp_path):
+        (tmp_path / "notes.json").write_text('{"mine": true}')
+        assert scan_run_dir(tmp_path) == []
+
+    def test_torn_tail_is_repairable(self, tmp_path):
+        path = tmp_path / "batch.jsonl"
+        _make_journal(path)
+        with open(path, "ab") as handle:
+            handle.write(b'{"event": "fini')
+        (finding,) = scan_run_dir(tmp_path)
+        assert (finding.status, finding.causes) == (REPAIRABLE, ["torn"])
+        assert exit_code([finding]) == 1
+
+    def test_bit_rot_mid_journal_is_repairable(self, tmp_path):
+        path = tmp_path / "batch.jsonl"
+        _make_journal(path)
+        _flip_line(path, 2)
+        (finding,) = scan_run_dir(tmp_path)
+        assert finding.status == REPAIRABLE
+        assert finding.family == "journal"
+
+    def test_destroyed_header_is_corrupt(self, tmp_path):
+        path = tmp_path / "batch.jsonl"
+        _make_journal(path)
+        _flip_line(path, 0)
+        (finding,) = scan_run_dir(tmp_path)
+        assert finding.status == CORRUPT
+        assert exit_code([finding]) == 2
+
+    def test_tampered_snapshot_is_corrupt(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        write_snapshot(
+            path, {"schema": "repro.bnb_checkpoint/v2", "elapsed_s": 1.0},
+        )
+        path.write_text(path.read_text().replace("1.0", "2.0"))
+        (finding,) = scan_run_dir(tmp_path)
+        assert (finding.status, finding.causes) == (CORRUPT, ["bad-digest"])
+
+    def test_stale_temp_is_repairable(self, tmp_path):
+        (tmp_path / "checkpoint.json.tmp").write_bytes(b'{"half":')
+        (finding,) = scan_run_dir(tmp_path)
+        assert (finding.status, finding.causes) == (
+            REPAIRABLE, ["stale-temp"],
+        )
+
+    def test_quarantine_dirs_are_not_rescanned(self, tmp_path):
+        path = tmp_path / "batch.jsonl"
+        _make_journal(path)
+        _flip_line(path, 2)
+        scan_run_dir(tmp_path, repair=True)
+        # The quarantined raw bytes must not be re-diagnosed as a
+        # fresh corrupt artifact on the next scan.
+        findings = scan_run_dir(tmp_path)
+        assert all(f.status == OK for f in findings)
+
+
+class TestRepair:
+    def test_repair_diffs_replay_by_exactly_the_quarantined_loss(
+        self, tmp_path,
+    ):
+        """The acceptance diff: pre-repair replay refuses; post-repair
+        replay returns every record except the quarantined one."""
+        path = tmp_path / "batch.jsonl"
+        _make_journal(path, n=4)
+        pristine = replay(path)
+        assert sorted(pristine) == [0, 1, 2, 3]
+        _flip_line(path, 2)  # job 1's finished record
+
+        import pytest
+
+        from repro.errors import RunnerError
+
+        with pytest.raises(RunnerError, match="corrupt"):
+            replay(path)  # pre-repair: strict replay refuses
+
+        findings = scan_run_dir(tmp_path, repair=True)
+        journal_finding = next(f for f in findings if f.family == "journal")
+        assert journal_finding.repaired
+
+        post = replay(path)  # post-repair: replays strictly again
+        assert sorted(post) == [0, 2, 3]
+        lost = set(pristine) - set(post)
+        assert lost == {1}
+        # The survivors are bit-identical to their pristine selves.
+        for index in post:
+            assert post[index].as_dict() == pristine[index].as_dict()
+
+    def test_repair_truncates_torn_tail(self, tmp_path):
+        path = tmp_path / "batch.jsonl"
+        _make_journal(path)
+        with open(path, "ab") as handle:
+            handle.write(b'{"event": "fini')
+        scan_run_dir(tmp_path, repair=True)
+        _, truncated = read_journal(path)
+        assert not truncated
+        assert sorted(replay(path)) == [0, 1, 2]
+
+    def test_repair_rebuilds_sibling_summary(self, tmp_path):
+        from repro.reporting.export import save_journal_summary
+
+        path = tmp_path / "batch.jsonl"
+        _make_journal(path, n=3)
+        summary_path = tmp_path / "batch.summary.json"
+        save_journal_summary(path, summary_path)
+        _flip_line(path, 2)
+        scan_run_dir(tmp_path, repair=True)
+        rebuilt = json.loads(summary_path.read_text())
+        assert rebuilt["n_jobs"] == 2  # the quarantined job is gone
+
+    def test_repair_quarantines_corrupt_snapshot(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        write_snapshot(
+            path, {"schema": "repro.bnb_checkpoint/v2", "elapsed_s": 1.0},
+        )
+        path.write_text(path.read_text().replace("1.0", "2.0"))
+        scan_run_dir(tmp_path, repair=True)
+        assert not path.exists()
+        qdir = tmp_path / "checkpoint.json.quarantine"
+        assert (qdir / "checkpoint.json").exists()
+
+
+class TestCliContract:
+    def test_exit_codes_and_repair_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "batch.jsonl"
+        _make_journal(path)
+        assert doctor_main([str(tmp_path)]) == 0
+
+        _flip_line(path, 2)
+        assert doctor_main([str(tmp_path)]) == 1  # repairable, not fixed
+        assert doctor_main([str(tmp_path), "--repair"]) == 1  # fixed now
+        assert doctor_main([str(tmp_path)]) == 0  # re-run after repair
+
+    def test_json_report_schema(self, tmp_path, capsys):
+        _make_journal(tmp_path / "batch.jsonl")
+        code = doctor_main([str(tmp_path), "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.doctor_report/v1"
+        assert report["exit_code"] == code == 0
+        assert report["findings"][0]["family"] == "journal"
+
+    def test_via_main_dispatcher(self, tmp_path, capsys):
+        from repro.cli import main
+
+        _make_journal(tmp_path / "batch.jsonl")
+        assert main(["doctor", str(tmp_path)]) == 0
+        assert "journal" in capsys.readouterr().out

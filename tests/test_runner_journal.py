@@ -52,7 +52,7 @@ class TestDurabilityFailure:
             def no_space(fd):
                 raise OSError(errno.ENOSPC, "No space left on device")
 
-            monkeypatch.setattr("repro.runner.journal.os.fsync", no_space)
+            monkeypatch.setattr("repro.artifacts.fsio.os.fsync", no_space)
             with pytest.raises(JournalWriteError) as info:
                 writer.finished(_result(0))
             assert info.value.path == str(path)
@@ -60,7 +60,7 @@ class TestDurabilityFailure:
 
             # The handle stays open: once space frees up, the *next*
             # append must succeed without reopening anything.
-            monkeypatch.setattr("repro.runner.journal.os.fsync", real_fsync)
+            monkeypatch.setattr("repro.artifacts.fsio.os.fsync", real_fsync)
             writer.finished(_result(0))
         assert set(replay(path)) == {0}
 

@@ -53,12 +53,17 @@ def _run(tmp_path, manifest, name="batch.jsonl", resume=False, **config):
 
 
 def _strip_nondeterminism(journal_path):
-    """Journal records with ``timing`` / header ``runtime`` removed."""
+    """Journal records with ``timing`` / header ``runtime`` removed.
+
+    The ``crc`` seal covers those varying fields, so it is stripped
+    along with them.
+    """
     records, truncated = read_journal(journal_path)
     assert not truncated
     stripped = []
     for record in copy.deepcopy(records):
         record.pop("runtime", None)
+        record.pop("crc", None)
         if isinstance(record.get("result"), dict):
             record["result"].pop("timing", None)
         stripped.append(record)

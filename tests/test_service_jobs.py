@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.artifacts.framing import seal_record
 from repro.errors import RunnerError
 from repro.runner.jobs import JobOutcome, JobResult
 from repro.runner.journal import JournalWriter
@@ -154,15 +155,64 @@ class TestRecovery:
         with pytest.raises(RunnerError, match="not a service journal"):
             recover_journal(path)
 
-    def test_corrupt_accepted_record_is_fatal(self, tmp_path):
+    def test_semantically_bad_but_sealed_record_is_fatal(self, tmp_path):
+        """An intact record (CRC verifies) that cannot be parsed back
+        is a *writer bug*, not disk damage — recovery must refuse, not
+        quarantine it away."""
         path = tmp_path / "svc.jsonl"
         journal = ServiceJournal(path).open(fresh=True)
         journal.accepted(_job(0))
         journal.close()
-        text = path.read_text().replace('"paper_graph":1', '"paper_graph":99')
-        path.write_text(text)
+        lines = []
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            if record.get("kind") == "accepted":
+                record["request"]["paper_graph"] = 99
+                record.pop("crc", None)
+                record = seal_record(record)
+            lines.append(
+                json.dumps(record, sort_keys=True, separators=(",", ":"))
+            )
+        path.write_text("\n".join(lines) + "\n")
         with pytest.raises(RunnerError, match="unreadable accepted record"):
             recover_journal(path)
+
+    def test_bit_rot_in_accepted_record_is_quarantined(self, tmp_path):
+        """A flipped byte (CRC seal mismatch) is disk damage: the bad
+        record moves to quarantine, every other job replays exactly
+        once, and the loss is counted."""
+        path = tmp_path / "svc.jsonl"
+        journal = ServiceJournal(path).open(fresh=True)
+        journal.accepted(_job(0))
+        journal.accepted(_job(1))
+        journal.close()
+        # Flip content inside job 0's accepted record without keeping
+        # the CRC consistent: that is what resting bit rot looks like.
+        text = path.read_text().replace('"paper_graph":1', '"paper_graph":9')
+        path.write_text(text)
+
+        state = recover_journal(path)
+        assert state.quarantined == 2
+        assert state.pending == []
+        qdir = path.with_name(path.name + ".quarantine")
+        assert (qdir / "index.jsonl").exists()
+
+    def test_bit_rot_spares_the_other_jobs(self, tmp_path):
+        path = tmp_path / "svc.jsonl"
+        journal = ServiceJournal(path).open(fresh=True)
+        journal.accepted(_job(0))
+        journal.accepted(_job(1, paper_graph=2))
+        journal.close()
+        raw = path.read_bytes().splitlines(keepends=True)
+        # Flip one byte in the middle of job 0's accepted record.
+        target = bytearray(raw[1])
+        target[len(target) // 2] ^= 0x40
+        path.write_bytes(b"".join([raw[0], bytes(target), *raw[2:]]))
+
+        state = recover_journal(path)
+        assert state.quarantined == 1
+        assert [job.index for job in state.pending] == [1]
+        assert state.next_index == 2
 
     def test_exactly_once_after_double_restart(self, tmp_path):
         """A journal recovered, appended to, and recovered again must

@@ -223,6 +223,71 @@ class TestSigkillRecovery:
         assert sorted(accepted) == [0, 1]
         assert sorted(finished) == [0, 1]
 
+    def test_kill9_plus_bit_rot_quarantines_and_serves_the_rest(
+        self, tmp_path,
+    ):
+        """Crash *and* disk damage: after SIGKILL, one byte inside the
+        fast job's ``accepted`` record is flipped (resting bit rot, CRC
+        seal now lies).  The restarted server must quarantine exactly
+        that record, recover and serve every other acknowledged job
+        exactly once, and report the loss in ``/metrics`` — never
+        refuse startup, never crash, never guess."""
+        state_dir = tmp_path / "state"
+        proc, ready = _start_server(state_dir, "--checkpoint-every", "1")
+        port = ready["port"]
+        try:
+            status, slow = _request(port, "POST", "/v1/solve", SLOW_SPEC)
+            assert status == 202
+            status, fast = _request(port, "POST", "/v1/solve", FAST_SPEC)
+            assert status == 202
+            checkpoint = (
+                state_dir / "scratch" / slow["job_id"] / "checkpoint.json"
+            )
+            _wait_for(checkpoint.exists)
+            proc.kill()  # SIGKILL: no handler, no flush, no goodbye
+            proc.wait(timeout=10)
+        finally:
+            _stop(proc)
+
+        journal = state_dir / "service.journal.jsonl"
+        lines = journal.read_bytes().splitlines(keepends=True)
+        # The fast job's accepted record is the last complete
+        # 'accepted' line; flip one byte in its middle.
+        victims = [
+            i for i, line in enumerate(lines) if b'"accepted"' in line
+        ]
+        target = bytearray(lines[victims[-1]])
+        target[len(target) // 2] ^= 0x40
+        lines[victims[-1]] = bytes(target)
+        journal.write_bytes(b"".join(lines))
+
+        proc, ready = _start_server(state_dir)
+        try:
+            port = ready["port"]
+            # The damaged record was quarantined and counted ...
+            assert ready["quarantined_records"] == 1
+            # ... the undamaged job recovered and finishes exactly once.
+            assert ready["recovered_jobs"] == 1
+            done = _wait_done(port, slow["job_id"], timeout_s=120)
+            assert done["outcome"] == "OK", done
+            assert done["solve"]["status"] == "optimal"
+            status, metrics = _request(port, "GET", "/metrics")
+            assert status == 200
+            assert metrics["counters"]["quarantined_records"] == 1
+            # The quarantined job is honestly gone, not half-known.
+            status, doc = _request(port, "GET", f"/v1/jobs/{fast['job_id']}")
+            assert status == 404
+        finally:
+            _stop(proc)
+
+        qdir = journal.with_name(journal.name + ".quarantine")
+        assert (qdir / "index.jsonl").exists()
+        events = _journal_events(state_dir)
+        accepted = [r["job"] for r in events if r.get("kind") == "accepted"]
+        finished = [r["job"] for r in events if r.get("event") == "finished"]
+        assert accepted == [0]
+        assert finished == [0]
+
     def test_kill9_before_any_job_recovers_to_empty(self, tmp_path):
         state_dir = tmp_path / "state"
         proc, _ = _start_server(state_dir)
