@@ -34,6 +34,7 @@ Usage::
     python scripts/bench_solver.py --workers 4 --min-scaling 2.5  # >=4 cores
     python scripts/bench_solver.py --quick --audit                # certify rows
     python scripts/bench_solver.py --quick --audit --audit-workers 4
+    python scripts/bench_solver.py --tables t3,t4 --ablation      # cuts gate
 
 Exit status is non-zero when any deterministic field drifts or any
 row's nodes/sec regresses more than ``--tolerance`` below the
@@ -87,11 +88,23 @@ KERNELS = ("incremental", "scipy")
 DETERMINISTIC_FIELDS = ("status", "objective", "nodes_explored", "lp_solves")
 
 
-def bench_row(row, kernel: str, time_limit_s: float, workers: int = 1) -> dict:
+def bench_row(
+    row,
+    kernel: str,
+    time_limit_s: float,
+    workers: int = 1,
+    cuts: bool = False,
+    heuristics: bool = False,
+) -> dict:
     """One row under one kernel -> measured record."""
     start = time.perf_counter()
     result = run_row(
-        row, time_limit_s=time_limit_s, lp_kernel=kernel, workers=workers
+        row,
+        time_limit_s=time_limit_s,
+        lp_kernel=kernel,
+        workers=workers,
+        cuts=cuts,
+        heuristics=heuristics,
     )
     elapsed = time.perf_counter() - start
     solve = (result.get("telemetry") or {}).get("solve") or {}
@@ -125,7 +138,105 @@ def bench_row(row, kernel: str, time_limit_s: float, workers: int = 1) -> dict:
             "worker_crashes": parallel_block.get("worker_crashes"),
             "incumbent_broadcasts": parallel_block.get("incumbent_broadcasts"),
         }
+    if cuts or heuristics:
+        cuts_block = solve.get("cuts") or {}
+        heur_block = solve.get("heuristics") or {}
+        record["cuts_added"] = int(cuts_block.get("total") or 0)
+        record["root_gap_closed_pct"] = _root_gap_closed_pct(
+            cuts_block, record["objective"]
+        )
+        record["heuristic_incumbents"] = int(
+            heur_block.get("dive_incumbents") or 0
+        ) + int(heur_block.get("polish_incumbents") or 0)
     return record
+
+
+def _root_gap_closed_pct(cuts_block: dict, objective) -> "float | None":
+    """Share of the root LP -> optimum gap closed by the cut loop.
+
+    None when the row has no finite optimum or the cut loop never
+    solved the root LP; 0.0 when the root relaxation was already tight
+    (no gap to close).
+    """
+    before = cuts_block.get("root_obj_before")
+    after = cuts_block.get("root_obj_after")
+    if objective is None or before is None or after is None:
+        return None
+    gap = float(objective) - float(before)
+    if gap <= 1e-9:
+        return 0.0
+    return round(100.0 * (float(after) - float(before)) / gap, 2)
+
+
+def run_ablation_bench(
+    tables, time_limit_s: float, tolerance: float,
+) -> "tuple[dict, list, list]":
+    """Cuts/heuristics ablation mode: (rows, hard failures, notes).
+
+    Every row runs twice under the incremental kernel — plain, then
+    with root cutting planes and primal heuristics enabled.  The
+    enabled run must reach the *identical* status and objective (the
+    features may only speed the search up, never change the answer),
+    and on Table 3/4 rows that solve to optimality it must explore
+    strictly fewer nodes — the whole point of cutting the tree before
+    searching it.  Aggregate wall time across the sweep must not
+    regress beyond ``tolerance``.
+    """
+    rows, failures, notes = {}, [], []
+    off_time = on_time = 0.0
+    for table in tables:
+        for row in table_rows(table):
+            off_key = f"{row.key}:off"
+            on_key = f"{row.key}:cuts+heur"
+            print(f"  bench {off_key} ...", flush=True)
+            off = bench_row(row, "incremental", time_limit_s)
+            print(f"  bench {on_key} ...", flush=True)
+            on = bench_row(
+                row, "incremental", time_limit_s, cuts=True, heuristics=True
+            )
+            rows[off_key], rows[on_key] = off, on
+            off_time += off["wall_time_s"]
+            on_time += on["wall_time_s"]
+            for field in ("status", "objective"):
+                if on.get(field) != off.get(field):
+                    failures.append(
+                        f"{on_key}: {field} changed under cuts+heuristics "
+                        f"(off {off.get(field)!r}, on {on.get(field)!r})"
+                    )
+            if table in ("t3", "t4") and off["status"] == "optimal":
+                if on["nodes_explored"] >= off["nodes_explored"]:
+                    failures.append(
+                        f"{on_key}: expected strictly fewer nodes than the "
+                        f"plain run (off {off['nodes_explored']}, "
+                        f"on {on['nodes_explored']})"
+                    )
+    if off_time > 0 and on_time > off_time * (1.0 + tolerance):
+        failures.append(
+            f"aggregate wall time regressed >{tolerance:.0%} with "
+            f"cuts+heuristics on ({off_time:.2f}s -> {on_time:.2f}s)"
+        )
+    else:
+        notes.append(
+            f"aggregate wall time {off_time:.2f}s plain -> "
+            f"{on_time:.2f}s with cuts+heuristics"
+        )
+    return rows, failures, notes
+
+
+def print_ablation_rows(rows: dict) -> None:
+    width = max(len(k) for k in rows)
+    print(f"{'row':<{width}}  {'status':<10} {'nodes':>7} {'wall s':>8} "
+          f"{'cuts':>5} {'gap%':>6} {'heur inc':>8}")
+    for key, record in rows.items():
+        gap = record.get("root_gap_closed_pct")
+        print(
+            f"{key:<{width}}  {record['status']:<10} "
+            f"{record['nodes_explored']:>7} "
+            f"{record['wall_time_s']:>8} "
+            f"{record.get('cuts_added', '-'):>5} "
+            f"{gap if gap is not None else '-':>6} "
+            f"{record.get('heuristic_incumbents', '-'):>8}"
+        )
 
 
 def run_bench(tables, time_limit_s: float) -> dict:
@@ -364,6 +475,12 @@ def main(argv=None) -> int:
              "mode (informational when the machine has fewer cores)",
     )
     parser.add_argument(
+        "--ablation", action="store_true",
+        help="cuts/heuristics ablation mode: bench each row plain and "
+             "with --cuts --heuristics; identical optima and strictly "
+             "fewer nodes on optimal t3/t4 rows are hard gates",
+    )
+    parser.add_argument(
         "--audit", action="store_true",
         help="certification mode: re-run each row with proof logging "
              "and verify the log with the independent exact checker; "
@@ -383,6 +500,48 @@ def main(argv=None) -> int:
         tables = ["t3"]
     else:
         tables = ["t1", "t2", "t3", "t4"]
+
+    if args.ablation:
+        rows, failures, notes = run_ablation_bench(
+            tables, args.time_limit, args.tolerance,
+        )
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "mode": "ablation",
+            "tables": tables,
+            "rows": rows,
+        }
+        if args.json:
+            args.json.write_text(
+                json.dumps(payload, indent=1, sort_keys=True) + "\n"
+            )
+            print(f"wrote {args.json}")
+        if args.update_baseline:
+            # Merge into the committed baseline: ablation keys
+            # (":off"/":cuts+heur") never collide with the per-kernel
+            # keys the default compare mode reads.
+            merged = {}
+            if args.baseline.exists():
+                loaded = load_baseline(args.baseline)
+                if loaded is None:
+                    return 2
+                merged = loaded
+            merged.setdefault("schema", BASELINE_SCHEMA)
+            merged.setdefault("rows", {}).update(rows)
+            write_snapshot(args.baseline, merged, indent=1)
+            print(f"baseline updated: {args.baseline}")
+        print()
+        print_ablation_rows(rows)
+        for note in notes:
+            print(f"\nNOTE: {note}")
+        if failures:
+            print("\nFAIL:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"\nOK: cuts+heuristics ablation gates hold "
+              f"({len(rows)} measurements)")
+        return 0
 
     if args.audit:
         if args.audit_workers == 1 or args.audit_workers < 0:

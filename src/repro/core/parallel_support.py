@@ -74,6 +74,34 @@ def make_lp_backend(
     )
 
 
+def make_incumbent_auditor(spec, space):
+    """Semantic audit for heuristic incumbents: decode + verify_design.
+
+    The B&B primal heuristics (diving, polishing) produce value vectors
+    outside the normal node path; before one becomes the shared
+    incumbent it must decode to a real :class:`PartitionedDesign` and
+    pass the same independent :func:`~repro.core.verify.verify_design`
+    audit the final answer gets.  Returns a ``values -> bool`` closure.
+    """
+    from repro.errors import DecodeError, VerificationError
+    from repro.core.decode import decode_solution
+    from repro.core.verify import verify_design
+    from repro.ilp.solution import MilpResult, SolveStatus
+
+    def audit(values: "Dict[int, float]") -> bool:
+        candidate = MilpResult(
+            status=SolveStatus.FEASIBLE, values=dict(values)
+        )
+        try:
+            design = decode_solution(spec, space, candidate)
+            verify_design(design)
+        except (DecodeError, VerificationError):
+            return False
+        return True
+
+    return audit
+
+
 def build_worker_context(args: "Dict[str, object]") -> "Dict[str, object]":
     """Rebuild the partitioner solve context inside a worker.
 
@@ -120,4 +148,5 @@ def build_worker_context(args: "Dict[str, object]") -> "Dict[str, object]":
         ),
         "node_prober": node_prober,
         "leaf_solver": leaf_solver,
+        "incumbent_auditor": make_incumbent_auditor(spec, space),
     }

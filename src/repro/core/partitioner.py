@@ -140,7 +140,7 @@ class PartitionOutcome:
     def telemetry(self) -> "Dict[str, object]":
         """Per-run solve-telemetry record (see DESIGN.md for the schema)."""
         return {
-            "schema": "repro.solve_telemetry/v6",
+            "schema": "repro.solve_telemetry/v7",
             "graph": self.spec.graph.name,
             "n_partitions": self.spec.n_partitions,
             "relaxation": self.spec.relaxation,
@@ -241,6 +241,24 @@ class TemporalPartitioner:
         the heuristic baselines instead of raising/returning empty
         (see module docstring).  When False, solver faults raise as
         before (the cross-check suites want the crash).
+    cuts:
+        When True (``bnb`` backend only), run the root cutting-plane
+        loop (:mod:`repro.ilp.cuts`) before the tree search: knapsack
+        cover, conflict-clique, and implied-bound cuts are separated
+        against the root LP in rounds, each exact-validated by the
+        independent checker before acceptance, and appended to the
+        model every layer of the stack sees.  In proof mode the cuts
+        ride into the log as typed ``cut`` records (schema
+        ``repro.bnb_proof/v2``) that ``repro audit`` re-proves.  The
+        ``solve.cuts`` telemetry block reports what was added.
+    heuristics:
+        When True (``bnb`` backend only), enable the primal heuristics
+        (:mod:`repro.ilp.heuristics`): LP-guided diving at the root and
+        every ``dive_every`` nodes, plus 1-opt incumbent polishing.
+        Every heuristic point is audited (decode +
+        :func:`~repro.core.verify.verify_design`) before it may become
+        the incumbent; the ``solve.heuristics`` telemetry block counts
+        dives, polishes, and audit rejections.
     lp_kernel:
         ``"incremental"`` (default) puts the persistent-model
         warm-starting LP kernel
@@ -297,6 +315,8 @@ class TemporalPartitioner:
         checkpoint_every: int = 256,
         proof_path: "Optional[str]" = None,
         degrade: bool = True,
+        cuts: bool = False,
+        heuristics: bool = False,
         lp_kernel: str = "incremental",
         workers: int = 1,
         parallel_replay: bool = False,
@@ -321,6 +341,11 @@ class TemporalPartitioner:
             raise ReproError(
                 "workers > 1 requires backend='bnb' "
                 "(the milp backend is a single HiGHS call)"
+            )
+        if (cuts or heuristics) and backend != "bnb":
+            raise ReproError(
+                "cuts/heuristics require backend='bnb' (the milp "
+                "backend is a single opaque HiGHS call)"
             )
         if workers > 1 and lp_backend_chain is not None:
             raise ReproError(
@@ -350,6 +375,8 @@ class TemporalPartitioner:
         self.checkpoint_every = checkpoint_every
         self.proof_path = proof_path
         self.degrade = degrade
+        self.cuts = cuts
+        self.heuristics = heuristics
         self.lp_kernel = lp_kernel
         self.workers = workers
         self.parallel_replay = parallel_replay
@@ -561,6 +588,8 @@ class TemporalPartitioner:
         """Solve the model; returns (MilpResult, presolve certificate)."""
         if self.backend == "milp":
             return solve_milp_scipy(model, time_limit_s=self.time_limit_s), None
+        from repro.core.parallel_support import make_incumbent_auditor
+
         prober = None
         leaf_solver = None
         if not self.plain_search:
@@ -585,6 +614,9 @@ class TemporalPartitioner:
             checkpoint_path=self.checkpoint_path,
             checkpoint_every=self.checkpoint_every,
             reduced_cost_fixing=not self.plain_search,
+            cuts=self.cuts,
+            heuristics=self.heuristics,
+            incumbent_auditor=make_incumbent_auditor(spec, space),
             proof_path=self.proof_path,
         )
         solver = self._make_solver(model, spec, config)

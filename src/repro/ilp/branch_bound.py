@@ -204,6 +204,37 @@ class BranchAndBoundConfig:
         unchanged.  Requires the LP backend to attach
         ``LPResult.reduced_costs``; silently inert otherwise.  Fixings
         are counted in ``SolveStats.vars_fixed_reduced_cost``.
+    cuts:
+        Run the root cutting-plane loop (:mod:`repro.ilp.cuts`) at
+        construction time: cover, clique and implied-bound cuts are
+        separated against the root LP's fractional point in rounds
+        until tail-off, each exact-validated before acceptance, and
+        the *extended* standard form is what the whole search (warm
+        starts, reduced-cost fixing, node cache, checkpoints, leaf
+        sub-solves, proof logs) then operates on.  The loop's
+        telemetry lands in ``SolveStats.cuts``.
+    cut_rounds / cut_max_per_round / cut_min_violation / cut_tailoff:
+        Cut-loop knobs: maximum separation rounds, accepted cuts per
+        round, minimum violation for a candidate to be considered, and
+        the relative root-objective improvement below which the loop
+        stops early.
+    heuristics:
+        Enable the in-tree primal heuristics
+        (:mod:`repro.ilp.heuristics`): LP-guided diving at the root
+        and every ``dive_every`` nodes, and 1-opt incumbent polishing
+        whenever the incumbent improves.  Heuristic incumbents feed
+        the ordinary incumbent machinery (so bound pruning and
+        reduced-cost fixing fire earlier) and are audited before
+        adoption; counters land in ``SolveStats.heuristics``.
+    dive_every:
+        Node interval between dives (the root always dives).
+    dive_max_lp / polish_max_lp:
+        LP-call budgets per dive / per polishing pass.
+    incumbent_auditor:
+        Optional ``f(values: Dict[int, float]) -> bool`` run on every
+        *heuristic* incumbent before adoption (the partitioner plugs
+        in decode + ``verify_design``); a rejected point is discarded
+        and counted, never adopted.
     proof_path:
         When set, every tree event is appended (with its certificate)
         to this ``repro.bnb_proof/v1`` JSONL artifact, independently
@@ -240,8 +271,32 @@ class BranchAndBoundConfig:
     checkpoint_path: "Optional[str]" = None
     checkpoint_every: int = 256
     reduced_cost_fixing: bool = False
+    cuts: bool = False
+    cut_rounds: int = 8
+    cut_max_per_round: int = 64
+    cut_min_violation: float = 1e-4
+    cut_tailoff: float = 1e-5
+    heuristics: bool = False
+    dive_every: int = 512
+    dive_max_lp: int = 64
+    polish_max_lp: int = 64
+    incumbent_auditor: "Optional[Callable[[Dict[int, float]], bool]]" = None
     proof_path: "Optional[str]" = None
     proof_sink: "Optional[object]" = None
+
+
+#: Zeroed ``SolveStats.heuristics`` telemetry block.
+_HEUR_ZERO: "Dict[str, int]" = {
+    "dives": 0,
+    "dive_lp_solves": 0,
+    "dive_leaf_solves": 0,
+    "dive_incumbents": 0,
+    "polish_calls": 0,
+    "polish_lp_solves": 0,
+    "polish_leaf_solves": 0,
+    "polish_incumbents": 0,
+    "audit_rejects": 0,
+}
 
 
 @dataclass
@@ -292,6 +347,27 @@ class BranchAndBound:
             model = self._run_presolve(model)
         self.model = model
         self.form: StandardForm = compile_standard_form(model)
+        # Root cutting planes (repro.ilp.cuts): the *base* compiled
+        # form is kept for proof headers (its fingerprint binds the
+        # artifact to the formulation) while everything the search
+        # touches — warm starts, rc fixing, checkpoints, leaf
+        # sub-solves — uses the extended form.  Re-running the loop in
+        # __init__ is deterministic, so a resumed solver reproduces
+        # the same extension (and the same checkpoint fingerprint).
+        self.base_form: StandardForm = self.form
+        self._cut_rows: "List[object]" = []
+        self._cut_stats: "Optional[Dict[str, object]]" = None
+        if self.config.cuts:
+            from repro.ilp.cuts import run_root_cut_loop
+
+            self.form, self._cut_rows, self._cut_stats = run_root_cut_loop(
+                self.base_form,
+                self.config.lp_backend,
+                rounds=self.config.cut_rounds,
+                max_per_round=self.config.cut_max_per_round,
+                min_violation=self.config.cut_min_violation,
+                tailoff=self.config.cut_tailoff,
+            )
         self._int_indices = np.array(model.integer_indices(), dtype=int)
         self._group0: "List[int]" = [
             v.index
@@ -312,6 +388,9 @@ class BranchAndBound:
         self._stack: "List[_Node]" = []
         self._incumbent_values: "Optional[Dict[int, float]]" = None
         self._incumbent_obj = math.inf
+        # Primal-heuristic state (repro.ilp.heuristics).
+        self._heur: "Dict[str, int]" = dict(_HEUR_ZERO)
+        self._in_polish = False
         # Resilience state.
         self._exactness_lost = False
         self._lp_failure_abort = False
@@ -474,6 +553,8 @@ class BranchAndBound:
         self._root_lp = None
         self._rc_lb = None
         self._rc_ub = None
+        self._heur = dict(_HEUR_ZERO)
+        self._in_polish = False
         self._setup_proof()
         if self._presolve_certificate is not None:
             # Presolve proved infeasibility; no LP is ever solved.
@@ -526,8 +607,16 @@ class BranchAndBound:
             objective_is_integral=self.config.objective_is_integral,
             int_tol=self.config.int_tol,
             resume=self._resume_payload is not None,
+            base_form=self.base_form if self._cut_rows else None,
+            cut_records=self.cut_proof_records(),
         )
         self._owns_proof = True
+
+    def cut_proof_records(self) -> "List[Dict[str, object]]":
+        """The (unsealed) ``cut`` proof records of this solver's cuts."""
+        return [
+            row.proof_record(i) for i, row in enumerate(self._cut_rows)
+        ]
 
     def _close_proof(self) -> None:
         if self._proof is not None and self._owns_proof:
@@ -697,6 +786,16 @@ class BranchAndBound:
                 self._new_incumbent(objective, rounded)
                 return
 
+            if self.config.heuristics and (
+                node.depth == 0
+                or stats.nodes_explored % max(1, self.config.dive_every) == 0
+            ):
+                if self._try_dive(node, lp):
+                    # The dive's incumbent closed this very node: its
+                    # own LP bound now prunes it (certified in proof
+                    # mode by the ordinary bound-prune record).
+                    return
+
             decision = self._decide(node, lp.values, fractional)
             if decision is None and self._proof is not None:
                 # Proof mode: the MILP sub-solve yields no replayable
@@ -714,22 +813,24 @@ class BranchAndBound:
                         if sub_obj < self._prune_threshold(
                             self._incumbent_obj
                         ):
-                            improving = True
-                            sub_obj = self._proof.emit_incumbent(
+                            emitted = self._proof.emit_incumbent(
                                 self._values_array(sub_values), sub_obj
                             )
-                            self._new_incumbent(sub_obj, sub_values)
-                            if lp.objective >= self._prune_threshold(
-                                self._incumbent_obj
-                            ):
-                                # Its own LP bound now closes this node.
-                                stats.nodes_pruned_bound += 1
-                                self._proof.emit_prune_bound(
-                                    self._node_pid(node), node.lb, node.ub,
-                                    lp.dual_ub, lp.dual_eq,
-                                    self._incumbent_obj,
-                                )
-                                return
+                            if emitted is not None:
+                                improving = True
+                                self._new_incumbent(emitted, sub_values)
+                                if lp.objective >= self._prune_threshold(
+                                    self._incumbent_obj
+                                ):
+                                    # Its own LP bound closes this node.
+                                    stats.nodes_pruned_bound += 1
+                                    self._proof.emit_prune_bound(
+                                        self._node_pid(node),
+                                        node.lb, node.ub,
+                                        lp.dual_ub, lp.dual_eq,
+                                        self._incumbent_obj,
+                                    )
+                                    return
                     if not improving and kind in ("optimal", "infeasible"):
                         # The sub-solve proved this subtree worthless but
                         # left no replayable certificate.  Defer it to
@@ -779,6 +880,91 @@ class BranchAndBound:
             and not self._lp_failure_abort
         ):
             self._process_node(self._stack.pop(), rescue=True)
+
+    # ------------------------------------------------------------------
+    # primal heuristics (repro.ilp.heuristics)
+
+    def _adopt_heuristic_incumbent(
+        self, objective: float, values: "Dict[int, float]", counter: str
+    ) -> bool:
+        """Audit, (proof-mode) certify, and adopt a heuristic point.
+
+        The configured auditor sees every heuristic point first; in
+        proof mode the point must additionally pass the sink's exact
+        feasibility pre-validation (an unverifiable point is never
+        written and never adopted).  Returns True when the point became
+        the incumbent.
+        """
+        auditor = self.config.incumbent_auditor
+        if auditor is not None and not auditor(values):
+            self._heur["audit_rejects"] += 1
+            return False
+        if self._proof is not None:
+            emitted = self._proof.emit_incumbent(
+                self._values_array(values), objective
+            )
+            if emitted is None:
+                self._heur["audit_rejects"] += 1
+                return False
+            objective = emitted
+        if objective >= self._prune_threshold(self._incumbent_obj):
+            return False
+        self._heur[counter] += 1
+        self._new_incumbent(objective, values)
+        return True
+
+    def _try_dive(self, node: _Node, lp: LPResult) -> bool:
+        """LP-guided dive from this node's fractional point.
+
+        Returns True when the dive produced an incumbent whose prune
+        threshold now closes this very node (the caller then emits the
+        certified bound prune and returns).
+        """
+        from repro.ilp.heuristics import lp_dive
+
+        dived = lp_dive(self, node, lp)
+        if dived is None:
+            return False
+        obj, values = dived
+        if obj >= self._prune_threshold(self._incumbent_obj):
+            return False
+        if not self._adopt_heuristic_incumbent(
+            obj, values, "dive_incumbents"
+        ):
+            return False
+        if lp.objective >= self._prune_threshold(self._incumbent_obj):
+            self._stats.nodes_pruned_bound += 1
+            if self._proof is not None:
+                self._proof.emit_prune_bound(
+                    self._node_pid(node), node.lb, node.ub,
+                    lp.dual_ub, lp.dual_eq, self._incumbent_obj,
+                )
+            return True
+        return False
+
+    def _maybe_polish(self) -> None:
+        """1-opt polish around a fresh incumbent (re-entrancy guarded:
+        an adopted polished point triggers :meth:`_new_incumbent` again
+        but never a second polish pass from inside the first)."""
+        if not self.config.heuristics or self._in_polish:
+            return
+        if (
+            self._root_lp is not None
+            and self._prune_threshold(self._incumbent_obj)
+            <= self._root_lp[0]
+        ):
+            return  # no integer point can beat the incumbent at all
+        from repro.ilp.heuristics import polish_incumbent
+
+        self._in_polish = True
+        try:
+            polished = polish_incumbent(self)
+            if polished is not None:
+                self._adopt_heuristic_incumbent(
+                    polished[0], polished[1], "polish_incumbents"
+                )
+        finally:
+            self._in_polish = False
 
     # ------------------------------------------------------------------
     # resilience: LP failure survival
@@ -1082,6 +1268,7 @@ class BranchAndBound:
         self._stats.incumbent_events.append(event)
         if self.config.on_incumbent is not None:
             self.config.on_incumbent(event)
+        self._maybe_polish()
 
     def _apply_reduced_cost_fixing(self) -> None:
         """Tighten the global bound box from root reduced costs.
@@ -1182,6 +1369,10 @@ class BranchAndBound:
         stats = self._stats
         stats.wall_time_s = self._elapsed_base + (time.monotonic() - self._start)
         stats.resilience = self._resilience_block()
+        if self._cut_stats is not None:
+            stats.cuts = dict(self._cut_stats)
+        if self.config.heuristics:
+            stats.heuristics = dict(self._heur)
         kernel_fn = getattr(self.config.lp_backend, "kernel_telemetry", None)
         if callable(kernel_fn):
             stats.kernel = kernel_fn()

@@ -13,6 +13,15 @@ Record kinds
     rhs vectors, bounds, integrality) so the checker can re-verify
     every certificate with exact rational arithmetic — and recompute
     the fingerprint to bind the embedded form to the artifact.
+``cut``
+    One root cutting plane (schema v2): the added ``a_ub`` row's
+    coefficients and rhs plus a *derivation certificate* (cover
+    violation witness, clique pairwise-conflict row justification, or
+    implied-bound row references) from which the checker re-proves the
+    row is satisfied by every integer-feasible point of the base form.
+    All ``cut`` records sit immediately after the header, in index
+    order; the verified rows extend the embedded form before any tree
+    record is replayed.
 ``root``
     The root LP's dual vectors, justifying later reduced-cost fixes.
 ``rc_fix``
@@ -53,10 +62,20 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-#: Artifact schema identifier; bump on any layout change.
+#: Artifact schema identifier; bump on any layout change.  v1 logs
+#: carry no cut records; v2 adds a ``cuts`` header count and that many
+#: ``cut`` records immediately after the header.  The writer emits v1
+#: whenever no cuts were added, so cut-less artifacts stay readable by
+#: older checkers.
 PROOF_SCHEMA = "repro.bnb_proof/v1"
+PROOF_SCHEMA_V1 = PROOF_SCHEMA
+PROOF_SCHEMA_V2 = "repro.bnb_proof/v2"
+
+#: Every schema the checker accepts.
+PROOF_SCHEMAS = frozenset({PROOF_SCHEMA_V1, PROOF_SCHEMA_V2})
 
 KIND_HEADER = "header"
+KIND_CUT = "cut"
 KIND_ROOT = "root"
 KIND_RC_FIX = "rc_fix"
 KIND_BRANCH = "branch"
@@ -71,6 +90,7 @@ KIND_RESULT = "result"
 RECORD_KINDS = frozenset(
     {
         KIND_HEADER,
+        KIND_CUT,
         KIND_ROOT,
         KIND_RC_FIX,
         KIND_BRANCH,

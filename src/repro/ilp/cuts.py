@@ -1,0 +1,655 @@
+"""Root cutting planes: separation, exact validation, form extension.
+
+The paper's own headline result (Table 1 vs Table 2) is that model
+*tightening* beats raw search.  This module continues that story
+dynamically: after the standard form is compiled, a root cut loop
+separates violated valid inequalities against the root LP's fractional
+point and appends them to the inequality system, in rounds, until the
+relaxation stops improving.  Three families, all derived from the
+formulation's packing structure:
+
+``cover``
+    Knapsack cover cuts from capacity rows (the eq. 11-style ``x``/``u``
+    rows): a set ``S`` of binary columns whose coefficients provably
+    overrun the row even with everything else at its most forgiving
+    bound cannot be all-1, so ``sum_S x_j <= |S| - 1``.
+``clique``
+    Conflict/SOS1-clique cuts from the assignment packing rows: binary
+    variables that are *pairwise* forbidden from being 1 together (each
+    pair justified by a recorded row via exact interval arithmetic)
+    satisfy ``sum_Q x_j <= 1`` jointly — strictly stronger than the
+    pairwise rows the LP sees.
+``implied_bound``
+    Generalized Glover-product tightenings (the paper's eq. 28-32
+    family, generated on demand): when a row implies ``z <= lo0`` under
+    ``y = 0`` and ``z <= hi1 < lo0`` under ``y = 1`` for a binary
+    trigger ``y``, then ``z + (lo0 - hi1) y <= lo0`` is valid and cuts
+    off fractional ``(z, y)`` points.  Branch bounds are snapped *up*
+    to a dyadic grid so the recorded coefficient ``lo0 - hi1`` is exact
+    in float64 — the checker re-derives it in rational arithmetic and
+    demands exact equality.
+
+Every accepted cut carries a derivation certificate and is validated
+**before acceptance** with the independent checker's own
+:func:`~repro.ilp.certify.checker.verify_cut_record` (exact
+:class:`~fractions.Fraction` arithmetic) — generation and audit can
+never disagree.  Candidates that fail the exact check (float round-off
+at a strict-inequality boundary) are dropped and counted as
+``cuts_forfeited``, never emitted.
+
+The extended :class:`~repro.ilp.standard_form.StandardForm` is what the
+whole downstream stack sees — incremental-kernel warm starts,
+reduced-cost fixing, the node cache, checkpoint fingerprints, and the
+parallel root snapshot all operate on the tightened model consistently.
+Cut rows ride into proof logs as typed ``cut`` records right after the
+header (schema ``repro.bnb_proof/v2``); see :mod:`repro.ilp.certify`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import SolverError
+from repro.ilp.solution import LPResult, SolveStatus
+from repro.ilp.standard_form import StandardForm
+
+#: Implied-bound branch bounds are snapped up to this dyadic grid so
+#: float64 represents both bounds *and their difference* exactly.
+_GRID = 1 << 20
+
+#: Strictness margin for float-side separation tests; the exact
+#: verification pass is the authority, this only keeps borderline
+#: candidates from wasting a Fraction re-derivation.
+_EPS = 1e-9
+
+#: Per-row nonzero-count ceiling for the pairwise conflict scan.
+_CONFLICT_WIDTH = 32
+
+#: Maximum clique size the greedy extension grows to.
+_MAX_CLIQUE = 16
+
+CUT_FAMILIES = ("cover", "clique", "implied_bound")
+
+#: ``{p: {q: (row_kind, row)}}`` — a justified pairwise conflict graph.
+ConflictGraph = Dict[int, Dict[int, Tuple[str, int]]]
+
+
+@dataclass(frozen=True)
+class CutRow:
+    """One cutting plane ``sum coeffs[j] * x_j <= rhs`` + its certificate.
+
+    ``cert`` is the family-specific derivation witness the independent
+    checker re-proves (see
+    :func:`repro.ilp.certify.checker.verify_cut_record`).
+    """
+
+    family: str
+    coeffs: "Dict[int, float]"
+    rhs: float
+    cert: "Dict[str, Any]"
+
+    def as_dict(self) -> "Dict[str, Any]":
+        """JSON-safe serialization (shipped to parallel workers)."""
+        return {
+            "family": self.family,
+            "coeffs": {str(j): float(a) for j, a in self.coeffs.items()},
+            "rhs": float(self.rhs),
+            "cert": self.cert,
+        }
+
+    @classmethod
+    def from_dict(cls, data: "Mapping[str, Any]") -> "CutRow":
+        return cls(
+            family=str(data["family"]),
+            coeffs={int(k): float(v) for k, v in dict(data["coeffs"]).items()},
+            rhs=float(data["rhs"]),
+            cert=dict(data["cert"]),
+        )
+
+    def proof_record(self, index: int) -> "Dict[str, Any]":
+        """The (unsealed) ``cut`` proof-log record for this row."""
+        record = {"kind": "cut", "index": int(index)}
+        record.update(self.as_dict())
+        return record
+
+    def violation(self, x: "np.ndarray") -> float:
+        """How far ``x`` violates this cut (positive = violated)."""
+        return (
+            sum(a * float(x[j]) for j, a in self.coeffs.items()) - self.rhs
+        )
+
+    def key(self) -> "Tuple":
+        """Dedup key: the row itself, certificate-independent."""
+        return (tuple(sorted(self.coeffs.items())), self.rhs)
+
+
+def extend_standard_form(
+    form: StandardForm, rows: "Sequence[Mapping[str, Any]]"
+) -> StandardForm:
+    """Append serialized cut rows to a form's inequality system.
+
+    Deterministic layout — coefficients in sorted column order, CSR
+    index dtypes preserved — so the coordinator and every parallel
+    worker build byte-identical extended forms (and therefore identical
+    checkpoint/proof fingerprints) from the same serialized rows.
+    Shares ``c``/``a_eq``/bounds with the input form.
+    """
+    if not rows:
+        return form
+    base = form.a_ub.tocsr()
+    data: "List[float]" = [float(v) for v in base.data]
+    indices: "List[int]" = [int(v) for v in base.indices]
+    indptr: "List[int]" = [int(v) for v in base.indptr]
+    b_ub: "List[float]" = [float(v) for v in form.b_ub]
+    for row in rows:
+        coeffs = {int(k): float(v) for k, v in dict(row["coeffs"]).items()}
+        for j in sorted(coeffs):
+            indices.append(j)
+            data.append(coeffs[j])
+        indptr.append(len(data))
+        b_ub.append(float(row["rhs"]))
+    matrix = sparse.csr_matrix(
+        (
+            np.array(data, dtype=float),
+            np.array(indices, dtype=base.indices.dtype),
+            np.array(indptr, dtype=base.indptr.dtype),
+        ),
+        shape=(base.shape[0] + len(rows), form.num_vars),
+    )
+    return StandardForm(
+        c=form.c,
+        a_ub=matrix,
+        b_ub=np.array(b_ub, dtype=float),
+        a_eq=form.a_eq,
+        b_eq=form.b_eq,
+        lb=form.lb,
+        ub=form.ub,
+        integrality=form.integrality,
+    )
+
+
+# ----------------------------------------------------------------------
+# separation (float-side; exact validation happens in the cut loop)
+
+
+def _binary_mask(form: StandardForm) -> "np.ndarray":
+    """Columns that are genuinely 0-1 integer in the root box."""
+    return (
+        (form.integrality > 0.5) & (form.lb >= 0.0) & (form.ub <= 1.0)
+    )
+
+
+def _values_vector(values: "Mapping", n: int) -> "np.ndarray":
+    arr = getattr(values, "array", None)
+    if arr is not None:
+        return np.asarray(arr, dtype=float)
+    out = np.zeros(n)
+    for j, v in values.items():
+        out[int(j)] = float(v)
+    return out
+
+
+def separate_cover_cuts(
+    form: StandardForm,
+    x: "np.ndarray",
+    *,
+    min_violation: float,
+) -> "List[CutRow]":
+    """Greedy knapsack cover separation over the ``a_ub`` capacity rows.
+
+    For each row, binary columns with positive coefficients are added
+    in decreasing fractional-value order until their joint activation
+    provably overruns the row (everything else folded at its minimum
+    activity); the cover is then minimalized from the low-``x`` end.
+    At most one cover per row per round.
+    """
+    a = form.a_ub.tocsr()
+    lb, ub = form.lb, form.ub
+    is_bin = _binary_mask(form)
+    cuts: "List[CutRow]" = []
+    for r in range(a.shape[0]):
+        s, e = int(a.indptr[r]), int(a.indptr[r + 1])
+        if e - s < 2:
+            continue
+        base_min = 0.0
+        candidates: "List[Tuple[int, float]]" = []
+        usable = True
+        for j_raw, av_raw in zip(a.indices[s:e], a.data[s:e]):
+            j, av = int(j_raw), float(av_raw)
+            if av == 0.0:
+                continue
+            bound = lb[j] if av > 0 else ub[j]
+            if not math.isfinite(float(bound)):
+                usable = False
+                break
+            base_min += av * float(bound)
+            if av > 0 and is_bin[j] and lb[j] == 0.0 and ub[j] == 1.0:
+                candidates.append((j, av))
+        if not usable or len(candidates) < 2:
+            continue
+        rhs = float(form.b_ub[r])
+        # Members with lb == 0 contribute exactly their coefficient
+        # when switched from the min bound to 1.
+        candidates.sort(key=lambda t: (-float(x[t[0]]), -t[1]))
+        chosen: "List[Tuple[int, float]]" = []
+        activity = base_min
+        overran = False
+        for j, av in candidates:
+            chosen.append((j, av))
+            activity += av
+            if activity > rhs + _EPS:
+                overran = True
+                break
+        if not overran or len(chosen) < 2:
+            continue
+        # Minimalize: drop low-x members whose removal keeps the overrun
+        # (smaller covers mean smaller rhs and larger violation).
+        for j, av in sorted(chosen, key=lambda t: float(x[t[0]])):
+            if len(chosen) <= 2:
+                break
+            if activity - av > rhs + _EPS:
+                chosen.remove((j, av))
+                activity -= av
+        members = sorted(j for j, _ in chosen)
+        violation = sum(float(x[j]) for j in members) - (len(members) - 1)
+        if violation <= min_violation:
+            continue
+        cuts.append(
+            CutRow(
+                family="cover",
+                coeffs={j: 1.0 for j in members},
+                rhs=float(len(members) - 1),
+                cert={"row": r, "members": members},
+            )
+        )
+    return cuts
+
+
+def build_conflict_graph(
+    form: StandardForm, *, width_limit: int = _CONFLICT_WIDTH
+) -> ConflictGraph:
+    """Pairwise conflicts between binary columns, each with its witness.
+
+    Two binaries conflict when some row cannot hold with both at 1:
+    for a ``<=`` row the pair's minimum activity exceeds the rhs; for
+    an ``=`` row additionally when the pair's maximum activity cannot
+    reach it.  Only rows of at most ``width_limit`` nonzeros are
+    scanned (the packing rows that matter are narrow; the scan is
+    quadratic per row).  Independent of any LP point — built once per
+    cut loop.
+    """
+    lb, ub = form.lb, form.ub
+    is_bin = _binary_mask(form)
+    graph: ConflictGraph = {}
+
+    def note(p: int, q: int, kind: str, row: int) -> None:
+        graph.setdefault(p, {}).setdefault(q, (kind, row))
+        graph.setdefault(q, {}).setdefault(p, (kind, row))
+
+    for kind, matrix, rhs_vec in (
+        ("ub", form.a_ub.tocsr(), form.b_ub),
+        ("eq", form.a_eq.tocsr(), form.b_eq),
+    ):
+        for r in range(matrix.shape[0]):
+            s, e = int(matrix.indptr[r]), int(matrix.indptr[r + 1])
+            if e - s < 2 or e - s > width_limit:
+                continue
+            entries = [
+                (int(j), float(av))
+                for j, av in zip(matrix.indices[s:e], matrix.data[s:e])
+                if float(av) != 0.0
+            ]
+            if any(
+                not (math.isfinite(float(lb[j])) and math.isfinite(float(ub[j])))
+                for j, _ in entries
+            ):
+                continue
+            base_min = sum(
+                av * (float(lb[j]) if av > 0 else float(ub[j]))
+                for j, av in entries
+            )
+            base_max = sum(
+                av * (float(ub[j]) if av > 0 else float(lb[j]))
+                for j, av in entries
+            )
+            # Delta of switching one binary from its extreme to 1.
+            dmin = {
+                j: av - av * (float(lb[j]) if av > 0 else float(ub[j]))
+                for j, av in entries
+                if is_bin[j] and ub[j] == 1.0
+            }
+            dmax = {
+                j: av - av * (float(ub[j]) if av > 0 else float(lb[j]))
+                for j, av in entries
+                if is_bin[j] and ub[j] == 1.0
+            }
+            rhs = float(rhs_vec[r])
+            cols = sorted(dmin)
+            for ai, p in enumerate(cols):
+                for q in cols[ai + 1:]:
+                    if base_min + dmin[p] + dmin[q] > rhs + _EPS:
+                        note(p, q, kind, r)
+                    elif (
+                        kind == "eq"
+                        and base_max + dmax[p] + dmax[q] < rhs - _EPS
+                    ):
+                        note(p, q, kind, r)
+    return graph
+
+
+def separate_clique_cuts(
+    form: StandardForm,
+    x: "np.ndarray",
+    graph: ConflictGraph,
+    *,
+    min_violation: float,
+    max_seeds: int = 64,
+) -> "List[CutRow]":
+    """Grow violated cliques in the conflict graph.
+
+    Seeds are conflicting pairs already violated at ``x``; each is
+    greedily extended (highest fractional value first) by columns in
+    conflict with *every* current member, so the pairwise certificate
+    covers the whole clique.
+    """
+    seeds: "List[Tuple[float, int, int]]" = []
+    for p, nbrs in graph.items():
+        for q in nbrs:
+            if p < q:
+                score = float(x[p]) + float(x[q])
+                if score > 1.0 + min_violation:
+                    seeds.append((score, p, q))
+    seeds.sort(reverse=True)
+    cuts: "List[CutRow]" = []
+    seen: "Set[FrozenSet[int]]" = set()
+    for _, p, q in seeds[:max_seeds]:
+        members = [p, q]
+        common = set(graph[p]) & set(graph[q])
+        common.discard(p)
+        common.discard(q)
+        for v in sorted(common, key=lambda j: -float(x[j])):
+            if v not in common:
+                continue
+            members.append(v)
+            common &= set(graph[v])
+            if len(members) >= _MAX_CLIQUE:
+                break
+        key = frozenset(members)
+        if key in seen:
+            continue
+        seen.add(key)
+        violation = sum(float(x[j]) for j in members) - 1.0
+        if violation <= min_violation:
+            continue
+        ordered = sorted(members)
+        pairs: "List[List[Any]]" = []
+        for ai, mp in enumerate(ordered):
+            for mq in ordered[ai + 1:]:
+                kind, row = graph[mp][mq]
+                pairs.append([mp, mq, kind, row])
+        cuts.append(
+            CutRow(
+                family="clique",
+                coeffs={j: 1.0 for j in ordered},
+                rhs=1.0,
+                cert={"members": ordered, "pairs": pairs},
+            )
+        )
+    return cuts
+
+
+def _ceil_to_grid(value: Fraction) -> "Optional[Fraction]":
+    """Round a bound *up* to the dyadic grid (exactly float64-safe)."""
+    if abs(value) > (1 << 30):
+        return None
+    return Fraction(math.ceil(value * _GRID), _GRID)
+
+
+def separate_implied_bound_cuts(
+    form: StandardForm,
+    x: "np.ndarray",
+    *,
+    min_violation: float,
+    width_limit: int = _CONFLICT_WIDTH,
+) -> "List[CutRow]":
+    """On-demand Glover-product tightenings from the ``a_ub`` rows.
+
+    For each row coupling a continuous ``z`` (positive coefficient)
+    with binary triggers ``y`` (positive coefficient, fractional at
+    ``x``), the branch bounds ``z <= lo0`` (``y = 0``) and
+    ``z <= hi1`` (``y = 1``) are derived in *exact* rationals, snapped
+    up to the dyadic grid, and emitted as ``z + (lo0-hi1) y <= lo0``
+    when violated.  Exact derivation keeps the later Fraction
+    re-verification from ever disagreeing with generation.
+    """
+    a = form.a_ub.tocsr()
+    lb, ub, integrality = form.lb, form.ub, form.integrality
+    is_bin = _binary_mask(form)
+    int_tol = 1e-6
+    cuts: "List[CutRow]" = []
+    for r in range(a.shape[0]):
+        s, e = int(a.indptr[r]), int(a.indptr[r + 1])
+        if e - s < 2 or e - s > width_limit:
+            continue
+        entries = [
+            (int(j), Fraction(float(av)))
+            for j, av in zip(a.indices[s:e], a.data[s:e])
+            if float(av) != 0.0
+        ]
+        usable = True
+        contrib: "Dict[int, Fraction]" = {}
+        for j, av in entries:
+            bound = float(lb[j]) if av > 0 else float(ub[j])
+            if not math.isfinite(bound):
+                usable = False
+                break
+            contrib[j] = av * Fraction(bound)
+        if not usable:
+            continue
+        sum_min = sum(contrib.values(), Fraction(0))
+        rhs = Fraction(float(form.b_ub[r]))
+        z_cands = [
+            (j, av)
+            for j, av in entries
+            if av > 0
+            and integrality[j] <= 0.5
+            and math.isfinite(float(ub[j]))
+        ]
+        y_cands = [
+            (j, av)
+            for j, av in entries
+            if av > 0
+            and is_bin[j]
+            and lb[j] == 0.0
+            and ub[j] == 1.0
+            and int_tol < float(x[j]) < 1.0 - int_tol
+        ]
+        if not z_cands or not y_cands:
+            continue
+        for z, a_z in z_cands:
+            minrest = sum_min - contrib[z]
+            u0 = (rhs - minrest) / a_z
+            ub_z = Fraction(float(ub[z]))
+            if u0 < ub_z:
+                lo0_raw: Fraction = u0
+                row0: "Optional[List[Any]]" = ["ub", r]
+            else:
+                lo0_raw = ub_z
+                row0 = None
+            lo0 = _ceil_to_grid(lo0_raw)
+            if lo0 is None:
+                continue
+            for y, a_y in y_cands:
+                if y == z:
+                    continue
+                # y's minimum contribution is 0 (lb 0, positive coeff),
+                # so fixing y = 1 adds exactly a_y to the rest.
+                hi1 = _ceil_to_grid((rhs - minrest - a_y) / a_z)
+                if hi1 is None or lo0 <= hi1:
+                    continue
+                coeff_y = lo0 - hi1
+                violation = (
+                    float(x[z])
+                    + float(coeff_y) * float(x[y])
+                    - float(lo0)
+                )
+                if violation <= min_violation:
+                    continue
+                cuts.append(
+                    CutRow(
+                        family="implied_bound",
+                        coeffs={z: 1.0, y: float(coeff_y)},
+                        rhs=float(lo0),
+                        cert={
+                            "z": z,
+                            "y": y,
+                            "lo0": float(lo0),
+                            "hi1": float(hi1),
+                            "row0": row0,
+                            "row1": ["ub", r],
+                        },
+                    )
+                )
+    return cuts
+
+
+# ----------------------------------------------------------------------
+# the root cut loop
+
+
+def run_root_cut_loop(
+    base_form: StandardForm,
+    lp_backend: "Callable[..., LPResult]",
+    *,
+    rounds: int = 8,
+    max_per_round: int = 64,
+    min_violation: float = 1e-4,
+    tailoff: float = 1e-5,
+) -> "Tuple[StandardForm, List[CutRow], Dict[str, Any]]":
+    """Separate-and-validate rounds at the root; returns the tightened form.
+
+    Each round solves the current relaxation, separates all three
+    families against its fractional point over the *base* structural
+    rows, exact-validates the most violated candidates with the
+    checker's :func:`~repro.ilp.certify.checker.verify_cut_record`
+    (against the incrementally extended exact form, so certificates
+    may cite earlier cuts), and rebuilds the extended
+    :class:`StandardForm`.  Stops when a round adds nothing, the round
+    budget is spent, or the relaxation objective tails off.  An LP
+    backend failure aborts the loop but keeps the cuts already proven
+    — they are valid regardless.
+    """
+    from repro.ilp.certify.checker import (
+        ExactForm,
+        append_cut_row,
+        verify_cut_record,
+    )
+    from repro.ilp.certify.proof import form_to_json
+
+    stats: "Dict[str, Any]" = {
+        "enabled": True,
+        "rounds": 0,
+        "total": 0,
+        "cuts_added": {},
+        "cuts_forfeited": 0,
+        "root_lp_solves": 0,
+        "root_obj_before": None,
+        "root_obj_after": None,
+    }
+    exact = ExactForm.from_header(form_to_json(base_form))
+    graph = build_conflict_graph(base_form)
+    accepted: "List[CutRow]" = []
+    seen: "Set[Tuple]" = set()
+    form = base_form
+    last_obj: "Optional[float]" = None
+    for _ in range(max(0, rounds)):
+        try:
+            lp = lp_backend(form, form.lb, form.ub)
+        except SolverError:
+            break  # keep proven cuts; the tree search handles the rest
+        stats["root_lp_solves"] += 1
+        if lp.status is not SolveStatus.OPTIMAL or lp.values is None:
+            break
+        obj = float(lp.objective if lp.objective is not None else 0.0)
+        if stats["root_obj_before"] is None:
+            stats["root_obj_before"] = obj
+        stats["root_obj_after"] = obj
+        if (
+            last_obj is not None
+            and obj - last_obj < tailoff * (1.0 + abs(last_obj))
+        ):
+            break
+        last_obj = obj
+        x = _values_vector(lp.values, base_form.num_vars)
+        candidates = (
+            separate_cover_cuts(base_form, x, min_violation=min_violation)
+            + separate_clique_cuts(
+                base_form, x, graph, min_violation=min_violation
+            )
+            + separate_implied_bound_cuts(
+                base_form, x, min_violation=min_violation
+            )
+        )
+        candidates = [c for c in candidates if c.key() not in seen]
+        candidates.sort(key=lambda c: -c.violation(x))
+        added = 0
+        for cand in candidates[: max(1, max_per_round)]:
+            if not all(
+                math.isfinite(v) for v in cand.coeffs.values()
+            ) or not math.isfinite(cand.rhs):
+                stats["cuts_forfeited"] += 1
+                continue
+            record = cand.proof_record(len(accepted))
+            reason = verify_cut_record(exact, record)
+            if reason is not None:
+                # Float-side separation disagreed with the exact check:
+                # drop the candidate honestly (it never reaches the
+                # model or the proof log).
+                stats["cuts_forfeited"] += 1
+                continue
+            append_cut_row(exact, record)
+            accepted.append(cand)
+            seen.add(cand.key())
+            families = stats["cuts_added"]
+            families[cand.family] = families.get(cand.family, 0) + 1
+            added += 1
+        stats["rounds"] += 1
+        if not added:
+            break
+        form = extend_standard_form(
+            base_form, [c.as_dict() for c in accepted]
+        )
+    if accepted:
+        # Measure the tightened relaxation (and warm the kernel on the
+        # final extended form the tree search will solve).
+        try:
+            lp = lp_backend(form, form.lb, form.ub)
+        except SolverError:
+            lp = None
+        else:
+            stats["root_lp_solves"] += 1
+        if (
+            lp is not None
+            and lp.status is SolveStatus.OPTIMAL
+            and lp.objective is not None
+        ):
+            stats["root_obj_after"] = float(lp.objective)
+    stats["total"] = len(accepted)
+    return form, accepted, stats

@@ -104,6 +104,7 @@ class Worker:
             lp_backend=context["lp_backend"],
             node_prober=context.get("node_prober"),
             leaf_solver=context.get("leaf_solver"),
+            incumbent_auditor=context.get("incumbent_auditor"),
             # The coordinator owns the clock, checkpoints, and rescue
             # semantics; a worker only ever explores bounded chunks.
             time_limit_s=None,
@@ -115,6 +116,16 @@ class Worker:
         solver = BranchAndBound(
             context["model"], rule=context.get("rule"), config=config
         )
+        cut_rows = payload.get("cuts") or []
+        if cut_rows:
+            # Install the coordinator's root cuts verbatim instead of
+            # re-running the separation loop: the shipped fingerprint is
+            # over the extended form, so the check below proves the
+            # installed rows match the coordinator's bit for bit.
+            from repro.ilp.cuts import extend_standard_form
+
+            solver.base_form = solver.form
+            solver.form = extend_standard_form(solver.form, cut_rows)
         actual = form_fingerprint(solver.form)
         expected = payload["fingerprint"]
         if actual != expected:

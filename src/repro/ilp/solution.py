@@ -184,6 +184,8 @@ class SolveStats:
     kernel: "Optional[Dict[str, object]]" = None
     parallel: "Optional[Dict[str, object]]" = None
     proof: "Optional[Dict[str, object]]" = None
+    cuts: "Optional[Dict[str, object]]" = None
+    heuristics: "Optional[Dict[str, object]]" = None
 
     @property
     def lp_calls(self) -> int:
@@ -232,6 +234,8 @@ class SolveStats:
             "kernel": self.kernel,
             "parallel": self.parallel,
             "proof": self.proof,
+            "cuts": self.cuts,
+            "heuristics": self.heuristics,
         }
 
     @classmethod
